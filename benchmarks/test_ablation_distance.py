@@ -1,0 +1,91 @@
+"""Ablation: the seven distance features of the coarse clustering (§3.6).
+
+Builds a corpus of pages with known family labels (censorship landings,
+parking lots, search pages, error pages, router logins, legitimate
+sites) in several variants each, clusters it with the full
+seven-feature distance and with each feature removed, and scores
+cluster purity against the families.  The full distance should be at
+least as pure as the best ablation, and no single feature's removal
+should collapse the clustering.
+"""
+
+from repro.core.clustering import hierarchical_cluster
+from repro.core.distance import PageDistance
+from repro.core.features import extract_features
+from repro.websim import SiteLibrary
+from repro.websim import pages
+
+THRESHOLD = 0.30
+
+
+def build_corpus():
+    """(family, html) pairs: 6 families, several variants each."""
+    corpus = []
+    for country in ("TR", "ID", "RU", "GR"):
+        corpus.append(("censorship", pages.censorship_landing(country)))
+    for index, domain in enumerate(("dead-a.com", "dead-b.net",
+                                    "dead-c.org")):
+        corpus.append(("parking", pages.parking_page(domain, seed=index)))
+    for provider in ("WebSearch", "FindFast", "LookupNow"):
+        corpus.append(("search", pages.search_page(provider=provider)))
+    for status in (404, 500, 503):
+        corpus.append(("error", pages.error_page(status)))
+    for vendor in ("TP-LINK", "ZyXEL"):
+        corpus.append(("login", pages.router_login(vendor)))
+    library = SiteLibrary(seed=3)
+    for domain in ("alpha.example", "beta.example", "gamma.example"):
+        corpus.append(("site", library.page_for(domain)))
+    return corpus
+
+
+def purity(clusters, families):
+    """Weighted purity: majority-family share per cluster."""
+    total = 0
+    agreeing = 0
+    for cluster in clusters:
+        members = [families[index] for index in cluster.indices]
+        best = max(set(members), key=members.count)
+        agreeing += members.count(best)
+        total += len(members)
+    return agreeing / total if total else 1.0
+
+
+def test_ablation_distance_features(benchmark):
+    corpus = build_corpus()
+    families = [family for family, __ in corpus]
+    profiles = [extract_features(html) for __, html in corpus]
+
+    def cluster_with(distance):
+        clusters, __ = hierarchical_cluster(profiles, distance, THRESHOLD)
+        return clusters
+
+    def run_all():
+        results = {}
+        full = PageDistance()
+        results["full"] = cluster_with(full)
+        for dropped in PageDistance.FEATURE_NAMES:
+            weights = {name: 1.0 for name in PageDistance.FEATURE_NAMES
+                       if name != dropped}
+            results["-%s" % dropped] = cluster_with(
+                PageDistance(weights=weights))
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    print()
+    print("Distance-feature ablation (%d pages, 6 families)"
+          % len(corpus))
+    scores = {}
+    for name, clusters in results.items():
+        scores[name] = purity(clusters, families)
+        print("  %-12s clusters=%2d  purity=%.2f"
+              % (name, len(clusters), scores[name]))
+
+    assert scores["full"] >= 0.9, "full distance must separate families"
+    # Robustness: no single feature is a single point of failure.
+    for name, score in scores.items():
+        assert score >= 0.7, "%s collapsed the clustering" % name
+    # The full distance is at least as good as the average ablation.
+    ablation_scores = [s for n, s in scores.items() if n != "full"]
+    assert scores["full"] >= sum(ablation_scores) / len(ablation_scores) \
+        - 1e-9

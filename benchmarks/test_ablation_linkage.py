@@ -1,0 +1,55 @@
+"""Ablation: linkage choice for the hierarchical clustering (§3.6).
+
+The paper groups "similar instances using average linkage".  This
+ablation clusters the same labeled corpus with average, single, and
+complete linkage: single linkage is prone to chaining unrelated pages
+together (fewer, dirtier clusters), complete linkage to shattering
+families (more clusters); average linkage balances both.
+"""
+
+from benchmarks.test_ablation_distance import (
+    THRESHOLD,
+    build_corpus,
+    purity,
+)
+from repro.core.clustering import hierarchical_cluster
+from repro.core.distance import PageDistance
+from repro.core.features import extract_features
+
+
+def test_ablation_linkage(benchmark):
+    corpus = build_corpus()
+    families = [family for family, __ in corpus]
+    profiles = [extract_features(html) for __, html in corpus]
+    distance = PageDistance()
+
+    def run_all():
+        results = {}
+        for linkage in ("average", "single", "complete"):
+            clusters, dendrogram = hierarchical_cluster(
+                profiles, distance, THRESHOLD, linkage=linkage)
+            results[linkage] = (clusters, dendrogram)
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    print()
+    print("Linkage ablation (%d pages, 6 families, threshold %.2f)"
+          % (len(corpus), THRESHOLD))
+    stats = {}
+    for linkage, (clusters, dendrogram) in results.items():
+        stats[linkage] = {"clusters": len(clusters),
+                          "purity": purity(clusters, families),
+                          "merges": len(dendrogram)}
+        print("  %-9s clusters=%2d  purity=%.2f  merges=%d"
+              % (linkage, len(clusters), stats[linkage]["purity"],
+                 stats[linkage]["merges"]))
+
+    # Average linkage (the paper's choice) keeps families pure.
+    assert stats["average"]["purity"] >= 0.9
+    # Single linkage merges at least as eagerly as average; complete
+    # linkage merges at most as eagerly.
+    assert stats["single"]["clusters"] <= stats["average"]["clusters"]
+    assert stats["complete"]["clusters"] >= stats["average"]["clusters"]
+    # Average linkage is no worse than the eager single linkage.
+    assert stats["average"]["purity"] >= stats["single"]["purity"] - 1e-9

@@ -1,0 +1,38 @@
+"""Figure 1: weekly counts of responding DNS resolvers by status code.
+
+Paper: 26.8M NOERROR resolvers at the first scan (Jan 31, 2014) declining
+to 17.8M (Feb 2015, ratio 0.66); REFUSED stable throughout; SERVFAIL
+fluctuating well below both.
+"""
+
+from repro.analysis.magnitude import (
+    decline_ratio,
+    format_series,
+    magnitude_series,
+)
+from benchmarks.conftest import BENCH_SCALE, paper_vs
+
+
+def test_fig1_magnitude(campaign, benchmark):
+    series = benchmark(magnitude_series, campaign.snapshots)
+
+    print()
+    print("Figure 1 — responding resolvers per weekly scan "
+          "(scale 1:%d)" % BENCH_SCALE)
+    print(format_series(series[:5] + series[-5:]))
+    ratio = decline_ratio(series)
+    refused_first = series[0]["refused"]
+    refused_last = series[-1]["refused"]
+    print(paper_vs("NOERROR decline ratio (17.8M/26.8M)", 0.664 * 100,
+                   ratio * 100))
+    print(paper_vs("REFUSED stability (last/first)", 100.0,
+                   100.0 * refused_last / max(1, refused_first)))
+
+    # Shape assertions.
+    assert series[0]["noerror"] > 0
+    assert 0.50 < ratio < 0.85, "NOERROR should decline by roughly a third"
+    assert abs(refused_last - refused_first) <= 0.25 * refused_first + 5, \
+        "REFUSED population should stay roughly stable"
+    for row in series:
+        assert row["servfail"] < row["noerror"]
+        assert row["all"] >= row["noerror"]

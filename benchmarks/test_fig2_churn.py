@@ -1,0 +1,54 @@
+"""Figure 2: IP-address churn of the Jan-2014 resolver cohort.
+
+Paper: 52.2% of the cohort disappears within one week; >40% within the
+first day; 4.0% still answer on the same address after 55 weeks.  Of the
+day-one leavers with rDNS records, 67.4% carry dynamic-assignment tokens.
+"""
+
+from repro.analysis.churn import (
+    churn_survival,
+    day_one_leavers,
+    dynamic_rdns_share,
+    format_survival,
+)
+from benchmarks.conftest import paper_vs
+
+
+def test_fig2_churn_curve(campaign, benchmark):
+    curve = benchmark(churn_survival, campaign.snapshots)
+
+    print()
+    print("Figure 2 — cohort surviving without IP churn")
+    print(format_survival(curve[:4] + curve[-3:]))
+    week1 = dict(curve)[1]
+    final = curve[-1][1]
+    print(paper_vs("gone within week 1", 52.2, 100 - week1))
+    print(paper_vs("still alive at week 55", 4.0, final))
+
+    assert curve[0][1] == 100.0
+    assert 35 < (100 - week1) < 70, "week-1 churn should be severe"
+    assert final < 15, "almost everything churns away eventually"
+    # Near-monotone decline (a churned address can occasionally be
+    # re-leased to another resolver, so allow a small uptick).
+    smoothed = [pct for __, pct in curve]
+    assert all(later <= earlier + 2.0 for earlier, later
+               in zip(smoothed, smoothed[1:]))
+
+
+def test_fig2_day_one_churn(scenario, campaign, benchmark):
+    leavers = benchmark(day_one_leavers, campaign.first().result,
+                        campaign.day1_result)
+    cohort_size = len(campaign.first().result.noerror)
+    day1_share = 100.0 * len(leavers) / cohort_size
+
+    stats = dynamic_rdns_share(leavers, campaign.cohort_rdns)
+    print()
+    print("Figure 2 (inset) — day-one churn")
+    print(paper_vs("cohort gone within one day", 40.0, day1_share))
+    print(paper_vs("day-1 leavers with dynamic rDNS", 67.4,
+                   stats["dynamic_share_pct"]))
+
+    assert day1_share > 25, "a large share should churn on day one"
+    assert stats["with_rdns"] > 0
+    assert stats["dynamic_share_pct"] > 55, \
+        "day-one leavers are dominated by dynamic broadband links"

@@ -1,0 +1,45 @@
+"""Figure 4: resolver countries for Facebook/Twitter/YouTube responses.
+
+Paper: over all responses the resolvers spread across the globe (no
+country above ~13%); isolating the *unexpected* responses, 83.6% of the
+suspicious resolvers sit in China and 12.9% in Iran — together 96.5%.
+(Note: the paper's absolute CN count is inflated by IP churn across the
+multi-day scans; our single-snapshot share is lower but the ordering and
+dominance are the reproducible shape.)
+"""
+
+from repro.analysis.manipulation import social_geography
+from benchmarks.conftest import paper_vs
+
+SOCIAL = ("facebook.com", "twitter.com", "youtube.com")
+
+
+def test_fig4_censorship_geo(scenario, pipeline_reports, benchmark):
+    report = pipeline_reports["Alexa"]
+    fig4 = benchmark(social_geography, report, scenario.geoip, SOCIAL)
+
+    all_shares = fig4.all_shares()
+    unexpected = fig4.unexpected_shares()
+    print()
+    print("Figure 4a — all responses (top 6 countries)")
+    for country, share in all_shares[:6]:
+        print("  %-3s %5.1f%%" % (country, share))
+    print("Figure 4b — unexpected responses (top 6 countries)")
+    for country, share in unexpected[:6]:
+        print("  %-3s %5.1f%%" % (country, share))
+    unexpected_by_country = dict(unexpected)
+    print(paper_vs("CN share of unexpected", 83.6,
+                   unexpected_by_country.get("CN", 0.0)))
+    print(paper_vs("IR share of unexpected", 12.9,
+                   unexpected_by_country.get("IR", 0.0)))
+
+    # Figure 4a: globally distributed, no single country dominates.
+    assert all_shares[0][1] < 25
+    # Figure 4b: China first by a wide margin, Iran second.
+    assert unexpected[0][0] == "CN"
+    assert unexpected[1][0] == "IR"
+    assert unexpected_by_country["CN"] > 40
+    assert unexpected_by_country["CN"] > \
+        2 * unexpected_by_country["IR"]
+    # CN + IR dominate the unexpected population.
+    assert unexpected_by_country["CN"] + unexpected_by_country["IR"] > 70

@@ -1,0 +1,55 @@
+"""Section 2.6: resolver utilization via DNS cache snooping.
+
+Paper: 83.2% of resolvers answer the snooping probes; 7.3% always reply
+with empty responses; 3.3% send a single response per TLD then fall
+silent; 4.0% show static or zero TTLs; 61.6% are in use (>= 3 TLDs
+re-added after expiry), 38.7% of all responders frequently (re-add
+within 5 s); 19.6% keep resetting TTLs ahead of expiry; 4.0% decrease
+without observable expiry.
+"""
+
+from repro.analysis.utilization import (
+    CLASS_DECREASING,
+    CLASS_EMPTY,
+    CLASS_IN_USE,
+    CLASS_RESETTING,
+    CLASS_SINGLE,
+    format_utilization,
+    utilization_summary,
+)
+from benchmarks.conftest import paper_vs
+
+PAPER = {
+    "responding": 83.2,
+    CLASS_EMPTY: 7.3,
+    CLASS_SINGLE: 3.3,
+    CLASS_IN_USE: 61.6,
+    CLASS_RESETTING: 19.6,
+    CLASS_DECREASING: 4.0,
+    "frequent": 38.7,
+}
+
+
+def test_sec26_utilization(snooping_traces, benchmark):
+    summary = benchmark(utilization_summary, snooping_traces)
+
+    print()
+    print("Section 2.6 — utilization via cache snooping")
+    print(format_utilization(summary))
+    shares = summary["class_shares_pct"]
+    print(paper_vs("responding", PAPER["responding"],
+                   summary["responding_share_pct"]))
+    for cls in (CLASS_EMPTY, CLASS_SINGLE, CLASS_IN_USE, CLASS_RESETTING,
+                CLASS_DECREASING):
+        print(paper_vs(cls, PAPER[cls], shares.get(cls, 0.0)))
+    print(paper_vs("frequently used", PAPER["frequent"],
+                   summary["frequent_share_pct"]))
+
+    assert 70 < summary["responding_share_pct"] < 95
+    assert 45 < summary["in_use_share_pct"] < 75
+    assert 25 < summary["frequent_share_pct"] < 55
+    assert 10 < shares.get(CLASS_RESETTING, 0) < 30
+    assert shares.get(CLASS_EMPTY, 0) < 18
+    # The in-use majority finding is the headline: most open resolvers
+    # serve real clients.
+    assert summary["in_use_share_pct"] > shares.get(CLASS_RESETTING, 0)

@@ -1,0 +1,114 @@
+"""Section 4.1: DNS-based prefiltering effectiveness.
+
+Paper: 85.8% (MX set) to 93.2% (Antivirus set) of responses are filtered
+as legitimate; 4.9-8.4% carry empty answer sections (highest for the
+Malware set); unexpected tuples range from 0.6% (MX) to 4.4% (Malware),
+with the NX set the outlier at 13.7%.  Among suspicious resolvers: up to
+15.1% return their own IP for at least one domain; 50.4% return the same
+IP set for more than one domain; 4.4% return a single static IP for
+everything; 2.0% answer with NS records only.
+"""
+
+from repro.analysis.manipulation import (
+    prefilter_summary,
+    suspicious_behavior_stats,
+    unfetchable_breakdown,
+)
+from benchmarks.conftest import paper_vs
+
+PAPER_RANGES = {
+    # category: (legit_lo, legit_hi, unknown_lo, unknown_hi)
+    "Antivirus": (0.85, 0.97, 0.001, 0.05),
+    "Banking": (0.82, 0.97, 0.001, 0.05),
+    "MX": (0.78, 0.97, 0.001, 0.06),
+    "Malware": (0.30, 0.95, 0.005, 0.30),
+    "NX": (0.55, 0.99, 0.005, 0.25),
+}
+
+
+def test_sec41_prefilter(pipeline_reports, benchmark):
+    summaries = benchmark(
+        lambda: {category: prefilter_summary(report)
+                 for category, report in pipeline_reports.items()})
+
+    print()
+    print("Section 4.1 — prefilter buckets per domain set")
+    print("  %-12s %10s %8s %8s %8s" % ("set", "responses", "legit",
+                                        "empty", "unknown"))
+    for category, summary in summaries.items():
+        print("  %-12s %10d %7.1f%% %7.1f%% %7.1f%%" % (
+            category, summary["observations"],
+            100 * summary["legitimate_share"],
+            100 * summary["empty_share"],
+            100 * summary["unknown_share"]))
+
+    censored_sets = ("Adult", "Gambling", "Filesharing",
+                     "Dating")
+    web_sets = [c for c in summaries
+                if c not in ("NX", "Malware", "GroundTruth", "MX")
+                and c not in censored_sets]
+    for category in web_sets:
+        assert summaries[category]["legitimate_share"] > 0.75, category
+        assert summaries[category]["unknown_share"] < 0.25, category
+    # The censorship-heavy sets run lower: most of their suspicious
+    # tuples ARE the censorship the study is after.
+    for category in censored_sets:
+        assert summaries[category]["legitimate_share"] > 0.55, category
+    # The Malware set has the highest empty share (protective resolvers).
+    malware_empty = summaries["Malware"]["empty_share"]
+    print(paper_vs("Malware empty share (highest)", 8.4,
+                   100 * malware_empty))
+    assert malware_empty >= max(
+        summaries[c]["empty_share"] for c in web_sets) - 0.02
+    # Benign sets (Banking/Antivirus/MX/GT) have less manipulation than
+    # censored sets (Adult/Gambling).
+    assert summaries["Banking"]["unknown_share"] < \
+        summaries["Adult"]["unknown_share"]
+
+
+def test_sec41_suspicious_dns_behaviour(pipeline_reports, benchmark):
+    reports = {c: r for c, r in pipeline_reports.items()
+               if c != "GroundTruth"}
+    stats = benchmark(suspicious_behavior_stats, reports)
+
+    print()
+    print("Section 4.1 — DNS-level behaviour of suspicious resolvers")
+    print(paper_vs("return own IP for >=1 domain (max/set)", 15.1,
+                   stats["self_ip_any_share_pct"]))
+    print(paper_vs("same IP set for >1 domain", 50.4,
+                   stats["same_set_multi_share_pct"]))
+    print(paper_vs("static single IP for everything", 4.4,
+                   stats["static_single_share_pct"]))
+    print(paper_vs("NS records only", 2.0,
+                   stats["ns_only_share_pct"]))
+    print(paper_vs("self-IP across >=75% of sets (count)", "8,194",
+                   str(stats["self_ip_most_sets"])))
+
+    assert stats["suspicious_resolvers"] > 0
+    assert stats["self_ip_any_share_pct"] < 25
+    assert stats["same_set_multi_share_pct"] > 25, \
+        "half the suspicious resolvers reuse one IP set across domains"
+    assert 0.5 < stats["static_single_share_pct"] < 20
+    assert stats["self_ip_most_sets"] >= 1
+
+
+def test_sec42_unfetchable_breakdown(scenario, pipeline_reports,
+                                     benchmark):
+    """§4.2: of the tuples with no HTTP payload, up to 65.1% point at
+    LAN addresses and up to 32.2% into the resolver's own AS or /24
+    (captive portals answering their own clients only)."""
+    def merge():
+        merged = type(pipeline_reports["Alexa"])()
+        for report in pipeline_reports.values():
+            merged.failed_captures.extend(report.failed_captures)
+        return unfetchable_breakdown(merged, scenario.as_registry)
+
+    stats = benchmark(merge)
+    print()
+    print(paper_vs("unfetchable pointing at LAN (max/set)", 65.1,
+                   stats["lan_share_pct"]))
+    print(paper_vs("unfetchable in own AS//24 (max/set)", 32.2,
+                   stats["same_network_share_pct"]))
+    assert stats["unfetchable"] > 0
+    assert stats["lan_share_pct"] > 10
+    assert stats["same_network_share_pct"] > 1

@@ -1,0 +1,57 @@
+"""Table 1: resolver fluctuation per country (top 10 of Jan 2014).
+
+Paper: US 2.96M (-14.2%), CN 2.42M (-13.0%), TR 1.44M (-32.2%),
+VN 1.39M (-25.4%), MX 1.37M (-14.4%), IN 1.27M (+12.7%), TH 1.21M
+(-53.5%), IT 1.17M (-38.3%), CO 1.06M (-36.2%), TW 1.06M (-57.3%);
+the ten together host 49.1% of all resolvers.
+"""
+
+from repro.analysis.geography import (
+    country_fluctuation,
+    extreme_changes,
+    format_fluctuation,
+)
+from benchmarks.conftest import paper_vs
+
+PAPER_TOP10 = {
+    "US": -14.2, "CN": -13.0, "TR": -32.2, "VN": -25.4, "MX": -14.4,
+    "IN": +12.7, "TH": -53.5, "IT": -38.3, "CO": -36.2, "TW": -57.3,
+}
+
+
+def test_table1_countries(scenario, campaign, benchmark):
+    rows, top_share = benchmark(
+        country_fluctuation, campaign.first().result,
+        campaign.last().result, scenario.geoip, 10)
+
+    print()
+    print("Table 1 — resolver fluctuation per country")
+    print(format_fluctuation(rows, "Country"))
+    print(paper_vs("top-10 share of all resolvers", 49.1, top_share))
+    for row in rows:
+        paper_delta = PAPER_TOP10.get(row["country"])
+        if paper_delta is not None:
+            print(paper_vs("%s change" % row["country"], paper_delta,
+                           row["delta_pct"]))
+
+    measured_countries = [row["country"] for row in rows]
+    # At least 8 of the paper's top-10 countries should rank top-10 here.
+    assert len(set(measured_countries) & set(PAPER_TOP10)) >= 8
+    assert 40 < top_share < 60
+    by_country = {row["country"]: row["delta_pct"] for row in rows}
+    # India grows while the rest decline.
+    if "IN" in by_country:
+        assert by_country["IN"] > 0
+    for country in ("TH", "TW"):
+        if country in by_country:
+            assert by_country[country] < -35
+
+    changes = extreme_changes(campaign.first().result,
+                              campaign.last().result, scenario.geoip,
+                              min_first=10)
+    declines = dict(changes)
+    # Argentina's near-total collapse (-75%) should rank among the
+    # strongest declines.
+    if "AR" in declines:
+        print(paper_vs("AR change", -75.0, declines["AR"]))
+        assert declines["AR"] < -55

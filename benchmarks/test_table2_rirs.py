@@ -1,0 +1,37 @@
+"""Table 2: resolver fluctuation per Regional Internet Registry.
+
+Paper (Jan 2014 -> Feb 2015): RIPE 11.19M -> 7.48M (-33.2%), APNIC
+10.43M -> 7.88M (-24.5%), LACNIC 5.14M -> 3.34M (-35.1%), ARIN 3.14M ->
+2.76M (-12.1%), AFRINIC 1.31M -> 1.19M (-8.6%).
+"""
+
+from repro.analysis.geography import format_fluctuation, rir_fluctuation
+from benchmarks.conftest import paper_vs
+
+PAPER_ORDER = ["RIPE", "APNIC", "LACNIC", "ARIN", "AFRINIC"]
+PAPER_DELTAS = {"RIPE": -33.2, "APNIC": -24.5, "LACNIC": -35.1,
+                "ARIN": -12.1, "AFRINIC": -8.6}
+
+
+def test_table2_rirs(scenario, campaign, benchmark):
+    rows = benchmark(rir_fluctuation, campaign.first().result,
+                     campaign.last().result, scenario.geoip)
+
+    print()
+    print("Table 2 — resolver fluctuation per RIR")
+    print(format_fluctuation(rows, "RIR"))
+    for row in rows:
+        if row["rir"] in PAPER_DELTAS:
+            print(paper_vs("%s change" % row["rir"],
+                           PAPER_DELTAS[row["rir"]], row["delta_pct"]))
+
+    measured = [row["rir"] for row in rows if row["rir"] != "UNKNOWN"]
+    # The two giants (RIPE/APNIC) lead; AFRINIC is smallest.
+    assert set(measured[:2]) == {"RIPE", "APNIC"}
+    assert measured[-1] == "AFRINIC"
+    by_rir = {row["rir"]: row for row in rows}
+    # Every registry declines; ARIN/AFRINIC decline least.
+    for rir in PAPER_ORDER:
+        assert by_rir[rir]["delta_pct"] < 0
+    assert by_rir["AFRINIC"]["delta_pct"] > by_rir["RIPE"]["delta_pct"]
+    assert by_rir["ARIN"]["delta_pct"] > by_rir["LACNIC"]["delta_pct"]

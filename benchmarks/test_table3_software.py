@@ -1,0 +1,56 @@
+"""Table 3: DNS server software from CHAOS version queries.
+
+Paper: of 19.9M responders, 42.7% return errors for both queries, 4.6%
+NOERROR without a version, 18.8% arbitrary hidden strings, and 33.9%
+leak software details.  Among the leakers: BIND 9.8.2 19.8%, BIND 9.3.6
+8.9%, BIND 9.7.3 5.7%, BIND 9.9.5 5.2%, Unbound 1.4.22 4.8%, Dnsmasq
+2.40 4.6%, BIND 9.8.4 3.9%, PowerDNS 3.5.3 3.2%, Dnsmasq 2.52 2.9%,
+MS DNS 6.1.7601 2.5%.
+"""
+
+from repro.analysis.software import format_software_table, software_table
+from benchmarks.conftest import paper_vs
+
+PAPER_STYLE_SHARES = {"error": 42.7, "no_version": 4.6, "hidden": 18.8,
+                      "version": 33.9}
+PAPER_TOP = {"BIND 9.8.2": 19.8, "BIND 9.3.6": 8.9, "BIND 9.7.3": 5.7,
+             "BIND 9.9.5": 5.2, "Unbound 1.4.22": 4.8,
+             "Dnsmasq 2.40": 4.6, "BIND 9.8.4": 3.9,
+             "PowerDNS 3.5.3": 3.2, "Dnsmasq 2.52": 2.9,
+             "MS DNS 6.1.7601": 2.5}
+
+
+def test_table3_software(chaos_observations, benchmark):
+    table = benchmark(software_table, chaos_observations)
+
+    print()
+    print("Table 3 — CHAOS version fingerprinting")
+    print(format_software_table(table))
+    print(paper_vs("error for both queries", PAPER_STYLE_SHARES["error"],
+                   table["error_share_pct"]))
+    print(paper_vs("NOERROR, no version",
+                   PAPER_STYLE_SHARES["no_version"],
+                   table["no_version_share_pct"]))
+    print(paper_vs("hidden strings", PAPER_STYLE_SHARES["hidden"],
+                   table["hidden_share_pct"]))
+    print(paper_vs("version leaked", PAPER_STYLE_SHARES["version"],
+                   table["version_share_pct"]))
+
+    # Two thirds leak nothing; the style shares land near the paper's.
+    assert 35 < table["error_share_pct"] < 50
+    assert 12 < table["hidden_share_pct"] < 26
+    assert 27 < table["version_share_pct"] < 41
+
+    measured = {row["software"]: row["share_pct"]
+                for row in table["rows"]}
+    print()
+    for name, paper_share in PAPER_TOP.items():
+        if name in measured:
+            print(paper_vs(name, paper_share, measured[name]))
+    # BIND 9.8.2 dominates by a wide margin (roughly 2x the runner-up).
+    assert table["rows"][0]["software"] == "BIND 9.8.2"
+    assert table["rows"][0]["share_pct"] > \
+        1.5 * table["rows"][1]["share_pct"]
+    # At least 7 of the paper's top-10 rank in the measured top-10.
+    top10_names = {row["software"] for row in table["rows"][:10]}
+    assert len(top10_names & set(PAPER_TOP)) >= 7

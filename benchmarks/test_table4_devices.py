@@ -1,0 +1,48 @@
+"""Table 4: device fingerprinting of TCP-responding resolvers.
+
+Paper: 26.3% of resolvers answered on at least one TCP port.  Hardware:
+Router 34.1%, Embedded 30.6%, Firewall 1.9%, Camera 1.8%, DVR 1.2%,
+Others 1.1%, Unknown 29.3%.  OS: ZyNOS alone runs on 16.6% (ZyXEL CPE),
+with Linux the largest named OS and a large Unknown remainder.
+"""
+
+from repro.analysis.devices import (
+    device_table,
+    format_device_table,
+    share_of,
+)
+from benchmarks.conftest import paper_vs
+
+PAPER_HARDWARE = {"Router": 34.1, "Embedded": 30.6, "Firewall": 1.9,
+                  "Camera": 1.8, "DVR": 1.2, "Others": 1.1,
+                  "Unknown": 29.3}
+
+
+def test_table4_devices(live_resolvers, device_classifications,
+                        benchmark):
+    table = benchmark(device_table, device_classifications,
+                      len(live_resolvers))
+
+    print()
+    print("Table 4 — device fingerprinting")
+    print(format_device_table(table))
+    print(paper_vs("TCP-responding share", 26.3,
+                   table["tcp_responding_share_pct"]))
+    for name, paper_share in PAPER_HARDWARE.items():
+        print(paper_vs("hardware %s" % name, paper_share,
+                       share_of(table, "hardware", name)))
+    print(paper_vs("OS ZyNOS", 16.6, share_of(table, "os", "ZyNOS")))
+    print(paper_vs("OS Linux", 23.2, share_of(table, "os", "Linux")))
+
+    assert 18 < table["tcp_responding_share_pct"] < 36
+    # Routers and embedded devices dominate; cameras/DVRs/firewalls are
+    # small clusters; about a third stays unidentifiable.
+    hardware_ranking = [row["name"] for row in table["hardware"][:3]]
+    assert set(hardware_ranking) == {"Router", "Embedded", "Unknown"}
+    assert share_of(table, "hardware", "Router") > 25
+    assert share_of(table, "hardware", "Camera") < 6
+    assert share_of(table, "hardware", "DVR") < 6
+    # ZyNOS is the signature consumer-CPE OS.
+    assert 10 < share_of(table, "os", "ZyNOS") < 25
+    assert share_of(table, "os", "Linux") > share_of(table, "os",
+                                                     "ZyNOS") * 0.8

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Censorship study: who tampers with social, adult, and gambling domains.
+
+Reproduces the paper's §4.2 censorship analysis end to end: scans for
+open resolvers, queries them for censorship-prone domains, prefilters
+legitimate answers, and breaks the suspicious remainder down by country
+— including the Great Firewall's double-response artefact and the
+Estonian-resolvers-pointing-at-Russian-infrastructure case.
+
+Run:  python examples/censorship_study.py [scale]
+"""
+
+import sys
+
+from repro import ScenarioConfig, build_scenario
+from repro.analysis import censorship_coverage, social_geography
+from repro.analysis.manipulation import (
+    gfw_double_responses,
+    legit_addresses_from_report,
+)
+from repro.core.labeling import LABEL_CENSORSHIP
+from repro.datasets import DOMAIN_SETS
+
+SOCIAL = ("facebook.com", "twitter.com", "youtube.com")
+
+
+def main():
+    scale = int(sys.argv[1]) if len(sys.argv) > 1 else 20000
+    scenario = build_scenario(ScenarioConfig(scale=scale, seed=7))
+    campaign = scenario.new_campaign(verify=False)
+    resolvers = sorted(campaign.run_week().result.noerror)
+    print("Scanning done: %d open resolvers to interrogate" % len(resolvers))
+
+    print("\n--- Social networks (Facebook / Twitter / YouTube) ---")
+    pipeline = scenario.new_pipeline()
+    report = pipeline.run(resolvers, [d for d in DOMAIN_SETS["Alexa"]
+                                      if d.name in SOCIAL])
+    fig4 = social_geography(report, scenario.geoip, SOCIAL)
+    print("All responses by resolver country (top 5):")
+    for country, share in fig4.all_shares()[:5]:
+        print("  %-3s %5.1f%%" % (country, share))
+    print("UNEXPECTED responses by resolver country (top 5):")
+    for country, share in fig4.unexpected_shares()[:5]:
+        print("  %-3s %5.1f%%" % (country, share))
+
+    cn = censorship_coverage(report, scenario.geoip, SOCIAL, "CN")
+    print("Chinese resolvers with bogus answers: %.1f%% of %d"
+          % (cn["coverage_pct"], cn["responders"]))
+    gfw = gfw_double_responses(report, scenario.geoip,
+                               legit_addresses_from_report(report))
+    print("GFW double responses (forged first, genuine second): "
+          "%.1f%% of Chinese resolvers" % gfw["share_pct"])
+
+    print("\n--- Adult and gambling domains ---")
+    adult_report = scenario.new_pipeline().run(
+        resolvers, list(DOMAIN_SETS["Adult"]))
+    gambling_report = scenario.new_pipeline().run(
+        resolvers, list(DOMAIN_SETS["Gambling"]))
+    for country, what, rep, domains in (
+            ("ID", "adultfinder.com", adult_report, ["adultfinder.com"]),
+            ("TR", "youporn.com", adult_report, ["youporn.com"]),
+            ("GR", "gambling", gambling_report,
+             [d.name for d in DOMAIN_SETS["Gambling"]]),
+            ("BE", "gambling", gambling_report,
+             [d.name for d in DOMAIN_SETS["Gambling"]]),
+            ("MN", "adult", adult_report,
+             [d.name for d in DOMAIN_SETS["Adult"]])):
+        coverage = censorship_coverage(rep, scenario.geoip, domains,
+                                       country)
+        print("  %s blocks %-16s %5.1f%% of its %d resolvers"
+              % (country, what, coverage["coverage_pct"],
+                 coverage["responders"]))
+
+    # Estonian resolvers answering with Russian landing pages.
+    russian_landing = set(scenario.landing_ips["RU"])
+    ee_hits = [l for l in gambling_report.labeled
+               if l.label == LABEL_CENSORSHIP
+               and scenario.geoip.country(l.capture.resolver_ip) == "EE"]
+    if ee_hits:
+        on_ru = sum(1 for l in ee_hits if l.capture.ip in russian_landing)
+        print("  EE gambling censorship answers: %d, of which %d point "
+              "at Russian censorship IPs" % (len(ee_hits), on_ru))
+
+    print("\nA censorship landing page as the pipeline sees it:")
+    example = next((l.capture for l in adult_report.labeled
+                    if l.label == LABEL_CENSORSHIP), None)
+    if example is not None:
+        body = example.body or ""
+        start = body.find("This website has been blocked")
+        print("  ...%s..." % body[start:start + 110])
+
+
+if __name__ == "__main__":
+    main()

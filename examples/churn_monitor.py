@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Long-term monitoring: resolver magnitude, churn, and dark networks.
+
+Reproduces the paper's §2 longitudinal study in miniature: a weekly scan
+campaign with a verification scan from a second vantage point, the
+Figure-1 magnitude series, the Figure-2 churn survival curve, and the
+attribution of networks that went completely dark.
+
+Run:  python examples/churn_monitor.py [weeks] [scale]
+"""
+
+import sys
+
+from repro import ScenarioConfig, build_scenario
+from repro.analysis import (
+    as_fluctuation,
+    churn_survival,
+    classify_dark_networks,
+    country_fluctuation,
+    magnitude_series,
+    rir_fluctuation,
+)
+from repro.analysis.churn import format_survival
+from repro.analysis.fluctuation import dark_networks
+from repro.analysis.geography import format_fluctuation
+from repro.analysis.magnitude import decline_ratio, format_series
+
+
+def main():
+    weeks = int(sys.argv[1]) if len(sys.argv) > 1 else 30
+    scale = int(sys.argv[2]) if len(sys.argv) > 2 else 20000
+    scenario = build_scenario(ScenarioConfig(scale=scale, seed=7))
+    campaign = scenario.new_campaign(verify=True)
+    print("Running %d weekly scans (scale 1:%d)..." % (weeks, scale))
+    campaign.run(weeks, verify_last=True)
+
+    print("\nFigure 1 — responding resolvers per week")
+    series = magnitude_series(campaign.snapshots)
+    print(format_series(series))
+    print("decline ratio so far: %.2f" % decline_ratio(series))
+
+    print("\nFigure 2 — cohort without IP churn")
+    curve = churn_survival(campaign.snapshots)
+    print(format_survival(curve[:6] + curve[-2:]))
+
+    print("\nTable 1 — top countries")
+    rows, top_share = country_fluctuation(
+        campaign.first().result, campaign.last().result, scenario.geoip)
+    print(format_fluctuation(rows, "Country"))
+    print("top-10 share: %.1f%%" % top_share)
+
+    print("\nTable 2 — per RIR")
+    print(format_fluctuation(rir_fluctuation(
+        campaign.first().result, campaign.last().result,
+        scenario.geoip), "RIR"))
+
+    print("\nLargest per-AS drops")
+    for row in as_fluctuation(campaign.first().result,
+                              campaign.last().result,
+                              scenario.as_registry, top=5):
+        print("  AS%-6d %-26s %-3s %6d -> %6d (%+.1f%%)"
+              % (row["asn"], row["name"], row["country"], row["first"],
+                 row["last"], row["delta_pct"]))
+
+    dark = dark_networks(campaign.first().result, campaign.last().result,
+                         scenario.as_registry, min_first=3)
+    if dark:
+        from repro.analysis import weekly_as_history
+        history = weekly_as_history(campaign.snapshots,
+                                    scenario.as_registry,
+                                    asns=[row["asn"] for row in dark])
+        print("\nNetworks gone completely dark, attributed via the "
+              "verification scan:")
+        for row in classify_dark_networks(
+                dark, campaign.last().verification,
+                scenario.as_registry, weekly_history=history,
+                filtering_threshold=2):
+            print("  %-28s %-3s %5d resolvers -> %s"
+                  % (row["name"], row["country"], row["first"],
+                     row["explanation"]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""repro: a full reproduction of "Going Wild: Large-Scale
+Classification of Open DNS Resolvers" (Kührer et al., IMC 2015).
+
+The package pairs the paper's measurement and classification machinery
+(:mod:`repro.scanner`, :mod:`repro.core`, :mod:`repro.analysis`) with a
+complete simulated IPv4 Internet to run it against (:mod:`repro.netsim`,
+:mod:`repro.inetmodel`, :mod:`repro.authdns`, :mod:`repro.websim`,
+:mod:`repro.resolvers`).  :func:`repro.scenario.build_scenario` creates a
+paper-calibrated world in one call; see the examples/ directory.
+"""
+
+from repro.scenario import Scenario, ScenarioConfig, build_scenario
+
+__version__ = "1.0.0"
+
+__all__ = ["Scenario", "ScenarioConfig", "build_scenario", "__version__"]

@@ -1,0 +1,65 @@
+"""Analyses that turn raw measurements into the paper's tables and figures.
+
+Each module corresponds to one (or a small group of) results:
+
+* :mod:`repro.analysis.magnitude` — Figure 1 (weekly resolver counts).
+* :mod:`repro.analysis.geography` — Tables 1 and 2 (country/RIR
+  fluctuation).
+* :mod:`repro.analysis.fluctuation` — §2.3's AS-level drop attribution and
+  dark-network classification.
+* :mod:`repro.analysis.software` — Table 3 (CHAOS software shares).
+* :mod:`repro.analysis.devices` — Table 4 (hardware/OS fingerprints).
+* :mod:`repro.analysis.churn` — Figure 2 (IP-churn survival) and the
+  dynamic-rDNS attribution.
+* :mod:`repro.analysis.utilization` — §2.6 (cache-snooping usage classes).
+* :mod:`repro.analysis.manipulation` — §4.1, Table 5, Figure 4, and the
+  censorship-coverage statistics.
+* :mod:`repro.analysis.casestudies` — §4.3 (ads, proxies, phishing, mail,
+  malware).
+"""
+
+from repro.analysis.magnitude import magnitude_series
+from repro.analysis.geography import country_fluctuation, rir_fluctuation
+from repro.analysis.fluctuation import (
+    as_fluctuation,
+    classify_dark_networks,
+    weekly_as_history,
+)
+from repro.analysis.software import SoftwareVersionMatcher, software_table
+from repro.analysis.devices import device_table
+from repro.analysis.churn import churn_survival, dynamic_rdns_share
+from repro.analysis.utilization import classify_trace, utilization_summary
+from repro.analysis.manipulation import (
+    Fig4Result,
+    censorship_coverage,
+    classification_table,
+    prefilter_summary,
+    social_geography,
+    suspicious_behavior_stats,
+    unfetchable_breakdown,
+)
+from repro.analysis.casestudies import case_study_summary
+
+__all__ = [
+    "Fig4Result",
+    "SoftwareVersionMatcher",
+    "as_fluctuation",
+    "case_study_summary",
+    "censorship_coverage",
+    "churn_survival",
+    "classification_table",
+    "classify_dark_networks",
+    "classify_trace",
+    "country_fluctuation",
+    "device_table",
+    "dynamic_rdns_share",
+    "magnitude_series",
+    "prefilter_summary",
+    "rir_fluctuation",
+    "social_geography",
+    "software_table",
+    "suspicious_behavior_stats",
+    "unfetchable_breakdown",
+    "utilization_summary",
+    "weekly_as_history",
+]

@@ -1,0 +1,67 @@
+"""Table 4: device fingerprinting shares (hardware and OS)."""
+
+from repro.util import percentage
+
+
+def device_table(classifications, total_scanned=None):
+    """Build Table 4 from fingerprint classifications.
+
+    ``classifications`` maps ip -> (hardware, os, vendor), as returned by
+    :meth:`FingerprintMatcher.classify_all` — it contains only hosts that
+    responded on at least one TCP port.  ``total_scanned`` (all resolvers
+    probed) yields the TCP-responding share (the paper's 26.3%).
+    """
+    # Table 4's hardware columns: anything outside the six named
+    # categories (NAS, DSLAM, generic servers, ...) rolls into "Others".
+    named = {"Router", "Embedded", "Firewall", "Camera", "DVR", "Unknown"}
+    hardware_counts = {}
+    os_counts = {}
+    vendor_counts = {}
+    for hardware, os_name, vendor in classifications.values():
+        if hardware not in named:
+            hardware = "Others"
+        hardware_counts[hardware] = hardware_counts.get(hardware, 0) + 1
+        os_counts[os_name] = os_counts.get(os_name, 0) + 1
+        if vendor:
+            vendor_counts[vendor] = vendor_counts.get(vendor, 0) + 1
+    responders = len(classifications)
+
+    def shares(counts):
+        return [{"name": name, "count": count,
+                 "share_pct": percentage(count, responders)}
+                for name, count in sorted(counts.items(),
+                                          key=lambda item: -item[1])]
+
+    table = {
+        "tcp_responders": responders,
+        "hardware": shares(hardware_counts),
+        "os": shares(os_counts),
+        "vendors": shares(vendor_counts),
+    }
+    if total_scanned:
+        table["tcp_responding_share_pct"] = percentage(responders,
+                                                       total_scanned)
+    return table
+
+
+def share_of(table, section, name):
+    """Convenience lookup: the share of one row (0.0 when absent)."""
+    for row in table[section]:
+        if row["name"] == name:
+            return row["share_pct"]
+    return 0.0
+
+
+def format_device_table(table):
+    """Aligned text rendering of the Table-4 result."""
+    lines = ["TCP responders: %d" % table["tcp_responders"]]
+    if "tcp_responding_share_pct" in table:
+        lines[0] += "  (%.1f%% of scanned resolvers)" % \
+            table["tcp_responding_share_pct"]
+    for section in ("hardware", "os"):
+        lines.append("")
+        lines.append("%-14s %8s %7s" % (section, "count", "share"))
+        for row in table[section]:
+            lines.append("%-14s %8d %6.1f%%" % (row["name"], row["count"],
+                                                row["share_pct"]))
+    return "\n".join(lines)

@@ -1,0 +1,145 @@
+"""AS-level fluctuation and dark-network attribution (paper §2.3).
+
+The paper traced most of the global decline to a handful of networks
+(an Argentinean telco at -97.8%, a Korean ISP from 434,567 to 22) and
+classified 28 networks that went completely dark into: (i) blocking the
+scanner (still alive in the verification scan), (ii) newly deployed DNS
+filtering, or (iii) genuine shutdown — using a >=100-resolvers-per-week
+threshold to separate filtering from shutdown.
+"""
+
+from repro.util import percentage
+
+EXPLANATION_BLOCKED = "scanner-blocked"
+EXPLANATION_FILTERED = "dns-filtering"
+EXPLANATION_SHUTDOWN = "shutdown"
+
+
+def as_fluctuation(first_result, last_result, as_registry, top=10):
+    """Largest per-AS resolver drops between two scans."""
+    def count_by_as(result):
+        counts = {}
+        for ip in result.responders:
+            asn = as_registry.asn_of(ip)
+            if asn is not None:
+                counts[asn] = counts.get(asn, 0) + 1
+        return counts
+
+    first_counts = count_by_as(first_result)
+    last_counts = count_by_as(last_result)
+    rows = []
+    for asn, first_count in first_counts.items():
+        last_count = last_counts.get(asn, 0)
+        system = as_registry.get(asn)
+        rows.append({
+            "asn": asn,
+            "name": system.name if system else "AS%d" % asn,
+            "country": system.country if system else "??",
+            "first": first_count,
+            "last": last_count,
+            "delta": last_count - first_count,
+            "delta_pct": percentage(last_count - first_count, first_count),
+        })
+    rows.sort(key=lambda row: row["delta"])
+    return rows[:top]
+
+
+def weekly_as_history(snapshots, as_registry, asns=None):
+    """Per-AS responder counts per weekly snapshot.
+
+    Returns ``{asn: [count_week0, count_week1, ...]}``; restrict to
+    ``asns`` when given.  This is the input
+    :func:`classify_dark_networks` uses to tell abrupt filtering apart
+    from gradual shutdown.
+    """
+    wanted = set(asns) if asns is not None else None
+    history = {}
+    for index, snapshot in enumerate(snapshots):
+        weekly = {}
+        for ip in snapshot.result.responders:
+            asn = as_registry.asn_of(ip)
+            if asn is None or (wanted is not None and asn not in wanted):
+                continue
+            weekly[asn] = weekly.get(asn, 0) + 1
+        keys = wanted if wanted is not None else set(weekly)
+        for asn in keys:
+            history.setdefault(asn, [0] * index).append(
+                weekly.get(asn, 0))
+        for asn, counts in history.items():
+            while len(counts) < index + 1:
+                counts.append(0)
+    return history
+
+
+def dark_networks(first_result, last_result, as_registry, min_first=1):
+    """ASes with resolvers at the first scan and none at the last."""
+    rows = as_fluctuation(first_result, last_result, as_registry,
+                          top=10 ** 9)
+    return [row for row in rows
+            if row["first"] >= min_first and row["last"] == 0]
+
+
+def classify_dark_networks(dark_rows, verification_result, as_registry,
+                           weekly_history=None, filtering_threshold=100):
+    """Attribute each dark network to one of the three explanations.
+
+    * If the verification scan (from a second source) still sees
+      resolvers in the AS, the primary scanner was blocked.
+    * Else, if the network operated >= ``filtering_threshold`` resolvers
+      in the week before going dark, assume DNS filtering was deployed.
+    * Otherwise assume the resolvers were genuinely shut down.
+
+    ``weekly_history`` optionally maps asn -> list of weekly counts; when
+    absent the first-scan count stands in for the pre-dark level.
+    """
+    verification_by_as = {}
+    if verification_result is not None:
+        for ip in verification_result.responders:
+            asn = as_registry.asn_of(ip)
+            if asn is not None:
+                verification_by_as[asn] = verification_by_as.get(asn, 0) + 1
+    classified = []
+    for row in dark_rows:
+        asn = row["asn"]
+        if verification_by_as.get(asn, 0) > 0:
+            explanation = EXPLANATION_BLOCKED
+        else:
+            history = (weekly_history or {}).get(asn)
+            if history is not None:
+                pre_dark = 0
+                for count in history:
+                    if count == 0:
+                        break
+                    pre_dark = count
+            else:
+                pre_dark = row["first"]
+            explanation = (EXPLANATION_FILTERED
+                           if pre_dark >= filtering_threshold
+                           else EXPLANATION_SHUTDOWN)
+        classified.append(dict(row, explanation=explanation))
+    return classified
+
+
+def broadband_share_of_top_networks(result, as_registry, top=25):
+    """Share of the top-N networks (by resolver count) that are broadband
+    providers (the paper's 76.4% / "at least 20 of 25" observation)."""
+    counts = {}
+    for ip in result.responders:
+        asn = as_registry.asn_of(ip)
+        if asn is not None:
+            counts[asn] = counts.get(asn, 0) + 1
+    ranked = sorted(counts.items(), key=lambda item: -item[1])[:top]
+    if not ranked:
+        return 0.0, []
+    rows = []
+    broadband_resolvers = 0
+    total_resolvers = 0
+    for asn, count in ranked:
+        system = as_registry.get(asn)
+        kind = system.kind if system else "unknown"
+        rows.append({"asn": asn, "name": system.name if system else "?",
+                     "kind": kind, "resolvers": count})
+        total_resolvers += count
+        if kind == "broadband":
+            broadband_resolvers += count
+    return percentage(broadband_resolvers, total_resolvers), rows

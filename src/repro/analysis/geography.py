@@ -1,0 +1,73 @@
+"""Tables 1 and 2: resolver fluctuation per country and per RIR."""
+
+from repro.util import percentage
+
+
+def country_fluctuation(first_result, last_result, geoip, top=10):
+    """Table 1: top countries at the first scan and their change.
+
+    Returns ``(rows, top_share)`` where each row is a dict with
+    ``country``, ``first``, ``last``, ``delta``, ``delta_pct``, and
+    ``top_share`` is the share of all first-scan resolvers covered by
+    the top rows.
+    """
+    first_counts = geoip.count_by_country(first_result.responders)
+    last_counts = geoip.count_by_country(last_result.responders)
+    ranked = sorted(first_counts.items(), key=lambda item: -item[1])
+    rows = []
+    for country, first_count in ranked[:top]:
+        last_count = last_counts.get(country, 0)
+        rows.append({
+            "country": country,
+            "first": first_count,
+            "last": last_count,
+            "delta": last_count - first_count,
+            "delta_pct": percentage(last_count - first_count, first_count),
+        })
+    total_first = sum(first_counts.values())
+    top_share = percentage(sum(row["first"] for row in rows), total_first)
+    return rows, top_share
+
+
+def extreme_changes(first_result, last_result, geoip, min_first=10):
+    """Countries with the strongest relative decline/growth (§2.3 text)."""
+    first_counts = geoip.count_by_country(first_result.responders)
+    last_counts = geoip.count_by_country(last_result.responders)
+    changes = []
+    for country, first_count in first_counts.items():
+        if first_count < min_first:
+            continue
+        last_count = last_counts.get(country, 0)
+        changes.append((country, percentage(last_count - first_count,
+                                            first_count)))
+    changes.sort(key=lambda item: item[1])
+    return changes
+
+
+def rir_fluctuation(first_result, last_result, geoip):
+    """Table 2: per-RIR resolver counts and fluctuation."""
+    first_counts = geoip.count_by_rir(first_result.responders)
+    last_counts = geoip.count_by_rir(last_result.responders)
+    rows = []
+    for rir in sorted(first_counts, key=lambda r: -first_counts[r]):
+        first_count = first_counts[rir]
+        last_count = last_counts.get(rir, 0)
+        rows.append({
+            "rir": rir,
+            "first": first_count,
+            "last": last_count,
+            "delta": last_count - first_count,
+            "delta_pct": percentage(last_count - first_count, first_count),
+        })
+    return rows
+
+
+def format_fluctuation(rows, key):
+    """Aligned text rendering of a fluctuation table."""
+    lines = ["%-8s %10s %10s %10s %8s" % (key, "first", "last", "delta",
+                                          "pct")]
+    for row in rows:
+        lines.append("%-8s %10d %10d %+10d %+7.1f%%" % (
+            row[key.lower()], row["first"], row["last"], row["delta"],
+            row["delta_pct"]))
+    return "\n".join(lines)

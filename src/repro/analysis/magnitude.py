@@ -1,0 +1,33 @@
+"""Figure 1: weekly counts of responding resolvers by status code."""
+
+
+def magnitude_series(snapshots):
+    """Build the Figure-1 time series from campaign snapshots.
+
+    Returns a list of dicts with ``week``, ``all``, ``noerror``,
+    ``refused``, and ``servfail`` counts.
+    """
+    series = []
+    for snapshot in snapshots:
+        row = {"week": snapshot.week}
+        row.update(snapshot.result.counts())
+        series.append(row)
+    return series
+
+
+def decline_ratio(series, key="noerror"):
+    """End-over-start ratio of a magnitude series (the 26.8M -> 17.8M
+    decline of the paper corresponds to ~0.66)."""
+    if not series or not series[0][key]:
+        return 0.0
+    return series[-1][key] / series[0][key]
+
+
+def format_series(series):
+    """Render the series as an aligned text table (one row per week)."""
+    lines = ["week    all  noerror  refused  servfail"]
+    for row in series:
+        lines.append("%4d %6d  %7d  %7d  %8d" % (
+            row["week"], row["all"], row["noerror"], row["refused"],
+            row["servfail"]))
+    return "\n".join(lines)

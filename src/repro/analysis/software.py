@@ -1,0 +1,100 @@
+"""Table 3: DNS software shares from the CHAOS scan."""
+
+import re
+
+from repro.scanner.chaos import (
+    OUTCOME_ERROR,
+    OUTCOME_HIDDEN,
+    OUTCOME_NO_VERSION,
+    OUTCOME_VERSION,
+)
+from repro.util import percentage
+
+# Patterns mapping raw version strings to (software, version) pairs —
+# the same normalisation the paper needed to aggregate BIND's verbose
+# distribution-specific strings.
+_VERSION_PATTERNS = (
+    (re.compile(r"unbound[ /-]?(\d+\.\d+\.\d+)", re.I), "Unbound"),
+    (re.compile(r"dnsmasq[ /-]?v?(\d+\.\d+)", re.I), "Dnsmasq"),
+    (re.compile(r"powerdns.*?(\d+\.\d+\.\d+)", re.I), "PowerDNS"),
+    (re.compile(r"microsoft dns (\d+\.\d+\.\d+)", re.I), "MS DNS"),
+    (re.compile(r"nominum.*?(\d+\.\d+\.\d+)", re.I), "Nominum"),
+    # BIND strings usually lead with the bare version number.
+    (re.compile(r"^(\d+\.\d+(?:\.\d+)?)", re.I), "BIND"),
+    (re.compile(r"bind[ /-]?(\d+\.\d+(?:\.\d+)?)", re.I), "BIND"),
+)
+
+
+class SoftwareVersionMatcher:
+    """Normalises CHAOS version strings to (software, version)."""
+
+    def match(self, text):
+        """Return ``(software, version)`` or ``None`` if unrecognised."""
+        if not text:
+            return None
+        for pattern, software in _VERSION_PATTERNS:
+            found = pattern.search(text.strip())
+            if found:
+                version = found.group(1)
+                # Keep major.minor.patch at most.
+                version = ".".join(version.split(".")[:3])
+                return software, version
+        return None
+
+    def __call__(self, text):
+        return self.match(text)
+
+
+def software_table(chaos_observations, matcher=None, top=10):
+    """Build Table 3 from CHAOS observations.
+
+    Returns a dict with outcome shares and the ranked software rows
+    (share computed over version-leaking resolvers, as in the paper).
+    """
+    matcher = matcher or SoftwareVersionMatcher()
+    outcome_counts = {OUTCOME_ERROR: 0, OUTCOME_NO_VERSION: 0,
+                      OUTCOME_HIDDEN: 0, OUTCOME_VERSION: 0}
+    version_counts = {}
+    for observation in chaos_observations:
+        if observation.outcome not in outcome_counts:
+            continue
+        outcome_counts[observation.outcome] += 1
+        if observation.outcome == OUTCOME_VERSION:
+            matched = matcher.match(observation.version_string)
+            key = ("%s %s" % matched) if matched else "unrecognised"
+            version_counts[key] = version_counts.get(key, 0) + 1
+    total = sum(outcome_counts.values())
+    leaking = outcome_counts[OUTCOME_VERSION]
+    rows = [{"software": name, "count": count,
+             "share_pct": percentage(count, leaking)}
+            for name, count in sorted(version_counts.items(),
+                                      key=lambda item: -item[1])[:top]]
+    return {
+        "responding": total,
+        "error_share_pct": percentage(outcome_counts[OUTCOME_ERROR], total),
+        "no_version_share_pct": percentage(
+            outcome_counts[OUTCOME_NO_VERSION], total),
+        "hidden_share_pct": percentage(outcome_counts[OUTCOME_HIDDEN],
+                                       total),
+        "version_share_pct": percentage(leaking, total),
+        "version_leaking": leaking,
+        "rows": rows,
+    }
+
+
+def format_software_table(table):
+    """Aligned text rendering of the Table-3 result."""
+    lines = [
+        "CHAOS responders: %d" % table["responding"],
+        "  error both queries: %.1f%%" % table["error_share_pct"],
+        "  NOERROR, no version: %.1f%%" % table["no_version_share_pct"],
+        "  hidden/arbitrary:    %.1f%%" % table["hidden_share_pct"],
+        "  version leaked:      %.1f%%  (%d resolvers)"
+        % (table["version_share_pct"], table["version_leaking"]),
+        "",
+        "%-22s %8s %7s" % ("software", "count", "share"),
+    ]
+    for row in table["rows"]:
+        lines.append("%-22s %8d %6.1f%%" % (row["software"], row["count"],
+                                            row["share_pct"]))
+    return "\n".join(lines)

@@ -1,0 +1,138 @@
+"""Section 2.6: resolver utilization from cache-snooping traces.
+
+Each resolver's TTL trace is classified into the paper's behaviour
+classes; a resolver is *in use* when at least three TLDs are observed
+being re-added to its cache after expiring (the >=3 threshold guards
+against other researchers' scans re-priming caches), and *frequently
+used* when at least one TLD reappears within five seconds of expiring.
+"""
+
+from repro.util import percentage
+
+CLASS_UNRESPONSIVE = "unresponsive"
+CLASS_EMPTY = "empty-responses"
+CLASS_SINGLE = "single-response"
+CLASS_STATIC_TTL = "static-ttl"
+CLASS_ZERO_TTL = "zero-ttl"
+CLASS_RESETTING = "ttl-resetting"
+CLASS_IN_USE = "in-use"
+CLASS_DECREASING = "decreasing-insufficient"
+CLASS_IDLE = "idle"
+
+FREQUENT_GAP_SECONDS = 5.0
+IN_USE_TLD_THRESHOLD = 3
+KNOWN_TLD_NS_TTL = 172800
+
+
+def _tld_events(series):
+    """Refresh events for one TLD: (estimated_gap, full_ttl) per re-add.
+
+    A re-add shows as the observed TTL *increasing* between consecutive
+    probes.  The gap between expiry and re-add is estimated from probe
+    times and the (maximum-observed) full TTL.
+    """
+    numeric = [(t, v) for t, v in series if isinstance(v, (int, float))]
+    if len(numeric) < 2:
+        return [], numeric
+    # The registries' NS TTLs are public constants (two days for the
+    # snooped TLDs); knowing the full TTL is what makes the expiry-to-
+    # re-add gap computable from hourly probes.
+    full_ttl = max([KNOWN_TLD_NS_TTL] + [v for __, v in numeric])
+    events = []
+    for (t0, v0), (t1, v1) in zip(numeric, numeric[1:]):
+        elapsed = t1 - t0
+        expected = v0 - elapsed
+        if v1 > expected + 1.0:  # TTL went up: the entry was re-added
+            expiry_time = t0 + v0
+            readd_time = t1 - (full_ttl - v1)
+            gap = max(0.0, readd_time - expiry_time)
+            refreshed_before_expiry = expected > 0
+            events.append((gap, refreshed_before_expiry))
+    return events, numeric
+
+
+def classify_trace(trace):
+    """Classify one :class:`SnoopingTrace` into a §2.6 behaviour class.
+
+    Returns ``(class, detail)`` where detail carries per-class extras
+    (e.g. whether an in-use resolver is frequently used).
+    """
+    all_values = [value for series in trace.observations.values()
+                  for __, value in series]
+    answered = [value for value in all_values if value is not None]
+    if not answered:
+        return CLASS_UNRESPONSIVE, {}
+    if all(value == "empty" for value in answered):
+        return CLASS_EMPTY, {}
+    numeric = [value for value in answered
+               if isinstance(value, (int, float))]
+    per_tld_counts = [sum(1 for __, v in series if v is not None)
+                      for series in trace.observations.values()]
+    if numeric and all(count <= 1 for count in per_tld_counts):
+        # At most one answer per TLD before falling silent.
+        return CLASS_SINGLE, {}
+    if numeric and all(value == 0 for value in numeric):
+        return CLASS_ZERO_TTL, {}
+    if numeric and len(set(numeric)) == 1:
+        return CLASS_STATIC_TTL, {}
+
+    refreshed_tlds = 0
+    frequent = False
+    early_resets = 0
+    decreasing_only = 0
+    for tld, series in trace.observations.items():
+        events, numeric_series = _tld_events(series)
+        real_refreshes = [gap for gap, before_expiry in events
+                          if not before_expiry]
+        if real_refreshes:
+            refreshed_tlds += 1
+            if min(real_refreshes) <= FREQUENT_GAP_SECONDS:
+                frequent = True
+        elif events:
+            early_resets += 1
+        elif len(numeric_series) >= 2:
+            decreasing_only += 1
+    if refreshed_tlds >= IN_USE_TLD_THRESHOLD:
+        return CLASS_IN_USE, {"frequent": frequent,
+                              "refreshed_tlds": refreshed_tlds}
+    if early_resets > 0:
+        return CLASS_RESETTING, {}
+    if decreasing_only > 0:
+        return CLASS_DECREASING, {}
+    return CLASS_IDLE, {}
+
+
+def utilization_summary(traces):
+    """Aggregate trace classifications into the §2.6 shares."""
+    counts = {}
+    frequent = 0
+    for trace in traces:
+        cls, detail = classify_trace(trace)
+        counts[cls] = counts.get(cls, 0) + 1
+        if cls == CLASS_IN_USE and detail.get("frequent"):
+            frequent += 1
+    total = len(traces)
+    responding = total - counts.get(CLASS_UNRESPONSIVE, 0)
+    return {
+        "total": total,
+        "responding": responding,
+        "responding_share_pct": percentage(responding, total),
+        "class_counts": counts,
+        "class_shares_pct": {cls: percentage(count, responding)
+                             for cls, count in counts.items()
+                             if cls != CLASS_UNRESPONSIVE},
+        "in_use_share_pct": percentage(counts.get(CLASS_IN_USE, 0),
+                                       responding),
+        "frequent_share_pct": percentage(frequent, responding),
+    }
+
+
+def format_utilization(summary):
+    lines = ["snooped resolvers: %d (responding: %.1f%%)" % (
+        summary["total"], summary["responding_share_pct"])]
+    for cls, share in sorted(summary["class_shares_pct"].items(),
+                             key=lambda item: -item[1]):
+        lines.append("  %-24s %6.1f%%" % (cls, share))
+    lines.append("  %-24s %6.1f%%" % ("frequent (of responding)",
+                                      summary["frequent_share_pct"]))
+    return "\n".join(lines)

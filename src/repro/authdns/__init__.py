@@ -1,0 +1,24 @@
+"""Authoritative DNS: zones, name servers, and the iterative resolution
+engine honest recursive resolvers use.
+
+The paper's threat model defines a "correct" resolution as one that strictly
+follows the DNS hierarchy: root, then TLD, then the domain's authoritative
+name servers.  This package provides that hierarchy for the simulated
+Internet, so honest resolvers produce ground-truth answers and manipulated
+resolvers can be detected against them.
+"""
+
+from repro.authdns.hierarchy import DnsHierarchy, HierarchyBuilder
+from repro.authdns.resolution import IterativeResolver, ResolutionError
+from repro.authdns.server import AuthNsServer
+from repro.authdns.zone import Zone, ZoneLookupResult
+
+__all__ = [
+    "AuthNsServer",
+    "DnsHierarchy",
+    "HierarchyBuilder",
+    "IterativeResolver",
+    "ResolutionError",
+    "Zone",
+    "ZoneLookupResult",
+]

@@ -1,0 +1,238 @@
+"""Command-line interface: run the study's experiments from a shell.
+
+Usage::
+
+    python -m repro.cli scan                 # one Internet-wide scan
+    python -m repro.cli campaign --weeks 20  # Fig. 1/2 longitudinal study
+    python -m repro.cli fingerprint          # Tables 3 and 4
+    python -m repro.cli snoop --sample 300   # §2.6 utilization
+    python -m repro.cli classify --set Adult # §4 pipeline for one set
+    python -m repro.cli audit 1.2.3.4        # audit one resolver
+
+Common options: ``--scale`` (1:N of the paper's Internet, default 20000)
+and ``--seed``.  All output is plain text on stdout.
+"""
+
+import argparse
+import sys
+
+from repro.scenario import ScenarioConfig, build_scenario
+
+
+def _add_common(parser):
+    parser.add_argument("--scale", type=int, default=20000,
+                        help="1:N scale of the simulated Internet")
+    parser.add_argument("--seed", type=int, default=7)
+
+
+def _build(args):
+    print("building 1:%d world (seed %d)..." % (args.scale, args.seed),
+          file=sys.stderr)
+    return build_scenario(ScenarioConfig(scale=args.scale,
+                                         seed=args.seed))
+
+
+def _scan(scenario):
+    campaign = scenario.new_campaign(verify=False)
+    return campaign.run_week()
+
+
+def cmd_scan(args):
+    scenario = _build(args)
+    snapshot = _scan(scenario)
+    counts = snapshot.result.counts()
+    print("probes sent:      %d" % snapshot.result.probes_sent)
+    print("responders:       %d" % counts["all"])
+    print("  NOERROR:        %d" % counts["noerror"])
+    print("  REFUSED:        %d" % counts["refused"])
+    print("  SERVFAIL:       %d" % counts["servfail"])
+    print("divergent source: %d" % len(snapshot.result.divergent_sources))
+    return 0
+
+
+def cmd_campaign(args):
+    from repro.analysis.churn import churn_survival, format_survival
+    from repro.analysis.magnitude import (
+        decline_ratio,
+        format_series,
+        magnitude_series,
+    )
+    scenario = _build(args)
+    campaign = scenario.new_campaign(verify=False)
+    campaign.run(args.weeks)
+    series = magnitude_series(campaign.snapshots)
+    print(format_series(series))
+    print("decline ratio: %.2f" % decline_ratio(series))
+    print()
+    print(format_survival(churn_survival(campaign.snapshots)))
+    return 0
+
+
+def cmd_fingerprint(args):
+    from repro.analysis.devices import device_table, format_device_table
+    from repro.analysis.software import (
+        format_software_table,
+        software_table,
+    )
+    from repro.scanner import (
+        BannerGrabber,
+        ChaosScanner,
+        FingerprintMatcher,
+    )
+    scenario = _build(args)
+    resolvers = sorted(_scan(scenario).result.noerror)
+    chaos = ChaosScanner(scenario.network, scenario.scanner_ip)
+    print(format_software_table(software_table(chaos.scan(resolvers))))
+    print()
+    grabber = BannerGrabber(scenario.network, scenario.scanner_ip)
+    classifications = FingerprintMatcher().classify_all(
+        grabber.grab_all(resolvers))
+    print(format_device_table(device_table(classifications,
+                                           total_scanned=len(resolvers))))
+    return 0
+
+
+def cmd_snoop(args):
+    from repro.analysis.utilization import (
+        format_utilization,
+        utilization_summary,
+    )
+    from repro.datasets import SNOOPING_TLDS
+    from repro.scanner import CacheSnoopingProber
+    scenario = _build(args)
+    resolvers = sorted(_scan(scenario).result.noerror)[:args.sample]
+    prober = CacheSnoopingProber(scenario.network, scenario.scanner_ip,
+                                 SNOOPING_TLDS,
+                                 duration_hours=args.hours)
+    print(format_utilization(utilization_summary(prober.run(resolvers))))
+    return 0
+
+
+def cmd_classify(args):
+    from collections import Counter
+    from repro.datasets import ALL_CATEGORIES, DOMAIN_SETS
+    if args.set not in DOMAIN_SETS:
+        print("unknown domain set %r; choose from: %s"
+              % (args.set, ", ".join(ALL_CATEGORIES)), file=sys.stderr)
+        return 2
+    scenario = _build(args)
+    resolvers = sorted(_scan(scenario).result.noerror)
+    pipeline = scenario.new_pipeline()
+    report = pipeline.run(resolvers, list(DOMAIN_SETS[args.set]))
+    stats = report.prefilter.stats()
+    print("domain set:    %s" % args.set)
+    print("observations:  %d" % stats["observations"])
+    print("legitimate:    %.1f%%" % (100 * stats["legitimate_share"]))
+    print("empty answers: %.1f%%" % (100 * stats["empty_share"]))
+    print("unexpected:    %.1f%%" % (100 * stats["unknown_share"]))
+    print("clusters:      %d" % len(report.clusters))
+    for (label, sublabel), count in Counter(
+            (l.label, l.sublabel) for l in report.labeled).most_common():
+        name = label if not sublabel else "%s (%s)" % (label, sublabel)
+        print("  %-36s %d" % (name, count))
+    print("classified:    %.1f%%" % (100 * report.classified_share()))
+    return 0
+
+
+def cmd_audit(args):
+    from collections import Counter
+    from repro.datasets import DOMAIN_SETS
+    scenario = _build(args)
+    resolver_ip = args.resolver
+    if scenario.network.node_at(resolver_ip) is None:
+        # Pick an actual resolver when the requested address is empty
+        # (addresses differ per seed/scale).
+        resolver_ip = scenario.online_resolver_ips()[0]
+        print("no host at %s; auditing %s instead"
+              % (args.resolver, resolver_ip), file=sys.stderr)
+    domains = (list(DOMAIN_SETS["Banking"]) + list(DOMAIN_SETS["Alexa"])
+               + list(DOMAIN_SETS["Adult"]) + list(DOMAIN_SETS["Gambling"])
+               + list(DOMAIN_SETS["NX"]))
+    pipeline = scenario.new_pipeline()
+    report = pipeline.run([resolver_ip], domains)
+    labels = Counter((l.label, l.sublabel) for l in report.labeled)
+    print("resolver:   %s" % resolver_ip)
+    print("responses:  %d" % len(report.observations))
+    print("suspicious: %d tuples" % len(report.prefilter.unknown))
+    if not labels:
+        print("verdict:    CLEAN")
+    else:
+        print("verdict:    MANIPULATING")
+        for (label, sublabel), count in labels.most_common():
+            name = label if not sublabel else "%s/%s" % (label, sublabel)
+            print("  %-30s x%d" % (name, count))
+    return 0
+
+
+def cmd_fullstudy(args):
+    from repro.reporting import render_markdown, run_full_study
+    scenario = _build(args)
+    results = run_full_study(
+        scenario, weeks=args.weeks, snoop_sample=args.snoop_sample,
+        progress=lambda message: print(message, file=sys.stderr))
+    report = render_markdown(results, scenario=scenario)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report + "\n")
+        print("report written to %s" % args.out, file=sys.stderr)
+    else:
+        print(report)
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Going Wild: Large-Scale "
+                    "Classification of Open DNS Resolvers' (IMC 2015)")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    scan = subparsers.add_parser("scan", help="one Internet-wide scan")
+    _add_common(scan)
+    scan.set_defaults(func=cmd_scan)
+
+    campaign = subparsers.add_parser("campaign",
+                                     help="weekly scan campaign")
+    _add_common(campaign)
+    campaign.add_argument("--weeks", type=int, default=12)
+    campaign.set_defaults(func=cmd_campaign)
+
+    fingerprint = subparsers.add_parser(
+        "fingerprint", help="software + device fingerprinting")
+    _add_common(fingerprint)
+    fingerprint.set_defaults(func=cmd_fingerprint)
+
+    snoop = subparsers.add_parser("snoop", help="cache-snooping survey")
+    _add_common(snoop)
+    snoop.add_argument("--sample", type=int, default=250)
+    snoop.add_argument("--hours", type=int, default=36)
+    snoop.set_defaults(func=cmd_snoop)
+
+    classify = subparsers.add_parser(
+        "classify", help="manipulation pipeline for one domain set")
+    _add_common(classify)
+    classify.add_argument("--set", default="Banking")
+    classify.set_defaults(func=cmd_classify)
+
+    fullstudy = subparsers.add_parser(
+        "fullstudy", help="run every experiment, emit one report")
+    _add_common(fullstudy)
+    fullstudy.add_argument("--weeks", type=int, default=20)
+    fullstudy.add_argument("--snoop-sample", type=int, default=200)
+    fullstudy.add_argument("--out", default=None)
+    fullstudy.set_defaults(func=cmd_fullstudy)
+
+    audit = subparsers.add_parser("audit", help="audit one resolver")
+    _add_common(audit)
+    audit.add_argument("resolver")
+    audit.set_defaults(func=cmd_audit)
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

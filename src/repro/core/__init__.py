@@ -1,0 +1,79 @@
+"""The classification pipeline for manipulated DNS resolutions (paper §3).
+
+This is the paper's primary contribution, implemented as the processing
+chain of Figure 3:
+
+1. identify open resolvers (``repro.scanner.ipv4scan``),
+2. query the 13-category domain set (``repro.scanner.domainscan``),
+3. prefilter legitimate (domain, IP, resolver) tuples
+   (:mod:`repro.core.prefilter`),
+4. acquire HTTP(S)/mail content for the unknown remainder
+   (:mod:`repro.core.acquisition`),
+5. cluster the responses — coarse agglomerative hierarchical clustering
+   over seven normalized HTML features (:mod:`repro.core.features`,
+   :mod:`repro.core.distance`, :mod:`repro.core.clustering`), plus
+   fine-grained diff clustering against ground truth
+   (:mod:`repro.core.diffcluster`),
+6. label the clusters and map them to website categories
+   (:mod:`repro.core.labeling`).
+
+:mod:`repro.core.pipeline` wires all of it together.
+"""
+
+from repro.core.features import PageProfile, extract_features
+from repro.core.distance import PageDistance, edit_distance, jaccard_distance
+from repro.core.clustering import (
+    Cluster,
+    hierarchical_cluster,
+    render_dendrogram,
+)
+from repro.core.diffcluster import DiffProfile, diff_cluster, tag_diff
+from repro.core.prefilter import PrefilterResult, Prefilterer, ResponseTuple
+from repro.core.acquisition import (
+    DataAcquirer,
+    HttpCapture,
+    MailCapture,
+)
+from repro.core.labeling import (
+    CATEGORY_LABELS,
+    LABEL_BLOCKING,
+    LABEL_CENSORSHIP,
+    LABEL_HTTP_ERROR,
+    LABEL_LOGIN,
+    LABEL_MISC,
+    LABEL_PARKING,
+    LABEL_SEARCH,
+    ClusterLabeler,
+)
+from repro.core.pipeline import ManipulationPipeline, PipelineReport
+
+__all__ = [
+    "CATEGORY_LABELS",
+    "Cluster",
+    "ClusterLabeler",
+    "DataAcquirer",
+    "DiffProfile",
+    "HttpCapture",
+    "LABEL_BLOCKING",
+    "LABEL_CENSORSHIP",
+    "LABEL_HTTP_ERROR",
+    "LABEL_LOGIN",
+    "LABEL_MISC",
+    "LABEL_PARKING",
+    "LABEL_SEARCH",
+    "MailCapture",
+    "ManipulationPipeline",
+    "PageDistance",
+    "PageProfile",
+    "PipelineReport",
+    "PrefilterResult",
+    "Prefilterer",
+    "ResponseTuple",
+    "diff_cluster",
+    "edit_distance",
+    "extract_features",
+    "hierarchical_cluster",
+    "jaccard_distance",
+    "render_dendrogram",
+    "tag_diff",
+]

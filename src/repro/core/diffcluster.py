@@ -1,0 +1,130 @@
+"""Fine-grained clustering of page *modifications* (paper §3.6).
+
+The coarse clustering tolerates small HTML changes — exactly the changes
+an adversary makes when injecting JavaScript or swapping a form action on
+an otherwise-original page.  This pass diffs each unknown response against
+the most similar ground-truth representation of the requested site,
+reduces the diff to multisets of added and removed HTML tags, and clusters
+responses by the Jaccard distance of those modification sets: responses
+with the *same kind of modification* group together regardless of which
+site was modified.
+"""
+
+import difflib
+import re
+from collections import Counter
+
+from repro.core.clustering import hierarchical_cluster
+from repro.core.distance import jaccard_distance
+
+_TAG_WITH_ATTRS_RE = re.compile(r"<([a-zA-Z][a-zA-Z0-9]*)\b[^>]*>")
+
+
+def _tag_tokens(html):
+    """The page as a list of opening-tag tokens (with their full text)."""
+    return [(match.group(1).lower(), match.group(0))
+            for match in _TAG_WITH_ATTRS_RE.finditer(html or "")]
+
+
+def tag_diff(unknown_html, ground_truth_html):
+    """Tags added to / removed from the ground truth, as multisets.
+
+    Uses :mod:`difflib` over the full tag-token streams (the ``diff``
+    utility of the paper, applied to markup), then collapses each side of
+    the diff to a tag-name multiset — "the smaller these sets, the fewer
+    modifications were done to the website".
+    """
+    unknown_tokens = _tag_tokens(unknown_html)
+    truth_tokens = _tag_tokens(ground_truth_html)
+    matcher = difflib.SequenceMatcher(
+        a=[token for __, token in truth_tokens],
+        b=[token for __, token in unknown_tokens],
+        autojunk=False)
+    added = Counter()
+    removed = Counter()
+    for op, truth_lo, truth_hi, unknown_lo, unknown_hi in \
+            matcher.get_opcodes():
+        if op in ("delete", "replace"):
+            removed.update(name for name, __
+                           in truth_tokens[truth_lo:truth_hi])
+        if op in ("insert", "replace"):
+            added.update(name for name, __
+                         in unknown_tokens[unknown_lo:unknown_hi])
+    return added, removed
+
+
+class DiffProfile:
+    """The modification fingerprint of one unknown response."""
+
+    __slots__ = ("capture", "added", "removed", "similarity_to_truth")
+
+    def __init__(self, capture, added, removed, similarity_to_truth):
+        self.capture = capture
+        self.added = added
+        self.removed = removed
+        self.similarity_to_truth = similarity_to_truth
+
+    @property
+    def modification_size(self):
+        return sum(self.added.values()) + sum(self.removed.values())
+
+    def combined_multiset(self):
+        """Added and removed tags as one multiset with signed markers."""
+        combined = Counter()
+        for name, count in self.added.items():
+            combined["+%s" % name] = count
+        for name, count in self.removed.items():
+            combined["-%s" % name] = count
+        return combined
+
+    def __repr__(self):
+        return "DiffProfile(+%d/-%d tags)" % (
+            sum(self.added.values()), sum(self.removed.values()))
+
+
+def build_diff_profile(capture, ground_truth_bodies, distance_fn=None,
+                       page_profiles=None):
+    """Diff one capture against its best-matching ground truth.
+
+    ``ground_truth_bodies`` is a list of legitimate HTML representations
+    of the same requested domain; when several exist (CDN variants), the
+    one most similar to the capture is selected, preferring the coarse
+    distance function when profiles are supplied.
+    """
+    if not ground_truth_bodies:
+        raise ValueError("need at least one ground-truth representation")
+    best_body = None
+    best_score = None
+    if distance_fn is not None and page_profiles is not None:
+        capture_profile, truth_profiles = page_profiles
+        for body, profile in zip(ground_truth_bodies, truth_profiles):
+            score = distance_fn(capture_profile, profile)
+            if best_score is None or score < best_score:
+                best_score = score
+                best_body = body
+    else:
+        for body in ground_truth_bodies:
+            score = 0.0 if body == capture.body else \
+                1.0 - difflib.SequenceMatcher(
+                    a=body[:4000], b=(capture.body or "")[:4000],
+                    autojunk=False).quick_ratio()
+            if best_score is None or score < best_score:
+                best_score = score
+                best_body = body
+    added, removed = tag_diff(capture.body, best_body)
+    return DiffProfile(capture, added, removed, 1.0 - (best_score or 0.0))
+
+
+def diff_cluster(diff_profiles, threshold=0.5):
+    """Cluster modification fingerprints by Jaccard distance.
+
+    Responses whose tag-level modifications resemble each other (e.g. the
+    same injected ``<script>``/banner ``<div>`` across different sites)
+    end up in one cluster.
+    """
+    def distance(profile_a, profile_b):
+        return jaccard_distance(profile_a.combined_multiset(),
+                                profile_b.combined_multiset())
+
+    return hierarchical_cluster(diff_profiles, distance, threshold,
+                                linkage="average")

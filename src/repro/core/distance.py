@@ -1,0 +1,124 @@
+"""The custom page-distance function: seven normalized features of equal
+weight (paper §3.6, coarse-grained clustering).
+
+1. body-length difference (coarse similarity),
+2. Jaccard distance over the HTML-tag multiset,
+3. edit distance over the normalized opening-tag sequence (structure),
+4. edit distance over the ``<title>`` text,
+5. edit distance over all JavaScript code,
+6. Jaccard distance over embedded resources (``src=``),
+7. Jaccard distance over outgoing links (``href=``).
+"""
+
+
+def jaccard_distance(multiset_a, multiset_b):
+    """Jaccard distance for multisets: 1 - |A ∩ B| / |A ∪ B|.
+
+    Both arguments are ``collections.Counter``; two empty multisets are
+    identical (distance 0).
+    """
+    if not multiset_a and not multiset_b:
+        return 0.0
+    intersection = sum((multiset_a & multiset_b).values())
+    union = sum((multiset_a | multiset_b).values())
+    if union == 0:
+        return 0.0
+    return 1.0 - intersection / union
+
+
+def edit_distance(seq_a, seq_b, cap=None):
+    """Levenshtein distance between two sequences (strings or tuples).
+
+    ``cap`` optionally truncates inputs for bounded cost.  Uses the
+    classic two-row dynamic program.
+    """
+    if cap is not None:
+        seq_a = seq_a[:cap]
+        seq_b = seq_b[:cap]
+    if seq_a == seq_b:
+        return 0
+    if not seq_a:
+        return len(seq_b)
+    if not seq_b:
+        return len(seq_a)
+    if len(seq_a) < len(seq_b):
+        seq_a, seq_b = seq_b, seq_a
+    previous = list(range(len(seq_b) + 1))
+    for i, item_a in enumerate(seq_a, 1):
+        current = [i]
+        for j, item_b in enumerate(seq_b, 1):
+            cost = 0 if item_a == item_b else 1
+            current.append(min(previous[j] + 1,
+                               current[j - 1] + 1,
+                               previous[j - 1] + cost))
+        previous = current
+    return previous[-1]
+
+
+def normalized_edit_distance(seq_a, seq_b, cap=None):
+    """Edit distance scaled into [0, 1] by the longer sequence."""
+    longest = max(len(seq_a), len(seq_b))
+    if longest == 0:
+        return 0.0
+    if cap is not None:
+        longest = min(longest, cap)
+    return min(1.0, edit_distance(seq_a, seq_b, cap=cap) / longest)
+
+
+def length_difference(length_a, length_b):
+    """Relative body-length difference in [0, 1]."""
+    longest = max(length_a, length_b)
+    if longest == 0:
+        return 0.0
+    return abs(length_a - length_b) / longest
+
+
+class PageDistance:
+    """Callable combining the seven features with equal weights.
+
+    Instances are picklable and reusable; ``__call__`` takes two
+    :class:`repro.core.features.PageProfile` objects and returns a
+    distance in [0, 1].
+    """
+
+    FEATURE_NAMES = ("length", "tags", "structure", "title", "javascript",
+                     "resources", "links")
+
+    def __init__(self, weights=None, text_cap=600):
+        if weights is None:
+            weights = {name: 1.0 for name in self.FEATURE_NAMES}
+        unknown = set(weights) - set(self.FEATURE_NAMES)
+        if unknown:
+            raise ValueError("unknown distance features: %s" % sorted(unknown))
+        self.weights = {name: float(weights.get(name, 0.0))
+                        for name in self.FEATURE_NAMES}
+        total = sum(self.weights.values())
+        if total <= 0:
+            raise ValueError("at least one feature weight must be positive")
+        self.total_weight = total
+        self.text_cap = text_cap
+
+    def feature_distances(self, profile_a, profile_b):
+        """The seven per-feature distances as a dict (for inspection)."""
+        cap = self.text_cap
+        return {
+            "length": length_difference(profile_a.length, profile_b.length),
+            "tags": jaccard_distance(profile_a.tag_multiset,
+                                     profile_b.tag_multiset),
+            "structure": normalized_edit_distance(profile_a.tag_sequence,
+                                                  profile_b.tag_sequence,
+                                                  cap=cap),
+            "title": normalized_edit_distance(profile_a.title,
+                                              profile_b.title, cap=cap),
+            "javascript": normalized_edit_distance(profile_a.javascript,
+                                                   profile_b.javascript,
+                                                   cap=cap),
+            "resources": jaccard_distance(profile_a.resources,
+                                          profile_b.resources),
+            "links": jaccard_distance(profile_a.links, profile_b.links),
+        }
+
+    def __call__(self, profile_a, profile_b):
+        distances = self.feature_distances(profile_a, profile_b)
+        return sum(self.weights[name] * value
+                   for name, value in distances.items()) / self.total_weight

@@ -1,0 +1,181 @@
+"""Cluster labeling and category classification (paper §3.6 step 6, §4.2).
+
+The paper's analysts inspected each cluster's exemplar pages and attached
+descriptive labels, then mapped labels onto website categories.  The
+decision rules they describe are encoded here — e.g. HTML stating
+"blocked by the order of [...] court/authority" marks censorship, router
+vendor login forms mark the Login category — and are applied per cluster:
+one labeling decision covers every member, which is exactly how
+clustering reduced the paper's manual effort.
+"""
+
+import re
+
+from repro.dnswire.name import normalize_name
+
+# The six HTTP-content categories of Table 5, plus Misc's sub-labels
+# surfaced by the case studies (§4.3).
+LABEL_BLOCKING = "Blocking"
+LABEL_CENSORSHIP = "Censorship"
+LABEL_HTTP_ERROR = "HTTP Error"
+LABEL_LOGIN = "Login"
+LABEL_MISC = "Misc."
+LABEL_PARKING = "Parking"
+LABEL_SEARCH = "Search"
+
+CATEGORY_LABELS = (LABEL_BLOCKING, LABEL_CENSORSHIP, LABEL_HTTP_ERROR,
+                   LABEL_LOGIN, LABEL_MISC, LABEL_PARKING, LABEL_SEARCH)
+
+# Misc sub-labels (all roll up into LABEL_MISC for Table 5).
+SUBLABEL_PROXY = "transparent-proxy"
+SUBLABEL_PHISHING = "phishing"
+SUBLABEL_AD_INJECTION = "ad-injection"
+SUBLABEL_AD_BLANKING = "ad-blanking"
+SUBLABEL_FAKE_SEARCH_ADS = "fake-search-with-ads"
+SUBLABEL_MALWARE = "malware-download"
+SUBLABEL_UNCLASSIFIED = "unclassified"
+
+_CENSOR_RE = re.compile(
+    r"blocked by the order of the competent\s+(court|authority)|"
+    r"court/authority", re.IGNORECASE)
+_BLOCKING_RE = re.compile(
+    r"(page|website|domain|content)[^.<]{0,60}(has been |is )?blocked|"
+    r"content filter|parental control|blocked to protect",
+    re.IGNORECASE)
+_ERROR_TITLE_RE = re.compile(r"<title[^>]*>\s*(4\d\d|5\d\d)\b",
+                             re.IGNORECASE)
+_PASSWORD_FIELD_RE = re.compile(r"""type\s*=\s*["']password["']""",
+                                re.IGNORECASE)
+_LOGIN_HINT_RE = re.compile(
+    r"router|modem|gateway|network login|captive|sign in|log ?in|webmail|"
+    r"camera", re.IGNORECASE)
+_PARKING_RE = re.compile(
+    r"parked free|may be for sale|domain (is )?parked|sponsored listing",
+    re.IGNORECASE)
+_SEARCH_FORM_RE = re.compile(r"""name\s*=\s*["']q["']""", re.IGNORECASE)
+_SPONSORED_RE = re.compile(r"sponsored (result|listing)|ad.?click",
+                           re.IGNORECASE)
+_PHP_FORM_RE = re.compile(r"""<form[^>]+action\s*=\s*["'][^"']*\.php["']""",
+                          re.IGNORECASE)
+_IMG_TAG_RE = re.compile(r"<img\b", re.IGNORECASE)
+_MALWARE_RE = re.compile(
+    r"(update|install)[^<]{0,80}\.exe|critical update available|"
+    r"out of date and may be insecure", re.IGNORECASE)
+_INJECTED_AD_RE = re.compile(
+    r"injected-banner|ads-served|deliver\.js", re.IGNORECASE)
+_BLANKED_AD_RE = re.compile(r"blocked-ad-placeholder|<!-- ad removed -->",
+                            re.IGNORECASE)
+
+
+class LabeledCapture:
+    """One capture with its cluster-derived label and sub-label."""
+
+    __slots__ = ("capture", "label", "sublabel", "cluster_id")
+
+    def __init__(self, capture, label, sublabel=None, cluster_id=None):
+        self.capture = capture
+        self.label = label
+        self.sublabel = sublabel
+        self.cluster_id = cluster_id
+
+    def __repr__(self):
+        return "LabeledCapture(%s -> %s/%s)" % (
+            self.capture, self.label, self.sublabel)
+
+
+class ClusterLabeler:
+    """Labels clusters of HTTP captures using the published rules."""
+
+    def __init__(self, ground_truth_bodies=None):
+        # domain -> list of legitimate HTML representations.
+        self.ground_truth = {normalize_name(domain): list(bodies)
+                             for domain, bodies
+                             in (ground_truth_bodies or {}).items()}
+
+    # -- per-page rules -------------------------------------------------------
+
+    def _is_ground_truth_copy(self, capture):
+        bodies = self.ground_truth.get(normalize_name(capture.domain), ())
+        return any(capture.body == body for body in bodies)
+
+    def _near_ground_truth(self, capture):
+        """Same title and structure-ish as GT, but not byte-identical."""
+        bodies = self.ground_truth.get(normalize_name(capture.domain), ())
+        if not bodies or not capture.body:
+            return None
+        for body in bodies:
+            if capture.body == body:
+                continue
+            truth_title = _title_of(body)
+            if truth_title and truth_title == _title_of(capture.body):
+                return body
+        return None
+
+    def label_capture(self, capture):
+        """Label one capture; returns ``(label, sublabel)``."""
+        body = capture.body or ""
+        status = capture.status or 0
+        if _CENSOR_RE.search(body):
+            return LABEL_CENSORSHIP, None
+        if status >= 400 or _ERROR_TITLE_RE.search(body):
+            return LABEL_HTTP_ERROR, None
+        if self._is_ground_truth_copy(capture):
+            # Original content from a non-original IP: transparent proxy.
+            return LABEL_MISC, SUBLABEL_PROXY
+        if _INJECTED_AD_RE.search(body):
+            return LABEL_MISC, SUBLABEL_AD_INJECTION
+        if _BLANKED_AD_RE.search(body):
+            return LABEL_MISC, SUBLABEL_AD_BLANKING
+        if _MALWARE_RE.search(body):
+            return LABEL_MISC, SUBLABEL_MALWARE
+        if _PHP_FORM_RE.search(body) and _PASSWORD_FIELD_RE.search(body):
+            image_count = len(_IMG_TAG_RE.findall(body))
+            if image_count >= 10:
+                # The PayPal pattern: a page rebuilt from image slices
+                # plus a credential form posting to a .php collector.
+                return LABEL_MISC, SUBLABEL_PHISHING
+        near = self._near_ground_truth(capture)
+        if near is not None and _PASSWORD_FIELD_RE.search(body):
+            # Original-looking page with a modified form: bank phish.
+            if _form_actions(body) != _form_actions(near):
+                return LABEL_MISC, SUBLABEL_PHISHING
+        if _BLOCKING_RE.search(body):
+            return LABEL_BLOCKING, None
+        if _PARKING_RE.search(body):
+            return LABEL_PARKING, None
+        if _SEARCH_FORM_RE.search(body):
+            if _SPONSORED_RE.search(body) and _IMG_TAG_RE.search(body) \
+                    and "banner" in body.lower():
+                return LABEL_MISC, SUBLABEL_FAKE_SEARCH_ADS
+            return LABEL_SEARCH, None
+        if _PASSWORD_FIELD_RE.search(body) and _LOGIN_HINT_RE.search(body):
+            return LABEL_LOGIN, None
+        return LABEL_MISC, SUBLABEL_UNCLASSIFIED
+
+    # -- per-cluster labeling -------------------------------------------------
+
+    def label_clusters(self, clusters):
+        """Label each cluster via its exemplar; returns LabeledCaptures.
+
+        One decision per cluster, applied to all members — mirroring the
+        manual labeling step the clustering was built to support.
+        """
+        labeled = []
+        for cluster_id, cluster in enumerate(clusters):
+            label, sublabel = self.label_capture(cluster.representative())
+            for capture in cluster:
+                labeled.append(LabeledCapture(capture, label, sublabel,
+                                              cluster_id=cluster_id))
+        return labeled
+
+
+def _title_of(body):
+    match = re.search(r"<title[^>]*>(.*?)</title>", body or "",
+                      re.IGNORECASE | re.DOTALL)
+    return match.group(1).strip() if match else ""
+
+
+def _form_actions(body):
+    return tuple(re.findall(
+        r"""<form[^>]+action\s*=\s*["']([^"']*)["']""", body or "",
+        re.IGNORECASE))

@@ -1,0 +1,185 @@
+"""End-to-end orchestration of the Figure 3 processing chain."""
+
+from repro.core.acquisition import DataAcquirer
+from repro.core.clustering import cluster_deduplicated
+from repro.core.diffcluster import build_diff_profile, diff_cluster
+from repro.core.distance import PageDistance
+from repro.core.features import extract_features
+from repro.core.labeling import (
+    ClusterLabeler,
+    LABEL_MISC,
+    SUBLABEL_UNCLASSIFIED,
+)
+from repro.core.prefilter import Prefilterer, ResponseTuple
+from repro.dnswire.name import normalize_name
+from repro.scanner.domainscan import DomainScanner
+from repro.websim.mail import banners_for_provider, provider_for_hostname
+
+
+class PipelineReport:
+    """Everything the pipeline produced, for the analysis layer."""
+
+    def __init__(self):
+        self.observations = []
+        self.prefilter = None
+        self.http_captures = []
+        self.mail_captures = []
+        self.failed_captures = []
+        self.clusters = []
+        self.dendrogram = None
+        self.labeled = []
+        self.diff_clusters = []
+        self.ground_truth_bodies = {}
+
+    @property
+    def suspicious_resolvers(self):
+        return {capture.capture.resolver_ip for capture in self.labeled}
+
+    def labels_by_tuple(self):
+        return {(normalize_name(l.capture.domain), l.capture.ip,
+                 l.capture.resolver_ip): (l.label, l.sublabel)
+                for l in self.labeled}
+
+    def classified_share(self):
+        """Share of fetched responses the labeler could classify."""
+        if not self.labeled:
+            return 1.0
+        unclassified = sum(
+            1 for l in self.labeled
+            if l.label == LABEL_MISC and l.sublabel == SUBLABEL_UNCLASSIFIED)
+        return 1.0 - unclassified / len(self.labeled)
+
+    def __repr__(self):
+        return ("PipelineReport(%d observations, %d captures, %d clusters)"
+                % (len(self.observations), len(self.http_captures),
+                   len(self.clusters)))
+
+
+class ManipulationPipeline:
+    """Wires scanning, prefiltering, acquisition, clustering, labeling."""
+
+    def __init__(self, network, resolution_service, as_registry, rdns, ca,
+                 known_cdn_common_names, source_ip, domain_catalog,
+                 cluster_threshold=0.30, diff_threshold=0.5,
+                 distance=None):
+        self.network = network
+        self.service = resolution_service
+        self.as_registry = as_registry
+        self.rdns = rdns
+        self.ca = ca
+        self.known_cdn_common_names = tuple(known_cdn_common_names)
+        self.source_ip = source_ip
+        self.domain_catalog = {normalize_name(d.name): d
+                               for d in domain_catalog}
+        self.cluster_threshold = cluster_threshold
+        self.diff_threshold = diff_threshold
+        self.distance = distance or PageDistance()
+        self.scanner = DomainScanner(network, source_ip)
+        self.acquirer = DataAcquirer(network, source_ip)
+        self.prefilterer = Prefilterer(
+            network, resolution_service, as_registry, rdns, ca=ca,
+            known_cdn_common_names=known_cdn_common_names,
+            probe_source_ip=source_ip)
+
+    # -- ground truth ---------------------------------------------------------
+
+    def collect_ground_truth(self, domains):
+        """Fetch the legitimate representation(s) of each web domain via
+        our own trusted resolution path (§3.5, last paragraph)."""
+        bodies = {}
+        for domain in domains:
+            meta = self.domain_catalog.get(normalize_name(domain.name)
+                                           if hasattr(domain, "name")
+                                           else normalize_name(domain))
+            name = meta.name if meta is not None else str(domain)
+            if meta is not None and (not meta.exists or meta.kind != "web"):
+                continue
+            result = self.service.resolve_trusted(self.network, name)
+            seen = []
+            for address in result.addresses[:3]:
+                capture = self.acquirer.fetch_http(
+                    ResponseTuple(name, address, self.source_ip))
+                if capture.fetched and capture.status == 200:
+                    if capture.body not in seen:
+                        seen.append(capture.body)
+            if seen:
+                bodies[normalize_name(name)] = seen
+        return bodies
+
+    # -- the chain ------------------------------------------------------------
+
+    def run(self, resolver_ips, domains):
+        """Execute steps 2–6 of Figure 3 for one domain set.
+
+        ``resolver_ips`` come from a fresh Internet-wide scan (step 1);
+        ``domains`` is a list of :class:`ScanDomain`.  Returns a
+        :class:`PipelineReport`.
+        """
+        report = PipelineReport()
+        names = [d.name for d in domains]
+        # Step 2: domain scan.
+        report.observations = self.scanner.scan(resolver_ips, names)
+        # Step 3: DNS-based prefiltering.
+        report.prefilter = self.prefilterer.process(report.observations,
+                                                    self.domain_catalog)
+        # Ground truth content, used by labeling and diff clustering.
+        report.ground_truth_bodies = self.collect_ground_truth(domains)
+        # Step 4: data acquisition for unknown tuples.
+        http_captures, mail_captures = self.acquirer.acquire(
+            report.prefilter.unknown, self.domain_catalog)
+        report.mail_captures = mail_captures
+        report.http_captures = [c for c in http_captures if c.fetched]
+        report.failed_captures = [c for c in http_captures if not c.fetched]
+        # Step 5: coarse clustering (deduplicating identical bodies).
+        profiles = {}
+
+        def profile_of(capture):
+            profile = profiles.get(capture.body)
+            if profile is None:
+                profile = extract_features(capture.body)
+                profiles[capture.body] = profile
+            return profile
+
+        keyed = [(capture.body, capture) for capture in report.http_captures]
+        clusters, dendrogram = cluster_deduplicated(
+            keyed,
+            lambda a, b: self.distance(profile_of(a), profile_of(b)),
+            self.cluster_threshold)
+        report.clusters = clusters
+        report.dendrogram = dendrogram
+        # Step 6: labeling.
+        labeler = ClusterLabeler(report.ground_truth_bodies)
+        report.labeled = labeler.label_clusters(clusters)
+        # Fine-grained diff clustering of near-original modifications.
+        diff_profiles = []
+        for capture in report.http_captures:
+            truths = report.ground_truth_bodies.get(
+                normalize_name(capture.domain))
+            if not truths or not capture.body:
+                continue
+            profile = build_diff_profile(capture, truths)
+            if 0 < profile.modification_size <= 40:
+                diff_profiles.append(profile)
+        if diff_profiles:
+            report.diff_clusters, __ = diff_cluster(
+                diff_profiles, threshold=self.diff_threshold)
+        return report
+
+    # -- mail classification --------------------------------------------------
+
+    @staticmethod
+    def classify_mail(mail_captures):
+        """Split mail captures into listener/banner-match groups (§4.3)."""
+        listeners = []
+        banner_matches = []
+        for capture in mail_captures:
+            if not capture.fetched:
+                continue
+            listeners.append(capture)
+            provider = provider_for_hostname(capture.domain)
+            if provider is not None:
+                legit = banners_for_provider(provider)
+                if any(banner == legit.get(service)
+                       for service, banner in capture.banners.items()):
+                    banner_matches.append(capture)
+        return listeners, banner_matches

@@ -1,0 +1,301 @@
+"""The scanned domain set: 155 domains in 13 categories (paper §3.2).
+
+The paper publishes the category sizes (Ads 9, Adult 4, Alexa 20,
+Antivirus 15, Banking 20, Dating 3, Filesharing 5, Gambling 4, Malware 13,
+MX 13, NX 21, Tracking 5, Miscellaneous 22) and names a subset of the
+domains in the text; the remainder are reconstructed with representative
+names of the same kind.  Together with the ground-truth domain (whose
+AuthNS we operate) the set counts 155 names.
+"""
+
+CATEGORY_ADS = "Ads"
+CATEGORY_ADULT = "Adult"
+CATEGORY_ALEXA = "Alexa"
+CATEGORY_ANTIVIRUS = "Antivirus"
+CATEGORY_BANKING = "Banking"
+CATEGORY_DATING = "Dating"
+CATEGORY_FILESHARING = "Filesharing"
+CATEGORY_GAMBLING = "Gambling"
+CATEGORY_MALWARE = "Malware"
+CATEGORY_MX = "MX"
+CATEGORY_NX = "NX"
+CATEGORY_TRACKING = "Tracking"
+CATEGORY_MISC = "Misc"
+
+ALL_CATEGORIES = (
+    CATEGORY_ADS, CATEGORY_ADULT, CATEGORY_ALEXA, CATEGORY_ANTIVIRUS,
+    CATEGORY_BANKING, CATEGORY_DATING, CATEGORY_FILESHARING,
+    CATEGORY_GAMBLING, CATEGORY_MALWARE, CATEGORY_MX, CATEGORY_NX,
+    CATEGORY_TRACKING, CATEGORY_MISC,
+)
+
+# The scanner's own measurement domain (random prefixes + hex-encoded
+# target IP are prepended: prefix.hex-ip.scan.dnsstudy.edu) and the
+# ground-truth domain whose AuthNS the study operates.
+MEASUREMENT_DOMAIN = "scan.dnsstudy.edu"
+GROUND_TRUTH_DOMAIN = "gt.dnsstudy.edu"
+
+# The 15 TLDs whose NS records are snooped for the utilization study (§2.6).
+SNOOPING_TLDS = ("br", "cn", "co.uk", "com", "de", "fr", "in", "info", "it",
+                 "jp", "net", "nl", "org", "pl", "ru")
+
+
+class ScanDomain:
+    """One scanned domain: name, category, and service expectations."""
+
+    KIND_WEB = "web"
+    KIND_MAIL = "mail"
+    KIND_NX = "nx"
+
+    def __init__(self, name, category, exists=True, kind=KIND_WEB,
+                 https=True, popular=False, cdn=False):
+        self.name = name
+        self.category = category
+        self.exists = exists
+        self.kind = kind
+        self.https = https
+        self.popular = popular
+        self.cdn = cdn
+
+    def __repr__(self):
+        return "ScanDomain(%r, %s)" % (self.name, self.category)
+
+    def __eq__(self, other):
+        return isinstance(other, ScanDomain) and other.name == self.name
+
+    def __hash__(self):
+        return hash(self.name)
+
+
+def _web(name, category, **kwargs):
+    return ScanDomain(name, category, **kwargs)
+
+
+def _mail(name):
+    return ScanDomain(name, CATEGORY_MX, kind=ScanDomain.KIND_MAIL,
+                      https=False)
+
+
+def _nx(name):
+    return ScanDomain(name, CATEGORY_NX, exists=False,
+                      kind=ScanDomain.KIND_NX)
+
+
+DOMAIN_SETS = {
+    # 9 ad-provider domains.
+    CATEGORY_ADS: (
+        _web("doubleclick.net", CATEGORY_ADS, cdn=True),
+        _web("googlesyndication.com", CATEGORY_ADS, cdn=True),
+        _web("adnxs.com", CATEGORY_ADS),
+        _web("advertising.com", CATEGORY_ADS),
+        _web("adform.net", CATEGORY_ADS),
+        _web("rubiconproject.com", CATEGORY_ADS),
+        _web("openx.net", CATEGORY_ADS),
+        _web("criteo.com", CATEGORY_ADS),
+        _web("zedo.com", CATEGORY_ADS),
+    ),
+    # 4 adult domains from the Alexa ranking.
+    CATEGORY_ADULT: (
+        _web("youporn.com", CATEGORY_ADULT, popular=True),
+        _web("adultfinder.com", CATEGORY_ADULT),
+        _web("xhamster.com", CATEGORY_ADULT, popular=True),
+        _web("redtube.com", CATEGORY_ADULT),
+    ),
+    # Alexa Top-20 ranked domains.
+    CATEGORY_ALEXA: (
+        _web("google.com", CATEGORY_ALEXA, popular=True, cdn=True),
+        _web("facebook.com", CATEGORY_ALEXA, popular=True, cdn=True),
+        _web("youtube.com", CATEGORY_ALEXA, popular=True, cdn=True),
+        _web("yahoo.com", CATEGORY_ALEXA, popular=True, cdn=True),
+        _web("baidu.com", CATEGORY_ALEXA, popular=True),
+        _web("wikipedia.org", CATEGORY_ALEXA, popular=True, cdn=True),
+        _web("twitter.com", CATEGORY_ALEXA, popular=True, cdn=True),
+        _web("qq.com", CATEGORY_ALEXA, popular=True),
+        _web("amazon.com", CATEGORY_ALEXA, popular=True, cdn=True),
+        _web("taobao.com", CATEGORY_ALEXA, popular=True),
+        _web("linkedin.com", CATEGORY_ALEXA, popular=True),
+        _web("live.com", CATEGORY_ALEXA, popular=True, cdn=True),
+        _web("sina.com.cn", CATEGORY_ALEXA, popular=True),
+        _web("weibo.com", CATEGORY_ALEXA, popular=True),
+        _web("ebay.com", CATEGORY_ALEXA, popular=True),
+        _web("yandex.ru", CATEGORY_ALEXA, popular=True),
+        _web("blogspot.com", CATEGORY_ALEXA, popular=True, cdn=True),
+        _web("vk.com", CATEGORY_ALEXA, popular=True),
+        _web("instagram.com", CATEGORY_ALEXA, popular=True, cdn=True),
+        _web("reddit.com", CATEGORY_ALEXA, popular=True, cdn=True),
+    ),
+    # 15 AV / malware-protection vendors and update servers.
+    CATEGORY_ANTIVIRUS: (
+        _web("kaspersky.com", CATEGORY_ANTIVIRUS),
+        _web("symantec.com", CATEGORY_ANTIVIRUS),
+        _web("mcafee.com", CATEGORY_ANTIVIRUS),
+        _web("avast.com", CATEGORY_ANTIVIRUS),
+        _web("avg.com", CATEGORY_ANTIVIRUS),
+        _web("avira.com", CATEGORY_ANTIVIRUS),
+        _web("eset.com", CATEGORY_ANTIVIRUS),
+        _web("bitdefender.com", CATEGORY_ANTIVIRUS),
+        _web("f-secure.com", CATEGORY_ANTIVIRUS),
+        _web("trendmicro.com", CATEGORY_ANTIVIRUS),
+        _web("sophos.com", CATEGORY_ANTIVIRUS),
+        _web("malwarebytes.org", CATEGORY_ANTIVIRUS),
+        _web("update.symantec.com", CATEGORY_ANTIVIRUS, cdn=True),
+        _web("liveupdate.symantecliveupdate.com", CATEGORY_ANTIVIRUS,
+             cdn=True),
+        _web("definitions.kaspersky-labs.com", CATEGORY_ANTIVIRUS, cdn=True),
+    ),
+    # 20 banking / payment domains.
+    CATEGORY_BANKING: (
+        _web("paypal.com", CATEGORY_BANKING, popular=True),
+        _web("alipay.com", CATEGORY_BANKING, popular=True),
+        _web("ebay.de", CATEGORY_BANKING),
+        _web("chase.com", CATEGORY_BANKING),
+        _web("bankofamerica.com", CATEGORY_BANKING),
+        _web("wellsfargo.com", CATEGORY_BANKING),
+        _web("citibank.com", CATEGORY_BANKING),
+        _web("hsbc.com", CATEGORY_BANKING),
+        _web("barclays.co.uk", CATEGORY_BANKING),
+        _web("santander.com", CATEGORY_BANKING),
+        _web("deutsche-bank.de", CATEGORY_BANKING),
+        _web("commerzbank.de", CATEGORY_BANKING),
+        _web("bnpparibas.com", CATEGORY_BANKING),
+        _web("unicredit.it", CATEGORY_BANKING),
+        _web("intesasanpaolo.it", CATEGORY_BANKING),
+        _web("sberbank.ru", CATEGORY_BANKING),
+        _web("icbc.com.cn", CATEGORY_BANKING),
+        _web("itau.com.br", CATEGORY_BANKING),
+        _web("visa.com", CATEGORY_BANKING),
+        _web("mastercard.com", CATEGORY_BANKING),
+    ),
+    # 3 dating domains.
+    CATEGORY_DATING: (
+        _web("match.com", CATEGORY_DATING),
+        _web("okcupid.com", CATEGORY_DATING),
+        _web("plentyoffish.com", CATEGORY_DATING),
+    ),
+    # 5 filesharing domains.
+    CATEGORY_FILESHARING: (
+        _web("kickass.to", CATEGORY_FILESHARING, popular=True),
+        _web("thepiratebay.se", CATEGORY_FILESHARING, popular=True),
+        _web("torrentz.eu", CATEGORY_FILESHARING),
+        _web("extratorrent.cc", CATEGORY_FILESHARING),
+        _web("rapidgator.net", CATEGORY_FILESHARING),
+    ),
+    # 4 betting / gambling domains.
+    CATEGORY_GAMBLING: (
+        _web("bet-at-home.com", CATEGORY_GAMBLING),
+        _web("bet365.com", CATEGORY_GAMBLING),
+        _web("pokerstars.com", CATEGORY_GAMBLING),
+        _web("williamhill.com", CATEGORY_GAMBLING),
+    ),
+    # 13 domains listed on common malware blacklists.  Three are Chinese
+    # (two of which the paper found re-registered by parking providers).
+    CATEGORY_MALWARE: (
+        _web("irc.zief.pl", CATEGORY_MALWARE, https=False),
+        _web("dga-c2-update.ru", CATEGORY_MALWARE, https=False),
+        _web("banker-drop.biz", CATEGORY_MALWARE, https=False),
+        _web("exploit-kit-landing.info", CATEGORY_MALWARE, https=False),
+        _web("fakeav-billing.net", CATEGORY_MALWARE, https=False),
+        _web("spam-template-host.org", CATEGORY_MALWARE, https=False),
+        _web("worm-seed.cn", CATEGORY_MALWARE, https=False),
+        _web("trojan-config.com.cn", CATEGORY_MALWARE, https=False),
+        _web("botnet-proxy.cn", CATEGORY_MALWARE, https=False),
+        _web("ransom-gate.com", CATEGORY_MALWARE, https=False),
+        _web("clickfraud-sink.net", CATEGORY_MALWARE, https=False),
+        _web("stealer-panel.su", CATEGORY_MALWARE, https=False),
+        _web("downloader-cdn.info", CATEGORY_MALWARE, https=False),
+    ),
+    # 13 IMAP/POP3/SMTP hostnames of six mail providers.
+    CATEGORY_MX: (
+        _mail("imap.aim.com"),
+        _mail("smtp.aim.com"),
+        _mail("imap.gmail.com"),
+        _mail("smtp.gmail.com"),
+        _mail("pop.gmail.com"),
+        _mail("imap.mail.me.com"),
+        _mail("smtp.mail.me.com"),
+        _mail("imap-mail.outlook.com"),
+        _mail("smtp-mail.outlook.com"),
+        _mail("imap.mail.yahoo.com"),
+        _mail("smtp.mail.yahoo.com"),
+        _mail("imap.yandex.ru"),
+        _mail("smtp.yandex.ru"),
+    ),
+    # 21 non-existent names: 8 invented, 5 NX subdomains of popular
+    # domains, 8 typo-squats (non-registered at scan time).
+    CATEGORY_NX: (
+        _nx("qzxkvwjr.com"),
+        _nx("nonexistent-domain-check.net"),
+        _nx("thisdomainsurelydoesnotexist.org"),
+        _nx("blorpfizzle.info"),
+        _nx("xkcdqwerty.biz"),
+        _nx("notarealdomain-dnsstudy.com"),
+        _nx("unregistered-probe.net"),
+        _nx("vqjhzmrr.org"),
+        _nx("rswkllf.twitter.com"),
+        _nx("zzzz.facebook.com"),
+        _nx("qqqq.google.com"),
+        _nx("xyzzy.wikipedia.org"),
+        _nx("plugh.amazon.com"),
+        _nx("amason.com"),
+        _nx("ghoogle.com"),
+        _nx("wikipeida.org"),
+        _nx("facebok.com"),
+        _nx("twiter.com"),
+        _nx("youtub.com"),
+        _nx("paypall.com"),
+        _nx("yahooo.com"),
+    ),
+    # 5 user-tracking libraries.
+    CATEGORY_TRACKING: (
+        _web("bluecava.com", CATEGORY_TRACKING),
+        _web("threatmetrix.com", CATEGORY_TRACKING),
+        _web("scorecardresearch.com", CATEGORY_TRACKING),
+        _web("quantserve.com", CATEGORY_TRACKING),
+        _web("addthis.com", CATEGORY_TRACKING),
+    ),
+    # 22 miscellaneous: update servers, intelligence agencies, OAuth
+    # endpoints, and individual domains named in the paper.
+    CATEGORY_MISC: (
+        _web("update.microsoft.com", CATEGORY_MISC, cdn=True),
+        _web("windowsupdate.com", CATEGORY_MISC, cdn=True),
+        _web("get.adobe.com", CATEGORY_MISC, cdn=True),
+        _web("update.adobe.com", CATEGORY_MISC, cdn=True),
+        _web("java.com", CATEGORY_MISC),
+        _web("swupdate.apple.com", CATEGORY_MISC, cdn=True),
+        _web("nsa.gov", CATEGORY_MISC),
+        _web("gchq.gov.uk", CATEGORY_MISC),
+        _web("mossad.gov.il", CATEGORY_MISC),
+        _web("oauth.amazon.com", CATEGORY_MISC),
+        _web("accounts.google.com", CATEGORY_MISC, cdn=True),
+        _web("api.twitter.com", CATEGORY_MISC, cdn=True),
+        _web("rotten.com", CATEGORY_MISC),
+        _web("wikileaks.org", CATEGORY_MISC),
+        _web("torproject.org", CATEGORY_MISC),
+        _web("4chan.org", CATEGORY_MISC),
+        _web("archive.org", CATEGORY_MISC),
+        _web("pastebin.com", CATEGORY_MISC),
+        _web("stackexchange.com", CATEGORY_MISC),
+        _web("craigslist.org", CATEGORY_MISC),
+        _web("imgur.com", CATEGORY_MISC, cdn=True),
+        _web("github.com", CATEGORY_MISC),
+    ),
+}
+
+
+def domains_in_category(category):
+    """The :class:`ScanDomain` tuple for one category."""
+    return DOMAIN_SETS[category]
+
+
+def all_domains():
+    """Every scanned domain across all 13 categories."""
+    result = []
+    for category in ALL_CATEGORIES:
+        result.extend(DOMAIN_SETS[category])
+    return result
+
+
+def existing_web_domains():
+    """All existing domains that serve web content (excludes NX and MX)."""
+    return [domain for domain in all_domains()
+            if domain.exists and domain.kind == ScanDomain.KIND_WEB]

@@ -1,0 +1,67 @@
+"""Numeric constants of the DNS protocol (RFC 1035, RFC 5395)."""
+
+# Query/response types.
+QTYPE_A = 1
+QTYPE_NS = 2
+QTYPE_CNAME = 5
+QTYPE_SOA = 6
+QTYPE_PTR = 12
+QTYPE_MX = 15
+QTYPE_TXT = 16
+QTYPE_AAAA = 28
+QTYPE_ANY = 255
+
+# Classes.  CHAOS is used by the version.bind fingerprinting scan.
+CLASS_IN = 1
+CLASS_CH = 3
+CLASS_ANY = 255
+
+# Opcodes.
+OPCODE_QUERY = 0
+OPCODE_STATUS = 2
+
+# Response codes.
+RCODE_NOERROR = 0
+RCODE_FORMERR = 1
+RCODE_SERVFAIL = 2
+RCODE_NXDOMAIN = 3
+RCODE_NOTIMP = 4
+RCODE_REFUSED = 5
+
+_QTYPE_NAMES = {
+    QTYPE_A: "A",
+    QTYPE_NS: "NS",
+    QTYPE_CNAME: "CNAME",
+    QTYPE_SOA: "SOA",
+    QTYPE_PTR: "PTR",
+    QTYPE_MX: "MX",
+    QTYPE_TXT: "TXT",
+    QTYPE_AAAA: "AAAA",
+    QTYPE_ANY: "ANY",
+}
+
+_CLASS_NAMES = {CLASS_IN: "IN", CLASS_CH: "CH", CLASS_ANY: "ANY"}
+
+_RCODE_NAMES = {
+    RCODE_NOERROR: "NOERROR",
+    RCODE_FORMERR: "FORMERR",
+    RCODE_SERVFAIL: "SERVFAIL",
+    RCODE_NXDOMAIN: "NXDOMAIN",
+    RCODE_NOTIMP: "NOTIMP",
+    RCODE_REFUSED: "REFUSED",
+}
+
+
+def qtype_name(qtype):
+    """Return the mnemonic for a query type (e.g. 1 -> ``"A"``)."""
+    return _QTYPE_NAMES.get(qtype, "TYPE%d" % qtype)
+
+
+def class_name(qclass):
+    """Return the mnemonic for a query class (e.g. 3 -> ``"CH"``)."""
+    return _CLASS_NAMES.get(qclass, "CLASS%d" % qclass)
+
+
+def rcode_name(rcode):
+    """Return the mnemonic for a response code (e.g. 3 -> ``"NXDOMAIN"``)."""
+    return _RCODE_NAMES.get(rcode, "RCODE%d" % rcode)

@@ -1,0 +1,176 @@
+"""DNS message header, question, and full-message wire codec."""
+
+import struct
+
+from repro.dnswire import constants
+from repro.dnswire.name import NameCompressor, decode_name
+from repro.dnswire.records import ResourceRecord
+
+HEADER_STRUCT = struct.Struct("!HHHHHH")
+
+
+class Header:
+    """The 12-byte DNS header with all flag bits."""
+
+    def __init__(self, txid=0, qr=False, opcode=constants.OPCODE_QUERY,
+                 aa=False, tc=False, rd=True, ra=False,
+                 rcode=constants.RCODE_NOERROR):
+        self.txid = txid
+        self.qr = qr
+        self.opcode = opcode
+        self.aa = aa
+        self.tc = tc
+        self.rd = rd
+        self.ra = ra
+        self.rcode = rcode
+
+    def flags_word(self):
+        word = 0
+        if self.qr:
+            word |= 0x8000
+        word |= (self.opcode & 0xF) << 11
+        if self.aa:
+            word |= 0x0400
+        if self.tc:
+            word |= 0x0200
+        if self.rd:
+            word |= 0x0100
+        if self.ra:
+            word |= 0x0080
+        word |= self.rcode & 0xF
+        return word
+
+    @classmethod
+    def from_flags_word(cls, txid, word):
+        return cls(
+            txid=txid,
+            qr=bool(word & 0x8000),
+            opcode=(word >> 11) & 0xF,
+            aa=bool(word & 0x0400),
+            tc=bool(word & 0x0200),
+            rd=bool(word & 0x0100),
+            ra=bool(word & 0x0080),
+            rcode=word & 0xF,
+        )
+
+    def __repr__(self):
+        return ("Header(txid=0x%04x, qr=%s, rcode=%s)"
+                % (self.txid, self.qr, constants.rcode_name(self.rcode)))
+
+
+class Question:
+    """A question section entry: name, type, class."""
+
+    def __init__(self, name, qtype=constants.QTYPE_A,
+                 qclass=constants.CLASS_IN):
+        self.name = name
+        self.qtype = qtype
+        self.qclass = qclass
+
+    def to_wire(self, compressor=None, offset=0):
+        from repro.dnswire.name import encode_name
+        if compressor is not None:
+            name_wire = compressor.encode(self.name, offset)
+        else:
+            name_wire = encode_name(self.name)
+        return name_wire + struct.pack("!HH", self.qtype, self.qclass)
+
+    @classmethod
+    def from_wire(cls, message, offset):
+        name, pos = decode_name(message, offset)
+        qtype, qclass = struct.unpack_from("!HH", message, pos)
+        return cls(name, qtype, qclass), pos + 4
+
+    def __eq__(self, other):
+        return isinstance(other, Question) and (
+            other.name, other.qtype, other.qclass) == (
+            self.name, self.qtype, self.qclass)
+
+    def __hash__(self):
+        return hash((self.name, self.qtype, self.qclass))
+
+    def __repr__(self):
+        return "Question(%r, %s, %s)" % (
+            self.name, constants.qtype_name(self.qtype),
+            constants.class_name(self.qclass))
+
+
+class Message:
+    """A complete DNS message with question/answer/authority/additional."""
+
+    def __init__(self, header=None, questions=None, answers=None,
+                 authorities=None, additionals=None):
+        self.header = header or Header()
+        self.questions = list(questions or [])
+        self.answers = list(answers or [])
+        self.authorities = list(authorities or [])
+        self.additionals = list(additionals or [])
+
+    @classmethod
+    def query(cls, name, qtype=constants.QTYPE_A, qclass=constants.CLASS_IN,
+              txid=0, rd=True):
+        """Build a standard query message."""
+        header = Header(txid=txid, qr=False, rd=rd)
+        return cls(header=header, questions=[Question(name, qtype, qclass)])
+
+    def make_response(self, rcode=constants.RCODE_NOERROR, aa=False, ra=True):
+        """Build an (empty) response echoing this query's txid and question."""
+        header = Header(txid=self.header.txid, qr=True,
+                        opcode=self.header.opcode,
+                        aa=aa, rd=self.header.rd, ra=ra, rcode=rcode)
+        return Message(header=header, questions=list(self.questions))
+
+    @property
+    def rcode(self):
+        return self.header.rcode
+
+    @property
+    def question(self):
+        """The first (and in practice only) question, or ``None``."""
+        return self.questions[0] if self.questions else None
+
+    def a_addresses(self):
+        """All IPv4 addresses in the answer section, in order."""
+        return [rr.data.address for rr in self.answers
+                if rr.rtype == constants.QTYPE_A]
+
+    def to_wire(self):
+        compressor = NameCompressor()
+        out = bytearray(HEADER_STRUCT.pack(
+            self.header.txid, self.header.flags_word(),
+            len(self.questions), len(self.answers),
+            len(self.authorities), len(self.additionals)))
+        for question in self.questions:
+            out.extend(question.to_wire(compressor, len(out)))
+        for section in (self.answers, self.authorities, self.additionals):
+            for record in section:
+                out.extend(record.to_wire(compressor, len(out)))
+        return bytes(out)
+
+    @classmethod
+    def from_wire(cls, data):
+        if len(data) < HEADER_STRUCT.size:
+            raise ValueError("message shorter than DNS header")
+        txid, flags, qdcount, ancount, nscount, arcount = \
+            HEADER_STRUCT.unpack_from(
+            data, 0)
+        header = Header.from_flags_word(txid, flags)
+        pos = HEADER_STRUCT.size
+        questions = []
+        for __ in range(qdcount):
+            question, pos = Question.from_wire(data, pos)
+            questions.append(question)
+        sections = []
+        for count in (ancount, nscount, arcount):
+            records = []
+            for __ in range(count):
+                record, pos = ResourceRecord.from_wire(data, pos)
+                records.append(record)
+            sections.append(records)
+        return cls(header=header, questions=questions, answers=sections[0],
+                   authorities=sections[1], additionals=sections[2])
+
+    def __repr__(self):
+        return ("Message(%r, %d questions, %d answers, rcode=%s)"
+                % (self.header, len(self.questions), len(self.answers),
+                   constants.rcode_name(self.header.rcode)))

@@ -1,0 +1,36 @@
+"""Carving the simulated IPv4 space into non-overlapping prefixes.
+
+The allocator hands out aligned CIDR blocks from a configurable super-range,
+skipping reserved space, so every autonomous system in the scenario gets
+disjoint address space and prefix lookup can use a sorted table.
+"""
+
+from repro.netsim.address import Ipv4Network, int_to_ip, ip_to_int, is_reserved
+
+
+class PrefixAllocator:
+    """Sequentially allocates aligned, non-overlapping CIDR blocks."""
+
+    def __init__(self, start="1.0.0.0", end="223.255.255.255"):
+        self._cursor = ip_to_int(start)
+        self._end = ip_to_int(end)
+        self.allocated = []
+
+    def allocate(self, prefix_length):
+        """Allocate the next free block of the given prefix length."""
+        size = 1 << (32 - prefix_length)
+        cursor = (self._cursor + size - 1) // size * size  # align
+        while True:
+            if cursor + size - 1 > self._end:
+                raise RuntimeError("address space exhausted")
+            block = Ipv4Network("%s/%d" % (int_to_ip(cursor), prefix_length))
+            # Skip blocks that collide with reserved ranges.
+            if is_reserved(block.base) or is_reserved(block.base + size - 1):
+                cursor += size
+                continue
+            self._cursor = cursor + size
+            self.allocated.append(block)
+            return block
+
+    def allocate_many(self, prefix_length, count):
+        return [self.allocate(prefix_length) for __ in range(count)]

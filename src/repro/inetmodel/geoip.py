@@ -1,0 +1,40 @@
+"""GeoIP lookups, backed by the AS registry.
+
+Stands in for the MaxMind GeoIP database the paper used for Tables 1/2 and
+Figure 4: every allocated prefix belongs to exactly one AS, and each AS has
+one country, so IP -> country is a prefix lookup.
+"""
+
+
+class GeoIpDatabase:
+    """Country (and RIR) lookups for IP addresses."""
+
+    UNKNOWN = "??"
+
+    def __init__(self, as_registry):
+        self._registry = as_registry
+
+    def country(self, ip):
+        """ISO country code for ``ip`` (``"??"`` when unallocated)."""
+        found = self._registry.country_of(ip)
+        return found if found is not None else self.UNKNOWN
+
+    def rir(self, ip):
+        """Regional Internet Registry for ``ip``."""
+        return self._registry.rir_of(ip)
+
+    def count_by_country(self, ips):
+        """Histogram of countries over an iterable of addresses."""
+        counts = {}
+        for ip in ips:
+            code = self.country(ip)
+            counts[code] = counts.get(code, 0) + 1
+        return counts
+
+    def count_by_rir(self, ips):
+        """Histogram of RIRs over an iterable of addresses."""
+        counts = {}
+        for ip in ips:
+            registry = self.rir(ip)
+            counts[registry] = counts.get(registry, 0) + 1
+        return counts

@@ -1,0 +1,46 @@
+"""Packet-level simulated IPv4 Internet.
+
+The simulator replaces the live Internet of the paper's measurements: hosts
+are registered under IPv4 addresses, UDP queries and TCP connections are
+routed to them with configurable latency and loss, and on-path middleboxes
+(the Great Firewall injector, network-level scan blockers, DNS ingress/egress
+filters) can observe, drop, or inject packets.  The scanning and analysis
+code above this layer is identical to what would run against real sockets.
+"""
+
+from repro.netsim.address import (
+    Ipv4Network,
+    RESERVED_NETWORKS,
+    int_to_ip,
+    ip_to_int,
+    is_private,
+    is_reserved,
+    reverse_pointer_name,
+)
+from repro.netsim.clock import SimClock
+from repro.netsim.network import Network, Node, UdpPacket, UdpResponse
+from repro.netsim.gfw import GreatFirewall
+from repro.netsim.middlebox import (
+    DnsIngressFilter,
+    Middlebox,
+    ScannerBlocker,
+)
+
+__all__ = [
+    "DnsIngressFilter",
+    "GreatFirewall",
+    "Ipv4Network",
+    "Middlebox",
+    "Network",
+    "Node",
+    "RESERVED_NETWORKS",
+    "ScannerBlocker",
+    "SimClock",
+    "UdpPacket",
+    "UdpResponse",
+    "int_to_ip",
+    "ip_to_int",
+    "is_private",
+    "is_reserved",
+    "reverse_pointer_name",
+]

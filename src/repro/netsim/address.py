@@ -1,0 +1,127 @@
+"""IPv4 address arithmetic and well-known reserved ranges.
+
+A tiny, dependency-free equivalent of the pieces of :mod:`ipaddress` the
+scanners need, plus the private/unallocated ranges the paper's Internet-wide
+scans exclude.
+"""
+
+import struct
+
+
+def ip_to_int(text):
+    """Convert dotted-quad text to a 32-bit integer."""
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise ValueError("bad IPv4 address %r" % text)
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError("bad IPv4 address %r" % text)
+        value = (value << 8) | octet
+    return value
+
+
+def int_to_ip(value):
+    """Convert a 32-bit integer to dotted-quad text."""
+    if not 0 <= value <= 0xFFFFFFFF:
+        raise ValueError("IPv4 integer out of range: %r" % value)
+    return "%d.%d.%d.%d" % struct.unpack("!BBBB", struct.pack("!I", value))
+
+
+class Ipv4Network:
+    """A CIDR prefix, e.g. ``Ipv4Network("10.0.0.0/8")``."""
+
+    def __init__(self, cidr):
+        base_text, __, length_text = cidr.partition("/")
+        self.prefix_length = int(length_text) if length_text else 32
+        if not 0 <= self.prefix_length <= 32:
+            raise ValueError("bad prefix length in %r" % cidr)
+        self.mask = (0xFFFFFFFF << (32 - self.prefix_length)) & 0xFFFFFFFF
+        self.base = ip_to_int(base_text) & self.mask
+
+    @property
+    def cidr(self):
+        return "%s/%d" % (int_to_ip(self.base), self.prefix_length)
+
+    @property
+    def num_addresses(self):
+        return 1 << (32 - self.prefix_length)
+
+    def __contains__(self, address):
+        if isinstance(address, str):
+            address = ip_to_int(address)
+        return (address & self.mask) == self.base
+
+    def contains_int(self, value):
+        return (value & self.mask) == self.base
+
+    def address_at(self, index):
+        """The dotted-quad address ``index`` positions into the prefix."""
+        if not 0 <= index < self.num_addresses:
+            raise IndexError("index %d outside %s" % (index, self.cidr))
+        return int_to_ip(self.base + index)
+
+    def __eq__(self, other):
+        return isinstance(other, Ipv4Network) and (
+            other.base, other.prefix_length) == (self.base, self.prefix_length)
+
+    def __hash__(self):
+        return hash((self.base, self.prefix_length))
+
+    def __repr__(self):
+        return "Ipv4Network(%r)" % self.cidr
+
+
+# Ranges excluded from Internet-wide scans: private, loopback, link-local,
+# multicast, reserved, and documentation space.
+RESERVED_NETWORKS = tuple(Ipv4Network(cidr) for cidr in (
+    "0.0.0.0/8",
+    "10.0.0.0/8",
+    "100.64.0.0/10",
+    "127.0.0.0/8",
+    "169.254.0.0/16",
+    "172.16.0.0/12",
+    "192.0.0.0/24",
+    "192.0.2.0/24",
+    "192.168.0.0/16",
+    "198.18.0.0/15",
+    "198.51.100.0/24",
+    "203.0.113.0/24",
+    "224.0.0.0/4",
+    "240.0.0.0/4",
+))
+
+_PRIVATE_NETWORKS = tuple(Ipv4Network(cidr) for cidr in (
+    "10.0.0.0/8", "172.16.0.0/12", "192.168.0.0/16", "169.254.0.0/16",
+    "127.0.0.0/8",
+))
+
+
+def is_reserved(address):
+    """True when the address falls in a range excluded from scanning."""
+    value = ip_to_int(address) if isinstance(address, str) else address
+    return any(net.contains_int(value) for net in RESERVED_NETWORKS)
+
+
+def is_private(address):
+    """True for RFC1918/loopback/link-local space (LAN addresses).
+
+    The pipeline uses this to recognise resolvers that answer with LAN IPs
+    (a captive-portal / router-login signature, §4.2).
+    """
+    value = ip_to_int(address) if isinstance(address, str) else address
+    return any(net.contains_int(value) for net in _PRIVATE_NETWORKS)
+
+
+def reverse_pointer_name(address):
+    """The in-addr.arpa name for an address, used for rDNS lookups."""
+    parts = address.split(".")
+    if len(parts) != 4:
+        raise ValueError("bad IPv4 address %r" % address)
+    return ".".join(reversed(parts)) + ".in-addr.arpa"
+
+
+def same_slash24(left, right):
+    """True when two addresses share their /24 prefix (§4.2 heuristic)."""
+    return (ip_to_int(left) >> 8) == (ip_to_int(right) >> 8)

@@ -1,0 +1,45 @@
+"""Simulated time.
+
+All timestamps in the library are seconds on this clock; nothing reads the
+wall clock, which keeps every run fully deterministic.  Campaign code
+advances the clock by days or weeks between scans; the cache-snooping prober
+advances it by minutes between probes so resolver-cache TTLs decay.
+"""
+
+SECOND = 1
+MINUTE = 60
+HOUR = 3600
+DAY = 86400
+WEEK = 7 * DAY
+
+
+class SimClock:
+    """A monotonically advancing simulated clock."""
+
+    def __init__(self, start=0.0):
+        self._now = float(start)
+
+    @property
+    def now(self):
+        return self._now
+
+    def advance(self, seconds):
+        """Move time forward; negative advances are a programming error."""
+        if seconds < 0:
+            raise ValueError("cannot move the clock backwards (%r)" % seconds)
+        self._now += seconds
+
+    def advance_minutes(self, minutes):
+        self.advance(minutes * MINUTE)
+
+    def advance_hours(self, hours):
+        self.advance(hours * HOUR)
+
+    def advance_days(self, days):
+        self.advance(days * DAY)
+
+    def advance_weeks(self, weeks):
+        self.advance(weeks * WEEK)
+
+    def __repr__(self):
+        return "SimClock(now=%.1f)" % self._now

@@ -1,0 +1,100 @@
+"""The Great Firewall of China as an on-path DNS injector.
+
+The paper found (§4.2) that 2.4% of Chinese resolvers appeared to return two
+responses for censored domains: a forged A record arriving first, and the
+legitimate answer a few milliseconds later.  Follow-up probes to *randomly
+chosen* Chinese IP ranges — including addresses with no resolver at all —
+also triggered forged answers, showing the injection is on-path rather than
+performed by the resolvers themselves.  This middlebox reproduces both
+artefacts: it watches DNS queries crossing into its prefixes, and for
+censored names injects a forged response with lower latency than any
+genuine reply.
+"""
+
+import random
+
+from repro.dnswire.constants import CLASS_IN, QTYPE_A
+from repro.dnswire.message import Message
+from repro.dnswire.name import normalize_name
+from repro.dnswire.records import ResourceRecord
+from repro.netsim.address import int_to_ip, ip_to_int
+from repro.netsim.middlebox import Middlebox
+from repro.netsim.network import UdpResponse
+
+
+class GreatFirewall(Middlebox):
+    """On-path injector of forged DNS A responses for censored domains."""
+
+    def __init__(self, prefixes, censored_domains, seed=0,
+                 injection_latency=0.004, decoy_pool=(), decoy_share=0.25):
+        self.prefixes = list(prefixes)
+        self.censored = frozenset(normalize_name(d) for d in censored_domains)
+        self.injection_latency = injection_latency
+        self._seed = seed
+        # Occasionally forged answers point at real, allocated hosts —
+        # making some of the "randomly-chosen" addresses serve content.
+        self.decoy_pool = list(decoy_pool)
+        self.decoy_share = decoy_share
+        self.injection_count = 0
+        self._prefix_masks = [(p.base, p.mask) for p in self.prefixes]
+        self._inside_cache = {}
+
+    def _inside(self, ip):
+        cached = self._inside_cache.get(ip)
+        if cached is None:
+            value = ip_to_int(ip)
+            cached = any((value & mask) == base
+                         for base, mask in self._prefix_masks)
+            if len(self._inside_cache) < 1 << 20:
+                self._inside_cache[ip] = cached
+        return cached
+
+    def censors_name(self, name):
+        """True when ``name`` or any parent domain is on the censor list."""
+        labels = normalize_name(name).split(".")
+        for i in range(len(labels)):
+            if ".".join(labels[i:]) in self.censored:
+                return True
+        return False
+
+    def _crosses_boundary(self, packet):
+        return self._inside(packet.dst_ip) != self._inside(packet.src_ip)
+
+    def forged_address(self, query_name, client_key=None):
+        """A pseudo-random bogus IPv4 address.
+
+        Deterministic per (name, client): different clients observe
+        different "randomly-chosen" addresses, as the paper reports, but
+        a run is reproducible.
+        """
+        rng = random.Random("%s|%s|%s" % (
+            self._seed, normalize_name(query_name), client_key))
+        if self.decoy_pool and rng.random() < self.decoy_share:
+            return self.decoy_pool[rng.randrange(len(self.decoy_pool))]
+        # Forged answers observed from the GFW look like arbitrary global
+        # unicast addresses; draw from 1.0.0.0 - 223.255.255.255.
+        value = rng.randrange(ip_to_int("1.0.0.0"), ip_to_int("224.0.0.0"))
+        return int_to_ip(value)
+
+    def inject_responses(self, packet, network):
+        if packet.dst_port != 53 or not self._crosses_boundary(packet):
+            return []
+        try:
+            query = Message.from_wire(packet.payload)
+        except ValueError:
+            return []
+        question = query.question
+        if question is None or query.header.qr:
+            return []
+        if question.qtype != QTYPE_A or question.qclass != CLASS_IN:
+            return []
+        if not self.censors_name(question.name):
+            return []
+        forged = query.make_response()
+        forged.answers.append(ResourceRecord.a(
+            question.name,
+            self.forged_address(question.name, client_key=packet.src_ip),
+            ttl=300))
+        self.injection_count += 1
+        reply = packet.reply(forged.to_wire())
+        return [UdpResponse(reply, self.injection_latency, injected=True)]

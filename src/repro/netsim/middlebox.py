@@ -1,0 +1,66 @@
+"""On-path middleboxes: scan blockers and DNS ingress/egress filters.
+
+Section 2.3 of the paper attributes vanished resolver populations to three
+causes: (i) the measurement source being blocked at the network level,
+(ii) newly deployed DNS ingress/egress filtering, and (iii) genuine
+shutdowns.  The first two are middleboxes here, so the verification-scan
+methodology (scan again from a second /8) can be reproduced.
+"""
+
+
+class Middlebox:
+    """Base middlebox: sees every packet, may drop or inject."""
+
+    def drops_query(self, packet, network):
+        """Return True to silently drop the query before delivery."""
+        return False
+
+    def drops_response(self, query_packet, response_packet, network):
+        """Return True to silently drop a response on its way back."""
+        return False
+
+    def inject_responses(self, packet, network):
+        """Return a list of :class:`UdpResponse` to inject for this query."""
+        return []
+
+
+class ScannerBlocker(Middlebox):
+    """Blocks all traffic from specific source addresses into a set of
+    prefixes — explanation (i): "our requests were blocked at the network
+    level".  A verification scan from a different source IP still gets
+    through, which is how the paper distinguished this case."""
+
+    def __init__(self, blocked_sources, protected_networks, active_after=0.0):
+        self.blocked_sources = frozenset(blocked_sources)
+        self.protected_networks = list(protected_networks)
+        self.active_after = active_after
+
+    def _protects(self, ip):
+        return any(ip in net for net in self.protected_networks)
+
+    def drops_query(self, packet, network):
+        if network.clock.now < self.active_after:
+            return False
+        return (packet.src_ip in self.blocked_sources
+                and self._protects(packet.dst_ip))
+
+
+class DnsIngressFilter(Middlebox):
+    """Blocks DNS (port 53) traffic entering a set of prefixes from anywhere
+    outside them — explanation (ii): ISP-deployed DNS ingress filtering.
+    Unlike :class:`ScannerBlocker` this also defeats verification scans."""
+
+    def __init__(self, protected_networks, active_after=0.0, port=53):
+        self.protected_networks = list(protected_networks)
+        self.active_after = active_after
+        self.port = port
+
+    def _inside(self, ip):
+        return any(ip in net for net in self.protected_networks)
+
+    def drops_query(self, packet, network):
+        if network.clock.now < self.active_after:
+            return False
+        return (packet.dst_port == self.port
+                and self._inside(packet.dst_ip)
+                and not self._inside(packet.src_ip))

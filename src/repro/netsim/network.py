@@ -1,0 +1,245 @@
+"""The simulated network core: node registry, UDP routing, TCP services.
+
+The model is synchronous request/response: a sender hands the network a UDP
+packet and receives back the list of response packets, each tagged with its
+simulated one-way latency.  Middleboxes on the path may drop the query,
+drop responses, or inject forged responses — forged GFW answers arrive with
+lower latency than the genuine ones, reproducing the racing behaviour the
+paper observed (§4.2).
+"""
+
+import random
+
+from repro.netsim.address import ip_to_int
+
+
+class UdpPacket:
+    """A UDP datagram: addressing 4-tuple plus opaque payload bytes."""
+
+    __slots__ = ("src_ip", "src_port", "dst_ip", "dst_port", "payload")
+
+    def __init__(self, src_ip, src_port, dst_ip, dst_port, payload):
+        self.src_ip = src_ip
+        self.src_port = src_port
+        self.dst_ip = dst_ip
+        self.dst_port = dst_port
+        self.payload = payload
+
+    def reply(self, payload, src_ip=None, src_port=None):
+        """Build a response packet back to this packet's sender.
+
+        ``src_ip`` lets multi-homed hosts and proxies answer from an address
+        other than the one queried — the paper detects exactly this by
+        encoding the target IP in the query.
+        """
+        return UdpPacket(
+            src_ip=src_ip if src_ip is not None else self.dst_ip,
+            src_port=src_port if src_port is not None else self.dst_port,
+            dst_ip=self.src_ip,
+            dst_port=self.src_port,
+            payload=payload,
+        )
+
+    def __repr__(self):
+        return "UdpPacket(%s:%d -> %s:%d, %d bytes)" % (
+            self.src_ip, self.src_port, self.dst_ip, self.dst_port,
+            len(self.payload))
+
+
+class UdpResponse:
+    """A response packet plus the simulated latency at which it arrives."""
+
+    __slots__ = ("packet", "latency", "injected")
+
+    def __init__(self, packet, latency, injected=False):
+        self.packet = packet
+        self.latency = latency
+        self.injected = injected
+
+    def __repr__(self):
+        return "UdpResponse(%r, latency=%.4f, injected=%s)" % (
+            self.packet, self.latency, self.injected)
+
+
+class Node:
+    """Base class for everything attached to the network.
+
+    Subclasses override the handlers for the services they provide.  All
+    handlers may issue their own queries through ``network`` (that is how
+    recursive resolvers reach the authoritative hierarchy).
+    """
+
+    def __init__(self, ip):
+        self.ip = ip
+
+    def handle_udp(self, packet, network):
+        """Handle a UDP datagram; return payload bytes, a list of
+        (payload, source_ip) pairs, or ``None`` to stay silent."""
+        return None
+
+    def tcp_ports(self):
+        """Ports accepting TCP connections (for banner grabbing)."""
+        return frozenset()
+
+    def tcp_banner(self, port, network=None):
+        """The greeting banner a TCP client sees on ``port``, or ``None``."""
+        return None
+
+    def handle_http(self, request, network):
+        """Serve an HTTP request (a :class:`repro.websim.http.HttpRequest`);
+        return an ``HttpResponse`` or ``None`` when no web service runs."""
+        return None
+
+    def tls_certificate(self, sni, network=None):
+        """Return the TLS certificate presented for ``sni`` (or the default
+        certificate when ``sni`` is ``None``); ``None`` = no TLS service."""
+        return None
+
+    def __repr__(self):
+        return "%s(ip=%r)" % (type(self).__name__, self.ip)
+
+
+class Network:
+    """Routes packets between registered nodes, applying loss, latency,
+    and middlebox policy."""
+
+    def __init__(self, clock, seed=0, loss_rate=0.0, base_latency=0.020,
+                 corruption_rate=0.0):
+        self.clock = clock
+        self.loss_rate = loss_rate
+        # Share of delivered responses whose payload arrives damaged
+        # (invalid UDP checksum in the paper's terms, §5 Completeness);
+        # receivers must treat such packets as garbage and drop them.
+        self.corruption_rate = corruption_rate
+        self.base_latency = base_latency
+        self.middleboxes = []
+        self._nodes = {}
+        self._rng = random.Random(seed)
+        self.udp_queries_sent = 0
+        self.udp_queries_lost = 0
+        self.udp_responses_corrupted = 0
+
+    # -- registry ---------------------------------------------------------
+
+    def register(self, node):
+        """Attach a node at its IP; replaces any previous occupant."""
+        self._nodes[node.ip] = node
+
+    def unregister(self, ip):
+        self._nodes.pop(ip, None)
+
+    def rebind(self, node, new_ip):
+        """Move a node to a new address (DHCP churn)."""
+        if self._nodes.get(node.ip) is node:
+            del self._nodes[node.ip]
+        node.ip = new_ip
+        self._nodes[new_ip] = node
+
+    def node_at(self, ip):
+        return self._nodes.get(ip)
+
+    @property
+    def node_count(self):
+        return len(self._nodes)
+
+    def add_middlebox(self, middlebox):
+        self.middleboxes.append(middlebox)
+
+    # -- latency / loss ---------------------------------------------------
+
+    def latency_between(self, src_ip, dst_ip):
+        """Deterministic pairwise latency: base plus a hash-derived jitter."""
+        mix = (ip_to_int(src_ip) * 2654435761 ^ ip_to_int(dst_ip)) & 0xFFFFFFFF
+        return self.base_latency + (mix % 1000) / 1000.0 * 0.180
+
+    def _lost(self):
+        return self.loss_rate > 0 and self._rng.random() < self.loss_rate
+
+    # -- UDP --------------------------------------------------------------
+
+    def send_udp(self, packet):
+        """Deliver a UDP packet; return responses sorted by arrival time."""
+        self.udp_queries_sent += 1
+        responses = []
+        dropped = False
+        for box in self.middleboxes:
+            responses.extend(box.inject_responses(packet, self))
+            if box.drops_query(packet, self):
+                dropped = True
+        if not dropped and not self._lost():
+            node = self._nodes.get(packet.dst_ip)
+            if node is not None:
+                result = node.handle_udp(packet, self)
+                base = self.latency_between(packet.src_ip, packet.dst_ip)
+                for reply in self._normalize_replies(packet, result):
+                    if self._lost():
+                        self.udp_queries_lost += 1
+                        continue
+                    if any(box.drops_response(packet, reply, self)
+                           for box in self.middleboxes):
+                        continue
+                    if self.corruption_rate > 0 and \
+                            self._rng.random() < self.corruption_rate:
+                        reply = UdpPacket(
+                            reply.src_ip, reply.src_port, reply.dst_ip,
+                            reply.dst_port, self._corrupt(reply.payload))
+                        self.udp_responses_corrupted += 1
+                    responses.append(UdpResponse(reply, base * 2))
+        else:
+            self.udp_queries_lost += 1
+        responses.sort(key=lambda response: response.latency)
+        return responses
+
+    def _corrupt(self, payload):
+        """Damage a payload beyond parseability (truncate + bit noise)."""
+        if not payload:
+            return b"\xff"
+        cut = max(1, len(payload) // 3)
+        noise = bytes((b ^ 0xA5) & 0xFF for b in payload[:cut])
+        return noise[: max(1, cut - 2)]
+
+    @staticmethod
+    def _normalize_replies(packet, result):
+        """Accept the handler's flexible return shapes (see Node)."""
+        if result is None:
+            return []
+        if isinstance(result, (bytes, bytearray)):
+            return [packet.reply(bytes(result))]
+        replies = []
+        for item in result:
+            if isinstance(item, UdpPacket):
+                replies.append(item)
+            else:
+                payload, source_ip = item
+                replies.append(packet.reply(payload, src_ip=source_ip))
+        return replies
+
+    # -- TCP-based services ----------------------------------------------
+
+    def tcp_banner(self, src_ip, dst_ip, port):
+        """Connect and read the service banner; ``None`` when closed/lost."""
+        if self._lost():
+            return None
+        node = self._nodes.get(dst_ip)
+        if node is None or port not in node.tcp_ports():
+            return None
+        return node.tcp_banner(port, network=self)
+
+    def http_request(self, src_ip, dst_ip, request):
+        """Issue an HTTP request to ``dst_ip``; ``None`` when no service."""
+        node = self._nodes.get(dst_ip)
+        if node is None:
+            return None
+        request.client_ip = src_ip
+        return node.handle_http(request, self)
+
+    def tls_handshake(self, src_ip, dst_ip, sni=None):
+        """Fetch the TLS certificate ``dst_ip`` presents for ``sni``."""
+        node = self._nodes.get(dst_ip)
+        if node is None:
+            return None
+        return node.tls_certificate(sni, network=self)
+
+    def __repr__(self):
+        return "Network(%d nodes, %d middleboxes)" % (
+            len(self._nodes), len(self.middleboxes))

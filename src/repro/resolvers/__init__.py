@@ -1,0 +1,70 @@
+"""The open-resolver population: caches, software, devices, behaviors.
+
+This package synthesises the measured side of the study: recursive
+resolver nodes with realistic DNS server software (CHAOS version strings,
+Table 3), underlying devices (TCP banners for fingerprinting, Table 4),
+snoopable caches with client-driven refresh activity (§2.6), and the
+manipulation behaviors — censorship, blocking, NXDOMAIN monetization,
+ad injection, proxying, phishing — that the classification pipeline later
+detects (§3/§4).
+"""
+
+from repro.resolvers.cache import CacheActivityModel, DnsCache
+from repro.resolvers.software import (
+    SOFTWARE_CATALOG,
+    SoftwareProfile,
+    VERSION_RESPONSE_STYLES,
+)
+from repro.resolvers.devices import DEVICE_CATALOG, DeviceProfile
+from repro.resolvers.behaviors import (
+    AdInjectBehavior,
+    Behavior,
+    BlockingBehavior,
+    CensorshipBehavior,
+    EmptyAnswerBehavior,
+    LanIpBehavior,
+    MailRedirectBehavior,
+    MalwareBehavior,
+    NsOnlyBehavior,
+    NxRedirectBehavior,
+    ParkingBehavior,
+    PhishingBehavior,
+    ProxyAllBehavior,
+    SameNetworkBehavior,
+    SelfIpBehavior,
+    StaleCdnBehavior,
+    StaticIpBehavior,
+)
+from repro.resolvers.resolver import ResolutionService, ResolverNode
+from repro.resolvers.population import PopulationBuilder, ResolverSpec
+
+__all__ = [
+    "AdInjectBehavior",
+    "Behavior",
+    "BlockingBehavior",
+    "CacheActivityModel",
+    "CensorshipBehavior",
+    "DEVICE_CATALOG",
+    "DeviceProfile",
+    "DnsCache",
+    "EmptyAnswerBehavior",
+    "LanIpBehavior",
+    "MailRedirectBehavior",
+    "MalwareBehavior",
+    "NsOnlyBehavior",
+    "NxRedirectBehavior",
+    "ParkingBehavior",
+    "PhishingBehavior",
+    "PopulationBuilder",
+    "ProxyAllBehavior",
+    "ResolutionService",
+    "ResolverNode",
+    "ResolverSpec",
+    "SOFTWARE_CATALOG",
+    "SameNetworkBehavior",
+    "SelfIpBehavior",
+    "SoftwareProfile",
+    "StaleCdnBehavior",
+    "StaticIpBehavior",
+    "VERSION_RESPONSE_STYLES",
+]

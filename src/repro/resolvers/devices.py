@@ -1,0 +1,274 @@
+"""Hardware device catalog and TCP service banners (Table 4).
+
+Device fingerprinting (§2.4) grabs FTP/HTTP/HTTPS/SSH/Telnet banners and
+matches them against manually compiled regular expressions.  Each profile
+here carries the banners a device of that type exposes; the fingerprint
+database in :mod:`repro.scanner.fingerprints` contains the matching
+expressions.  Only 26.3% of resolvers exposed any TCP service — profiles
+with no open ports model the remainder.
+"""
+
+# Hardware categories of Table 4.
+HW_ROUTER = "Router"          # routers, modems, gateways
+HW_EMBEDDED = "Embedded"      # embedded OSes/apps, converters, micro boards
+HW_FIREWALL = "Firewall"
+HW_CAMERA = "Camera"
+HW_DVR = "DVR"
+HW_NAS = "NAS"
+HW_DSLAM = "DSLAM"
+HW_SERVER = "Server"
+HW_OTHER = "Others"
+HW_UNKNOWN = "Unknown"
+
+# Operating systems of Table 4.
+OS_LINUX = "Linux"
+OS_ZYNOS = "ZyNOS"
+OS_UNIX = "Unix"
+OS_WINDOWS = "Windows"
+OS_SMARTWARE = "SmartWare"
+OS_ROUTEROS = "RouterOS"
+OS_CENTOS = "CentOS"
+OS_OTHER = "Others"
+OS_UNKNOWN = "Unknown"
+
+FTP_PORT, SSH_PORT, TELNET_PORT, HTTP_PORT, HTTPS_PORT = 21, 22, 23, 80, 443
+
+
+class DeviceProfile:
+    """One device type: hardware category, OS, and its service banners."""
+
+    def __init__(self, key, hardware, os, vendor=None, model=None,
+                 banners=None, http_body=None):
+        self.key = key
+        self.hardware = hardware
+        self.os = os
+        self.vendor = vendor
+        self.model = model
+        self.banners = dict(banners or {})   # port -> banner text
+        self.http_body = http_body           # body of the device's web UI
+
+    @property
+    def has_tcp_services(self):
+        return bool(self.banners) or self.http_body is not None
+
+    def open_ports(self):
+        ports = set(self.banners)
+        if self.http_body is not None:
+            ports.add(HTTP_PORT)
+        return frozenset(ports)
+
+    def __repr__(self):
+        return "DeviceProfile(%r, %s/%s)" % (self.key, self.hardware, self.os)
+
+
+def _zyxel_router(model):
+    return DeviceProfile(
+        "zyxel-%s" % model.lower(), HW_ROUTER, OS_ZYNOS, "ZyXEL", model,
+        banners={
+            FTP_PORT: "220 FTP version 1.0 ready at ZyXEL %s" % model,
+            TELNET_PORT: "ZyXEL %s\r\nPassword: " % model,
+            HTTP_PORT: "HTTP/1.0 401 Unauthorized\r\nWWW-Authenticate: "
+                       'Basic realm="%s"\r\nServer: ZyXEL-RomPager/6.10'
+                       % model,
+        },
+        http_body='<html><title>.:: Welcome to the Web-Based Configurator'
+                  '::.</title><body>ZyNOS Firmware Version: V3.40 | '
+                  '%s</body></html>' % model)
+
+
+def _tplink_router(model):
+    return DeviceProfile(
+        "tplink-%s" % model.lower(), HW_ROUTER, OS_LINUX, "TP-LINK", model,
+        banners={
+            HTTP_PORT: 'HTTP/1.1 401 N/A\r\nWWW-Authenticate: Basic '
+                       'realm="TP-LINK Wireless Router %s"\r\n'
+                       "Server: Router Webserver" % model,
+            TELNET_PORT: "%s login: " % model,
+        },
+        http_body="<html><title>TP-LINK Wireless Router %s</title>"
+                  "<body>Login</body></html>" % model)
+
+
+DEVICE_CATALOG = {profile.key: profile for profile in (
+    # -- consumer routing equipment (three prevalent manufacturers) -------
+    _zyxel_router("P-660HN-T1A"),
+    _zyxel_router("P-2602HW"),
+    _zyxel_router("AMG1302"),
+    _tplink_router("TL-WR841N"),
+    _tplink_router("TL-WR740N"),
+    DeviceProfile(
+        "dlink-dsl2640", HW_ROUTER, OS_LINUX, "D-Link", "DSL-2640B",
+        banners={
+            HTTP_PORT: 'HTTP/1.0 401 Unauthorized\r\nWWW-Authenticate: '
+                       'Basic realm="DSL-2640B"\r\nServer: micro_httpd',
+            TELNET_PORT: "BCM96338 ADSL Router\r\nLogin: ",
+        }),
+    DeviceProfile(
+        "mikrotik-rb750", HW_ROUTER, OS_ROUTEROS, "MikroTik", "RB750",
+        banners={
+            FTP_PORT: "220 MikroTik FTP server (MikroTik 5.25) ready",
+            SSH_PORT: "SSH-2.0-ROSSSH",
+            TELNET_PORT: "MikroTik v5.25\r\nLogin: ",
+        }),
+    DeviceProfile(
+        "draytek-vigor", HW_ROUTER, OS_OTHER, "DrayTek", "Vigor2830",
+        banners={
+            HTTP_PORT: "HTTP/1.1 401 Unauthorized\r\nServer: DrayTek/Vigor",
+            TELNET_PORT: "Vigor login: ",
+        }),
+    DeviceProfile(
+        "cisco-877", HW_ROUTER, OS_OTHER, "Cisco", "877",
+        banners={
+            TELNET_PORT: "User Access Verification\r\nPassword: ",
+            SSH_PORT: "SSH-1.99-Cisco-1.25",
+        }),
+    DeviceProfile(
+        "netgear-dg834", HW_ROUTER, OS_LINUX, "NETGEAR", "DG834G",
+        banners={
+            HTTP_PORT: 'HTTP/1.0 401 Unauthorized\r\nWWW-Authenticate: '
+                       'Basic realm="NETGEAR DG834G"',
+            TELNET_PORT: "DG834G login: ",
+        }),
+    # -- embedded -----------------------------------------------------------
+    DeviceProfile(
+        "goahead-generic", HW_EMBEDDED, OS_OTHER, None, None,
+        banners={HTTP_PORT: "HTTP/1.0 200 OK\r\nServer: GoAhead-Webs"}),
+    DeviceProfile(
+        "rompager-generic", HW_EMBEDDED, OS_OTHER, None, None,
+        banners={HTTP_PORT: "HTTP/1.1 200 OK\r\nServer: RomPager/4.07 "
+                            "UPnP/1.0"}),
+    DeviceProfile(
+        "embedded-busybox", HW_EMBEDDED, OS_LINUX, None, None,
+        banners={TELNET_PORT: "BusyBox v1.19.4 (2013-11-01) built-in "
+                              "shell (ash)\r\n# "}),
+    DeviceProfile(
+        "lantronix-serial", HW_EMBEDDED, OS_OTHER, "Lantronix", "UDS1100",
+        banners={TELNET_PORT: "Lantronix UDS1100\r\nMAC address "
+                              "00204A000000\r\nPress Enter for Setup Mode"}),
+    DeviceProfile(
+        "raspberrypi", HW_EMBEDDED, OS_LINUX, "Raspberry Pi", None,
+        banners={SSH_PORT: "SSH-2.0-OpenSSH_6.0p1 Debian-4+deb7u2",
+                 FTP_PORT: "220 (vsFTPd 2.3.5) raspberrypi"}),
+    DeviceProfile(
+        "arduino-eth", HW_EMBEDDED, OS_OTHER, "Arduino", None,
+        banners={HTTP_PORT: "HTTP/1.1 200 OK\r\nServer: Arduino/1.0"}),
+    # -- firewalls ----------------------------------------------------------
+    DeviceProfile(
+        "fortigate-60", HW_FIREWALL, OS_OTHER, "Fortinet", "FortiGate-60C",
+        banners={SSH_PORT: "SSH-2.0-FortiSSH_2.0",
+                 HTTP_PORT: "HTTP/1.1 401 Unauthorized\r\nServer: "
+                            "xxxxxxxx-xxxxx\r\nSet-Cookie: FGTServer="}),
+    DeviceProfile(
+        "sonicwall-tz", HW_FIREWALL, OS_OTHER, "SonicWall", "TZ210",
+        banners={HTTP_PORT: "HTTP/1.0 302 Found\r\nServer: SonicWALL"}),
+    # -- cameras and DVRs ----------------------------------------------------
+    DeviceProfile(
+        "ipcam-netwave", HW_CAMERA, OS_LINUX, "Netwave", "IP Camera",
+        banners={HTTP_PORT: "HTTP/1.1 200 OK\r\nServer: Netwave IP Camera"}),
+    DeviceProfile(
+        "ipcam-hikvision", HW_CAMERA, OS_LINUX, "Hikvision", "DS-2CD",
+        banners={HTTP_PORT: 'HTTP/1.1 401 Unauthorized\r\nWWW-Authenticate:'
+                            ' Basic realm="Hikvision DS-2CD"',
+                 FTP_PORT: "220 Hikvision FTP Service"}),
+    DeviceProfile(
+        "dvr-dm500plus", HW_DVR, OS_LINUX, "Dream Multimedia", "DM500+",
+        banners={TELNET_PORT: "dm500plus login: ",
+                 FTP_PORT: "220 Welcome to the DM500+ FTP service"}),
+    DeviceProfile(
+        "dvr-generic", HW_DVR, OS_LINUX, None, "DVR",
+        banners={HTTP_PORT: "HTTP/1.1 200 OK\r\nServer: DVRDVS-Webs"}),
+    # -- NAS / DSLAM ---------------------------------------------------------
+    DeviceProfile(
+        "nas-synology", HW_NAS, OS_LINUX, "Synology", "DS213",
+        banners={FTP_PORT: "220 Synology DS213 FTP server ready.",
+                 SSH_PORT: "SSH-2.0-OpenSSH_5.8p1-hpn13v11"}),
+    DeviceProfile(
+        "nas-qnap", HW_NAS, OS_LINUX, "QNAP", "TS-219",
+        banners={FTP_PORT: "220 NASFTPD Turbo station 1.3.4e Server "
+                           "(ProFTPD)"}),
+    DeviceProfile(
+        "dslam-zhone", HW_DSLAM, OS_OTHER, "Zhone", "MALC",
+        banners={TELNET_PORT: "Zhone MALC\r\nlogin: "}),
+    # -- servers --------------------------------------------------------------
+    DeviceProfile(
+        "server-centos", HW_SERVER, OS_CENTOS, None, None,
+        banners={SSH_PORT: "SSH-2.0-OpenSSH_5.3 CentOS-5.8",
+                 HTTP_PORT: "HTTP/1.1 403 Forbidden\r\nServer: Apache/2.2.15"
+                            " (CentOS)"}),
+    DeviceProfile(
+        "server-ubuntu", HW_SERVER, OS_LINUX, None, None,
+        banners={SSH_PORT: "SSH-2.0-OpenSSH_5.9p1 Debian-5ubuntu1.4",
+                 HTTP_PORT: "HTTP/1.1 200 OK\r\nServer: Apache/2.2.22 "
+                            "(Ubuntu)"}),
+    DeviceProfile(
+        "server-freebsd", HW_SERVER, OS_UNIX, None, None,
+        banners={SSH_PORT: "SSH-2.0-OpenSSH_5.8p2 FreeBSD-20110503",
+                 FTP_PORT: "220 FreeBSD FTP server ready"}),
+    DeviceProfile(
+        "server-windows", HW_SERVER, OS_WINDOWS, "Microsoft", None,
+        banners={HTTP_PORT: "HTTP/1.1 200 OK\r\nServer: Microsoft-IIS/7.5",
+                 FTP_PORT: "220 Microsoft FTP Service"}),
+    DeviceProfile(
+        "smartware-gateway", HW_ROUTER, OS_SMARTWARE, "Patton",
+        "SmartNode", banners={
+            TELNET_PORT: "SmartWare R6.T 2012\r\nlogin: ",
+            HTTP_PORT: "HTTP/1.1 200 OK\r\nServer: SmartWare httpd"}),
+    # -- anonymous: TCP services whose banners carry no device identity
+    # (the Unknown column of Table 4: 29.3% of TCP responders) ---------------
+    DeviceProfile(
+        "anon-ssh", HW_UNKNOWN, OS_UNKNOWN,
+        banners={SSH_PORT: "SSH-2.0-OpenSSH_6.2"}),
+    DeviceProfile(
+        "anon-ftp", HW_UNKNOWN, OS_UNKNOWN,
+        banners={FTP_PORT: "220 FTP server ready"}),
+    DeviceProfile(
+        "anon-web", HW_UNKNOWN, OS_UNKNOWN,
+        banners={HTTP_PORT: "HTTP/1.1 200 OK\r\nServer: httpd"}),
+    DeviceProfile(
+        "anon-telnet", HW_UNKNOWN, OS_UNKNOWN,
+        banners={TELNET_PORT: "login: "}),
+    # -- silent: no TCP services at all (73.7% of resolvers) ------------------
+    DeviceProfile("silent-cpe", HW_UNKNOWN, OS_UNKNOWN),
+    DeviceProfile("silent-server", HW_UNKNOWN, OS_UNKNOWN),
+)}
+
+ANONYMOUS_PROFILE_KEYS = ("anon-ssh", "anon-ftp", "anon-web", "anon-telnet")
+
+# Relative prevalence of device profiles *within* their hardware category,
+# calibrated so the OS mix of Table 4 emerges (ZyNOS alone accounts for
+# 16.6% of all TCP responders — roughly half the Router category — because
+# ZyXEL CPE dominated consumer broadband deployments).
+DEVICE_PREVALENCE = {
+    "zyxel-p-660hn-t1a": 9.0,
+    "zyxel-p-2602hw": 6.0,
+    "zyxel-amg1302": 5.0,
+    "tplink-tl-wr841n": 4.0,
+    "tplink-tl-wr740n": 3.0,
+    "dlink-dsl2640": 3.0,
+    "mikrotik-rb750": 2.2,
+    "netgear-dg834": 2.0,
+    "smartware-gateway": 3.4,
+    "draytek-vigor": 1.5,
+    "cisco-877": 1.2,
+    "goahead-generic": 5.5,
+    "rompager-generic": 5.5,
+    "embedded-busybox": 3.5,
+    "raspberrypi": 2.0,
+    "lantronix-serial": 1.0,
+    "arduino-eth": 0.5,
+    "server-ubuntu": 3.0,
+    "server-centos": 2.5,
+    "server-freebsd": 1.5,
+    "server-windows": 2.0,
+}
+
+
+def prevalence_of(profile):
+    """The relative in-category weight of a device profile."""
+    return DEVICE_PREVALENCE.get(profile.key, 1.0)
+
+
+def profiles_with_tcp():
+    """All device profiles exposing at least one TCP service."""
+    return [profile for profile in DEVICE_CATALOG.values()
+            if profile.has_tcp_services]

@@ -1,0 +1,297 @@
+"""Resolver population generator.
+
+Synthesises pools of open resolvers inside ISP prefixes with the
+distributions the paper reports: response modes (NOERROR/REFUSED/SERVFAIL),
+CHAOS version-response styles and software versions (Table 3), device
+profiles and their TCP surface (Table 4), cache-activity styles (§2.6),
+lease/churn characteristics (Figure 2), decline and growth schedules
+(Figure 1, Tables 1/2), divergent answer sources (§2.2), and per-pool
+manipulation behaviors supplied by the scenario (§4).
+"""
+
+import random
+
+from repro.inetmodel.churn import LeasedHost
+from repro.inetmodel.rdns import dynamic_pool_name, static_name
+from repro.netsim.clock import DAY, WEEK
+from repro.resolvers.cache import CacheActivityModel
+from repro.resolvers.devices import DEVICE_CATALOG, profiles_with_tcp
+from repro.resolvers.resolver import (
+    MODE_NORMAL,
+    MODE_REFUSED,
+    MODE_SERVFAIL,
+    ResolverNode,
+)
+from repro.resolvers.software import (
+    CHAOS_STYLE_SHARES,
+    LONG_TAIL_SOFTWARE,
+    SOFTWARE_CATALOG,
+    STYLE_VERSION,
+)
+from repro.util import weighted_choice
+
+# Hardware-category weights among TCP-responding resolvers (Table 4).
+_HARDWARE_WEIGHTS = {
+    "Router": 34.1, "Embedded": 30.6, "Firewall": 1.9, "Camera": 1.8,
+    "DVR": 1.2, "Others": 1.1, "Unknown": 29.3,
+}
+
+# §2.6 cache-activity style shares among snoop-responding resolvers.
+_ACTIVITY_SHARES = (
+    (CacheActivityModel.STYLE_EMPTY, 0.073),
+    (CacheActivityModel.STYLE_SINGLE, 0.033),
+    (CacheActivityModel.STYLE_STATIC_TTL, 0.020),
+    (CacheActivityModel.STYLE_ZERO_TTL, 0.020),
+    (CacheActivityModel.STYLE_RESETTING, 0.196),
+    (CacheActivityModel.STYLE_NORMAL, 0.616),
+    (CacheActivityModel.STYLE_IDLE, 0.042),
+)
+_SNOOP_UNREACHABLE_SHARE = 0.168
+# Within in-use resolvers: share refreshed within <=5s of expiry (38.7 of
+# 61.6 in-use).
+_FREQUENT_WITHIN_IN_USE = 0.387 / 0.616
+
+
+class ResolverSpec:
+    """Distribution knobs for one resolver pool (usually one ISP)."""
+
+    def __init__(self, autonomous_system, pool_prefix, count,
+                 isp_domain=None,
+                 refused_share=0.085, servfail_share=0.045,
+                 day_lease_share=0.46, week_lease_share=0.10,
+                 static_mean_weeks=19.0,
+                 offline_fraction=0.0, offline_start_week=1,
+                 offline_end_week=55,
+                 growth_fraction=0.0,
+                 divergent_source_share=0.03,
+                 rdns_coverage=0.80, dynamic_token_share=0.62,
+                 tcp_service_share=0.263,
+                 behavior_factory=None,
+                 gfw_immune_share=0.0,
+                 forwarder_share=0.08):
+        self.autonomous_system = autonomous_system
+        self.pool_prefix = pool_prefix
+        self.count = count
+        self.isp_domain = isp_domain or "%s.example" % (
+            autonomous_system.name.lower().replace(" ", "-"))
+        self.refused_share = refused_share
+        self.servfail_share = servfail_share
+        self.day_lease_share = day_lease_share
+        self.week_lease_share = week_lease_share
+        self.static_mean_weeks = static_mean_weeks
+        self.offline_fraction = offline_fraction
+        self.offline_start_week = offline_start_week
+        self.offline_end_week = offline_end_week
+        self.growth_fraction = growth_fraction
+        self.divergent_source_share = divergent_source_share
+        self.rdns_coverage = rdns_coverage
+        self.dynamic_token_share = dynamic_token_share
+        self.tcp_service_share = tcp_service_share
+        self.behavior_factory = behavior_factory
+        self.gfw_immune_share = gfw_immune_share
+        # Share of pool members that are dnsmasq-style DNS proxies
+        # forwarding to the ISP's recursive resolver (§2.2 observed
+        # 630k-750k such proxies per week).
+        self.forwarder_share = forwarder_share
+
+    @property
+    def country(self):
+        return self.autonomous_system.country
+
+
+class PopulationBuilder:
+    """Creates resolver pools and wires them into network/churn/rDNS."""
+
+    def __init__(self, network, churn_model, resolution_service, rdns=None,
+                 snooping_tlds=(), seed=0):
+        self.network = network
+        self.churn = churn_model
+        self.service = resolution_service
+        self.rdns = rdns
+        self.snooping_tlds = tuple(snooping_tlds)
+        self._rng = random.Random(seed)
+        self.resolvers = []          # all ResolverNode objects ever built
+        self.hosts = []              # matching LeasedHost objects
+        self.by_country = {}
+
+    # -- per-resolver attribute draws ---------------------------------------
+
+    def _draw_chaos(self, rng):
+        style = weighted_choice(rng, CHAOS_STYLE_SHARES)
+        software = None
+        if style == STYLE_VERSION:
+            catalog_share = sum(share for __, share in SOFTWARE_CATALOG)
+            items = list(SOFTWARE_CATALOG) + [
+                (profile, (1.0 - catalog_share) / len(LONG_TAIL_SOFTWARE))
+                for profile in LONG_TAIL_SOFTWARE]
+            software = weighted_choice(rng, items)
+        return style, software
+
+    def _draw_device(self, rng, tcp_service_share):
+        from repro.resolvers.devices import ANONYMOUS_PROFILE_KEYS
+        if rng.random() >= tcp_service_share:
+            return DEVICE_CATALOG["silent-cpe"]
+        hardware = weighted_choice(rng, list(_HARDWARE_WEIGHTS.items()))
+        if hardware == "Unknown":
+            key = ANONYMOUS_PROFILE_KEYS[
+                rng.randrange(len(ANONYMOUS_PROFILE_KEYS))]
+            return DEVICE_CATALOG[key]
+        candidates = [profile for profile in profiles_with_tcp()
+                      if profile.hardware == hardware
+                      or (hardware == "Others"
+                          and profile.hardware in ("NAS", "DSLAM", "Server"))]
+        if not candidates:
+            return DEVICE_CATALOG["silent-cpe"]
+        from repro.resolvers.devices import prevalence_of
+        return weighted_choice(rng, [(profile, prevalence_of(profile))
+                                     for profile in candidates])
+
+    def _draw_activity(self, rng):
+        if rng.random() < _SNOOP_UNREACHABLE_SHARE:
+            return CacheActivityModel(CacheActivityModel.STYLE_UNREACHABLE)
+        style = weighted_choice(rng, _ACTIVITY_SHARES)
+        patterns = {}
+        if style in (CacheActivityModel.STYLE_NORMAL,
+                     CacheActivityModel.STYLE_RESETTING,
+                     CacheActivityModel.STYLE_IDLE):
+            frequent = rng.random() < _FREQUENT_WITHIN_IN_USE
+            # In-use resolvers refresh several TLDs; with a 36h probe
+            # window over 48h TTLs only ~75% of refreshes are observable,
+            # so >=5 patterns are needed for >=3 observed re-adds.
+            tld_count = rng.randint(5, max(5, len(self.snooping_tlds)))
+            chosen = rng.sample(list(self.snooping_tlds),
+                                min(tld_count, len(self.snooping_tlds)))
+            for tld in chosen:
+                gap = (rng.uniform(0.5, 5.0) if frequent
+                       else rng.uniform(30.0, 3600.0))
+                phase = rng.uniform(0, 172800)
+                patterns[tld] = (gap, phase)
+        # Snooped TLD NS TTLs are two days (172800s) at the registries.
+        return CacheActivityModel(style, tld_patterns=patterns, ttl=172800)
+
+    def _draw_lease(self, rng, spec):
+        point = rng.random()
+        if point < spec.day_lease_share:
+            # Consumer CPE leases mostly expire within the first day
+            # (>40% of the cohort disappears in 24h, Fig. 2).
+            return DAY * rng.uniform(0.25, 0.85)
+        if point < spec.day_lease_share + spec.week_lease_share:
+            return WEEK * rng.uniform(0.4, 1.2)
+        # "Static" addresses still churn eventually (Fig 2's slow decay).
+        return rng.expovariate(1.0 / (spec.static_mean_weeks * WEEK))
+
+    def _draw_mode(self, rng, spec):
+        point = rng.random()
+        if point < spec.refused_share:
+            return MODE_REFUSED
+        if point < spec.refused_share + spec.servfail_share:
+            return MODE_SERVFAIL
+        return MODE_NORMAL
+
+    # -- pool construction ----------------------------------------------------
+
+    def _build_provider(self, spec):
+        """The ISP's own recursive resolver that pool forwarders use:
+        honest, stable, and busy (it serves the ISP's client base)."""
+        rng = random.Random(self._rng.getrandbits(64))
+        ip = self.churn.allocate_address(spec.pool_prefix)
+        patterns = {tld: (rng.uniform(0.5, 4.0), rng.uniform(0, 172800))
+                    for tld in self.snooping_tlds}
+        chaos_style, software = self._draw_chaos(rng)
+        provider = ResolverNode(
+            ip, resolution_service=self.service,
+            chaos_style=chaos_style, software=software,
+            # Closed: only the ISP's own customer space may query it —
+            # the scanner (outside) sees REFUSED.
+            allowed_networks=[spec.pool_prefix],
+            activity=CacheActivityModel(CacheActivityModel.STYLE_NORMAL,
+                                        tld_patterns=patterns,
+                                        ttl=172800))
+        self.network.register(provider)
+        host = LeasedHost(provider, spec.pool_prefix,
+                          isp_domain=spec.isp_domain)
+        self.churn.add(host)
+        self.resolvers.append(provider)
+        self.hosts.append(host)
+        return provider
+
+    def build_pool(self, spec):
+        """Create ``spec.count`` resolvers inside the spec's pool prefix."""
+        now = self.network.clock.now
+        built = []
+        # Tiny pools (scaled-down small countries) skip the provider +
+        # forwarder structure; it only matters at realistic pool sizes.
+        provider = (self._build_provider(spec)
+                    if spec.forwarder_share > 0 and spec.count >= 12
+                    else None)
+        if provider is not None:
+            built.append(provider)
+        for index in range(spec.count):
+            rng = random.Random(self._rng.getrandbits(64))
+            ip = self.churn.allocate_address(spec.pool_prefix)
+            chaos_style, software = self._draw_chaos(rng)
+            device = self._draw_device(rng, spec.tcp_service_share)
+            behaviors = []
+            gfw_immune = rng.random() < spec.gfw_immune_share
+            if spec.behavior_factory is not None:
+                behaviors = spec.behavior_factory(rng, spec, index, ip) or []
+            divergent = None
+            if rng.random() < spec.divergent_source_share:
+                divergent = self.churn.allocate_address(spec.pool_prefix)
+            forward_to = None
+            if provider is not None and \
+                    rng.random() < spec.forwarder_share:
+                # A plain DNS proxy: no local manipulation, answers come
+                # from (and are poisoned at) the ISP resolver.
+                forward_to = provider.ip
+                behaviors = []
+            node = ResolverNode(
+                ip,
+                resolution_service=self.service,
+                forward_to=forward_to,
+                behaviors=behaviors,
+                software=software,
+                chaos_style=chaos_style,
+                device=device,
+                activity=self._draw_activity(rng),
+                response_mode=self._draw_mode(rng, spec),
+                answer_source_ip=divergent,
+                gfw_immune=gfw_immune,
+            )
+            lease = self._draw_lease(rng, spec)
+            offline_after = None
+            if rng.random() < spec.offline_fraction:
+                offline_after = now + WEEK * rng.uniform(
+                    spec.offline_start_week, spec.offline_end_week)
+            if node.response_mode == MODE_REFUSED:
+                # Closed resolvers are deliberately-operated servers: they
+                # neither churn nor vanish (Fig. 1: REFUSED stays stable).
+                lease = 1000 * WEEK
+                offline_after = None
+            online_after = None
+            if rng.random() < spec.growth_fraction:
+                online_after = now + WEEK * rng.uniform(2, 50)
+            host = LeasedHost(node, spec.pool_prefix,
+                              lease_duration=lease,
+                              offline_after=offline_after,
+                              isp_domain=spec.isp_domain,
+                              online_after=online_after)
+            if host.online:
+                self.network.register(node)
+                if self.rdns is not None and rng.random() < spec.rdns_coverage:
+                    dynamic_ptr = (lease <= WEEK * 1.5
+                                   and rng.random() < spec.dynamic_token_share)
+                    name = (dynamic_pool_name(ip, spec.isp_domain)
+                            if dynamic_ptr
+                            else static_name(ip, spec.isp_domain))
+                    self.rdns.set_ptr(ip, name)
+            self.churn.add(host)
+            self.resolvers.append(node)
+            self.hosts.append(host)
+            built.append(node)
+        self.by_country.setdefault(spec.country, []).extend(built)
+        return built
+
+    def online_resolver_ips(self):
+        """Addresses of all currently-online resolvers."""
+        return [host.node.ip for host in self.hosts if host.online]

@@ -1,0 +1,48 @@
+"""Internet-wide scanning machinery (paper §2.2, §3.3).
+
+Implements the measurement side: LFSR-permuted IPv4 scans with the target
+address encoded in the query name, weekly scan campaigns with blacklisting
+and verification scans, CHAOS software fingerprinting, TCP banner grabbing
+with a regex fingerprint database, DNS cache snooping, and the domain
+scans whose responses feed the classification pipeline (resolver identity
+encoded in txid bits + UDP source port + 0x20 case pattern).
+"""
+
+from repro.scanner.lfsr import LFSR, MAXIMAL_TAPS
+from repro.scanner.blacklist import Blacklist
+from repro.scanner.encoding import (
+    ResolverIdCodec,
+    decode_target_ip,
+    encode_target_qname,
+)
+from repro.scanner.ipv4scan import Ipv4Scanner, ScanResult, ScanTargetSpace
+from repro.scanner.campaign import ScanCampaign, WeeklySnapshot
+from repro.scanner.chaos import ChaosScanner, ChaosObservation
+from repro.scanner.banner import BannerGrabber, HostBanners
+from repro.scanner.fingerprints import FINGERPRINT_RULES, FingerprintMatcher
+from repro.scanner.snooping import CacheSnoopingProber, SnoopingTrace
+from repro.scanner.domainscan import DnsObservation, DomainScanner
+
+__all__ = [
+    "Blacklist",
+    "BannerGrabber",
+    "CacheSnoopingProber",
+    "ChaosObservation",
+    "ChaosScanner",
+    "DnsObservation",
+    "DomainScanner",
+    "FINGERPRINT_RULES",
+    "FingerprintMatcher",
+    "HostBanners",
+    "Ipv4Scanner",
+    "LFSR",
+    "MAXIMAL_TAPS",
+    "ResolverIdCodec",
+    "ScanCampaign",
+    "ScanResult",
+    "ScanTargetSpace",
+    "SnoopingTrace",
+    "WeeklySnapshot",
+    "decode_target_ip",
+    "encode_target_qname",
+]

@@ -1,0 +1,78 @@
+"""TCP banner grabbing for device fingerprinting (paper §2.4, Table 4).
+
+Connects to FTP, SSH, Telnet, HTTP, and HTTPS on each resolver, recording
+greeting banners and — for web ports — the body of the device's default
+page, which often names the hardware ("dm500plus login", router model
+strings, …).
+"""
+
+from repro.netsim.network import Node  # noqa: F401  (documented interface)
+from repro.websim.http import HttpRequest
+
+GRAB_PORTS = (21, 22, 23, 80, 443)
+PORT_NAMES = {21: "ftp", 22: "ssh", 23: "telnet", 80: "http", 443: "https"}
+
+
+class HostBanners:
+    """Everything grabbed from one host's TCP surface."""
+
+    def __init__(self, ip):
+        self.ip = ip
+        self.banners = {}     # port -> banner text
+        self.http_body = None
+
+    @property
+    def responded(self):
+        return bool(self.banners) or self.http_body is not None
+
+    def all_text(self):
+        """Concatenated banner + body text the fingerprint regexes see."""
+        parts = [self.banners[port] for port in sorted(self.banners)]
+        if self.http_body:
+            parts.append(self.http_body)
+        return "\n".join(parts)
+
+    def __repr__(self):
+        return "HostBanners(%s, ports=%s)" % (
+            self.ip, sorted(self.banners))
+
+
+class BannerGrabber:
+    """Grabs banners and default pages from a list of hosts."""
+
+    def __init__(self, network, source_ip, ports=GRAB_PORTS,
+                 fetch_http_body=True):
+        self.network = network
+        self.source_ip = source_ip
+        self.ports = tuple(ports)
+        self.fetch_http_body = fetch_http_body
+
+    def grab(self, ip):
+        """Collect all banners from one host."""
+        result = HostBanners(ip)
+        for port in self.ports:
+            banner = self.network.tcp_banner(self.source_ip, ip, port)
+            if banner:
+                result.banners[port] = banner
+        if self.fetch_http_body and (80 in result.banners
+                                     or 443 in result.banners
+                                     or self._has_web(ip)):
+            response = self.network.http_request(
+                self.source_ip, ip, HttpRequest(host=ip, path="/"))
+            if response is not None and response.body:
+                result.http_body = response.body
+        return result
+
+    def _has_web(self, ip):
+        node = self.network.node_at(ip)
+        return node is not None and (80 in node.tcp_ports()
+                                     or 443 in node.tcp_ports())
+
+    def grab_all(self, ips):
+        """Grab from every host; returns only hosts that answered."""
+        results = []
+        for ip in ips:
+            banners = self.grab(ip)
+            if banners.responded:
+                results.append(banners)
+        return results

@@ -1,0 +1,67 @@
+"""Weekly scan campaigns (the 13-month monitoring of §2.2–§2.5).
+
+Runs an Internet-wide scan every simulated week, advancing the clock and
+the churn model in between, and optionally runs a verification scan from a
+second source in a different /8 to estimate how many networks block the
+primary scanner (§2.2 Scan Verification).
+"""
+
+from repro.netsim.clock import WEEK
+from repro.scanner.ipv4scan import Ipv4Scanner
+
+
+class WeeklySnapshot:
+    """One week's scan result plus its campaign metadata."""
+
+    def __init__(self, week, result, verification=None):
+        self.week = week
+        self.result = result
+        self.verification = verification
+
+    def __repr__(self):
+        return "WeeklySnapshot(week=%d, %d responders)" % (
+            self.week, len(self.result.responders))
+
+
+class ScanCampaign:
+    """Drives weekly scans over a target space for a number of weeks."""
+
+    def __init__(self, network, churn_model, target_space, source_ip,
+                 measurement_domain, blacklist=None,
+                 verification_source_ip=None):
+        self.network = network
+        self.churn = churn_model
+        self.target_space = target_space
+        self.scanner = Ipv4Scanner(network, source_ip, measurement_domain,
+                                   blacklist=blacklist)
+        self.verification_scanner = None
+        if verification_source_ip is not None:
+            self.verification_scanner = Ipv4Scanner(
+                network, verification_source_ip, measurement_domain,
+                blacklist=blacklist, source_port=31338)
+        self.snapshots = []
+
+    def run_week(self, verify=False):
+        """Advance churn, run this week's scan (plus verification scan)."""
+        self.churn.step()
+        week = len(self.snapshots)
+        result = self.scanner.scan(self.target_space)
+        verification = None
+        if verify and self.verification_scanner is not None:
+            verification = self.verification_scanner.scan(self.target_space)
+        snapshot = WeeklySnapshot(week, result, verification)
+        self.snapshots.append(snapshot)
+        self.network.clock.advance(WEEK)
+        return snapshot
+
+    def run(self, weeks, verify_last=False):
+        """Run a full campaign of ``weeks`` weekly scans."""
+        for week in range(weeks):
+            self.run_week(verify=verify_last and week == weeks - 1)
+        return self.snapshots
+
+    def first(self):
+        return self.snapshots[0]
+
+    def last(self):
+        return self.snapshots[-1]

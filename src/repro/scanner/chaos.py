@@ -1,0 +1,112 @@
+"""CHAOS-class software fingerprinting scan (paper §2.4, Table 3).
+
+Sends ``version.bind`` and ``version.server`` TXT queries in class CH to
+every resolver and classifies the response pair: error codes for both,
+NOERROR without version data, administrator-hidden strings, or a usable
+software/version string.
+"""
+
+from repro.dnswire.constants import (
+    CLASS_CH,
+    QTYPE_TXT,
+    RCODE_NOERROR,
+)
+from repro.dnswire.message import Message
+from repro.netsim.network import UdpPacket
+
+# Response-pair classification outcomes.
+OUTCOME_ERROR = "error"            # REFUSED/SERVFAIL for both queries
+OUTCOME_NO_VERSION = "no_version"  # NOERROR but no version specified
+OUTCOME_HIDDEN = "hidden"          # arbitrary admin-configured string
+OUTCOME_VERSION = "version"        # usable software/version string
+OUTCOME_SILENT = "silent"          # no response at all
+
+
+class ChaosObservation:
+    """The CHAOS scan result for one resolver."""
+
+    def __init__(self, resolver_ip, outcome, version_string=None):
+        self.resolver_ip = resolver_ip
+        self.outcome = outcome
+        self.version_string = version_string
+
+    def __repr__(self):
+        return "ChaosObservation(%s, %s, %r)" % (
+            self.resolver_ip, self.outcome, self.version_string)
+
+
+class ChaosScanner:
+    """Runs the version.bind/version.server scan over a resolver list."""
+
+    QUERY_NAMES = ("version.bind", "version.server")
+
+    def __init__(self, network, source_ip, version_matcher=None,
+                 source_port=31400):
+        self.network = network
+        self.source_ip = source_ip
+        self.source_port = source_port
+        self.version_matcher = version_matcher
+        self._txid = 0
+
+    def _ask(self, resolver_ip, qname):
+        self._txid = (self._txid + 1) & 0xFFFF
+        query = Message.query(qname, qtype=QTYPE_TXT, qclass=CLASS_CH,
+                              txid=self._txid)
+        packet = UdpPacket(self.source_ip, self.source_port,
+                           resolver_ip, 53, query.to_wire())
+        for response in self.network.send_udp(packet):
+            try:
+                message = Message.from_wire(response.packet.payload)
+            except ValueError:
+                continue
+            if message.header.qr and message.header.txid == self._txid:
+                return message
+        return None
+
+    def _txt_value(self, message):
+        if message is None or message.rcode != RCODE_NOERROR:
+            return None
+        for record in message.answers:
+            if record.rtype == QTYPE_TXT:
+                text = record.data.text.strip()
+                if text:
+                    return text
+        return None
+
+    def _looks_like_version(self, text):
+        """Heuristic + catalog: does the string identify real software?"""
+        if self.version_matcher is not None:
+            return self.version_matcher(text) is not None
+        lowered = text.lower()
+        has_digit = any(ch.isdigit() for ch in lowered)
+        known = any(token in lowered for token in (
+            "bind", "unbound", "dnsmasq", "powerdns", "microsoft",
+            "nominum", "9.", "4."))
+        return has_digit and known
+
+    def probe(self, resolver_ip):
+        """Scan one resolver; returns a :class:`ChaosObservation`."""
+        responses = [self._ask(resolver_ip, name)
+                     for name in self.QUERY_NAMES]
+        if all(response is None for response in responses):
+            return ChaosObservation(resolver_ip, OUTCOME_SILENT)
+        if all(response is None or response.rcode != RCODE_NOERROR
+               for response in responses):
+            return ChaosObservation(resolver_ip, OUTCOME_ERROR)
+        values = [self._txt_value(response) for response in responses]
+        texts = [value for value in values if value]
+        if not texts:
+            return ChaosObservation(resolver_ip, OUTCOME_NO_VERSION)
+        for text in texts:
+            if self._looks_like_version(text):
+                return ChaosObservation(resolver_ip, OUTCOME_VERSION, text)
+        return ChaosObservation(resolver_ip, OUTCOME_HIDDEN, texts[0])
+
+    def scan(self, resolver_ips):
+        """Scan a set of resolvers; returns observations for responders."""
+        observations = []
+        for resolver_ip in resolver_ips:
+            observation = self.probe(resolver_ip)
+            if observation.outcome != OUTCOME_SILENT:
+                observations.append(observation)
+        return observations

@@ -1,0 +1,110 @@
+"""Domain scanning: querying the 155-domain set at every open resolver
+(paper §3.3).
+
+Unlike the IPv4 scans, the query names are fixed, so the target resolver's
+identity is encoded in the transaction ID (16 bits), UDP source port
+(9 bits), and redundantly in the 0x20 case pattern of the query name.
+Each scan records every response — including multiple responses for one
+query, which is how the Great Firewall's injected-then-genuine double
+answers are detected (§4.2).
+"""
+
+from repro.dnswire.constants import QTYPE_NS, RCODE_NOERROR
+from repro.dnswire.message import Message
+from repro.netsim.network import UdpPacket
+from repro.scanner.encoding import ResolverIdCodec
+
+
+class DnsObservation:
+    """One resolver's answer(s) for one scanned domain."""
+
+    def __init__(self, domain, resolver_ip, rcode, addresses,
+                 source_ip=None, all_responses=None, injected_suspect=False,
+                 ns_record_count=0):
+        self.domain = domain
+        self.resolver_ip = resolver_ip       # target (decoded identity)
+        self.rcode = rcode                   # of the first response
+        self.addresses = list(addresses)     # of the first response
+        self.source_ip = source_ip           # UDP source of first response
+        self.ns_record_count = ns_record_count  # NS-only answers (§4.1)
+        # All responses observed: list of (rcode, [addresses]) in arrival
+        # order.  More than one entry with disagreeing answers is the GFW
+        # signature.
+        self.all_responses = list(all_responses or [])
+        self.injected_suspect = injected_suspect
+
+    @property
+    def empty(self):
+        return self.rcode == RCODE_NOERROR and not self.addresses
+
+    @property
+    def multiple_disagreeing(self):
+        if len(self.all_responses) < 2:
+            return False
+        first = self.all_responses[0]
+        return any(other[1] != first[1] for other in self.all_responses[1:])
+
+    def __repr__(self):
+        return "DnsObservation(%s @ %s, rcode=%d, %r)" % (
+            self.domain, self.resolver_ip, self.rcode, self.addresses)
+
+
+class DomainScanner:
+    """Sends A queries for a domain list to a resolver list."""
+
+    def __init__(self, network, source_ip, codec=None):
+        self.network = network
+        self.source_ip = source_ip
+        self.codec = codec or ResolverIdCodec()
+        self.queries_sent = 0
+
+    def query_domain(self, resolver_ip, resolver_id, domain):
+        """Query one domain at one resolver; returns a
+        :class:`DnsObservation` or ``None`` when no response arrived."""
+        txid, src_port, cased_qname = self.codec.encode(resolver_id, domain)
+        query = Message.query(cased_qname, txid=txid)
+        packet = UdpPacket(self.source_ip, src_port, resolver_ip, 53,
+                           query.to_wire())
+        self.queries_sent += 1
+        responses = []
+        injected = False
+        for response in self.network.send_udp(packet):
+            try:
+                message = Message.from_wire(response.packet.payload)
+            except ValueError:
+                continue
+            if not message.header.qr:
+                continue
+            echoed = (message.question.name if message.question
+                      else cased_qname)
+            decoded_id = self.codec.decode(
+                message.header.txid, response.packet.dst_port, echoed)
+            if decoded_id != resolver_id:
+                continue
+            ns_count = sum(1 for record in message.answers
+                           if record.rtype == QTYPE_NS)
+            responses.append((message.rcode, message.a_addresses(),
+                              response.packet.src_ip, ns_count))
+            injected = injected or response.injected
+        if not responses:
+            return None
+        rcode, addresses, source_ip, ns_count = responses[0]
+        return DnsObservation(
+            domain, resolver_ip, rcode, addresses, source_ip=source_ip,
+            all_responses=[(r, a) for r, a, __, __n in responses],
+            injected_suspect=injected, ns_record_count=ns_count)
+
+    def scan(self, resolver_ips, domains):
+        """Query every domain at every resolver.
+
+        ``domains`` is an iterable of domain-name strings.  Returns a flat
+        list of observations (resolvers that never answered are absent).
+        """
+        observations = []
+        for resolver_id, resolver_ip in enumerate(resolver_ips):
+            for domain in domains:
+                observation = self.query_domain(resolver_ip, resolver_id,
+                                                domain)
+                if observation is not None:
+                    observations.append(observation)
+        return observations

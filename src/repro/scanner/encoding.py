@@ -1,0 +1,91 @@
+"""Identity encodings used by the scanners.
+
+Two encodings from the paper:
+
+*IPv4 scans* (§2.2): each probe's query name embeds the target address
+(``prefix.hex-ip.domain.edu``), so a response can be attributed to the
+host it was actually sent to even when the reply's UDP source address
+differs (multi-homed hosts, DNS proxies).
+
+*Domain scans* (§3.3): the query name is fixed per domain, so the target
+resolver's identity is packed into ceil(log2(20M)) = 25 bits: 16 in the
+DNS transaction ID, 9 in the UDP source port, and — redundantly, because
+some resolvers rewrite the destination port of their response — the same
+9 bits in the 0x20 case pattern of the query name.
+"""
+
+from repro.dnswire.name import apply_0x20, normalize_name, recover_0x20_bits
+from repro.netsim.address import int_to_ip, ip_to_int
+
+PORT_BITS = 9
+TXID_BITS = 16
+MAX_RESOLVER_ID = (1 << (PORT_BITS + TXID_BITS)) - 1
+
+
+def encode_target_qname(target_ip, measurement_domain, probe_id=0):
+    """Build the IPv4-scan query name: random prefix + hex target IP."""
+    return "r%x.%08x.%s" % (probe_id & 0xFFFFFF, ip_to_int(target_ip),
+                            measurement_domain)
+
+
+def decode_target_ip(qname, measurement_domain):
+    """Recover the target address from an IPv4-scan query name."""
+    name = normalize_name(qname)
+    suffix = "." + normalize_name(measurement_domain)
+    if not name.endswith(suffix):
+        return None
+    remainder = name[:-len(suffix)]
+    labels = remainder.split(".")
+    if len(labels) != 2:
+        return None
+    try:
+        value = int(labels[1], 16)
+    except ValueError:
+        return None
+    if not 0 <= value <= 0xFFFFFFFF:
+        return None
+    return int_to_ip(value)
+
+
+class ResolverIdCodec:
+    """Packs a 25-bit resolver identifier into txid + source port + 0x20.
+
+    ``base_port`` anchors the 512-port window used for the 9 high bits.
+    Decoding prefers the port bits; when the response's destination port
+    falls outside the window (a port-rewriting resolver) the 0x20 case
+    pattern of the echoed question supplies the same bits.
+    """
+
+    def __init__(self, base_port=33000):
+        if not 1024 <= base_port <= 65535 - (1 << PORT_BITS):
+            raise ValueError("base_port window out of range")
+        self.base_port = base_port
+
+    def encode(self, resolver_id, domain):
+        """Return ``(txid, src_port, cased_qname)`` for a scan query."""
+        if not 0 <= resolver_id <= MAX_RESOLVER_ID:
+            raise ValueError("resolver id %d exceeds 25 bits" % resolver_id)
+        txid = resolver_id & 0xFFFF
+        high = resolver_id >> TXID_BITS
+        src_port = self.base_port + high
+        cased = apply_0x20(normalize_name(domain), high)
+        return txid, src_port, cased
+
+    def decode(self, txid, response_dst_port, echoed_qname):
+        """Recover the resolver id from a response's fields.
+
+        ``response_dst_port`` is the UDP port the response was sent to
+        (our original source port); ``echoed_qname`` is the question name
+        echoed in the response.
+        """
+        window = 1 << PORT_BITS
+        if self.base_port <= response_dst_port < self.base_port + window:
+            high = response_dst_port - self.base_port
+        else:
+            high, bit_count = recover_0x20_bits(echoed_qname)
+            if bit_count < PORT_BITS:
+                # Short names cannot carry all 9 bits; mask what we have.
+                high &= (1 << bit_count) - 1
+            else:
+                high &= window - 1
+        return (high << TXID_BITS) | (txid & 0xFFFF)

@@ -1,0 +1,122 @@
+"""The device-fingerprint database: regex rules over banner text.
+
+The paper's authors manually compiled more than 2,245 regular expressions
+over aggregated banner responses, attributing hardware and OS details via
+vendor manuals (e.g. the token ``dm500plus login`` identifies a DVR
+running Linux on PowerPC).  This is the same mechanism at smaller scale:
+an ordered rule list where the first (most specific) match wins.
+"""
+
+import re
+
+from repro.resolvers.devices import (
+    HW_CAMERA,
+    HW_DSLAM,
+    HW_DVR,
+    HW_EMBEDDED,
+    HW_FIREWALL,
+    HW_NAS,
+    HW_ROUTER,
+    HW_SERVER,
+    HW_UNKNOWN,
+    OS_CENTOS,
+    OS_LINUX,
+    OS_OTHER,
+    OS_ROUTEROS,
+    OS_SMARTWARE,
+    OS_UNIX,
+    OS_UNKNOWN,
+    OS_WINDOWS,
+    OS_ZYNOS,
+)
+
+
+class FingerprintRule:
+    """One regex rule: pattern -> (hardware, os, vendor)."""
+
+    def __init__(self, pattern, hardware, os, vendor=None, notes=None):
+        self.regex = re.compile(pattern, re.IGNORECASE | re.DOTALL)
+        self.hardware = hardware
+        self.os = os
+        self.vendor = vendor
+        self.notes = notes
+
+    def matches(self, text):
+        return self.regex.search(text) is not None
+
+    def __repr__(self):
+        return "FingerprintRule(%r -> %s/%s)" % (
+            self.regex.pattern, self.hardware, self.os)
+
+
+FINGERPRINT_RULES = (
+    # -- routers / modems / gateways -----------------------------------------
+    FingerprintRule(r"zyxel|zynos|rompager/6", HW_ROUTER, OS_ZYNOS, "ZyXEL",
+                    "ZyNOS runs on ZyXEL CPE"),
+    FingerprintRule(r"tp-?link.*router|router webserver", HW_ROUTER,
+                    OS_LINUX, "TP-LINK"),
+    FingerprintRule(r"dsl-26\d\d|micro_httpd.*dsl|bcm96338", HW_ROUTER,
+                    OS_LINUX, "D-Link"),
+    FingerprintRule(r"mikrotik|rosssh", HW_ROUTER, OS_ROUTEROS, "MikroTik"),
+    FingerprintRule(r"draytek|vigor", HW_ROUTER, OS_OTHER, "DrayTek"),
+    FingerprintRule(r"ssh-1\.99-cisco|user access verification", HW_ROUTER,
+                    OS_OTHER, "Cisco"),
+    FingerprintRule(r"netgear\s+dg\d+", HW_ROUTER, OS_LINUX, "NETGEAR"),
+    FingerprintRule(r"smartware|smartnode", HW_ROUTER, OS_SMARTWARE,
+                    "Patton"),
+    # -- firewalls ------------------------------------------------------------
+    FingerprintRule(r"fortissh|fgtserver|fortigate", HW_FIREWALL, OS_OTHER,
+                    "Fortinet"),
+    FingerprintRule(r"sonicwall", HW_FIREWALL, OS_OTHER, "SonicWall"),
+    # -- cameras / DVRs -------------------------------------------------------
+    FingerprintRule(r"netwave ip camera", HW_CAMERA, OS_LINUX, "Netwave"),
+    FingerprintRule(r"hikvision", HW_CAMERA, OS_LINUX, "Hikvision"),
+    FingerprintRule(r"dm500plus login|dm500\+", HW_DVR, OS_LINUX,
+                    "Dream Multimedia",
+                    "DVR running Linux on PowerPC (paper's example token)"),
+    FingerprintRule(r"dvrdvs", HW_DVR, OS_LINUX, None),
+    # -- NAS / DSLAM ----------------------------------------------------------
+    FingerprintRule(r"synology", HW_NAS, OS_LINUX, "Synology"),
+    FingerprintRule(r"nasftpd|qnap", HW_NAS, OS_LINUX, "QNAP"),
+    FingerprintRule(r"zhone|malc", HW_DSLAM, OS_OTHER, "Zhone"),
+    # -- embedded -------------------------------------------------------------
+    FingerprintRule(r"goahead-webs", HW_EMBEDDED, OS_OTHER, None,
+                    "GoAhead embedded web server (VxWorks/eCos family)"),
+    FingerprintRule(r"rompager", HW_EMBEDDED, OS_OTHER, None,
+                    "RomPager embedded web server"),
+    FingerprintRule(r"busybox", HW_EMBEDDED, OS_LINUX, None,
+                    "BusyBox shell banner"),
+    FingerprintRule(r"lantronix", HW_EMBEDDED, OS_OTHER, "Lantronix",
+                    "serial-to-LAN converter"),
+    FingerprintRule(r"raspberrypi", HW_EMBEDDED, OS_LINUX, "Raspberry Pi"),
+    FingerprintRule(r"server: arduino", HW_EMBEDDED, OS_OTHER, "Arduino"),
+    # -- servers (generic OS identification; keep after device rules) ---------
+    FingerprintRule(r"centos", HW_SERVER, OS_CENTOS, None),
+    FingerprintRule(r"microsoft-iis|microsoft ftp", HW_SERVER, OS_WINDOWS,
+                    "Microsoft"),
+    FingerprintRule(r"freebsd|openbsd|netbsd|sunos", HW_SERVER, OS_UNIX,
+                    None),
+    FingerprintRule(r"ubuntu|debian|vsftpd|openssh.*linux", HW_SERVER,
+                    OS_LINUX, None),
+)
+
+
+class FingerprintMatcher:
+    """Applies the rule list to grabbed banners; first match wins."""
+
+    def __init__(self, rules=FINGERPRINT_RULES):
+        self.rules = tuple(rules)
+
+    def classify(self, host_banners):
+        """Classify one :class:`HostBanners`; returns (hardware, os,
+        vendor) with ``Unknown`` components when nothing matches."""
+        text = host_banners.all_text()
+        for rule in self.rules:
+            if rule.matches(text):
+                return rule.hardware, rule.os, rule.vendor
+        return HW_UNKNOWN, OS_UNKNOWN, None
+
+    def classify_all(self, banner_list):
+        """Classify many hosts; returns {ip: (hardware, os, vendor)}."""
+        return {banners.ip: self.classify(banners)
+                for banners in banner_list}

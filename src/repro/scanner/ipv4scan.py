@@ -1,0 +1,178 @@
+"""Internet-wide IPv4 DNS scanning (paper §2.2).
+
+One scan sends a single DNS A query to every address in the target space
+(minus blacklist and reserved ranges), in LFSR-permuted order, with the
+target address hex-encoded in the query name.  The result records, per
+rcode, the set of *target* addresses that answered — attributing responses
+by the encoded name, so hosts answering from a different source address
+(multi-homed / DNS proxies) are both counted correctly and detected.
+"""
+
+from repro.dnswire.constants import (
+    RCODE_NOERROR,
+    RCODE_REFUSED,
+    RCODE_SERVFAIL,
+)
+from repro.dnswire.message import Message
+from repro.netsim.address import is_reserved
+from repro.netsim.network import UdpPacket
+from repro.scanner.encoding import decode_target_ip, encode_target_qname
+from repro.scanner.lfsr import LFSR
+
+
+class ScanTargetSpace:
+    """Maps a dense index space onto a set of target prefixes.
+
+    Substitution note: the paper permutes all 2^32 addresses; scanning the
+    simulator's full IPv4 space would waste cycles on guaranteed-empty
+    space, so the LFSR permutes the *allocated* universe instead — the
+    same behaviour (bounded per-network probe rate) on the same
+    populated prefixes.
+    """
+
+    def __init__(self, prefixes):
+        self.prefixes = list(prefixes)
+        self._cumulative = []
+        total = 0
+        for prefix in self.prefixes:
+            self._cumulative.append(total)
+            total += prefix.num_addresses
+        self.total = total
+
+    def ip_at(self, index):
+        if not 0 <= index < self.total:
+            raise IndexError(index)
+        import bisect
+        slot = bisect.bisect_right(self._cumulative, index) - 1
+        prefix = self.prefixes[slot]
+        return prefix.address_at(index - self._cumulative[slot])
+
+    def __len__(self):
+        return self.total
+
+
+class ScanResult:
+    """Outcome of one Internet-wide scan."""
+
+    def __init__(self, timestamp):
+        self.timestamp = timestamp
+        self.by_rcode = {}            # rcode -> set of target IPs
+        self.responders = set()       # all target IPs that answered
+        self.divergent_sources = set()  # targets whose reply src differed
+        self.probes_sent = 0
+
+    def record(self, target_ip, rcode, source_ip):
+        self.responders.add(target_ip)
+        self.by_rcode.setdefault(rcode, set()).add(target_ip)
+        if source_ip != target_ip:
+            self.divergent_sources.add(target_ip)
+
+    @property
+    def noerror(self):
+        return self.by_rcode.get(RCODE_NOERROR, set())
+
+    @property
+    def refused(self):
+        return self.by_rcode.get(RCODE_REFUSED, set())
+
+    @property
+    def servfail(self):
+        return self.by_rcode.get(RCODE_SERVFAIL, set())
+
+    def counts(self):
+        """Summary dict used by the magnitude analysis (Figure 1)."""
+        return {
+            "all": len(self.responders),
+            "noerror": len(self.noerror),
+            "refused": len(self.refused),
+            "servfail": len(self.servfail),
+        }
+
+    def __repr__(self):
+        return "ScanResult(t=%.0f, %d responders)" % (
+            self.timestamp, len(self.responders))
+
+
+class Ipv4Scanner:
+    """Sends one DNS A probe per target address and aggregates responses."""
+
+    def __init__(self, network, source_ip, measurement_domain,
+                 blacklist=None, source_port=31337, lfsr_seed=0xACE1):
+        self.network = network
+        self.source_ip = source_ip
+        self.measurement_domain = measurement_domain
+        self.blacklist = blacklist
+        self.source_port = source_port
+        self.lfsr_seed = lfsr_seed
+        self._probe_id = 0
+        from repro.dnswire.name import encode_name
+        self._suffix_wire = encode_name(measurement_domain)
+
+    def _query_wire(self, qname_prefix_labels, txid):
+        """Build query bytes directly: header + labels + suffix + A/IN.
+
+        Equivalent to ``Message.query(...).to_wire()`` (covered by tests)
+        but ~4x faster, which matters at one probe per address per week.
+        """
+        parts = [bytes((txid >> 8, txid & 0xFF)),
+                 b"\x01\x00\x00\x01\x00\x00\x00\x00\x00\x00"]
+        for label in qname_prefix_labels:
+            raw = label.encode("ascii")
+            parts.append(bytes((len(raw),)))
+            parts.append(raw)
+        parts.append(self._suffix_wire)
+        parts.append(b"\x00\x01\x00\x01")  # QTYPE=A, QCLASS=IN
+        return b"".join(parts)
+
+    def probe(self, target_ip):
+        """Send one scan probe; return parsed (rcode, source_ip) pairs."""
+        self._probe_id += 1
+        txid = self._probe_id & 0xFFFF
+        from repro.netsim.address import ip_to_int
+        payload = self._query_wire(
+            ("r%x" % (self._probe_id & 0xFFFFFF),
+             "%08x" % ip_to_int(target_ip)), txid)
+        packet = UdpPacket(self.source_ip, self.source_port,
+                           target_ip, 53, payload)
+        observations = []
+        for response in self.network.send_udp(packet):
+            try:
+                message = Message.from_wire(response.packet.payload)
+            except ValueError:
+                continue  # corrupted packet: ignored (§5 Completeness)
+            if not message.header.qr:
+                continue
+            if message.header.txid != txid:
+                continue
+            observations.append((message.rcode, response.packet.src_ip))
+        return observations
+
+    def scan(self, target_space):
+        """Scan every allowed address in the target space once."""
+        result = ScanResult(self.network.clock.now)
+        order = LFSR.order_for(len(target_space))
+        lfsr = LFSR(order, seed=(self.lfsr_seed % ((1 << order) - 1)) or 1)
+        for state in lfsr.sequence():
+            index = state - 1
+            if index >= len(target_space):
+                continue
+            target_ip = target_space.ip_at(index)
+            if is_reserved(target_ip):
+                continue
+            if self.blacklist is not None and target_ip in self.blacklist:
+                continue
+            result.probes_sent += 1
+            for rcode, source_ip in self.probe(target_ip):
+                result.record(target_ip, rcode, source_ip)
+        return result
+
+    def scan_addresses(self, addresses):
+        """Probe an explicit address list (re-probing known resolvers)."""
+        result = ScanResult(self.network.clock.now)
+        for target_ip in addresses:
+            if self.blacklist is not None and target_ip in self.blacklist:
+                continue
+            result.probes_sent += 1
+            for rcode, source_ip in self.probe(target_ip):
+                result.record(target_ip, rcode, source_ip)
+        return result

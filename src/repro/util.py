@@ -1,0 +1,33 @@
+"""Small shared utilities."""
+
+import zlib
+
+
+def stable_hash(*parts):
+    """A process-independent hash of the given parts.
+
+    Python's built-in ``hash`` is salted per interpreter run; simulation
+    code that derives deterministic choices from names or addresses must
+    use this instead so results are reproducible across runs.
+    """
+    text = "\x1f".join(str(part) for part in parts)
+    return zlib.crc32(text.encode("utf-8")) & 0xFFFFFFFF
+
+
+def weighted_choice(rng, weighted_items):
+    """Pick from ``[(item, weight), ...]`` with the given RNG."""
+    total = sum(weight for __, weight in weighted_items)
+    if total <= 0:
+        raise ValueError("weights must sum to a positive value")
+    point = rng.random() * total
+    cumulative = 0.0
+    for item, weight in weighted_items:
+        cumulative += weight
+        if point < cumulative:
+            return item
+    return weighted_items[-1][0]
+
+
+def percentage(part, whole):
+    """``part`` as a percentage of ``whole`` (0.0 when whole is zero)."""
+    return 100.0 * part / whole if whole else 0.0

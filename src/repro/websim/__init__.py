@@ -1,0 +1,32 @@
+"""Simulated web, TLS, and mail services.
+
+Provides the content side of the measurement: legitimate sites for every
+scanned domain (with realistic HTML structure the clustering features can
+work on), CDN edge deployments, and the full menagerie of pages returned
+by manipulated resolutions — censorship landing pages, parking, search
+redirects, error pages, captive portals, router logins, phishing clones,
+ad-injected variants, transparent proxies, and mail banner listeners.
+"""
+
+from repro.websim.http import HttpRequest, HttpResponse
+from repro.websim.tls import Certificate, CertificateAuthority
+from repro.websim.html import HtmlPage
+from repro.websim.sites import SiteLibrary
+from repro.websim.httpserver import TransparentProxy, WebServer
+from repro.websim.mail import MailServer, MAIL_PORTS
+from repro.websim.cdn import CdnProvider, RotatingAZone
+
+__all__ = [
+    "CdnProvider",
+    "Certificate",
+    "CertificateAuthority",
+    "HtmlPage",
+    "HttpRequest",
+    "HttpResponse",
+    "MAIL_PORTS",
+    "MailServer",
+    "RotatingAZone",
+    "SiteLibrary",
+    "TransparentProxy",
+    "WebServer",
+]

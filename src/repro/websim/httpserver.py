@@ -1,0 +1,174 @@
+"""Web server node types: origin servers, static pages, transparent proxies."""
+
+from repro.dnswire.name import normalize_name
+from repro.netsim.network import Node
+from repro.websim.http import HttpResponse
+from repro.websim.pages import error_page
+
+
+class WebServer(Node):
+    """An origin server hosting a fixed set of domains.
+
+    Requests for a hosted domain get that domain's canonical page from the
+    site library; requests with any other Host header get a 404 error page
+    — which is why bogus DNS answers pointing at unrelated-but-real web
+    servers end up in the paper's "HTTP Error" category.
+    """
+
+    def __init__(self, ip, site_library, hosted_domains=(),
+                 certificate=None, https=True):
+        super().__init__(ip)
+        self.site_library = site_library
+        self.hosted_domains = {normalize_name(d) for d in hosted_domains}
+        self.certificate = certificate
+        self.https = https
+
+    def hosts(self, domain):
+        return normalize_name(domain) in self.hosted_domains
+
+    def tcp_ports(self):
+        return frozenset((80, 443)) if self.https else frozenset((80,))
+
+    def tcp_banner(self, port, network=None):
+        if port in self.tcp_ports():
+            return "HTTP/1.1 400 Bad Request\r\nServer: Apache/2.2.22\r\n"
+        return None
+
+    def handle_http(self, request, network):
+        if request.scheme == "https" and not self.https:
+            return None
+        host = normalize_name(request.host)
+        if host in self.hosted_domains:
+            return HttpResponse(200, self.site_library.page_for(
+                host, request.path))
+        return HttpResponse(404, error_page(404))
+
+    def tls_certificate(self, sni, network=None):
+        if not self.https:
+            return None
+        return self.certificate
+
+
+class StaticPageServer(Node):
+    """Serves one fixed body (and status) for every request, regardless of
+    Host — censorship landing pages, parking lots, portals, router logins,
+    phishing pages, fake update sites all behave like this."""
+
+    def __init__(self, ip, body, status=200, certificate=None,
+                 https=False, server_header="nginx", redirect_to=None,
+                 extra_tcp_banners=None):
+        super().__init__(ip)
+        self.body = body
+        self.status = status
+        self.certificate = certificate
+        self.https = https or certificate is not None
+        self.server_header = server_header
+        self.redirect_to = redirect_to
+        self.extra_tcp_banners = dict(extra_tcp_banners or {})
+
+    def tcp_ports(self):
+        ports = {80}
+        if self.https:
+            ports.add(443)
+        ports.update(self.extra_tcp_banners)
+        return frozenset(ports)
+
+    def tcp_banner(self, port, network=None):
+        if port in self.extra_tcp_banners:
+            return self.extra_tcp_banners[port]
+        if port in (80, 443):
+            return "HTTP/1.1 %d\r\nServer: %s\r\n" % (
+                self.status, self.server_header)
+        return None
+
+    def handle_http(self, request, network):
+        if request.scheme == "https" and not self.https:
+            return None
+        if self.redirect_to is not None:
+            return HttpResponse.redirect(self.redirect_to)
+        return HttpResponse(self.status, self.body,
+                            headers={"Server": self.server_header})
+
+    def tls_certificate(self, sni, network=None):
+        return self.certificate
+
+
+class TransparentProxy(Node):
+    """Serves the *original* content for every requested domain (§4.3).
+
+    TLS-capable proxies present the genuine (CA-issued) certificate for the
+    requested SNI; HTTP-only proxies answer on port 80 only — clients using
+    them "risk disclosing sensible login credentials".
+    """
+
+    def __init__(self, ip, site_library, https=False, ca=None,
+                 web_domains=None):
+        super().__init__(ip)
+        self.site_library = site_library
+        self.https = https
+        self.ca = ca
+        # When given, only these domains have proxyable web content;
+        # anything else (e.g. bare mail hostnames) yields an error page.
+        self.web_domains = ({normalize_name(d) for d in web_domains}
+                            if web_domains is not None else None)
+        self._cert_cache = {}
+
+    def tcp_ports(self):
+        return frozenset((80, 443)) if self.https else frozenset((80,))
+
+    def tcp_banner(self, port, network=None):
+        if port in self.tcp_ports():
+            return "HTTP/1.1 200 OK\r\nVia: 1.1 proxy\r\n"
+        return None
+
+    def handle_http(self, request, network):
+        if request.scheme == "https" and not self.https:
+            return None
+        host = normalize_name(request.host)
+        if self.web_domains is not None and host not in self.web_domains \
+                and (not host.startswith("www.")
+                     or host[4:] not in self.web_domains):
+            return HttpResponse(404, error_page(404))
+        return HttpResponse(200, self.site_library.page_for(
+            host, request.path))
+
+    def tls_certificate(self, sni, network=None):
+        if not self.https or self.ca is None or sni is None:
+            return None
+        name = normalize_name(sni)
+        certificate = self._cert_cache.get(name)
+        if certificate is None:
+            certificate = self.ca.issue(name, san=(name, "www." + name))
+            self._cert_cache[name] = certificate
+        return certificate
+
+
+class ContentTransformServer(Node):
+    """Serves a transformed variant of the original page for selected
+    domains (ad injection / ad blanking / phishing form swaps), and
+    proxies the original for everything else."""
+
+    def __init__(self, ip, site_library, transform, target_domains=None,
+                 https=False, certificate=None):
+        super().__init__(ip)
+        self.site_library = site_library
+        self.transform = transform
+        self.target_domains = ({normalize_name(d) for d in target_domains}
+                               if target_domains is not None else None)
+        self.https = https
+        self.certificate = certificate
+
+    def tcp_ports(self):
+        return frozenset((80, 443)) if self.https else frozenset((80,))
+
+    def handle_http(self, request, network):
+        if request.scheme == "https" and not self.https:
+            return None
+        host = normalize_name(request.host)
+        original = self.site_library.page_for(host, request.path)
+        if self.target_domains is None or host in self.target_domains:
+            return HttpResponse(200, self.transform(original))
+        return HttpResponse(200, original)
+
+    def tls_certificate(self, sni, network=None):
+        return self.certificate

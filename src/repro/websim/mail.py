@@ -1,0 +1,87 @@
+"""Mail service simulation: IMAP/POP3/SMTP banner listeners.
+
+For the MX domain set the acquisition step connects to ports 143/110/25
+and records the greeting banners (§3.5).  Legitimate providers have
+recognisable banners; the suspicious mail hosts of §4.3 either present
+copied banners (possible sniffing) or generic ones.
+"""
+
+from repro.netsim.network import Node
+
+MAIL_PORTS = {"imap": 143, "pop3": 110, "smtp": 25}
+
+# Banner templates per provider, keyed by hostname prefix.
+PROVIDER_BANNERS = {
+    "gmail.com": {
+        "imap": "* OK Gimap ready for requests",
+        "pop3": "+OK Gpop ready",
+        "smtp": "220 smtp.gmail.com ESMTP ready",
+    },
+    "yandex.ru": {
+        "imap": "* OK Yandex IMAP4rev1 at mail.yandex.ru ready",
+        "pop3": "+OK POP Yandex server ready",
+        "smtp": "220 smtp.yandex.ru ESMTP (Want to use Yandex.Mail?)",
+    },
+    "outlook.com": {
+        "imap": "* OK The Microsoft Exchange IMAP4 service is ready.",
+        "pop3": "+OK The Microsoft Exchange POP3 service is ready.",
+        "smtp": "220 smtp-mail.outlook.com Microsoft ESMTP MAIL Service ready",
+    },
+    "yahoo.com": {
+        "imap": "* OK [CAPABILITY IMAP4rev1] IMAP4rev1 imapgate ready",
+        "pop3": "+OK hello from popgate",
+        "smtp": "220 smtp.mail.yahoo.com ESMTP ready",
+    },
+    "aim.com": {
+        "imap": "* OK IMAP4 server ready (AOL)",
+        "pop3": "+OK POP3 server ready (AOL)",
+        "smtp": "220 smtp.aim.com ESMTP AOL Mail",
+    },
+    "me.com": {
+        "imap": "* OK [CAPABILITY IMAP4rev1] mail.me.com ready",
+        "pop3": "+OK mail.me.com POP3 ready",
+        "smtp": "220 smtp.mail.me.com ESMTP ready",
+    },
+}
+
+GENERIC_BANNERS = {
+    "imap": "* OK Dovecot ready.",
+    "pop3": "+OK Dovecot ready.",
+    "smtp": "220 mail ESMTP Postfix",
+}
+
+
+def provider_for_hostname(hostname):
+    """Which mail provider a scanned MX hostname belongs to, or ``None``."""
+    lowered = hostname.lower()
+    for suffix in PROVIDER_BANNERS:
+        if lowered.endswith(suffix):
+            return suffix
+    return None
+
+
+def banners_for_provider(provider):
+    """The banner dict for a provider key (falls back to generic)."""
+    return PROVIDER_BANNERS.get(provider, GENERIC_BANNERS)
+
+
+class MailServer(Node):
+    """A host answering IMAP/POP3/SMTP with configurable banners."""
+
+    def __init__(self, ip, banners=None, provider=None, services=("imap",
+                                                                  "pop3",
+                                                                  "smtp")):
+        super().__init__(ip)
+        if banners is None:
+            banners = banners_for_provider(provider)
+        self.banners = dict(banners)
+        self.services = tuple(s for s in services if s in self.banners)
+
+    def tcp_ports(self):
+        return frozenset(MAIL_PORTS[s] for s in self.services)
+
+    def tcp_banner(self, port, network=None):
+        for service, service_port in MAIL_PORTS.items():
+            if port == service_port and service in self.services:
+                return self.banners[service]
+        return None

@@ -1,0 +1,277 @@
+"""Pages served by manipulated resolutions (§4.2 / §4.3).
+
+Every non-legitimate destination the paper catalogued is generated here:
+censorship landing pages (with the court/authority text fragments the
+labeler keys on), ISP blocking pages, parking lots, search redirects,
+error pages, captive portals and router logins, phishing clones (the
+PayPal page rebuilt from 46 ``<img>`` tags plus a credential form posting
+to a ``.php``), ad injections/replacements/blanking, and fake update pages
+serving malware downloaders.
+"""
+
+import random
+
+from repro.websim.html import HtmlPage
+
+# Country code -> (authority name, language tag) for censorship pages.
+CENSOR_AUTHORITIES = {
+    "CN": ("Ministry of Public Security", "zh"),
+    "IR": ("Working Group to Determine Instances of Criminal Content", "fa"),
+    "TR": ("Telekomunikasyon Iletisim Baskanligi (TIB)", "tr"),
+    "ID": ("Ministry of Communication and Information Technology", "id"),
+    "MY": ("Malaysian Communications and Multimedia Commission", "ms"),
+    "RU": ("Roskomnadzor", "ru"),
+    "IT": ("Autorita per le Garanzie nelle Comunicazioni", "it"),
+    "GR": ("Hellenic Gaming Commission", "el"),
+    "BE": ("Belgian Gaming Commission", "nl"),
+    "MN": ("Communications Regulatory Commission", "mn"),
+    "EE": ("Estonian Tax and Customs Board", "et"),
+    "IN": ("Department of Telecommunications", "hi"),
+    "TH": ("Ministry of Digital Economy and Society", "th"),
+    "VN": ("Ministry of Information and Communications", "vi"),
+    "SA": ("Communications and Information Technology Commission", "ar"),
+    "EG": ("National Telecom Regulatory Authority", "ar"),
+    "PK": ("Pakistan Telecommunication Authority", "ur"),
+    "AE": ("Telecommunications Regulatory Authority", "ar"),
+    "KR": ("Korea Communications Standards Commission", "ko"),
+    "DE": ("Bundesprufstelle", "de"),
+    "FR": ("ARJEL", "fr"),
+    "GB": ("Internet Watch Foundation", "en"),
+    "AU": ("Australian Communications and Media Authority", "en"),
+    "DZ": ("Autorite de Regulation", "ar"),
+    "MA": ("Agence Nationale de Reglementation", "ar"),
+    "TN": ("Agence Tunisienne d'Internet", "ar"),
+    "BY": ("Operational and Analytical Center", "ru"),
+    "KZ": ("Ministry of Information", "kk"),
+    "UZ": ("Uzbek Agency for Communications", "uz"),
+    "CO": ("Ministerio de Tecnologias", "es"),
+    "MX": ("Instituto Federal de Telecomunicaciones", "es"),
+    "BR": ("Conselho de Justica", "pt"),
+    "AR": ("Comision Nacional de Comunicaciones", "es"),
+    "PH": ("National Telecommunications Commission", "en"),
+}
+
+CENSOR_COUNTRIES = tuple(sorted(CENSOR_AUTHORITIES))
+
+
+def censorship_landing(country, variant=0):
+    """A censorship landing page for ``country``.
+
+    Carries the ``blocked by the order of ... court/authority`` text
+    fragment the paper's analysts used to distinguish censorship from
+    ordinary blocking.
+    """
+    authority, language = CENSOR_AUTHORITIES.get(
+        country, ("National Authority", "en"))
+    page = HtmlPage("Access Denied", language=language)
+    page.add_heading("Access to this website has been blocked")
+    page.add_paragraph(
+        "This website has been blocked by the order of the competent "
+        "court/authority (%s) in accordance with national law." % authority)
+    page.add_paragraph("Reference: %s-BLK-%04d" % (country, 1000 + variant))
+    page.add_image("/static/%s-seal.png" % country.lower(),
+                   alt="official seal")
+    return page.render()
+
+
+def isp_blocking_page(provider="SafeNet Shield", reason="malicious"):
+    """A non-governmental blocking page (parental control, AV, ISP)."""
+    page = HtmlPage("%s - Page Blocked" % provider)
+    page.add_heading("This page has been blocked")
+    reasons = {
+        "malicious": "The requested domain is associated with malware "
+                     "distribution and has been blocked to protect your "
+                     "computer.",
+        "adult": "The requested website is categorised as adult content "
+                 "and has been blocked by your content filter settings.",
+        "dating": "The requested website is categorised as dating and has "
+                  "been blocked by your content filter settings.",
+        "phishing": "The requested website has been reported as a phishing "
+                    "page.",
+    }
+    page.add_paragraph(reasons.get(reason, reasons["malicious"]))
+    page.add_paragraph("Protection provided by %s." % provider)
+    page.add_link("https://support.%s/unblock"
+                  % provider.lower().replace(" ", ""), "Request a review")
+    return page.render()
+
+
+def parking_page(domain, reseller="DomainMonetizer", seed=0):
+    """A domain-parking lot with sponsored links (ad monetization)."""
+    rng = random.Random("%s|%s|%s" % (seed, domain, reseller))
+    page = HtmlPage("%s - This domain may be for sale" % domain)
+    page.add_heading(domain)
+    page.add_paragraph("This domain is parked free, courtesy of %s."
+                       % reseller)
+    page.add_paragraph("The domain %s may be for sale by its owner!" % domain)
+    for i in range(8):
+        page.add_link("http://click.%s.example/r?pos=%d&k=%06d"
+                      % (reseller.lower(), i, rng.randint(0, 999999)),
+                      "Sponsored listing %d" % (i + 1))
+    page.add_script(src="http://park.%s.example/feed.js" % reseller.lower())
+    return page.render()
+
+
+def search_page(query="", provider="WebSearch"):
+    """A search-redirect page (NXDOMAIN monetization, §4.2 Search)."""
+    page = HtmlPage("%s - Search" % provider)
+    page.add_heading(provider)
+    page.add_form("/search", [("q", "text")], method="GET",
+                  submit_label="Search")
+    if query:
+        page.add_paragraph('Did you mean: <a href="/search?q=%s">%s</a>?'
+                           % (query, query))
+        page.add_paragraph("No results found for '%s'. "
+                           "Try the sponsored results below." % query)
+    for i in range(5):
+        page.add_link("http://ads.%s.example/c?slot=%d"
+                      % (provider.lower(), i), "Sponsored result %d" % (i + 1))
+    return page.render()
+
+
+def fake_search_with_ads(provider="Google"):
+    """Mimicry of a search page with ad banners under the search bar."""
+    page = HtmlPage(provider)
+    page.add_image("/logo.png", alt=provider)
+    page.add_form("/search", [("q", "text")], method="GET",
+                  submit_label="%s Search" % provider)
+    for i in range(3):
+        page.add_div('<a href="http://adclick.example/b%d">'
+                     '<img src="http://adclick.example/banner%d.gif" '
+                     'alt="ad"></a>' % (i, i), css_class="ad-banner")
+    page.add_script(src="http://adclick.example/inject.js")
+    return page.render()
+
+
+def error_page(status=404):
+    """A generic web-server error page (HTTP Error category)."""
+    reasons = {400: "Bad Request", 403: "Forbidden", 404: "Not Found",
+               500: "Internal Server Error", 502: "Bad Gateway",
+               503: "Service Unavailable"}
+    reason = reasons.get(status, "Error")
+    page = HtmlPage("%d %s" % (status, reason))
+    page.add_heading("%d %s" % (status, reason))
+    page.add_paragraph("The requested URL was not found on this server.")
+    page.add_raw("<hr><address>Apache/2.2.22 Server</address>")
+    return page.render()
+
+
+def captive_portal(operator="City Hotel", kind="hotel"):
+    """A captive-portal login (hotels, ISPs, educational institutions)."""
+    page = HtmlPage("%s - Network Login" % operator)
+    page.add_heading("Welcome to the %s network" % operator)
+    page.add_paragraph("Please log in to access the Internet.")
+    fields = {
+        "hotel": [("roomnumber", "text"), ("lastname", "text")],
+        "isp": [("customerid", "text"), ("password", "password")],
+        "edu": [("studentid", "text"), ("password", "password")],
+    }.get(kind, [("username", "text"), ("password", "password")])
+    page.add_form("/portal/login", fields, submit_label="Connect")
+    page.add_paragraph("By connecting you accept the terms of use.")
+    return page.render()
+
+
+ROUTER_VENDORS = ("TP-LINK", "ZyXEL")
+
+
+def router_login(vendor="TP-LINK", model=None):
+    """The web login page of consumer routing equipment.
+
+    91.7% of Login-category resolvers forwarded to router login pages of
+    two large manufacturers (§4.2) — these are the two shapes.
+    """
+    model = model or {"TP-LINK": "TL-WR841N", "ZyXEL": "P-660HN-T1A"}.get(
+        vendor, "WR-1000")
+    page = HtmlPage("%s %s - Login" % (vendor, model))
+    page.add_image("/img/%s-logo.gif" % vendor.lower(), alt=vendor)
+    page.add_heading("%s Router %s" % (vendor, model), level=2)
+    page.add_form("/userRpm/LoginRpm.htm",
+                  [("username", "text"), ("password", "password")],
+                  submit_label="Login")
+    page.add_script(code='var modelName="%s";document.forms[0]'
+                         '.username.focus();' % model)
+    return page.render()
+
+
+def camera_login(brand="NetCam"):
+    """The web interface of an IP-based camera (the 574 IPs of §4.1)."""
+    page = HtmlPage("%s IP Camera" % brand)
+    page.add_heading("%s Network Camera" % brand)
+    page.add_form("/cgi-bin/login.cgi",
+                  [("user", "text"), ("pwd", "password")],
+                  submit_label="Sign in")
+    page.add_script(code="checkActiveX('%sViewer');" % brand)
+    return page.render()
+
+
+def webmail_login(provider="ISP Webmail"):
+    page = HtmlPage("%s - Sign In" % provider)
+    page.add_heading(provider)
+    page.add_form("/mail/login", [("email", "text"),
+                                  ("password", "password")],
+                  submit_label="Sign in")
+    return page.render()
+
+
+def phishing_paypal():
+    """The PayPal phishing page of §4.3: the body consists of 46 ``<img>``
+    tags reproducing the website plus an HTML form forwarding credentials
+    to a ``.php`` file via HTTP POST."""
+    page = HtmlPage("PayPal - Log In")
+    for i in range(46):
+        page.add_image("slices/paypal_%02d.jpg" % i, alt="")
+    page.add_form("gate/collect.php",
+                  [("login_email", "text"), ("login_password", "password")],
+                  method="POST", submit_label="Log In")
+    return page.render()
+
+
+def phishing_bank(original_html, collector="conferma.php"):
+    """A bank-clone phish: the original page with its form action swapped
+    to the attacker's collector script (§4.3 Italian bank case)."""
+    swapped = original_html
+    marker = '<form action="'
+    start = swapped.find(marker)
+    if start >= 0:
+        end = swapped.find('"', start + len(marker))
+        swapped = swapped[:start + len(marker)] + collector + swapped[end:]
+    return swapped
+
+
+def inject_ad_banner(original_html, ad_host="ads-served.example"):
+    """Inject an ad banner div right after <body> (§4.3 ad injections)."""
+    injected = ('<div class="injected-banner"><a href="http://%s/click">'
+                '<img src="http://%s/banner.gif" alt="ad"></a></div>'
+                % (ad_host, ad_host))
+    return original_html.replace("<body>", "<body>" + injected, 1)
+
+
+def inject_ad_script(original_html, ad_host="ads-served.example"):
+    """Serve suspicious JavaScript in place of ad content."""
+    injected = '<script src="http://%s/deliver.js"></script>' % ad_host
+    return original_html.replace("<body>", "<body>" + injected, 1)
+
+
+def blank_ads(original_html):
+    """Replace ad markup with empty placeholders (the ad-blocking IPs)."""
+    import re
+    blanked = re.sub(r"<ins[^>]*>.*?</ins>",
+                     '<div class="blocked-ad-placeholder"></div>',
+                     original_html)
+    blanked = re.sub(r"<script src=\"[^\"]*(ads|pagead)[^\"]*\"></script>",
+                     "<!-- ad removed -->", blanked)
+    return blanked
+
+
+def malware_update_page(product="Adobe Flash Player"):
+    """A fake update page pushing a malicious installer (§4.3 Malware)."""
+    page = HtmlPage("%s Update Required" % product)
+    page.add_heading("Critical update available")
+    page.add_paragraph("Your version of %s is out of date and may be "
+                       "insecure. Install the latest update to continue."
+                       % product)
+    page.add_image("/img/%s.png" % product.split()[0].lower(), alt=product)
+    page.add_link("/downloads/update_installer.exe", "Install update now")
+    page.add_script(code="setTimeout(function(){window.location="
+                         "'/downloads/update_installer.exe';},3000);")
+    return page.render()

@@ -1,0 +1,245 @@
+"""Legitimate site content for every scanned domain.
+
+Each domain gets a deterministic, category-shaped page: banks have login
+forms and security notices, ad providers are script-heavy, Alexa-top sites
+have wide navigation and many resources.  These pages are the ground truth
+the pipeline's fine-grained diff clustering compares manipulated responses
+against, so they need enough structure (tags, titles, scripts, links) for
+the seven distance features to be meaningful.
+"""
+
+import random
+
+from repro.datasets.domains import (
+    CATEGORY_ADS,
+    CATEGORY_ADULT,
+    CATEGORY_ALEXA,
+    CATEGORY_ANTIVIRUS,
+    CATEGORY_BANKING,
+    CATEGORY_DATING,
+    CATEGORY_FILESHARING,
+    CATEGORY_GAMBLING,
+    CATEGORY_MALWARE,
+    CATEGORY_MISC,
+    CATEGORY_TRACKING,
+)
+from repro.websim.html import HtmlPage
+
+_WORDS = (
+    "service online secure account network global digital fast premium "
+    "trusted community content stream update portal system user customer "
+    "partner business enterprise report world news market team support "
+    "center official page info access member welcome"
+).split()
+
+
+def _sentence(rng, length=10):
+    words = " ".join(rng.choice(_WORDS) for __ in range(length))
+    return words.capitalize() + "."
+
+
+def _brand(domain):
+    label = domain.split(".")[0]
+    return label.replace("-", " ").title()
+
+
+class SiteLibrary:
+    """Renders (and caches) the canonical page for each domain."""
+
+    def __init__(self, seed=0):
+        self._seed = seed
+        self._cache = {}
+        self._category = {}
+
+    def set_category(self, domain, category):
+        """Record a domain's category so its page takes the right shape."""
+        self._category[domain.lower()] = category
+
+    def page_for(self, domain, path="/"):
+        """The canonical HTML for ``domain`` (path currently uniform)."""
+        key = (domain.lower(), path)
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = self._render(domain.lower())
+            self._cache[key] = cached
+        return cached
+
+    # -- rendering -----------------------------------------------------------
+
+    def _render(self, domain):
+        rng = random.Random("%s|%s" % (self._seed, domain))
+        category = self._category.get(domain, CATEGORY_MISC)
+        builder = _CATEGORY_BUILDERS.get(category, _generic_site)
+        return builder(domain, rng)
+
+
+def _common_chrome(page, domain, rng, nav_count=5):
+    """Header/nav/footer shared by most site shapes."""
+    page.add_stylesheet("https://%s/static/main.css" % domain)
+    page.add_head_script(src="https://%s/static/app.js" % domain)
+    brand = _brand(domain)
+    page.add_heading(brand)
+    links = [("https://%s/%s" % (domain, rng.choice(_WORDS)),
+              rng.choice(_WORDS).title()) for __ in range(nav_count)]
+    page.add_nav(links)
+    return brand
+
+
+def _generic_site(domain, rng):
+    page = HtmlPage("%s - Official Site" % _brand(domain))
+    _common_chrome(page, domain, rng)
+    for __ in range(rng.randint(3, 7)):
+        page.add_paragraph(_sentence(rng, rng.randint(8, 16)))
+    page.add_image("https://%s/static/logo.png" % domain, alt="logo")
+    page.add_script(code="var pageId=%d;init('%s');"
+                    % (rng.randint(1000, 9999), domain))
+    page.add_div("&copy; %s" % _brand(domain), css_class="footer")
+    return page.render()
+
+
+def _banking_site(domain, rng):
+    page = HtmlPage("%s Online Banking - Log In" % _brand(domain))
+    _common_chrome(page, domain, rng, nav_count=4)
+    page.add_paragraph("Welcome to %s online banking. "
+                       "Please sign in to access your accounts."
+                       % _brand(domain))
+    page.add_form("https://%s/login" % domain,
+                  [("username", "text"), ("password", "password")],
+                  submit_label="Log In")
+    page.add_paragraph("Security notice: we will never ask for your PIN "
+                       "by email.")
+    page.add_image("https://%s/static/padlock.png" % domain, alt="secure")
+    page.add_script(code="antiFraudToken='%08x';" % rng.getrandbits(32))
+    page.add_link("https://%s/security" % domain, "Security Center")
+    return page.render()
+
+
+def _ads_site(domain, rng):
+    page = HtmlPage("%s Advertising Platform" % _brand(domain))
+    page.add_head_script(src="https://%s/tag/adsbygoogle.js" % domain)
+    page.add_heading(_brand(domain))
+    for i in range(rng.randint(3, 6)):
+        page.add_script(code="adSlot(%d,'%s');" % (i, domain))
+    page.add_div('<ins class="adsbyprovider" data-slot="%d"></ins>'
+                 % rng.randint(100, 999), css_class="ad-container")
+    page.add_paragraph(_sentence(rng))
+    page.add_script(src="https://%s/pagead/show_ads.js" % domain)
+    return page.render()
+
+
+def _alexa_site(domain, rng):
+    page = HtmlPage(_brand(domain))
+    _common_chrome(page, domain, rng, nav_count=8)
+    for __ in range(rng.randint(5, 10)):
+        page.add_paragraph(_sentence(rng, rng.randint(10, 20)))
+    for i in range(rng.randint(4, 8)):
+        page.add_image("https://%s/img/item%d.jpg" % (domain, i),
+                       alt="item %d" % i)
+    page.add_script(code="window.__initial_state={page:'%s'};" % domain)
+    page.add_script(src="https://%s/js/runtime.js" % domain)
+    for __ in range(rng.randint(5, 12)):
+        page.add_link("https://%s/%s/%s"
+                      % (domain, rng.choice(_WORDS), rng.choice(_WORDS)),
+                      _sentence(rng, 3)[:-1])
+    return page.render()
+
+
+def _antivirus_site(domain, rng):
+    page = HtmlPage("%s - Antivirus Protection and Updates" % _brand(domain))
+    _common_chrome(page, domain, rng)
+    page.add_paragraph("Download the latest virus definition updates.")
+    page.add_table([("Definition set", "Version", "Released")]
+                   + [("core-%d" % i, "1.%d.%d" % (i, rng.randint(0, 99)),
+                       "2015-01-%02d" % rng.randint(1, 28))
+                      for i in range(4)])
+    page.add_link("https://%s/downloads/update.exe" % domain,
+                  "Download update")
+    page.add_script(code="checkDefinitions('%s');" % domain)
+    return page.render()
+
+
+def _adult_site(domain, rng):
+    page = HtmlPage("%s - Adults Only (18+)" % _brand(domain))
+    page.add_heading(_brand(domain))
+    page.add_paragraph("You must be 18 or older to enter this website.")
+    page.add_form("https://%s/verify" % domain, [("birthyear", "text")],
+                  submit_label="Enter")
+    for i in range(rng.randint(6, 12)):
+        page.add_image("https://%s/thumbs/%d.jpg" % (domain, i),
+                       alt="preview")
+    page.add_script(src="https://%s/player/embed.js" % domain)
+    return page.render()
+
+
+def _dating_site(domain, rng):
+    page = HtmlPage("%s - Meet Singles Online" % _brand(domain))
+    _common_chrome(page, domain, rng, nav_count=4)
+    page.add_paragraph("Join millions of singles and find your match.")
+    page.add_form("https://%s/signup" % domain,
+                  [("email", "text"), ("password", "password"),
+                   ("age", "text")], submit_label="Join Free")
+    for i in range(rng.randint(3, 6)):
+        page.add_image("https://%s/profiles/p%d.jpg" % (domain, i),
+                       alt="member")
+    return page.render()
+
+
+def _filesharing_site(domain, rng):
+    page = HtmlPage("%s - Search Torrents" % _brand(domain))
+    page.add_heading(_brand(domain))
+    page.add_form("https://%s/search" % domain, [("q", "text")],
+                  method="GET", submit_label="Search")
+    page.add_table([("Name", "Size", "Seeders")]
+                   + [(_sentence(rng, 4)[:-1],
+                       "%d MB" % rng.randint(100, 4000),
+                       str(rng.randint(0, 5000))) for __ in range(8)])
+    for i in range(3):
+        page.add_link("magnet:?xt=urn:btih:%040x" % rng.getrandbits(160),
+                      "magnet %d" % i)
+    return page.render()
+
+
+def _gambling_site(domain, rng):
+    page = HtmlPage("%s - Sports Betting and Casino" % _brand(domain))
+    _common_chrome(page, domain, rng, nav_count=6)
+    page.add_paragraph("Live odds, casino, and poker. Bet responsibly.")
+    page.add_table([("Match", "1", "X", "2")]
+                   + [(_sentence(rng, 3)[:-1],
+                       "%.2f" % (1 + rng.random() * 4),
+                       "%.2f" % (2 + rng.random() * 3),
+                       "%.2f" % (1 + rng.random() * 6)) for __ in range(6)])
+    page.add_script(code="liveOddsSocket('%s');" % domain)
+    return page.render()
+
+
+def _malware_site(domain, rng):
+    # What a sinkholed / barebones C2 domain typically serves: next to
+    # nothing, or a default server page.
+    page = HtmlPage("Index of /")
+    page.add_paragraph("It works!")
+    return page.render()
+
+
+def _tracking_site(domain, rng):
+    page = HtmlPage("%s Device Intelligence" % _brand(domain))
+    page.add_heading(_brand(domain))
+    page.add_paragraph("Device identification and fraud prevention APIs.")
+    page.add_script(code="(function(){var fp=collectFingerprint();"
+                         "beacon('https://%s/c.gif?fp='+fp);})();" % domain)
+    page.add_image("https://%s/c.gif" % domain, alt="")
+    return page.render()
+
+
+_CATEGORY_BUILDERS = {
+    CATEGORY_ADS: _ads_site,
+    CATEGORY_ADULT: _adult_site,
+    CATEGORY_ALEXA: _alexa_site,
+    CATEGORY_ANTIVIRUS: _antivirus_site,
+    CATEGORY_BANKING: _banking_site,
+    CATEGORY_DATING: _dating_site,
+    CATEGORY_FILESHARING: _filesharing_site,
+    CATEGORY_GAMBLING: _gambling_site,
+    CATEGORY_MALWARE: _malware_site,
+    CATEGORY_MISC: _generic_site,
+    CATEGORY_TRACKING: _tracking_site,
+}

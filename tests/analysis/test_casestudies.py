@@ -1,0 +1,105 @@
+"""Tests for the §4.3 case-study extraction."""
+
+import pytest
+
+from repro.analysis.casestudies import case_study_summary, \
+    format_case_studies
+from repro.core.acquisition import HttpCapture, MailCapture
+from repro.core.labeling import (
+    LABEL_LOGIN,
+    LABEL_MISC,
+    LabeledCapture,
+    SUBLABEL_AD_INJECTION,
+    SUBLABEL_MALWARE,
+    SUBLABEL_PHISHING,
+    SUBLABEL_PROXY,
+)
+from repro.core.pipeline import PipelineReport
+from repro.websim import pages
+
+
+def labeled(domain, ip, resolver, label, sublabel=None, body="x"):
+    capture = HttpCapture(domain, ip, resolver, status=200, body=body)
+    return LabeledCapture(capture, label, sublabel)
+
+
+def make_report():
+    report = PipelineReport()
+    inject_body = pages.inject_ad_banner(
+        "<html><body><p>site</p></body></html>")
+    report.labeled = [
+        labeled("doubleclick.net", "9.0.0.1", "r1", LABEL_MISC,
+                SUBLABEL_AD_INJECTION, body=inject_body),
+        labeled("doubleclick.net", "9.0.0.1", "r2", LABEL_MISC,
+                SUBLABEL_AD_INJECTION, body=inject_body),
+        # Cluster-label spillover without the signature: not counted.
+        labeled("adnxs.com", "9.0.0.5", "r3", LABEL_MISC,
+                SUBLABEL_AD_INJECTION, body="<html>plain</html>"),
+        labeled("paypal.com", "9.0.1.1", "r4", LABEL_MISC,
+                SUBLABEL_PHISHING, body=pages.phishing_paypal()),
+        labeled("bank.example", "9.0.1.2", "r5", LABEL_MISC,
+                SUBLABEL_PHISHING),
+        labeled("get.adobe.com", "9.0.2.1", "r6", LABEL_MISC,
+                SUBLABEL_MALWARE, body=pages.malware_update_page()),
+        labeled("example.com", "9.0.3.1", "r7", LABEL_MISC,
+                SUBLABEL_PROXY),
+        labeled("example.com", "9.0.3.2", "r8", LABEL_MISC,
+                SUBLABEL_PROXY),
+        labeled("x.example", "9.0.4.1", "r9", LABEL_LOGIN),
+    ]
+    report.mail_captures = [
+        MailCapture("imap.gmail.com", "9.0.5.1", "r10",
+                    {"imap": "* OK Dovecot ready."}),
+        MailCapture("imap.gmail.com", "9.0.5.2", "r11",
+                    {"imap": "* OK Gimap ready for requests"}),
+        MailCapture("imap.gmail.com", "9.0.5.3", "r12", {}),
+    ]
+    return report
+
+
+class TestCaseStudySummary:
+    def test_ad_injection_requires_signature(self):
+        summary = case_study_summary(make_report())
+        assert summary["ad_injection"]["resolvers"] == 2
+        assert summary["ad_injection"]["ips"] == 1
+
+    def test_phishing_groups(self):
+        summary = case_study_summary(make_report())
+        assert summary["phishing"]["resolvers"] == 2
+        assert summary["phishing_paypal"]["resolvers"] == 1
+        assert summary["phishing_paypal"]["img_tags"] == 46
+        assert summary["phishing_paypal"]["posts_to_php"]
+        assert summary["phishing_bank"]["resolvers"] == 1
+
+    def test_malware(self):
+        summary = case_study_summary(make_report())
+        assert summary["malware"]["resolvers"] == 1
+
+    def test_proxies_without_network(self):
+        summary = case_study_summary(make_report())
+        assert summary["proxy_all"]["resolvers"] == 2
+
+    def test_proxy_split_with_network(self, mini):
+        from repro.websim import TransparentProxy
+        mini.network.register(TransparentProxy(
+            "9.0.3.1", mini.sites, https=True, ca=mini.ca))
+        mini.network.register(TransparentProxy("9.0.3.2", mini.sites,
+                                               https=False))
+        summary = case_study_summary(make_report(),
+                                     network=mini.network)
+        assert summary["proxy_tls"]["resolvers"] == 1
+        assert summary["proxy_http_only"]["resolvers"] == 1
+
+    def test_mail_classification(self):
+        summary = case_study_summary(make_report())
+        assert summary["mail_listeners"]["resolvers"] == 2
+        assert summary["mail_banner_copies"]["resolvers"] == 1
+
+    def test_login_group(self):
+        summary = case_study_summary(make_report())
+        assert summary["login"]["resolvers"] == 1
+
+    def test_format(self):
+        text = format_case_studies(case_study_summary(make_report()))
+        assert "phishing_paypal" in text
+        assert "mail_listeners" in text

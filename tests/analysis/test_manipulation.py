@@ -1,0 +1,173 @@
+"""Tests for §4 analyses: Table 5, Figure 4, coverage, case studies."""
+
+import pytest
+
+from repro.analysis.manipulation import (
+    censorship_coverage,
+    classification_table,
+    gfw_double_responses,
+    legit_addresses_from_report,
+    prefilter_summary,
+    social_geography,
+    suspicious_behavior_stats,
+)
+from repro.core.acquisition import HttpCapture
+from repro.core.labeling import (
+    LABEL_CENSORSHIP,
+    LABEL_HTTP_ERROR,
+    CATEGORY_LABELS,
+)
+from repro.core.labeling import LabeledCapture
+from repro.core.pipeline import PipelineReport
+from repro.core.prefilter import PrefilterResult, ResponseTuple
+from repro.inetmodel import (
+    AsRegistry,
+    AutonomousSystem,
+    GeoIpDatabase,
+    PrefixAllocator,
+)
+from repro.scanner.domainscan import DnsObservation
+
+
+def make_geo():
+    allocator = PrefixAllocator()
+    registry = AsRegistry()
+    prefixes = {}
+    for asn, country in ((64500, "CN"), (64501, "IR"), (64502, "US")):
+        prefix = allocator.allocate(24)
+        registry.add(AutonomousSystem(asn, country, country,
+                                      prefixes=[prefix]))
+        prefixes[country] = prefix
+    return GeoIpDatabase(registry), prefixes
+
+
+def labeled(domain, ip, resolver, label, sublabel=None):
+    capture = HttpCapture(domain, ip, resolver, status=200, body="x")
+    return LabeledCapture(capture, label, sublabel)
+
+
+def report_with(observations=(), unknown=(), legitimate=(), labels=()):
+    report = PipelineReport()
+    report.observations = list(observations)
+    report.prefilter = PrefilterResult()
+    report.prefilter.observations = len(report.observations)
+    report.prefilter.unknown = [ResponseTuple(*t) for t in unknown]
+    report.prefilter.legitimate = [ResponseTuple(*t) for t in legitimate]
+    report.labeled = list(labels)
+    return report
+
+
+class TestClassificationTable:
+    def test_avg_and_max(self):
+        labels = (
+            # domain a: 2 resolvers censored, 2 error.
+            [labeled("a.com", "1.1.1.1", "r%d" % i, LABEL_CENSORSHIP)
+             for i in range(2)]
+            + [labeled("a.com", "2.2.2.2", "r%d" % i, LABEL_HTTP_ERROR)
+               for i in range(2, 4)]
+            # domain b: 1 resolver, error only.
+            + [labeled("b.com", "2.2.2.2", "r9", LABEL_HTTP_ERROR)]
+        )
+        table = classification_table({"Test": report_with(labels=labels)})
+        rows = table["Test"]
+        assert rows[LABEL_CENSORSHIP]["avg_pct"] == pytest.approx(25.0)
+        assert rows[LABEL_CENSORSHIP]["max_pct"] == pytest.approx(50.0)
+        assert rows[LABEL_HTTP_ERROR]["avg_pct"] == pytest.approx(75.0)
+        assert rows[LABEL_HTTP_ERROR]["max_pct"] == pytest.approx(100.0)
+        for label in CATEGORY_LABELS:
+            assert label in rows
+
+    def test_empty_report(self):
+        table = classification_table({"Empty": report_with()})
+        assert table["Empty"][LABEL_CENSORSHIP]["avg_pct"] == 0.0
+
+
+class TestFig4AndCoverage:
+    def make_report(self, prefixes):
+        cn = [prefixes["CN"].address_at(i) for i in range(5)]
+        ir = [prefixes["IR"].address_at(i) for i in range(2)]
+        us = [prefixes["US"].address_at(i) for i in range(3)]
+        observations = [DnsObservation("facebook.com", ip, 0, ["9.9.9.9"])
+                        for ip in cn + ir + us]
+        unknown = [("facebook.com", "9.9.9.9", ip) for ip in cn + ir]
+        return report_with(observations=observations, unknown=unknown)
+
+    def test_social_geography(self):
+        geoip, prefixes = make_geo()
+        report = self.make_report(prefixes)
+        fig4 = social_geography(report, geoip, ["facebook.com"])
+        all_shares = dict(fig4.all_shares())
+        assert all_shares["CN"] == pytest.approx(50.0)
+        unexpected = dict(fig4.unexpected_shares())
+        assert unexpected["CN"] == pytest.approx(100 * 5 / 7)
+        assert "US" not in unexpected
+
+    def test_coverage(self):
+        geoip, prefixes = make_geo()
+        report = self.make_report(prefixes)
+        coverage = censorship_coverage(report, geoip, ["facebook.com"],
+                                       "CN")
+        assert coverage["coverage_pct"] == pytest.approx(100.0)
+        us_coverage = censorship_coverage(report, geoip,
+                                          ["facebook.com"], "US")
+        assert us_coverage["coverage_pct"] == 0.0
+
+
+class TestGfwDoubleResponses:
+    def test_detection(self):
+        geoip, prefixes = make_geo()
+        cn_ip = prefixes["CN"].address_at(1)
+        cn_ip2 = prefixes["CN"].address_at(2)
+        legit = {"facebook.com": {"31.13.0.1"}}
+        observations = [
+            # Forged first, legit second: the GFW-immune signature.
+            DnsObservation("facebook.com", cn_ip, 0, ["6.6.6.6"],
+                           all_responses=[(0, ["6.6.6.6"]),
+                                          (0, ["31.13.0.1"])]),
+            # Forged twice (poisoned resolver): not a double responder.
+            DnsObservation("facebook.com", cn_ip2, 0, ["6.6.6.6"],
+                           all_responses=[(0, ["6.6.6.6"]),
+                                          (0, ["7.7.7.7"])]),
+        ]
+        report = report_with(observations=observations)
+        stats = gfw_double_responses(report, geoip, legit)
+        assert stats["country_resolvers"] == 2
+        assert stats["double_response_resolvers"] == 1
+        assert stats["share_pct"] == pytest.approx(50.0)
+
+    def test_legit_addresses_from_report(self):
+        report = report_with(
+            legitimate=[("a.com", "1.1.1.1", "r1"),
+                        ("a.com", "1.1.1.2", "r2")])
+        legit = legit_addresses_from_report(report)
+        assert legit == {"a.com": {"1.1.1.1", "1.1.1.2"}}
+
+
+class TestSuspiciousStats:
+    def test_self_ip_and_static(self):
+        unknown = [
+            # r1 returns itself for every domain.
+            ("a.com", "10.0.0.1", "10.0.0.1"),
+            ("b.com", "10.0.0.1", "10.0.0.1"),
+            # r2 returns the same single IP for two domains: static.
+            ("a.com", "9.9.9.9", "10.0.0.2"),
+            ("b.com", "9.9.9.9", "10.0.0.2"),
+            # r3 returns different IPs per domain.
+            ("a.com", "8.8.8.8", "10.0.0.3"),
+            ("b.com", "7.7.7.7", "10.0.0.3"),
+        ]
+        report = report_with(unknown=unknown)
+        stats = suspicious_behavior_stats({"Set1": report})
+        assert stats["suspicious_resolvers"] == 3
+        assert stats["self_ip_any_share_pct"] == pytest.approx(100 / 3)
+        assert stats["self_ip_most_sets"] == 1
+        assert stats["static_single_share_pct"] == pytest.approx(
+            2 * 100 / 3)
+
+    def test_prefilter_summary(self):
+        report = report_with(
+            observations=[DnsObservation("a.com", "r", 0, ["1.1.1.1"])],
+            unknown=[("a.com", "1.1.1.1", "r")])
+        summary = prefilter_summary(report)
+        assert summary["unknown_tuples"] == 1
+        assert summary["suspicious_resolvers"] == 1

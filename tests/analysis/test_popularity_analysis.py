@@ -1,0 +1,46 @@
+"""Tests for aggregating popularity estimates (extension analysis)."""
+
+from repro.scanner.popularity import (
+    CLASS_HEAVY,
+    CLASS_IDLE,
+    CLASS_LIGHT,
+    CLASS_MODERATE,
+    PopularityEstimate,
+)
+
+
+def summarize(estimates):
+    """Aggregate popularity classes (mirrors what an analysis of a
+    population-wide fine-grained survey reports)."""
+    counts = {}
+    for estimate in estimates:
+        cls = estimate.popularity_class
+        counts[cls] = counts.get(cls, 0) + 1
+    total = len(estimates) or 1
+    return {cls: count / total for cls, count in counts.items()}
+
+
+def test_summary_shares():
+    estimates = (
+        [PopularityEstimate("1.0.0.%d" % i, [2.0], ["com"], 1)
+         for i in range(2)]
+        + [PopularityEstimate("2.0.0.%d" % i, [200.0], ["com"], 1)
+           for i in range(3)]
+        + [PopularityEstimate("3.0.0.%d" % i, [], ["com"], 0)
+           for i in range(5)]
+    )
+    shares = summarize(estimates)
+    assert shares[CLASS_HEAVY] == 0.2
+    assert shares[CLASS_MODERATE] == 0.3
+    assert shares[CLASS_IDLE] == 0.5
+
+
+def test_boundaries():
+    assert PopularityEstimate("x", [10.0], ["com"],
+                              1).popularity_class == CLASS_HEAVY
+    assert PopularityEstimate("x", [10.1], ["com"],
+                              1).popularity_class == CLASS_MODERATE
+    assert PopularityEstimate("x", [600.0], ["com"],
+                              1).popularity_class == CLASS_MODERATE
+    assert PopularityEstimate("x", [600.1], ["com"],
+                              1).popularity_class == CLASS_LIGHT

@@ -1,0 +1,118 @@
+"""Tests for the Table 3 and Table 4 analyses."""
+
+import pytest
+
+from repro.analysis.devices import device_table, format_device_table, \
+    share_of
+from repro.analysis.software import (
+    SoftwareVersionMatcher,
+    format_software_table,
+    software_table,
+)
+from repro.scanner.chaos import (
+    ChaosObservation,
+    OUTCOME_ERROR,
+    OUTCOME_HIDDEN,
+    OUTCOME_NO_VERSION,
+    OUTCOME_VERSION,
+)
+
+
+class TestVersionMatcher:
+    @pytest.mark.parametrize("text,expected", [
+        ("9.8.2rc1-RedHat-9.8.2-0.17.rc1.el6", ("BIND", "9.8.2")),
+        ("9.3.6-P1-RedHat-9.3.6-20.P1.el5", ("BIND", "9.3.6")),
+        ("9.9.5-3ubuntu0.1-Ubuntu", ("BIND", "9.9.5")),
+        ("unbound 1.4.22", ("Unbound", "1.4.22")),
+        ("dnsmasq-2.40", ("Dnsmasq", "2.40")),
+        ("PowerDNS Recursor 3.5.3", ("PowerDNS", "3.5.3")),
+        ("Microsoft DNS 6.1.7601 (1DB15D39)", ("MS DNS", "6.1.7601")),
+        ("Nominum Vantio 3.0.5", ("Nominum", "3.0.5")),
+    ])
+    def test_known_strings(self, text, expected):
+        assert SoftwareVersionMatcher().match(text) == expected
+
+    @pytest.mark.parametrize("text", [
+        "Go away!", "none", "", None, "sorry", "[secured]",
+    ])
+    def test_hidden_strings_rejected(self, text):
+        assert SoftwareVersionMatcher().match(text) is None
+
+
+class TestSoftwareTable:
+    def observations(self):
+        return (
+            [ChaosObservation("1.0.0.%d" % i, OUTCOME_ERROR)
+             for i in range(40)]
+            + [ChaosObservation("2.0.0.%d" % i, OUTCOME_NO_VERSION)
+               for i in range(5)]
+            + [ChaosObservation("3.0.0.%d" % i, OUTCOME_HIDDEN, "none")
+               for i in range(20)]
+            + [ChaosObservation("4.0.0.%d" % i, OUTCOME_VERSION,
+                                "9.8.2rc1-RedHat") for i in range(20)]
+            + [ChaosObservation("5.0.0.%d" % i, OUTCOME_VERSION,
+                                "unbound 1.4.22") for i in range(15)]
+        )
+
+    def test_shares(self):
+        table = software_table(self.observations())
+        assert table["responding"] == 100
+        assert table["error_share_pct"] == pytest.approx(40.0)
+        assert table["no_version_share_pct"] == pytest.approx(5.0)
+        assert table["hidden_share_pct"] == pytest.approx(20.0)
+        assert table["version_share_pct"] == pytest.approx(35.0)
+
+    def test_rows_ranked_by_leaking_share(self):
+        table = software_table(self.observations())
+        assert table["rows"][0]["software"] == "BIND 9.8.2"
+        assert table["rows"][0]["share_pct"] == pytest.approx(
+            100 * 20 / 35)
+        assert table["rows"][1]["software"] == "Unbound 1.4.22"
+
+    def test_format(self):
+        text = format_software_table(software_table(self.observations()))
+        assert "BIND 9.8.2" in text
+
+
+class TestDeviceTable:
+    def classifications(self):
+        return {
+            "1.0.0.1": ("Router", "ZyNOS", "ZyXEL"),
+            "1.0.0.2": ("Router", "Linux", "TP-LINK"),
+            "1.0.0.3": ("Embedded", "Others", None),
+            "1.0.0.4": ("Unknown", "Unknown", None),
+            "1.0.0.5": ("NAS", "Linux", "Synology"),
+            "1.0.0.6": ("DSLAM", "Others", "Zhone"),
+            "1.0.0.7": ("Server", "CentOS", None),
+        }
+
+    def test_hardware_grouping(self):
+        table = device_table(self.classifications())
+        # NAS + DSLAM + Server roll into Others (Table 4 columns).
+        assert share_of(table, "hardware", "Others") == pytest.approx(
+            100 * 3 / 7)
+        assert share_of(table, "hardware", "Router") == pytest.approx(
+            100 * 2 / 7)
+
+    def test_os_shares(self):
+        table = device_table(self.classifications())
+        assert share_of(table, "os", "Linux") == pytest.approx(
+            100 * 2 / 7)
+        assert share_of(table, "os", "ZyNOS") == pytest.approx(100 / 7)
+
+    def test_tcp_responding_share(self):
+        table = device_table(self.classifications(), total_scanned=70)
+        assert table["tcp_responding_share_pct"] == pytest.approx(10.0)
+
+    def test_vendor_counts(self):
+        table = device_table(self.classifications())
+        vendors = {row["name"] for row in table["vendors"]}
+        assert "ZyXEL" in vendors
+
+    def test_missing_share_is_zero(self):
+        table = device_table(self.classifications())
+        assert share_of(table, "hardware", "Toaster") == 0.0
+
+    def test_format(self):
+        assert "Router" in format_device_table(
+            device_table(self.classifications()))

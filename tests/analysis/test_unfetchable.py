@@ -1,0 +1,70 @@
+"""Tests for the §4.2 unfetchable-tuple breakdown and the behavior
+producing same-network answers."""
+
+import pytest
+
+from repro.analysis.manipulation import unfetchable_breakdown
+from repro.core.acquisition import HttpCapture
+from repro.core.pipeline import PipelineReport
+from repro.inetmodel import AsRegistry, AutonomousSystem, PrefixAllocator
+from repro.resolvers.behaviors import SameNetworkBehavior
+
+
+class FakeResolver:
+    def __init__(self, ip):
+        self.ip = ip
+
+
+class TestSameNetworkBehavior:
+    def test_answer_in_own_slash24(self):
+        behavior = SameNetworkBehavior(offset=200)
+        answer = behavior.answer(FakeResolver("77.1.2.3"), "x.com", None)
+        assert answer.addresses == ["77.1.2.200"]
+
+    def test_applies_to_every_domain(self):
+        behavior = SameNetworkBehavior()
+        for domain in ("a.com", "b.net"):
+            assert behavior.answer(FakeResolver("10.9.8.7"), domain,
+                                   None) is not None
+
+
+class TestUnfetchableBreakdown:
+    def make_report(self):
+        report = PipelineReport()
+        report.failed_captures = [
+            HttpCapture("a.com", "192.168.1.1", "77.1.2.3",
+                        failure="lan"),
+            HttpCapture("a.com", "10.0.0.1", "77.1.2.3", failure="lan"),
+            HttpCapture("b.com", "77.1.2.200", "77.1.2.3",
+                        failure="unreachable"),     # same /24
+            HttpCapture("c.com", "200.9.9.9", "77.1.2.3",
+                        failure="unreachable"),     # unrelated
+        ]
+        return report
+
+    def test_shares_without_registry(self):
+        stats = unfetchable_breakdown(self.make_report())
+        assert stats["unfetchable"] == 4
+        assert stats["lan_share_pct"] == pytest.approx(50.0)
+        assert stats["same_network_share_pct"] == pytest.approx(25.0)
+        assert stats["other_share_pct"] == pytest.approx(25.0)
+
+    def test_same_as_detected_with_registry(self):
+        allocator = PrefixAllocator(start="77.0.0.0")
+        prefix = allocator.allocate(16)
+        registry = AsRegistry()
+        registry.add(AutonomousSystem(64500, "ISP", "US",
+                                      prefixes=[prefix]))
+        report = PipelineReport()
+        report.failed_captures = [
+            # Different /24 but same AS as the resolver.
+            HttpCapture("a.com", "77.0.99.5", "77.0.1.3",
+                        failure="unreachable"),
+        ]
+        stats = unfetchable_breakdown(report, registry)
+        assert stats["same_network_share_pct"] == pytest.approx(100.0)
+
+    def test_empty_report(self):
+        stats = unfetchable_breakdown(PipelineReport())
+        assert stats["unfetchable"] == 0
+        assert stats["lan_share_pct"] == 0.0

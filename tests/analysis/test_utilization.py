@@ -1,0 +1,125 @@
+"""Tests for the §2.6 utilization classification."""
+
+import pytest
+
+from repro.analysis.utilization import (
+    CLASS_DECREASING,
+    CLASS_EMPTY,
+    CLASS_IDLE,
+    CLASS_IN_USE,
+    CLASS_RESETTING,
+    CLASS_SINGLE,
+    CLASS_STATIC_TTL,
+    CLASS_UNRESPONSIVE,
+    CLASS_ZERO_TTL,
+    classify_trace,
+    utilization_summary,
+)
+from repro.scanner.snooping import SnoopingTrace
+
+HOUR = 3600
+T = 172800  # the snooped TLDs' NS TTL
+
+
+def trace_from(series_by_tld):
+    trace = SnoopingTrace("1.2.3.4")
+    for tld, series in series_by_tld.items():
+        for timestamp, value in series:
+            trace.record(tld, timestamp, value)
+    return trace
+
+
+def decaying(start_ttl, hours, t0=0):
+    return [(t0 + h * HOUR, start_ttl - h * HOUR) for h in range(hours)]
+
+
+class TestClassification:
+    def test_unresponsive(self):
+        trace = trace_from({"com": [(0, None), (HOUR, None)]})
+        assert classify_trace(trace)[0] == CLASS_UNRESPONSIVE
+
+    def test_empty(self):
+        trace = trace_from({"com": [(0, "empty"), (HOUR, "empty")]})
+        assert classify_trace(trace)[0] == CLASS_EMPTY
+
+    def test_single(self):
+        trace = trace_from({
+            "com": [(0, T), (HOUR, None), (2 * HOUR, None)],
+            "de": [(0, T), (HOUR, None)],
+        })
+        assert classify_trace(trace)[0] == CLASS_SINGLE
+
+    def test_static_ttl(self):
+        trace = trace_from({"com": [(h * HOUR, 7200) for h in range(5)]})
+        assert classify_trace(trace)[0] == CLASS_STATIC_TTL
+
+    def test_zero_ttl(self):
+        trace = trace_from({"com": [(h * HOUR, 0) for h in range(5)]})
+        assert classify_trace(trace)[0] == CLASS_ZERO_TTL
+
+    def test_idle_decay_only(self):
+        trace = trace_from({"com": decaying(T, 10)})
+        assert classify_trace(trace)[0] == CLASS_DECREASING
+
+    def test_in_use_needs_three_tlds(self):
+        # A refresh: TTL expires between probes and comes back at ~full.
+        def refreshed_series():
+            return [(0, HOUR // 2),             # about to expire
+                    (HOUR, T - HOUR // 4)]      # re-added after expiry
+        two = trace_from({"com": refreshed_series(),
+                          "de": refreshed_series(),
+                          "fr": decaying(T, 2)})
+        assert classify_trace(two)[0] != CLASS_IN_USE
+        three = trace_from({"com": refreshed_series(),
+                            "de": refreshed_series(),
+                            "net": refreshed_series()})
+        cls, detail = classify_trace(three)
+        assert cls == CLASS_IN_USE
+        assert detail["refreshed_tlds"] == 3
+
+    def test_frequent_detection(self):
+        # Expiry at t=1800; re-add 2s later; observed at t=3600 the TTL
+        # is T - (3600 - 1802) = T - 1798.
+        series = [(0, 1800), (HOUR, T - 1798)]
+        trace = trace_from({"com": series, "de": series, "net": series})
+        cls, detail = classify_trace(trace)
+        assert cls == CLASS_IN_USE
+        assert detail["frequent"]
+
+    def test_slow_refresh_not_frequent(self):
+        # Re-added 30 minutes after expiry.
+        series = [(0, 1800), (HOUR, T - 1)]
+        trace = trace_from({"com": series, "de": series, "net": series})
+        cls, detail = classify_trace(trace)
+        assert cls == CLASS_IN_USE
+        assert not detail["frequent"]
+
+    def test_resetting(self):
+        # TTL jumps back up while far from expiry.
+        series = [(0, T - 100), (HOUR, T - 50), (2 * HOUR, T - 80)]
+        trace = trace_from({"com": series})
+        assert classify_trace(trace)[0] == CLASS_RESETTING
+
+    def test_idle_single_observation_per_run(self):
+        trace = trace_from({"com": [(0, 500), (HOUR, None)],
+                            "de": [(0, None), (HOUR, None)],
+                            "fr": [(0, 400), (HOUR, None),
+                                   (2 * HOUR, None)]})
+        # Two TLDs answered once each then fell silent -> single.
+        assert classify_trace(trace)[0] == CLASS_SINGLE
+
+
+class TestSummary:
+    def test_aggregation(self):
+        traces = [
+            trace_from({"com": [(0, None)]}),                # unresponsive
+            trace_from({"com": [(0, "empty")]}),             # empty
+            trace_from({"com": [(h * HOUR, 500) for h in range(3)]}),
+        ]
+        summary = utilization_summary(traces)
+        assert summary["total"] == 3
+        assert summary["responding"] == 2
+        assert summary["responding_share_pct"] == pytest.approx(
+            100 * 2 / 3)
+        assert summary["class_shares_pct"][CLASS_EMPTY] == pytest.approx(
+            50.0)

@@ -1,0 +1,58 @@
+"""Tests for the weekly per-AS history helper."""
+
+from repro.analysis.fluctuation import weekly_as_history
+from repro.inetmodel import AsRegistry, AutonomousSystem, PrefixAllocator
+from repro.scanner.campaign import WeeklySnapshot
+from repro.scanner.ipv4scan import ScanResult
+
+
+def make_world():
+    allocator = PrefixAllocator()
+    registry = AsRegistry()
+    prefixes = {}
+    for asn in (64500, 64501):
+        prefix = allocator.allocate(24)
+        registry.add(AutonomousSystem(asn, "AS%d" % asn, "US",
+                                      prefixes=[prefix]))
+        prefixes[asn] = prefix
+    return registry, prefixes
+
+
+def snapshot(week, ips):
+    result = ScanResult(week)
+    for ip in ips:
+        result.record(ip, 0, ip)
+    return WeeklySnapshot(week, result)
+
+
+def test_history_counts_per_week():
+    registry, prefixes = make_world()
+    snapshots = [
+        snapshot(0, [prefixes[64500].address_at(i) for i in range(3)]
+                 + [prefixes[64501].address_at(1)]),
+        snapshot(1, [prefixes[64500].address_at(0)]),
+        snapshot(2, []),
+    ]
+    history = weekly_as_history(snapshots, registry)
+    assert history[64500] == [3, 1, 0]
+    assert history[64501] == [1, 0, 0]
+
+
+def test_history_restricted_to_asns():
+    registry, prefixes = make_world()
+    snapshots = [snapshot(0, [prefixes[64500].address_at(0),
+                              prefixes[64501].address_at(0)])]
+    history = weekly_as_history(snapshots, registry, asns=[64501])
+    assert set(history) == {64501}
+    assert history[64501] == [1]
+
+
+def test_late_appearing_as_backfilled_with_zeros():
+    registry, prefixes = make_world()
+    snapshots = [
+        snapshot(0, [prefixes[64500].address_at(0)]),
+        snapshot(1, [prefixes[64501].address_at(0)]),
+    ]
+    history = weekly_as_history(snapshots, registry)
+    assert history[64501] == [0, 1]
+    assert history[64500] == [1, 0]

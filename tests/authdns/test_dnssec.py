@@ -1,0 +1,123 @@
+"""Tests for the simulated DNSSEC extension (§5)."""
+
+import pytest
+
+from repro.authdns.dnssec import (
+    DnssecValidator,
+    STRATEGY_FIRST,
+    STRATEGY_WAIT_SIGNED,
+    ValidatingClient,
+    ZoneSigner,
+    rrset_digest,
+)
+from repro.dnswire import Message
+from repro.dnswire.records import ResourceRecord
+from repro.netsim import GreatFirewall, Ipv4Network
+from repro.resolvers import ResolverNode
+
+ZONE_KEY = "zone-key-secret"
+
+
+def signed_response(name="secure.example", address="198.18.0.5",
+                    key=ZONE_KEY):
+    query = Message.query(name, txid=1)
+    response = query.make_response()
+    response.answers.append(ResourceRecord.a(name, address))
+    ZoneSigner(key).sign_answers(response)
+    return response
+
+
+class TestSignerValidator:
+    def test_valid_signature_accepted(self):
+        validator = DnssecValidator({"secure.example": ZONE_KEY})
+        assert validator.validate(signed_response(), "secure.example")
+
+    def test_wrong_key_rejected(self):
+        validator = DnssecValidator({"secure.example": "other-key"})
+        assert not validator.validate(signed_response(),
+                                      "secure.example")
+
+    def test_unsigned_rejected(self):
+        validator = DnssecValidator({"secure.example": ZONE_KEY})
+        query = Message.query("secure.example", txid=1)
+        response = query.make_response()
+        response.answers.append(ResourceRecord.a("secure.example",
+                                                 "198.18.0.5"))
+        assert not validator.validate(response, "secure.example")
+
+    def test_tampered_addresses_rejected(self):
+        # An attacker swapping the A record invalidates the digest.
+        response = signed_response()
+        response.answers[0] = ResourceRecord.a("secure.example",
+                                               "6.6.6.6")
+        validator = DnssecValidator({"secure.example": ZONE_KEY})
+        assert not validator.validate(response, "secure.example")
+
+    def test_anchor_covers_subdomains(self):
+        validator = DnssecValidator({"example": ZONE_KEY})
+        assert validator.expects_signature("www.secure.example")
+        assert not validator.expects_signature("other.net")
+
+    def test_digest_is_order_insensitive(self):
+        assert rrset_digest("k", "a.example", ["1.1.1.1", "2.2.2.2"]) == \
+            rrset_digest("k", "a.example", ["2.2.2.2", "1.1.1.1"])
+
+
+@pytest.fixture
+def gfw_world(mini):
+    zone = mini.builder.register_domain(
+        "secure.example", {"secure.example": ["198.18.0.5"]})
+    zone.sign_with(ZONE_KEY)
+    mini.builder.register_domain("plain.example",
+                                 {"plain.example": ["198.18.0.6"]})
+    gfw = GreatFirewall([Ipv4Network("110.0.0.0/16")],
+                        ["secure.example", "plain.example"], seed=9)
+    mini.network.add_middlebox(gfw)
+    # An honest resolver inside the censored network, answering a client
+    # outside it; the client's query crosses the firewall.
+    resolver = ResolverNode("110.0.0.10",
+                            resolution_service=mini.service,
+                            gfw_immune=True)
+    mini.network.register(resolver)
+    mini.resolver_ip = resolver.ip
+    return mini
+
+
+class TestStrategiesAgainstInjection:
+    def make_client(self, world, strategy):
+        validator = DnssecValidator({"secure.example": ZONE_KEY})
+        return ValidatingClient(world.network, world.client_ip,
+                                validator=validator, strategy=strategy)
+
+    def test_first_strategy_poisoned(self, gfw_world):
+        client = self.make_client(gfw_world, STRATEGY_FIRST)
+        addresses, authenticated = client.query(gfw_world.resolver_ip,
+                                                "secure.example")
+        # The forged response arrives first and wins.
+        assert addresses != ["198.18.0.5"]
+        assert not authenticated
+
+    def test_wait_signed_strategy_protected(self, gfw_world):
+        client = self.make_client(gfw_world, STRATEGY_WAIT_SIGNED)
+        addresses, authenticated = client.query(gfw_world.resolver_ip,
+                                                "secure.example")
+        assert addresses == ["198.18.0.5"]
+        assert authenticated
+
+    def test_unsigned_domain_stays_poisonable(self, gfw_world):
+        # §5's caveat: without prior knowledge that the domain signs,
+        # the client cannot reject the unsigned forged answer.
+        client = self.make_client(gfw_world, STRATEGY_WAIT_SIGNED)
+        addresses, authenticated = client.query(gfw_world.resolver_ip,
+                                                "plain.example")
+        assert addresses != ["198.18.0.6"]
+        assert not authenticated
+
+    def test_clean_path_unaffected(self, gfw_world):
+        # Outside the firewall the strategy changes nothing.
+        honest = ResolverNode(gfw_world.infra.address_at(44000),
+                              resolution_service=gfw_world.service)
+        gfw_world.network.register(honest)
+        client = self.make_client(gfw_world, STRATEGY_WAIT_SIGNED)
+        addresses, __ = client.query(honest.ip, "secure.example")
+        assert addresses == ["198.18.0.5"]

@@ -1,0 +1,39 @@
+"""Tests for the hierarchy builder."""
+
+import pytest
+
+from repro.authdns import IterativeResolver
+from repro.dnswire.constants import QTYPE_MX, RCODE_NOERROR
+
+
+class TestHierarchyBuilder:
+    def test_register_domain_creates_tld_once(self, mini):
+        mini.builder.register_domain("one.com", {"one.com": ["198.18.1.1"]})
+        mini.builder.register_domain("two.com", {"two.com": ["198.18.1.2"]})
+        assert mini.hierarchy.zone("com") is not None
+        assert mini.hierarchy.zone("one.com") is not None
+        assert mini.hierarchy.zone("two.com") is not None
+
+    def test_rejects_bare_tld(self, mini):
+        with pytest.raises(ValueError):
+            mini.builder.register_domain("com")
+
+    def test_mx_hosts(self, mini):
+        mini.builder.register_domain(
+            "mailer.net", {"mailer.net": ["198.18.1.3"]},
+            mx_hosts=[(10, "mx1.mailer.net")])
+        resolver = IterativeResolver(mini.hierarchy.root_ips,
+                                     mini.client_ip)
+        result = resolver.resolve(mini.network, "mailer.net", QTYPE_MX)
+        assert result.rcode == RCODE_NOERROR
+        assert result.records[0].data.exchange == "mx1.mailer.net"
+
+    def test_servers_have_distinct_ips(self, mini):
+        mini.builder.register_domain("a.com", {"a.com": ["198.18.1.1"]})
+        mini.builder.register_domain("b.net", {"b.net": ["198.18.1.2"]})
+        ips = {server.ip for server in mini.hierarchy.servers.values()}
+        assert len(ips) == len(mini.hierarchy.servers)
+
+    def test_rdns_zone_installed(self, mini):
+        assert mini.hierarchy.zone("in-addr.arpa") is not None
+        assert mini.hierarchy.zone("arpa") is not None

@@ -1,0 +1,83 @@
+"""Tests for the iterative resolution engine against a real hierarchy."""
+
+import pytest
+
+from repro.authdns import IterativeResolver
+from repro.dnswire.constants import (
+    QTYPE_A,
+    QTYPE_PTR,
+    RCODE_NOERROR,
+    RCODE_NXDOMAIN,
+    RCODE_SERVFAIL,
+)
+
+
+@pytest.fixture
+def world(mini):
+    mini.builder.register_domain(
+        "example.com",
+        {"example.com": ["198.18.0.1"], "www.example.com": ["198.18.0.2"]})
+    zone = mini.builder.register_domain("cdn-user.net")
+    zone.add_cname("cdn-user.net", "edge.example.com")
+    mini.hierarchy.zone("example.com").add_a("edge.example.com",
+                                             "198.18.0.9")
+    mini.builder.register_domain("wild.org", wildcard_address="198.18.0.7")
+    return mini
+
+
+def resolver_for(world):
+    return IterativeResolver(world.hierarchy.root_ips, world.client_ip)
+
+
+class TestResolve:
+    def test_follows_hierarchy(self, world):
+        result = resolver_for(world).resolve(world.network,
+                                             "www.example.com")
+        assert result.rcode == RCODE_NOERROR
+        assert result.a_addresses() == ["198.18.0.2"]
+        # root referral + tld referral + final answer = 3 queries.
+        assert result.queries_sent == 3
+
+    def test_nxdomain_at_authns(self, world):
+        result = resolver_for(world).resolve(world.network,
+                                             "missing.example.com")
+        assert result.rcode == RCODE_NXDOMAIN
+
+    def test_nxdomain_at_tld(self, world):
+        result = resolver_for(world).resolve(world.network,
+                                             "unregistered-domain.com")
+        assert result.rcode == RCODE_NXDOMAIN
+
+    def test_unknown_tld(self, world):
+        result = resolver_for(world).resolve(world.network, "x.zz")
+        assert result.rcode == RCODE_NXDOMAIN
+
+    def test_cname_across_zones(self, world):
+        result = resolver_for(world).resolve(world.network, "cdn-user.net")
+        assert result.rcode == RCODE_NOERROR
+        assert result.a_addresses() == ["198.18.0.9"]
+
+    def test_wildcard(self, world):
+        result = resolver_for(world).resolve(world.network,
+                                             "random-prefix.wild.org")
+        assert result.a_addresses() == ["198.18.0.7"]
+
+    def test_min_ttl(self, world):
+        result = resolver_for(world).resolve(world.network, "example.com")
+        assert result.min_ttl() == 300
+
+    def test_servfail_when_roots_unreachable(self, world):
+        broken = IterativeResolver(["203.0.113.1"], world.client_ip)
+        result = broken.resolve(world.network, "example.com")
+        assert result.rcode == RCODE_SERVFAIL
+
+    def test_ptr_through_rdns_zone(self, world):
+        world.rdns.set_ptr("198.18.0.1", "web1.example.com")
+        result = resolver_for(world).resolve(
+            world.network, "1.0.18.198.in-addr.arpa", QTYPE_PTR)
+        assert result.rcode == RCODE_NOERROR
+        assert result.records[0].data.name == "web1.example.com"
+
+    def test_requires_root_servers(self, world):
+        with pytest.raises(ValueError):
+            IterativeResolver([], world.client_ip)

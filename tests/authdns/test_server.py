@@ -1,0 +1,100 @@
+"""Tests for authoritative name server behaviour."""
+
+import pytest
+
+from repro.authdns import AuthNsServer, Zone
+from repro.dnswire import Message
+from repro.dnswire.constants import (
+    CLASS_CH,
+    QTYPE_A,
+    QTYPE_TXT,
+    RCODE_NOERROR,
+    RCODE_NXDOMAIN,
+    RCODE_REFUSED,
+)
+from repro.netsim import Network, SimClock, UdpPacket
+
+
+@pytest.fixture
+def server():
+    zone = Zone("example.com")
+    zone.add_a("example.com", "192.0.2.1")
+    zone.add_cname("web.example.com", "cdn.example.com")
+    zone.add_a("cdn.example.com", "192.0.2.10")
+    return AuthNsServer("192.0.2.53", [zone])
+
+
+def ask(server, name, qtype=QTYPE_A, qclass=1):
+    query = Message.query(name, qtype=qtype, qclass=qclass, txid=5)
+    return server.answer(query)
+
+
+class TestAnswer:
+    def test_authoritative_answer(self, server):
+        response = ask(server, "example.com")
+        assert response.rcode == RCODE_NOERROR
+        assert response.header.aa
+        assert not response.header.ra
+        assert response.a_addresses() == ["192.0.2.1"]
+
+    def test_refuses_foreign_zone(self, server):
+        response = ask(server, "other.org")
+        assert response.rcode == RCODE_REFUSED
+
+    def test_refuses_chaos_class(self, server):
+        response = ask(server, "version.bind", qtype=QTYPE_TXT,
+                       qclass=CLASS_CH)
+        assert response.rcode == RCODE_REFUSED
+
+    def test_nxdomain(self, server):
+        response = ask(server, "nope.example.com")
+        assert response.rcode == RCODE_NXDOMAIN
+        assert response.authorities
+
+    def test_cname_chased_within_zone(self, server):
+        response = ask(server, "web.example.com")
+        assert response.a_addresses() == ["192.0.2.10"]
+        types = [record.rtype for record in response.answers]
+        assert 5 in types  # the CNAME itself is included
+
+    def test_deepest_zone_wins(self):
+        parent = Zone("example.com")
+        parent.add_a("example.com", "192.0.2.1")
+        child = Zone("sub.example.com")
+        child.add_a("sub.example.com", "192.0.2.2")
+        server = AuthNsServer("192.0.2.53", [parent, child])
+        response = ask(server, "sub.example.com")
+        assert response.a_addresses() == ["192.0.2.2"]
+
+
+class TestUdpInterface:
+    def test_via_network(self, server):
+        network = Network(SimClock(), seed=1)
+        network.register(server)
+        query = Message.query("example.com", txid=42)
+        packet = UdpPacket("1.0.0.1", 999, "192.0.2.53", 53,
+                           query.to_wire())
+        responses = network.send_udp(packet)
+        assert len(responses) == 1
+        message = Message.from_wire(responses[0].packet.payload)
+        assert message.header.txid == 42
+        assert message.a_addresses() == ["192.0.2.1"]
+        assert server.query_count == 1
+
+    def test_ignores_non_dns_port(self, server):
+        network = Network(SimClock(), seed=1)
+        network.register(server)
+        packet = UdpPacket("1.0.0.1", 999, "192.0.2.53", 5353,
+                           Message.query("example.com").to_wire())
+        assert network.send_udp(packet) == []
+
+    def test_ignores_garbage(self, server):
+        assert server.handle_udp(
+            UdpPacket("1.0.0.1", 999, "192.0.2.53", 53, b"garbage"),
+            None) is None
+
+    def test_ignores_responses(self, server):
+        response = Message.query("example.com").make_response()
+        packet = UdpPacket("1.0.0.1", 999, "192.0.2.53", 53,
+                           response.to_wire())
+        assert server.handle_udp(packet, None) is None

@@ -1,0 +1,100 @@
+"""Tests for zone data and authoritative lookup semantics."""
+
+import pytest
+
+from repro.authdns.zone import Zone, ZoneLookupResult
+from repro.dnswire.constants import QTYPE_A, QTYPE_CNAME, QTYPE_MX
+
+
+@pytest.fixture
+def zone():
+    zone = Zone("example.com")
+    zone.add_a("example.com", "192.0.2.1")
+    zone.add_a("www.example.com", "192.0.2.2")
+    zone.add_a("www.example.com", "192.0.2.3")
+    zone.add_cname("alias.example.com", "www.example.com")
+    zone.add_mx("example.com", 10, "mail.example.com")
+    zone.add_a("*.wild.example.com", "192.0.2.99")
+    zone.delegate("sub.example.com", {"ns1.sub.example.com": "192.0.2.53"})
+    return zone
+
+
+class TestLookupStatuses:
+    def test_answer(self, zone):
+        result = zone.lookup("www.example.com", QTYPE_A)
+        assert result.status == ZoneLookupResult.ANSWER
+        assert {r.data.address for r in result.records} == \
+            {"192.0.2.2", "192.0.2.3"}
+
+    def test_answer_case_insensitive(self, zone):
+        result = zone.lookup("WWW.Example.COM", QTYPE_A)
+        assert result.status == ZoneLookupResult.ANSWER
+
+    def test_cname(self, zone):
+        result = zone.lookup("alias.example.com", QTYPE_A)
+        assert result.status == ZoneLookupResult.CNAME
+        assert result.records[0].data.name == "www.example.com"
+
+    def test_cname_query_direct(self, zone):
+        result = zone.lookup("alias.example.com", QTYPE_CNAME)
+        assert result.status == ZoneLookupResult.ANSWER
+
+    def test_delegation(self, zone):
+        result = zone.lookup("deep.sub.example.com", QTYPE_A)
+        assert result.status == ZoneLookupResult.DELEGATION
+        assert result.authority[0].data.name == "ns1.sub.example.com"
+        assert result.additional[0].data.address == "192.0.2.53"
+
+    def test_nxdomain(self, zone):
+        result = zone.lookup("missing.example.com", QTYPE_A)
+        assert result.status == ZoneLookupResult.NXDOMAIN
+        assert result.authority  # SOA present
+
+    def test_nodata(self, zone):
+        result = zone.lookup("www.example.com", QTYPE_MX)
+        assert result.status == ZoneLookupResult.NODATA
+
+    def test_mx_answer(self, zone):
+        result = zone.lookup("example.com", QTYPE_MX)
+        assert result.status == ZoneLookupResult.ANSWER
+        assert result.records[0].data.exchange == "mail.example.com"
+
+
+class TestWildcards:
+    def test_wildcard_synthesis(self, zone):
+        result = zone.lookup("anything.wild.example.com", QTYPE_A)
+        assert result.status == ZoneLookupResult.ANSWER
+        assert result.records[0].data.address == "192.0.2.99"
+        # The synthesized record carries the query name.
+        assert result.records[0].name == "anything.wild.example.com"
+
+    def test_wildcard_nodata_for_other_type(self, zone):
+        result = zone.lookup("anything.wild.example.com", QTYPE_MX)
+        assert result.status == ZoneLookupResult.NODATA
+
+    def test_wildcard_does_not_cover_apex(self, zone):
+        result = zone.lookup("wild.example.com", QTYPE_A)
+        # No exact record at wild.example.com itself.
+        assert result.status == ZoneLookupResult.NXDOMAIN
+
+
+class TestZoneBounds:
+    def test_covers(self, zone):
+        assert zone.covers("example.com")
+        assert zone.covers("a.b.example.com")
+        assert not zone.covers("example.org")
+        assert not zone.covers("badexample.com")
+
+    def test_out_of_zone_record_rejected(self, zone):
+        with pytest.raises(ValueError):
+            zone.add_a("www.other.com", "192.0.2.1")
+
+    def test_root_zone_covers_everything(self):
+        root = Zone("")
+        assert root.covers("anything.example")
+
+    def test_tld_delegation(self):
+        tld = Zone("com")
+        tld.delegate("example.com", {"ns1.example.com": "192.0.2.53"})
+        result = tld.lookup("www.example.com", QTYPE_A)
+        assert result.status == ZoneLookupResult.DELEGATION

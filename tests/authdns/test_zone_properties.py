@@ -1,0 +1,67 @@
+"""Property tests for authoritative zone lookup invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.authdns.zone import Zone, ZoneLookupResult
+from repro.dnswire.constants import QTYPE_A
+
+LABEL = st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1,
+                max_size=8)
+
+
+@settings(max_examples=50)
+@given(st.lists(LABEL, min_size=1, max_size=4, unique=True),
+       st.integers(min_value=0, max_value=255))
+def test_added_records_always_found(labels, octet):
+    zone = Zone("example.com")
+    names = ["%s.example.com" % label for label in labels]
+    for index, name in enumerate(names):
+        zone.add_a(name, "10.0.%d.%d" % (index % 256, octet))
+    for index, name in enumerate(names):
+        result = zone.lookup(name, QTYPE_A)
+        assert result.status == ZoneLookupResult.ANSWER
+        assert result.records[0].data.address == \
+            "10.0.%d.%d" % (index % 256, octet)
+
+
+@settings(max_examples=50)
+@given(LABEL, LABEL)
+def test_exact_record_beats_wildcard(exact, other):
+    zone = Zone("example.com")
+    zone.add_a("*.example.com", "10.0.0.1")
+    zone.add_a("%s.example.com" % exact, "10.0.0.2")
+    exact_result = zone.lookup("%s.example.com" % exact, QTYPE_A)
+    assert exact_result.records[0].data.address == "10.0.0.2"
+    if other != exact:
+        wild_result = zone.lookup("%s.example.com" % other, QTYPE_A)
+        assert wild_result.records[0].data.address == "10.0.0.1"
+
+
+@settings(max_examples=50)
+@given(LABEL)
+def test_lookup_never_crashes_on_any_name(label):
+    zone = Zone("example.com")
+    zone.add_a("www.example.com", "10.0.0.1")
+    zone.delegate("sub.example.com", {"ns1.sub.example.com": "10.0.0.53"})
+    for name in ("%s.example.com" % label,
+                 "%s.sub.example.com" % label,
+                 "%s.www.example.com" % label):
+        result = zone.lookup(name, QTYPE_A)
+        assert result.status in (ZoneLookupResult.ANSWER,
+                                 ZoneLookupResult.DELEGATION,
+                                 ZoneLookupResult.NXDOMAIN,
+                                 ZoneLookupResult.NODATA)
+
+
+@settings(max_examples=30)
+@given(st.lists(LABEL, min_size=1, max_size=3, unique=True))
+def test_delegation_shadows_everything_below(children):
+    zone = Zone("example.com")
+    for child in children:
+        zone.delegate("%s.example.com" % child,
+                      {"ns1.%s.example.com" % child: "10.0.0.53"})
+    for child in children:
+        for depth in ("", "a.", "a.b."):
+            result = zone.lookup("%s%s.example.com" % (depth, child),
+                                 QTYPE_A)
+            assert result.status == ZoneLookupResult.DELEGATION

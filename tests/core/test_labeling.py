@@ -1,0 +1,150 @@
+"""Tests for cluster labeling rules."""
+
+import pytest
+
+from repro.core.acquisition import HttpCapture
+from repro.core.clustering import Cluster
+from repro.core.labeling import (
+    ClusterLabeler,
+    LABEL_BLOCKING,
+    LABEL_CENSORSHIP,
+    LABEL_HTTP_ERROR,
+    LABEL_LOGIN,
+    LABEL_MISC,
+    LABEL_PARKING,
+    LABEL_SEARCH,
+    SUBLABEL_AD_BLANKING,
+    SUBLABEL_AD_INJECTION,
+    SUBLABEL_FAKE_SEARCH_ADS,
+    SUBLABEL_MALWARE,
+    SUBLABEL_PHISHING,
+    SUBLABEL_PROXY,
+    SUBLABEL_UNCLASSIFIED,
+)
+from repro.websim import SiteLibrary
+from repro.websim import pages
+
+
+def capture(body, domain="example.com", status=200, ip="9.9.9.9"):
+    return HttpCapture(domain, ip, "5.5.5.5", status=status, body=body)
+
+
+@pytest.fixture
+def labeler():
+    return ClusterLabeler()
+
+
+class TestRules:
+    def test_censorship(self, labeler):
+        label, __ = labeler.label_capture(
+            capture(pages.censorship_landing("TR")))
+        assert label == LABEL_CENSORSHIP
+
+    def test_blocking(self, labeler):
+        label, __ = labeler.label_capture(
+            capture(pages.isp_blocking_page()))
+        assert label == LABEL_BLOCKING
+
+    def test_http_error_by_status(self, labeler):
+        label, __ = labeler.label_capture(
+            capture(pages.error_page(404), status=404))
+        assert label == LABEL_HTTP_ERROR
+
+    def test_http_error_by_title(self, labeler):
+        label, __ = labeler.label_capture(capture(pages.error_page(503)))
+        assert label == LABEL_HTTP_ERROR
+
+    def test_parking(self, labeler):
+        label, __ = labeler.label_capture(
+            capture(pages.parking_page("dead.com")))
+        assert label == LABEL_PARKING
+
+    def test_search(self, labeler):
+        label, __ = labeler.label_capture(capture(pages.search_page()))
+        assert label == LABEL_SEARCH
+
+    def test_login_router(self, labeler):
+        label, __ = labeler.label_capture(
+            capture(pages.router_login("ZyXEL")))
+        assert label == LABEL_LOGIN
+
+    def test_login_captive_portal(self, labeler):
+        label, __ = labeler.label_capture(
+            capture(pages.captive_portal("Metro ISP", "isp")))
+        assert label == LABEL_LOGIN
+
+    def test_phishing_paypal(self, labeler):
+        label, sublabel = labeler.label_capture(
+            capture(pages.phishing_paypal(), domain="paypal.com"))
+        assert label == LABEL_MISC
+        assert sublabel == SUBLABEL_PHISHING
+
+    def test_malware_update(self, labeler):
+        label, sublabel = labeler.label_capture(
+            capture(pages.malware_update_page()))
+        assert sublabel == SUBLABEL_MALWARE
+
+    def test_fake_search_with_ads(self, labeler):
+        label, sublabel = labeler.label_capture(
+            capture(pages.fake_search_with_ads()))
+        assert sublabel == SUBLABEL_FAKE_SEARCH_ADS
+
+    def test_unclassified_fallback(self, labeler):
+        label, sublabel = labeler.label_capture(
+            capture("<html><title>My Cat Blog</title><body><p>meow</p>"
+                    "</body></html>"))
+        assert label == LABEL_MISC
+        assert sublabel == SUBLABEL_UNCLASSIFIED
+
+
+class TestGroundTruthRules:
+    def make_labeler(self, domain="shop.example"):
+        sites = SiteLibrary(seed=2)
+        body = sites.page_for(domain)
+        return ClusterLabeler({domain: [body]}), body
+
+    def test_proxy_detection(self):
+        labeler, body = self.make_labeler()
+        label, sublabel = labeler.label_capture(
+            capture(body, domain="shop.example"))
+        assert label == LABEL_MISC
+        assert sublabel == SUBLABEL_PROXY
+
+    def test_ad_injection_detection(self):
+        labeler, body = self.make_labeler()
+        label, sublabel = labeler.label_capture(
+            capture(pages.inject_ad_banner(body), domain="shop.example"))
+        assert sublabel == SUBLABEL_AD_INJECTION
+
+    def test_ad_blanking_detection(self):
+        sites = SiteLibrary(seed=2)
+        sites.set_category("ads.example", "Ads")
+        body = sites.page_for("ads.example")
+        labeler = ClusterLabeler({"ads.example": [body]})
+        label, sublabel = labeler.label_capture(
+            capture(pages.blank_ads(body), domain="ads.example"))
+        assert sublabel == SUBLABEL_AD_BLANKING
+
+    def test_bank_phish_via_form_swap(self):
+        sites = SiteLibrary(seed=2)
+        sites.set_category("bank.example", "Banking")
+        body = sites.page_for("bank.example")
+        labeler = ClusterLabeler({"bank.example": [body]})
+        label, sublabel = labeler.label_capture(
+            capture(pages.phishing_bank(body), domain="bank.example"))
+        assert sublabel == SUBLABEL_PHISHING
+
+
+class TestClusterLabeling:
+    def test_one_decision_per_cluster(self):
+        labeler = ClusterLabeler()
+        censored = capture(pages.censorship_landing("ID"))
+        clusters = [Cluster([0, 1], [censored, censored]),
+                    Cluster([2], [capture(pages.search_page())])]
+        labeled = labeler.label_clusters(clusters)
+        assert len(labeled) == 3
+        assert [l.label for l in labeled] == [LABEL_CENSORSHIP,
+                                              LABEL_CENSORSHIP,
+                                              LABEL_SEARCH]
+        assert labeled[0].cluster_id == labeled[1].cluster_id
+        assert labeled[2].cluster_id != labeled[0].cluster_id

@@ -1,0 +1,195 @@
+"""Tests for the DNS-based prefilter rules."""
+
+import pytest
+
+from repro.core.prefilter import Prefilterer, registrable_suffix
+from repro.datasets import ScanDomain
+from repro.dnswire.constants import RCODE_NOERROR, RCODE_NXDOMAIN, \
+    RCODE_REFUSED
+from repro.scanner.domainscan import DnsObservation
+from repro.websim import WebServer
+
+
+@pytest.fixture
+def world(mini):
+    # Host the legitimate site inside the infra AS so the AS rule has
+    # something to match against.
+    mini.legit_ip = mini.infra.address_at(40123)
+    mini.legit_server = mini.add_web_domain("example.com", mini.legit_ip)
+    # A second AS hosting an unrelated address.
+    mini.foreign = mini.allocator.allocate(24)
+    return mini
+
+
+def make_prefilter(world, **kwargs):
+    from repro.inetmodel import AsRegistry, AutonomousSystem
+    registry = AsRegistry()
+    registry.add(AutonomousSystem(64500, "Infra", "US",
+                                  prefixes=[world.infra]))
+    registry.add(AutonomousSystem(64501, "Foreign", "TR",
+                                  prefixes=[world.foreign]))
+    world.as_registry = registry
+    return Prefilterer(world.network, world.service, registry,
+                       world.rdns, ca=world.ca,
+                       known_cdn_common_names=["edgesuite-cdn.net"],
+                       probe_source_ip=world.client_ip, **kwargs)
+
+
+def observation(domain, addresses, resolver="5.5.5.5",
+                rcode=RCODE_NOERROR):
+    return DnsObservation(domain, resolver, rcode, addresses)
+
+
+CATALOG = {
+    "example.com": ScanDomain("example.com", "Alexa"),
+    "missing.net": ScanDomain("missing.net", "NX", exists=False),
+}
+
+
+class TestAsRule:
+    def test_same_as_accepted(self, world):
+        prefilter = make_prefilter(world)
+        # Another IP in the infra AS (same AS as the trusted answer).
+        sibling = world.infra.address_at(777)
+        assert prefilter.address_is_legitimate("example.com", sibling)
+
+    def test_foreign_as_rejected(self, world):
+        prefilter = make_prefilter(world)
+        foreign_ip = world.foreign.address_at(5)
+        assert not prefilter.address_is_legitimate("example.com",
+                                                   foreign_ip)
+
+    def test_exact_trusted_ip_accepted(self, world):
+        prefilter = make_prefilter(world)
+        assert prefilter.address_is_legitimate("example.com",
+                                               world.legit_ip)
+
+
+class TestRdnsRule:
+    def test_forward_confirmed_accepted(self, world):
+        prefilter = make_prefilter(world, enable_as_rule=False,
+                                   enable_cert_rule=False)
+        ip = world.foreign.address_at(9)
+        world.rdns.set_ptr(ip, "web2.example.com")
+        assert prefilter.address_is_legitimate("example.com", ip)
+
+    def test_unconfirmed_rejected(self, world):
+        prefilter = make_prefilter(world, enable_as_rule=False,
+                                   enable_cert_rule=False)
+        ip = world.foreign.address_at(9)
+        # Anyone can write a PTR; without the confirming A it's spoofable.
+        world.rdns.set_ptr(ip, "web2.example.com",
+                           forward_confirmed=False)
+        assert not prefilter.address_is_legitimate("example.com", ip)
+
+    def test_unrelated_ptr_rejected(self, world):
+        prefilter = make_prefilter(world, enable_as_rule=False,
+                                   enable_cert_rule=False)
+        ip = world.foreign.address_at(9)
+        world.rdns.set_ptr(ip, "host.other-isp.net")
+        assert not prefilter.address_is_legitimate("example.com", ip)
+
+    def test_registrable_suffix(self):
+        assert registrable_suffix("web1.example.com") == "example.com"
+        assert registrable_suffix("example.com") == "example.com"
+        assert registrable_suffix("com") == "com"
+
+
+class TestCertRule:
+    def test_valid_sni_cert_accepted(self, world):
+        prefilter = make_prefilter(world, enable_as_rule=False,
+                                   enable_rdns_rule=False)
+        # A server in a foreign AS presenting a valid cert for the domain
+        # (a CDN edge).
+        ip = world.foreign.address_at(10)
+        server = WebServer(ip, world.sites, ["example.com"],
+                           certificate=world.ca.issue("example.com"))
+        world.network.register(server)
+        assert prefilter.address_is_legitimate("example.com", ip)
+
+    def test_self_signed_rejected(self, world):
+        from repro.websim import CertificateAuthority
+        from repro.websim.httpserver import StaticPageServer
+        prefilter = make_prefilter(world, enable_as_rule=False,
+                                   enable_rdns_rule=False)
+        ip = world.foreign.address_at(11)
+        world.network.register(StaticPageServer(
+            ip, "<html>phish</html>",
+            certificate=CertificateAuthority.self_signed("example.com")))
+        assert not prefilter.address_is_legitimate("example.com", ip)
+
+    def test_known_cdn_default_cert_accepted(self, world):
+        from repro.websim.httpserver import StaticPageServer
+        prefilter = make_prefilter(world, enable_as_rule=False,
+                                   enable_rdns_rule=False)
+        ip = world.foreign.address_at(12)
+        world.network.register(StaticPageServer(
+            ip, "<html>edge</html>",
+            certificate=world.ca.issue("*.edgesuite-cdn.net")))
+        assert prefilter.address_is_legitimate("example.com", ip)
+
+    def test_unknown_default_cert_rejected(self, world):
+        from repro.websim.httpserver import StaticPageServer
+        prefilter = make_prefilter(world, enable_as_rule=False,
+                                   enable_rdns_rule=False)
+        ip = world.foreign.address_at(13)
+        world.network.register(StaticPageServer(
+            ip, "<html>x</html>",
+            certificate=world.ca.issue("some-other-host.net")))
+        assert not prefilter.address_is_legitimate("example.com", ip)
+
+    def test_no_tls_rejected(self, world):
+        prefilter = make_prefilter(world, enable_as_rule=False,
+                                   enable_rdns_rule=False)
+        assert not prefilter.address_is_legitimate(
+            "example.com", world.foreign.address_at(14))
+
+
+class TestProcess:
+    def test_buckets(self, world):
+        prefilter = make_prefilter(world)
+        bogus_ip = world.foreign.address_at(20)
+        observations = [
+            observation("example.com", [world.legit_ip]),        # legit
+            observation("example.com", [bogus_ip]),              # unknown
+            observation("example.com", []),                      # empty
+            observation("example.com", [], rcode=RCODE_REFUSED),  # error
+            observation("missing.net", [], rcode=RCODE_NXDOMAIN),  # nx ok
+            observation("missing.net", []),                      # nx ok
+            observation("missing.net", [bogus_ip]),              # unknown
+        ]
+        result = prefilter.process(observations, CATALOG)
+        assert result.observations == 7
+        assert len(result.legitimate) == 1
+        assert len(result.unknown) == 2
+        assert len(result.empty) == 1
+        assert len(result.errors) == 1
+        assert len(result.nx_correct) == 2
+
+    def test_mixed_answer_all_unknown(self, world):
+        # One bogus address taints the whole answer: every IP of the
+        # observation becomes an unknown tuple (never filter bogus).
+        prefilter = make_prefilter(world)
+        bogus_ip = world.foreign.address_at(20)
+        result = prefilter.process(
+            [observation("example.com", [world.legit_ip, bogus_ip])],
+            CATALOG)
+        assert len(result.unknown) == 2
+        assert not result.legitimate
+
+    def test_stats_shares(self, world):
+        prefilter = make_prefilter(world)
+        result = prefilter.process(
+            [observation("example.com", [world.legit_ip])] * 9
+            + [observation("example.com", [world.foreign.address_at(20)])],
+            CATALOG)
+        stats = result.stats()
+        assert stats["legitimate_share"] == pytest.approx(0.9)
+        assert stats["unknown_share"] == pytest.approx(0.1)
+
+    def test_verdicts_cached(self, world):
+        prefilter = make_prefilter(world)
+        prefilter.process(
+            [observation("example.com", [world.legit_ip])] * 5, CATALOG)
+        # Trusted resolution happens once, not five times.
+        assert len(prefilter._trusted_cache) == 1

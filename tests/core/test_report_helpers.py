@@ -1,0 +1,89 @@
+"""Tests for PipelineReport helpers and capture types."""
+
+from repro.core.acquisition import HttpCapture, MailCapture
+from repro.core.labeling import (
+    LABEL_CENSORSHIP,
+    LABEL_MISC,
+    LabeledCapture,
+    SUBLABEL_UNCLASSIFIED,
+)
+from repro.core.pipeline import ManipulationPipeline, PipelineReport
+from repro.core.prefilter import ResponseTuple
+
+
+def labeled(domain, ip, resolver, label, sublabel=None):
+    capture = HttpCapture(domain, ip, resolver, status=200, body="x")
+    return LabeledCapture(capture, label, sublabel)
+
+
+class TestPipelineReport:
+    def test_suspicious_resolvers(self):
+        report = PipelineReport()
+        report.labeled = [labeled("a.com", "1.1.1.1", "r1",
+                                  LABEL_CENSORSHIP),
+                          labeled("b.com", "1.1.1.2", "r1",
+                                  LABEL_CENSORSHIP),
+                          labeled("a.com", "1.1.1.1", "r2", LABEL_MISC)]
+        assert report.suspicious_resolvers == {"r1", "r2"}
+
+    def test_labels_by_tuple(self):
+        report = PipelineReport()
+        report.labeled = [labeled("A.com", "1.1.1.1", "r1",
+                                  LABEL_CENSORSHIP)]
+        labels = report.labels_by_tuple()
+        assert labels[("a.com", "1.1.1.1", "r1")] == (LABEL_CENSORSHIP,
+                                                      None)
+
+    def test_classified_share(self):
+        report = PipelineReport()
+        report.labeled = [
+            labeled("a.com", "1.1.1.1", "r1", LABEL_CENSORSHIP),
+            labeled("b.com", "1.1.1.2", "r2", LABEL_MISC,
+                    SUBLABEL_UNCLASSIFIED),
+        ]
+        assert report.classified_share() == 0.5
+
+    def test_classified_share_empty(self):
+        assert PipelineReport().classified_share() == 1.0
+
+
+class TestCaptureTypes:
+    def test_http_capture_key_and_fetched(self):
+        capture = HttpCapture("a.com", "1.1.1.1", "r1", status=200,
+                              body="<html></html>")
+        assert capture.fetched
+        assert capture.key() == ("a.com", "1.1.1.1", "r1")
+        assert capture.final_host == "a.com"
+
+    def test_http_capture_failure(self):
+        capture = HttpCapture("a.com", "1.1.1.1", "r1", failure="lan")
+        assert not capture.fetched
+
+    def test_mail_capture(self):
+        capture = MailCapture("imap.x.com", "1.1.1.1", "r1",
+                              {"imap": "* OK"})
+        assert capture.fetched
+        assert not MailCapture("imap.x.com", "1.1.1.1", "r1").fetched
+
+
+class TestMailClassification:
+    def test_banner_copy_detected(self):
+        captures = [
+            MailCapture("imap.gmail.com", "9.0.0.1", "r1",
+                        {"imap": "* OK Gimap ready for requests"}),
+            MailCapture("imap.gmail.com", "9.0.0.2", "r2",
+                        {"imap": "* OK Dovecot ready."}),
+            MailCapture("imap.unknown-provider.zz", "9.0.0.3", "r3",
+                        {"imap": "* OK whatever"}),
+            MailCapture("imap.gmail.com", "9.0.0.4", "r4", {}),
+        ]
+        listeners, matches = ManipulationPipeline.classify_mail(captures)
+        assert len(listeners) == 3  # the empty capture is excluded
+        assert len(matches) == 1
+        assert matches[0].ip == "9.0.0.1"
+
+
+class TestResponseTuple:
+    def test_key(self):
+        response_tuple = ResponseTuple("a.com", "1.1.1.1", "r1")
+        assert response_tuple.key() == ("a.com", "1.1.1.1", "r1")

@@ -1,0 +1,65 @@
+"""Tests for the scan-domain dataset helpers."""
+
+from repro.datasets import (
+    ALL_CATEGORIES,
+    DOMAIN_SETS,
+    GROUND_TRUTH_DOMAIN,
+    MEASUREMENT_DOMAIN,
+    SNOOPING_TLDS,
+    ScanDomain,
+    all_domains,
+    domains_in_category,
+    existing_web_domains,
+)
+
+
+def test_all_categories_present():
+    assert set(ALL_CATEGORIES) == set(DOMAIN_SETS)
+    assert len(ALL_CATEGORIES) == 13
+
+
+def test_snooping_tlds_are_the_papers_15():
+    assert len(SNOOPING_TLDS) == 15
+    for tld in ("com", "de", "co.uk", "ru", "br"):
+        assert tld in SNOOPING_TLDS
+
+
+def test_ground_truth_and_measurement_domains_distinct():
+    assert GROUND_TRUTH_DOMAIN != MEASUREMENT_DOMAIN
+    names = {d.name for d in all_domains()}
+    assert GROUND_TRUTH_DOMAIN not in names
+    assert MEASUREMENT_DOMAIN not in names
+
+
+def test_domains_in_category():
+    banking = domains_in_category("Banking")
+    assert len(banking) == 20
+    assert all(d.category == "Banking" for d in banking)
+
+
+def test_existing_web_domains_excludes_nx_and_mail():
+    web = existing_web_domains()
+    assert all(d.exists and d.kind == ScanDomain.KIND_WEB for d in web)
+    names = {d.name for d in web}
+    assert "imap.gmail.com" not in names
+    assert "amason.com" not in names
+    assert "paypal.com" in names
+
+
+def test_scan_domain_equality_by_name():
+    left = ScanDomain("x.com", "Alexa")
+    right = ScanDomain("x.com", "Banking")
+    assert left == right
+    assert hash(left) == hash(right)
+
+
+def test_cdn_flag_only_on_existing_web_domains():
+    for domain in all_domains():
+        if domain.cdn:
+            assert domain.exists
+            assert domain.kind == ScanDomain.KIND_WEB
+
+
+def test_malware_domains_are_http_only():
+    for domain in DOMAIN_SETS["Malware"]:
+        assert not domain.https

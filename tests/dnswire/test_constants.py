@@ -1,0 +1,37 @@
+"""Tests for protocol constant helpers."""
+
+from repro.dnswire import constants
+
+
+def test_qtype_names():
+    assert constants.qtype_name(constants.QTYPE_A) == "A"
+    assert constants.qtype_name(constants.QTYPE_NS) == "NS"
+    assert constants.qtype_name(constants.QTYPE_TXT) == "TXT"
+    assert constants.qtype_name(999) == "TYPE999"
+
+
+def test_class_names():
+    assert constants.class_name(constants.CLASS_IN) == "IN"
+    assert constants.class_name(constants.CLASS_CH) == "CH"
+    assert constants.class_name(77) == "CLASS77"
+
+
+def test_rcode_names():
+    assert constants.rcode_name(constants.RCODE_NOERROR) == "NOERROR"
+    assert constants.rcode_name(constants.RCODE_NXDOMAIN) == "NXDOMAIN"
+    assert constants.rcode_name(constants.RCODE_REFUSED) == "REFUSED"
+    assert constants.rcode_name(14) == "RCODE14"
+
+
+def test_values_match_rfc1035():
+    assert constants.QTYPE_A == 1
+    assert constants.QTYPE_NS == 2
+    assert constants.QTYPE_CNAME == 5
+    assert constants.QTYPE_SOA == 6
+    assert constants.QTYPE_PTR == 12
+    assert constants.QTYPE_MX == 15
+    assert constants.QTYPE_TXT == 16
+    assert constants.CLASS_IN == 1
+    assert constants.CLASS_CH == 3
+    assert constants.RCODE_NXDOMAIN == 3
+    assert constants.RCODE_REFUSED == 5

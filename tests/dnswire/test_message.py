@@ -1,0 +1,125 @@
+"""Tests for the DNS message codec."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dnswire import constants
+from repro.dnswire.message import Header, Message, Question
+from repro.dnswire.records import ResourceRecord
+
+
+class TestHeader:
+    def test_flags_roundtrip_all_set(self):
+        header = Header(txid=0x1234, qr=True, opcode=2, aa=True, tc=True,
+                        rd=True, ra=True, rcode=5)
+        decoded = Header.from_flags_word(0x1234, header.flags_word())
+        for attribute in ("qr", "opcode", "aa", "tc", "rd", "ra", "rcode"):
+            assert getattr(decoded, attribute) == getattr(header, attribute)
+
+    def test_default_is_recursive_query(self):
+        header = Header()
+        assert not header.qr
+        assert header.rd
+        assert header.rcode == constants.RCODE_NOERROR
+
+    @given(st.integers(min_value=0, max_value=0xFFFF))
+    def test_flags_word_roundtrip(self, word):
+        # The reserved Z bits are not modelled; mask them out.
+        meaningful = word & 0xFF8F
+        assert Header.from_flags_word(0, meaningful).flags_word() \
+            == meaningful
+
+
+class TestQuestion:
+    def test_wire_roundtrip(self):
+        wire = Question("example.com", constants.QTYPE_NS).to_wire()
+        decoded, offset = Question.from_wire(wire, 0)
+        assert decoded.name == "example.com"
+        assert decoded.qtype == constants.QTYPE_NS
+        assert offset == len(wire)
+
+    def test_equality(self):
+        assert Question("a.example") == Question("a.example")
+        assert Question("a.example") != Question("a.example",
+                                                 constants.QTYPE_NS)
+
+
+class TestMessage:
+    def test_query_builder(self):
+        query = Message.query("example.com", txid=7)
+        assert query.header.txid == 7
+        assert not query.header.qr
+        assert query.question.name == "example.com"
+
+    def test_full_roundtrip(self):
+        query = Message.query("www.example.com", txid=99)
+        response = query.make_response(aa=True)
+        response.answers.append(
+            ResourceRecord.a("www.example.com", "192.0.2.7", ttl=60))
+        response.authorities.append(
+            ResourceRecord.ns("example.com", "ns1.example.com"))
+        response.additionals.append(
+            ResourceRecord.a("ns1.example.com", "192.0.2.53"))
+        decoded = Message.from_wire(response.to_wire())
+        assert decoded.header.txid == 99
+        assert decoded.header.qr
+        assert decoded.header.aa
+        assert decoded.question.name == "www.example.com"
+        assert decoded.a_addresses() == ["192.0.2.7"]
+        assert decoded.authorities[0].data.name == "ns1.example.com"
+        assert decoded.additionals[0].data.address == "192.0.2.53"
+
+    def test_compression_shrinks_message(self):
+        response = Message.query("www.example.com").make_response()
+        for i in range(5):
+            response.answers.append(ResourceRecord.a(
+                "www.example.com", "192.0.2.%d" % i))
+        wire = response.to_wire()
+        # 5 answers sharing the qname: each answer name is a 2-byte
+        # pointer instead of 17 bytes.
+        assert len(wire) < 12 + 21 + 5 * (17 + 14)
+
+    def test_make_response_echoes_question_case(self):
+        query = Message.query("ExAmPlE.CoM", txid=3)
+        response = query.make_response()
+        assert response.question.name == "ExAmPlE.CoM"
+
+    def test_make_response_rcode(self):
+        response = Message.query("x.example").make_response(
+            rcode=constants.RCODE_NXDOMAIN)
+        assert response.rcode == constants.RCODE_NXDOMAIN
+        assert response.header.qr
+
+    def test_truncated_raises(self):
+        with pytest.raises(ValueError):
+            Message.from_wire(b"\x00" * 5)
+
+    def test_empty_answer_a_addresses(self):
+        assert Message.query("x.example").a_addresses() == []
+
+    def test_question_none_when_empty(self):
+        message = Message()
+        assert message.question is None
+
+    @given(st.integers(min_value=0, max_value=0xFFFF),
+           st.lists(st.integers(min_value=0, max_value=255), min_size=4,
+                    max_size=4))
+    def test_query_roundtrip_property(self, txid, octets):
+        address = ".".join(str(o) for o in octets)
+        query = Message.query("probe.example.com", txid=txid)
+        response = query.make_response()
+        response.answers.append(
+            ResourceRecord.a("probe.example.com", address))
+        decoded = Message.from_wire(response.to_wire())
+        assert decoded.header.txid == txid
+        assert decoded.a_addresses() == [address]
+
+    def test_chaos_txt_roundtrip(self):
+        query = Message.query("version.bind", qtype=constants.QTYPE_TXT,
+                              qclass=constants.CLASS_CH)
+        response = query.make_response()
+        response.answers.append(
+            ResourceRecord.txt("version.bind", ["9.8.2rc1"]))
+        decoded = Message.from_wire(response.to_wire())
+        assert decoded.answers[0].data.text == "9.8.2rc1"
+        assert decoded.answers[0].rclass == constants.CLASS_CH

@@ -1,0 +1,143 @@
+"""Tests for resource-record data types and their codecs."""
+
+import pytest
+
+from repro.dnswire import constants
+from repro.dnswire.records import (
+    AData,
+    CnameData,
+    MxData,
+    NsData,
+    OpaqueData,
+    PtrData,
+    ResourceRecord,
+    SoaData,
+    TxtData,
+    decode_rdata,
+)
+
+
+def roundtrip(record):
+    wire = record.to_wire()
+    decoded, offset = ResourceRecord.from_wire(wire, 0)
+    assert offset == len(wire)
+    return decoded
+
+
+class TestAData:
+    def test_roundtrip(self):
+        record = ResourceRecord.a("example.com", "192.0.2.1", ttl=300)
+        decoded = roundtrip(record)
+        assert decoded.data.address == "192.0.2.1"
+        assert decoded.ttl == 300
+        assert decoded.rtype == constants.QTYPE_A
+
+    def test_bad_address(self):
+        with pytest.raises(ValueError):
+            AData("1.2.3").to_wire()
+        with pytest.raises(ValueError):
+            AData("1.2.3.999").to_wire()
+
+    def test_equality(self):
+        assert AData("1.2.3.4") == AData("1.2.3.4")
+        assert AData("1.2.3.4") != AData("1.2.3.5")
+        assert hash(AData("1.2.3.4")) == hash(AData("1.2.3.4"))
+
+
+class TestNameData:
+    def test_ns_roundtrip(self):
+        decoded = roundtrip(ResourceRecord.ns("example.com",
+                                              "ns1.example.com"))
+        assert isinstance(decoded.data, NsData)
+        assert decoded.data.name == "ns1.example.com"
+
+    def test_cname_roundtrip(self):
+        decoded = roundtrip(ResourceRecord.cname("www.example.com",
+                                                 "example.com"))
+        assert isinstance(decoded.data, CnameData)
+        assert decoded.data.name == "example.com"
+
+    def test_ptr_roundtrip(self):
+        decoded = roundtrip(ResourceRecord.ptr(
+            "1.2.0.192.in-addr.arpa", "host.example.com"))
+        assert isinstance(decoded.data, PtrData)
+        assert decoded.data.name == "host.example.com"
+
+    def test_cross_type_inequality(self):
+        assert NsData("a.example") != CnameData("a.example")
+
+
+class TestTxtData:
+    def test_roundtrip(self):
+        decoded = roundtrip(ResourceRecord.txt("version.bind", ["9.8.2"]))
+        assert decoded.data.text == "9.8.2"
+        assert decoded.rclass == constants.CLASS_CH
+
+    def test_string_coerced_to_list(self):
+        assert TxtData("hello").strings == ["hello"]
+
+    def test_long_string_chunked(self):
+        data = TxtData("x" * 300)
+        wire = data.to_wire()
+        decoded = TxtData.from_wire(None, 0, len(wire), message=wire)
+        assert decoded.text == "x" * 300
+        assert len(decoded.strings) == 2
+
+    def test_empty_string(self):
+        wire = TxtData("").to_wire()
+        assert wire == b"\x00"
+
+
+class TestMxData:
+    def test_roundtrip(self):
+        decoded = roundtrip(ResourceRecord.mx("example.com", 10,
+                                              "mail.example.com"))
+        assert decoded.data.preference == 10
+        assert decoded.data.exchange == "mail.example.com"
+
+
+class TestSoaData:
+    def test_roundtrip(self):
+        decoded = roundtrip(ResourceRecord.soa(
+            "example.com", "ns1.example.com", "hostmaster.example.com"))
+        assert decoded.data.mname == "ns1.example.com"
+        assert decoded.data.serial == 1
+
+    def test_custom_fields(self):
+        soa = SoaData("m.example", "r.example", serial=42, refresh=7200,
+                      retry=300, expire=100000, minimum=30)
+        wire = ResourceRecord("example.com", constants.QTYPE_SOA,
+                              constants.CLASS_IN, 60, soa).to_wire()
+        decoded, __ = ResourceRecord.from_wire(wire, 0)
+        assert decoded.data.serial == 42
+        assert decoded.data.refresh == 7200
+        assert decoded.data.expire == 100000
+
+
+class TestOpaqueData:
+    def test_unknown_type_preserved(self):
+        raw = b"\x01\x02\x03"
+        data = decode_rdata(99, raw, 0, 3)
+        assert isinstance(data, OpaqueData)
+        assert data.raw == raw
+        assert data.to_wire() == raw
+
+
+class TestResourceRecord:
+    def test_with_ttl_copies(self):
+        record = ResourceRecord.a("a.example", "1.2.3.4", ttl=100)
+        copy = record.with_ttl(5)
+        assert copy.ttl == 5
+        assert record.ttl == 100
+        assert copy.data is record.data
+
+    def test_equality_ignores_ttl_and_case(self):
+        left = ResourceRecord.a("A.Example", "1.2.3.4", ttl=1)
+        right = ResourceRecord.a("a.example", "1.2.3.4", ttl=999)
+        assert left == right
+        assert hash(left) == hash(right)
+
+    def test_ttl_masked_to_32_bits(self):
+        record = ResourceRecord.a("a.example", "1.2.3.4", ttl=2 ** 33)
+        decoded = roundtrip(record)
+        assert decoded.ttl == (2 ** 33) & 0xFFFFFFFF

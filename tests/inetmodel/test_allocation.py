@@ -1,0 +1,60 @@
+"""Tests for the prefix allocator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.inetmodel import PrefixAllocator
+from repro.netsim.address import is_reserved
+
+
+def test_alignment():
+    allocator = PrefixAllocator()
+    block = allocator.allocate(20)
+    assert block.base % block.num_addresses == 0
+
+
+def test_no_overlap():
+    allocator = PrefixAllocator()
+    blocks = [allocator.allocate(length)
+              for length in (24, 20, 16, 24, 22, 18)]
+    for i, left in enumerate(blocks):
+        for right in blocks[i + 1:]:
+            assert not left.contains_int(right.base)
+            assert not right.contains_int(left.base)
+
+
+def test_skips_reserved_space():
+    allocator = PrefixAllocator(start="9.255.0.0")
+    block = allocator.allocate(16)  # would land inside 10.0.0.0/8
+    assert not is_reserved(block.base)
+    assert not is_reserved(block.base + block.num_addresses - 1)
+
+
+def test_exhaustion_raises():
+    allocator = PrefixAllocator(start="223.255.0.0", end="223.255.255.255")
+    allocator.allocate(16)
+    with pytest.raises(RuntimeError):
+        allocator.allocate(16)
+
+
+def test_allocate_many():
+    allocator = PrefixAllocator()
+    blocks = allocator.allocate_many(24, 5)
+    assert len(blocks) == 5
+    assert len({block.base for block in blocks}) == 5
+
+
+@settings(max_examples=30)
+@given(st.lists(st.integers(min_value=16, max_value=28), min_size=1,
+                max_size=15))
+def test_property_disjoint_and_clean(lengths):
+    allocator = PrefixAllocator()
+    blocks = [allocator.allocate(length) for length in lengths]
+    seen = []
+    for block in blocks:
+        assert not is_reserved(block.base)
+        assert not is_reserved(block.base + block.num_addresses - 1)
+        for other in seen:
+            assert block.base + block.num_addresses <= other.base \
+                or other.base + other.num_addresses <= block.base
+        seen.append(block)

@@ -1,0 +1,42 @@
+"""Tests for GeoIP lookups."""
+
+from repro.inetmodel import (
+    AsRegistry,
+    AutonomousSystem,
+    GeoIpDatabase,
+    PrefixAllocator,
+)
+
+
+def make_world():
+    allocator = PrefixAllocator()
+    registry = AsRegistry()
+    prefixes = {}
+    for asn, country in ((64500, "US"), (64501, "TR"), (64502, "CN")):
+        prefix = allocator.allocate(22)
+        registry.add(AutonomousSystem(asn, "AS %s" % country, country,
+                                      prefixes=[prefix]))
+        prefixes[country] = prefix
+    return GeoIpDatabase(registry), prefixes
+
+
+def test_country_lookup():
+    geoip, prefixes = make_world()
+    assert geoip.country(prefixes["TR"].address_at(9)) == "TR"
+    assert geoip.country("223.0.0.1") == GeoIpDatabase.UNKNOWN
+
+
+def test_rir_lookup():
+    geoip, prefixes = make_world()
+    assert geoip.rir(prefixes["CN"].address_at(2)) == "APNIC"
+    assert geoip.rir(prefixes["US"].address_at(2)) == "ARIN"
+
+
+def test_histograms():
+    geoip, prefixes = make_world()
+    ips = ([prefixes["US"].address_at(i) for i in range(3)]
+           + [prefixes["TR"].address_at(i) for i in range(2)])
+    by_country = geoip.count_by_country(ips)
+    assert by_country == {"US": 3, "TR": 2}
+    by_rir = geoip.count_by_rir(ips)
+    assert by_rir == {"ARIN": 3, "RIPE": 2}

@@ -1,0 +1,65 @@
+"""Tests for UDP payload corruption (§5 Completeness)."""
+
+from repro.dnswire import Message
+from repro.netsim import Network, Node, SimClock, UdpPacket
+
+
+class DnsEcho(Node):
+    def handle_udp(self, packet, network):
+        query = Message.from_wire(packet.payload)
+        return query.make_response().to_wire()
+
+
+def probe(network, txid=7):
+    query = Message.query("example.com", txid=txid)
+    packet = UdpPacket("1.0.0.1", 999, "2.0.0.1", 53, query.to_wire())
+    return network.send_udp(packet)
+
+
+def parsed_ok(responses, txid=7):
+    for response in responses:
+        try:
+            message = Message.from_wire(response.packet.payload)
+        except ValueError:
+            continue
+        if message.header.txid == txid:
+            return True
+    return False
+
+
+def test_no_corruption_by_default():
+    network = Network(SimClock(), seed=1)
+    network.register(DnsEcho("2.0.0.1"))
+    assert all(parsed_ok(probe(network)) for __ in range(50))
+    assert network.udp_responses_corrupted == 0
+
+
+def test_full_corruption_breaks_every_response():
+    network = Network(SimClock(), seed=1, corruption_rate=1.0)
+    network.register(DnsEcho("2.0.0.1"))
+    for __ in range(20):
+        responses = probe(network)
+        assert responses, "corrupted packets still arrive"
+        assert not parsed_ok(responses), \
+            "a corrupted payload must not parse as the answer"
+    assert network.udp_responses_corrupted == 20
+
+
+def test_partial_corruption_statistics():
+    network = Network(SimClock(), seed=3, corruption_rate=0.3)
+    network.register(DnsEcho("2.0.0.1"))
+    good = sum(1 for __ in range(400) if parsed_ok(probe(network)))
+    assert 220 <= good <= 340  # ~70% survive
+    assert network.udp_responses_corrupted > 60
+
+
+def test_scanner_ignores_corrupted_responses():
+    """The paper ignores invalid packets in all analyses — the scanner
+    must simply not count a resolver whose response was damaged."""
+    from repro.scanner import Ipv4Scanner
+    network = Network(SimClock(), seed=5, corruption_rate=1.0)
+    network.register(DnsEcho("2.0.0.1"))
+    scanner = Ipv4Scanner(network, "1.0.0.1", "scan.example.edu")
+    result = scanner.scan_addresses(["2.0.0.1"])
+    assert result.probes_sent == 1
+    assert not result.responders

@@ -1,0 +1,84 @@
+"""Tests for scan blockers and DNS ingress filters (§2.3 explanations)."""
+
+from repro.netsim import (
+    DnsIngressFilter,
+    Ipv4Network,
+    Network,
+    ScannerBlocker,
+    SimClock,
+    UdpPacket,
+)
+from repro.netsim.network import Node
+
+
+class AnswerNode(Node):
+    def handle_udp(self, packet, network):
+        return b"ok"
+
+
+def build(middlebox):
+    network = Network(SimClock(), seed=1)
+    network.register(AnswerNode("50.0.0.10"))
+    network.add_middlebox(middlebox)
+    return network
+
+
+def dns_probe(network, src="1.0.0.1", dst="50.0.0.10", dport=53):
+    return network.send_udp(UdpPacket(src, 1234, dst, dport, b"q"))
+
+
+class TestScannerBlocker:
+    def make(self, active_after=0.0):
+        return ScannerBlocker(["1.0.0.1"],
+                              [Ipv4Network("50.0.0.0/24")],
+                              active_after=active_after)
+
+    def test_blocks_listed_source(self):
+        network = build(self.make())
+        assert dns_probe(network) == []
+
+    def test_other_source_passes(self):
+        # The verification scan from a second /8 still gets through —
+        # this is how the paper identified explanation (i).
+        network = build(self.make())
+        assert dns_probe(network, src="2.0.0.1")
+
+    def test_other_destination_passes(self):
+        network = build(self.make())
+        network.register(AnswerNode("60.0.0.1"))
+        assert dns_probe(network, dst="60.0.0.1")
+
+    def test_inactive_before_activation(self):
+        network = build(self.make(active_after=100.0))
+        assert dns_probe(network)
+        network.clock.advance(200)
+        assert dns_probe(network) == []
+
+
+class TestDnsIngressFilter:
+    def make(self, active_after=0.0):
+        return DnsIngressFilter([Ipv4Network("50.0.0.0/24")],
+                                active_after=active_after)
+
+    def test_blocks_external_dns(self):
+        network = build(self.make())
+        assert dns_probe(network) == []
+
+    def test_blocks_all_external_sources(self):
+        # Unlike the scanner blocker, verification scans fail too.
+        network = build(self.make())
+        assert dns_probe(network, src="2.0.0.1") == []
+
+    def test_internal_traffic_passes(self):
+        network = build(self.make())
+        assert dns_probe(network, src="50.0.0.99")
+
+    def test_non_dns_ports_pass(self):
+        network = build(self.make())
+        assert dns_probe(network, dport=5353)
+
+    def test_activation_time(self):
+        network = build(self.make(active_after=10.0))
+        assert dns_probe(network)
+        network.clock.advance(11)
+        assert dns_probe(network) == []

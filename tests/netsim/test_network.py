@@ -1,0 +1,184 @@
+"""Tests for the network core: routing, loss, latency, middleboxes."""
+
+import pytest
+
+from repro.netsim import Network, Node, SimClock, UdpPacket
+from repro.netsim.middlebox import Middlebox
+from repro.netsim.network import UdpResponse
+
+
+class EchoNode(Node):
+    """Replies with its own IP as payload."""
+
+    def handle_udp(self, packet, network):
+        return b"echo:" + self.ip.encode()
+
+
+class MultiReplyNode(Node):
+    """Replies twice, once from a different source address."""
+
+    def handle_udp(self, packet, network):
+        return [(b"first", None), (b"second", "9.9.9.9")]
+
+
+class SilentNode(Node):
+    def handle_udp(self, packet, network):
+        return None
+
+
+def make_network(loss_rate=0.0, seed=1):
+    return Network(SimClock(), seed=seed, loss_rate=loss_rate)
+
+
+def probe(network, dst="2.0.0.1"):
+    packet = UdpPacket("1.0.0.1", 1000, dst, 53, b"hi")
+    return network.send_udp(packet)
+
+
+class TestRegistry:
+    def test_register_and_lookup(self):
+        network = make_network()
+        node = EchoNode("2.0.0.1")
+        network.register(node)
+        assert network.node_at("2.0.0.1") is node
+        assert network.node_count == 1
+
+    def test_unregister(self):
+        network = make_network()
+        network.register(EchoNode("2.0.0.1"))
+        network.unregister("2.0.0.1")
+        assert network.node_at("2.0.0.1") is None
+
+    def test_rebind_moves_node(self):
+        network = make_network()
+        node = EchoNode("2.0.0.1")
+        network.register(node)
+        network.rebind(node, "2.0.0.99")
+        assert node.ip == "2.0.0.99"
+        assert network.node_at("2.0.0.1") is None
+        assert network.node_at("2.0.0.99") is node
+
+
+class TestUdp:
+    def test_delivery_and_reply_addressing(self):
+        network = make_network()
+        network.register(EchoNode("2.0.0.1"))
+        responses = probe(network)
+        assert len(responses) == 1
+        reply = responses[0].packet
+        assert reply.payload == b"echo:2.0.0.1"
+        assert reply.src_ip == "2.0.0.1"
+        assert reply.dst_ip == "1.0.0.1"
+        assert reply.dst_port == 1000
+        assert reply.src_port == 53
+
+    def test_no_node_no_response(self):
+        assert probe(make_network()) == []
+
+    def test_silent_node(self):
+        network = make_network()
+        network.register(SilentNode("2.0.0.1"))
+        assert probe(network) == []
+
+    def test_divergent_source_reply(self):
+        network = make_network()
+        network.register(MultiReplyNode("2.0.0.1"))
+        responses = probe(network)
+        sources = {r.packet.src_ip for r in responses}
+        assert sources == {"2.0.0.1", "9.9.9.9"}
+
+    def test_latency_deterministic_and_symmetric_ordering(self):
+        network = make_network()
+        first = network.latency_between("1.0.0.1", "2.0.0.1")
+        second = network.latency_between("1.0.0.1", "2.0.0.1")
+        assert first == second
+        assert first >= network.base_latency
+
+    def test_full_loss_drops_everything(self):
+        network = make_network(loss_rate=1.0)
+        network.register(EchoNode("2.0.0.1"))
+        assert probe(network) == []
+        assert network.udp_queries_lost > 0
+
+    def test_partial_loss_statistics(self):
+        network = make_network(loss_rate=0.3, seed=42)
+        network.register(EchoNode("2.0.0.1"))
+        delivered = sum(1 for __ in range(500) if probe(network))
+        # Query AND response each subject to loss: ~0.49 delivery.
+        assert 150 < delivered < 350
+
+
+class DropBox(Middlebox):
+    def drops_query(self, packet, network):
+        return packet.dst_ip == "2.0.0.1"
+
+
+class InjectBox(Middlebox):
+    def inject_responses(self, packet, network):
+        reply = packet.reply(b"forged")
+        return [UdpResponse(reply, 0.001, injected=True)]
+
+
+class ResponseDropBox(Middlebox):
+    def drops_response(self, query, response, network):
+        return True
+
+
+class TestMiddleboxes:
+    def test_query_drop(self):
+        network = make_network()
+        network.register(EchoNode("2.0.0.1"))
+        network.add_middlebox(DropBox())
+        assert probe(network) == []
+
+    def test_drop_is_targeted(self):
+        network = make_network()
+        network.register(EchoNode("2.0.0.2"))
+        network.add_middlebox(DropBox())
+        assert probe(network, dst="2.0.0.2")
+
+    def test_injection_arrives_first(self):
+        network = make_network()
+        network.register(EchoNode("2.0.0.1"))
+        network.add_middlebox(InjectBox())
+        responses = probe(network)
+        assert len(responses) == 2
+        assert responses[0].injected
+        assert responses[0].packet.payload == b"forged"
+        assert responses[1].packet.payload == b"echo:2.0.0.1"
+        assert responses[0].latency < responses[1].latency
+
+    def test_response_drop(self):
+        network = make_network()
+        network.register(EchoNode("2.0.0.1"))
+        network.add_middlebox(ResponseDropBox())
+        assert probe(network) == []
+
+
+class TestTcpServices:
+    def test_banner_requires_open_port(self):
+        network = make_network()
+
+        class BannerNode(Node):
+            def tcp_ports(self):
+                return frozenset((21,))
+
+            def tcp_banner(self, port, network=None):
+                return "220 hello"
+
+        network.register(BannerNode("2.0.0.1"))
+        assert network.tcp_banner("1.0.0.1", "2.0.0.1", 21) == "220 hello"
+        assert network.tcp_banner("1.0.0.1", "2.0.0.1", 22) is None
+        assert network.tcp_banner("1.0.0.1", "9.9.9.9", 21) is None
+
+    def test_http_without_service(self):
+        network = make_network()
+        network.register(EchoNode("2.0.0.1"))
+        from repro.websim.http import HttpRequest
+        assert network.http_request("1.0.0.1", "2.0.0.1",
+                                    HttpRequest("x.example")) is None
+
+    def test_tls_without_service(self):
+        network = make_network()
+        network.register(EchoNode("2.0.0.1"))
+        assert network.tls_handshake("1.0.0.1", "2.0.0.1") is None

@@ -1,0 +1,181 @@
+"""Tests for the resolver manipulation behaviors."""
+
+import pytest
+
+from repro.dnswire.constants import RCODE_NOERROR, RCODE_NXDOMAIN
+from repro.resolvers.behaviors import (
+    AdInjectBehavior,
+    BlockingBehavior,
+    CensorshipBehavior,
+    EmptyAnswerBehavior,
+    LanIpBehavior,
+    MailRedirectBehavior,
+    MalwareBehavior,
+    NsOnlyBehavior,
+    NxRedirectBehavior,
+    ParkingBehavior,
+    PhishingBehavior,
+    ProxyAllBehavior,
+    SelfIpBehavior,
+    StaleCdnBehavior,
+    StaticIpBehavior,
+)
+from repro.resolvers.resolver import HonestResult
+
+
+class FakeResolver:
+    """Just enough of ResolverNode for behavior tests."""
+
+    def __init__(self, ip="5.5.5.5", honest=None):
+        self.ip = ip
+        self._honest = honest or HonestResult(RCODE_NOERROR, ["9.9.9.9"])
+
+    def resolve_honest(self, qname, network):
+        return self._honest
+
+
+class TestDomainTargeting:
+    def test_suffix_matching(self):
+        behavior = CensorshipBehavior(["facebook.com"], ["1.1.1.1"])
+        assert behavior.targets("facebook.com")
+        assert behavior.targets("www.facebook.com")
+        assert behavior.targets("API.FACEBOOK.COM")
+        assert not behavior.targets("notfacebook.com")
+        assert not behavior.targets("facebook.com.evil.net")
+
+
+class TestCensorship:
+    def test_redirects_to_landing(self):
+        behavior = CensorshipBehavior(["blocked.com"],
+                                      ["1.1.1.1", "1.1.1.2"])
+        answer = behavior.answer(FakeResolver(), "blocked.com", None)
+        assert answer.addresses[0] in ("1.1.1.1", "1.1.1.2")
+
+    def test_defers_for_other_domains(self):
+        behavior = CensorshipBehavior(["blocked.com"], ["1.1.1.1"])
+        assert behavior.answer(FakeResolver(), "ok.com", None) is None
+
+    def test_deterministic_per_resolver(self):
+        behavior = CensorshipBehavior(["blocked.com"],
+                                      ["1.1.1.1", "1.1.1.2", "1.1.1.3"])
+        resolver = FakeResolver()
+        first = behavior.answer(resolver, "blocked.com", None)
+        second = behavior.answer(resolver, "blocked.com", None)
+        assert first.addresses == second.addresses
+
+
+class TestBlockingAndParking:
+    def test_blocking(self):
+        behavior = BlockingBehavior(["malware.net"], "2.2.2.2")
+        assert behavior.answer(FakeResolver(), "malware.net",
+                               None).addresses == ["2.2.2.2"]
+        assert behavior.answer(FakeResolver(), "ok.com", None) is None
+
+    def test_parking(self):
+        behavior = ParkingBehavior(["dead.com"], ["3.3.3.3", "3.3.3.4"])
+        answer = behavior.answer(FakeResolver(), "dead.com", None)
+        assert answer.addresses[0].startswith("3.3.3.")
+
+
+class TestNxRedirect:
+    def test_monetizes_nxdomain(self):
+        resolver = FakeResolver(honest=HonestResult(RCODE_NXDOMAIN))
+        behavior = NxRedirectBehavior("4.4.4.4")
+        answer = behavior.answer(resolver, "typo.com", None)
+        assert answer.addresses == ["4.4.4.4"]
+        assert answer.rcode == RCODE_NOERROR
+
+    def test_passes_existing_domains_through(self):
+        resolver = FakeResolver(
+            honest=HonestResult(RCODE_NOERROR, ["9.9.9.9"]))
+        behavior = NxRedirectBehavior("4.4.4.4")
+        answer = behavior.answer(resolver, "real.com", None)
+        assert answer.addresses == ["9.9.9.9"]
+
+    def test_monetizes_empty_noerror(self):
+        resolver = FakeResolver(honest=HonestResult(RCODE_NOERROR, []))
+        behavior = NxRedirectBehavior("4.4.4.4")
+        assert behavior.answer(resolver, "e.com", None).addresses == \
+            ["4.4.4.4"]
+
+
+class TestSimpleAnswers:
+    def test_static_ip(self):
+        behavior = StaticIpBehavior("6.6.6.6")
+        for domain in ("a.com", "b.net", "c.org"):
+            assert behavior.answer(FakeResolver(), domain,
+                                   None).addresses == ["6.6.6.6"]
+
+    def test_self_ip(self):
+        behavior = SelfIpBehavior()
+        assert behavior.answer(FakeResolver(ip="7.7.7.7"), "a.com",
+                               None).addresses == ["7.7.7.7"]
+
+    def test_lan_ip(self):
+        behavior = LanIpBehavior("192.168.1.1")
+        assert behavior.answer(FakeResolver(), "a.com",
+                               None).addresses == ["192.168.1.1"]
+
+    def test_empty(self):
+        answer = EmptyAnswerBehavior().answer(FakeResolver(), "a.com", None)
+        assert answer.empty
+        assert answer.rcode == RCODE_NOERROR
+
+    def test_ns_only(self):
+        answer = NsOnlyBehavior().answer(FakeResolver(), "a.com", None)
+        assert answer.ns_only
+
+
+class TestRedirectors:
+    def test_ad_inject_targets_ads_only(self):
+        behavior = AdInjectBehavior(["doubleclick.net"], ["8.8.1.1"])
+        assert behavior.answer(FakeResolver(), "ad.doubleclick.net",
+                               None).addresses == ["8.8.1.1"]
+        assert behavior.answer(FakeResolver(), "bank.com", None) is None
+
+    def test_phishing(self):
+        behavior = PhishingBehavior(["paypal.com"],
+                                    ["8.8.2.1", "8.8.2.2"])
+        answer = behavior.answer(FakeResolver(), "www.paypal.com", None)
+        assert answer.addresses[0].startswith("8.8.2.")
+
+    def test_phishing_ips_vary_across_resolvers(self):
+        behavior = PhishingBehavior(
+            ["paypal.com"], ["8.8.2.%d" % i for i in range(1, 9)])
+        chosen = {behavior.answer(FakeResolver(ip="5.5.5.%d" % i),
+                                  "paypal.com", None).addresses[0]
+                  for i in range(40)}
+        assert len(chosen) > 3
+
+    def test_malware(self):
+        behavior = MalwareBehavior(["get.adobe.com"], ["8.8.3.1"])
+        assert behavior.answer(FakeResolver(), "get.adobe.com",
+                               None).addresses == ["8.8.3.1"]
+
+    def test_mail_redirect(self):
+        behavior = MailRedirectBehavior(["imap.gmail.com"], ["8.8.4.1"])
+        assert behavior.answer(FakeResolver(), "imap.gmail.com",
+                               None).addresses == ["8.8.4.1"]
+        assert behavior.answer(FakeResolver(), "gmail.com", None) is None
+
+
+class TestProxyAll:
+    def test_proxies_existing_domains(self):
+        behavior = ProxyAllBehavior(["8.8.5.1", "8.8.5.2"])
+        answer = behavior.answer(FakeResolver(), "anything.com", None)
+        assert answer.addresses[0].startswith("8.8.5.")
+
+    def test_preserves_nxdomain(self):
+        resolver = FakeResolver(honest=HonestResult(RCODE_NXDOMAIN))
+        behavior = ProxyAllBehavior(["8.8.5.1"])
+        answer = behavior.answer(resolver, "typo.com", None)
+        assert answer.rcode == RCODE_NXDOMAIN
+        assert not answer.addresses
+
+
+class TestStaleCdn:
+    def test_returns_stale_edges(self):
+        behavior = StaleCdnBehavior({"bigsite.com": ["8.8.6.1"]})
+        assert behavior.answer(FakeResolver(), "www.bigsite.com",
+                               None).addresses == ["8.8.6.1"]
+        assert behavior.answer(FakeResolver(), "other.com", None) is None

@@ -1,0 +1,65 @@
+"""Tests for closed (IP-restricted) resolvers (§2.1)."""
+
+import pytest
+
+from repro.dnswire import Message
+from repro.dnswire.constants import RCODE_NOERROR, RCODE_REFUSED
+from repro.netsim import Ipv4Network, UdpPacket
+from repro.resolvers import ResolverNode
+
+
+@pytest.fixture
+def world(mini):
+    mini.builder.register_domain("example.com",
+                                 {"example.com": ["198.18.0.1"]})
+    mini.customer_net = Ipv4Network("100.100.0.0/16")
+    closed = ResolverNode(mini.infra.address_at(47000),
+                          resolution_service=mini.service,
+                          allowed_networks=[mini.customer_net])
+    mini.network.register(closed)
+    mini.closed = closed
+    return mini
+
+
+def ask(world, src, name="example.com"):
+    query = Message.query(name, txid=5)
+    packet = UdpPacket(src, 1234, world.closed.ip, 53, query.to_wire())
+    responses = world.network.send_udp(packet)
+    return Message.from_wire(responses[0].packet.payload)
+
+
+def test_customer_space_served(world):
+    response = ask(world, "100.100.5.5")
+    assert response.rcode == RCODE_NOERROR
+    assert response.a_addresses() == ["198.18.0.1"]
+
+
+def test_outsider_refused(world):
+    response = ask(world, world.client_ip)
+    assert response.rcode == RCODE_REFUSED
+    assert not response.a_addresses()
+
+
+def test_scanner_counts_closed_as_refused(world):
+    from repro.scanner import Ipv4Scanner
+    world.builder.register_domain("scan.dnsstudy.edu",
+                                  wildcard_address="198.18.0.9")
+    scanner = Ipv4Scanner(world.network, world.client_ip,
+                          "scan.dnsstudy.edu")
+    result = scanner.scan_addresses([world.closed.ip])
+    assert world.closed.ip in result.refused
+    assert world.closed.ip not in result.noerror
+
+
+def test_forwarder_inside_customer_space_works(world):
+    forwarder = ResolverNode("100.100.9.9",
+                             forward_to=world.closed.ip)
+    world.network.register(forwarder)
+    query = Message.query("example.com", txid=6)
+    packet = UdpPacket(world.client_ip, 999, forwarder.ip, 53,
+                       query.to_wire())
+    responses = world.network.send_udp(packet)
+    message = Message.from_wire(responses[0].packet.payload)
+    # The outside client reaches the closed resolver THROUGH the open
+    # forwarder — the indirection the paper's proxies provide.
+    assert message.a_addresses() == ["198.18.0.1"]

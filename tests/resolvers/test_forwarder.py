@@ -1,0 +1,90 @@
+"""Tests for the forwarding-proxy resolver mode (§2.2's DNS proxies)."""
+
+import pytest
+
+from repro.dnswire import Message
+from repro.dnswire.constants import (
+    CLASS_CH,
+    QTYPE_TXT,
+    RCODE_NOERROR,
+    RCODE_NXDOMAIN,
+)
+from repro.netsim import UdpPacket
+from repro.resolvers import ResolverNode, StaticIpBehavior
+from repro.resolvers.software import SOFTWARE_CATALOG, STYLE_VERSION
+
+
+@pytest.fixture
+def world(mini):
+    mini.builder.register_domain("example.com",
+                                 {"example.com": ["198.18.0.1"]})
+    upstream = ResolverNode(mini.infra.address_at(46000),
+                            resolution_service=mini.service)
+    mini.network.register(upstream)
+    mini.upstream = upstream
+    forwarder = ResolverNode(mini.infra.address_at(46001),
+                             forward_to=upstream.ip,
+                             software=SOFTWARE_CATALOG[5][0],
+                             chaos_style=STYLE_VERSION)
+    mini.network.register(forwarder)
+    mini.forwarder = forwarder
+    return mini
+
+
+def ask(world, dst, name, qtype=1, qclass=1):
+    query = Message.query(name, qtype=qtype, qclass=qclass, txid=77)
+    packet = UdpPacket(world.client_ip, 1234, dst, 53, query.to_wire())
+    responses = world.network.send_udp(packet)
+    if not responses:
+        return None, None
+    return (Message.from_wire(responses[0].packet.payload),
+            responses[0].packet.src_ip)
+
+
+class TestForwarding:
+    def test_relays_a_queries(self, world):
+        message, source = ask(world, world.forwarder.ip, "example.com")
+        assert message.rcode == RCODE_NOERROR
+        assert message.a_addresses() == ["198.18.0.1"]
+        # The client sees the FORWARDER as the responder.
+        assert source == world.forwarder.ip
+        assert message.header.txid == 77
+
+    def test_relays_nxdomain(self, world):
+        message, __ = ask(world, world.forwarder.ip, "nope.example.com")
+        assert message.rcode == RCODE_NXDOMAIN
+
+    def test_upstream_manipulation_passes_through(self, world):
+        # A manipulating upstream poisons every client of the proxy.
+        world.upstream.behaviors.append(StaticIpBehavior("6.6.6.6"))
+        message, __ = ask(world, world.forwarder.ip, "example.com")
+        assert message.a_addresses() == ["6.6.6.6"]
+
+    def test_chaos_answered_locally(self, world):
+        message, __ = ask(world, world.forwarder.ip, "version.bind",
+                          qtype=QTYPE_TXT, qclass=CLASS_CH)
+        # The forwarder's own software identity, not the upstream's.
+        assert message.answers[0].data.text == \
+            world.forwarder.software.version_string
+
+    def test_dead_upstream_silent(self, world):
+        orphan = ResolverNode(world.infra.address_at(46002),
+                              forward_to=world.infra.address_at(46999))
+        world.network.register(orphan)
+        message, __ = ask(world, orphan.ip, "example.com")
+        assert message is None
+
+    def test_upstream_query_counted(self, world):
+        before = world.upstream.query_count
+        ask(world, world.forwarder.ip, "example.com")
+        assert world.upstream.query_count == before + 1
+
+    def test_divergent_source_forwarder(self, world):
+        proxy = ResolverNode(world.infra.address_at(46003),
+                             forward_to=world.upstream.ip,
+                             answer_source_ip=world.infra.address_at(
+                                 46004))
+        world.network.register(proxy)
+        message, source = ask(world, proxy.ip, "example.com")
+        assert message.a_addresses() == ["198.18.0.1"]
+        assert source == world.infra.address_at(46004)

@@ -1,0 +1,133 @@
+"""Tests for the population generator's distributions and wiring."""
+
+import pytest
+
+from repro.inetmodel import (
+    AutonomousSystem,
+    ChurnModel,
+    PrefixAllocator,
+    RdnsRegistry,
+)
+from repro.netsim import Network, SimClock
+from repro.netsim.clock import WEEK
+from repro.datasets import SNOOPING_TLDS
+from repro.resolvers import PopulationBuilder, ResolverSpec
+from repro.resolvers.resolver import MODE_NORMAL, MODE_REFUSED, \
+    MODE_SERVFAIL
+from repro.resolvers.software import STYLE_VERSION
+
+
+@pytest.fixture
+def built():
+    network = Network(SimClock(), seed=1)
+    rdns = RdnsRegistry()
+    churn = ChurnModel(network, rdns=rdns, seed=2)
+    allocator = PrefixAllocator()
+    pool = allocator.allocate(18)
+    asys = AutonomousSystem(64500, "Test ISP", "US", prefixes=[pool])
+    builder = PopulationBuilder(network, churn, None, rdns=rdns,
+                                snooping_tlds=SNOOPING_TLDS, seed=3)
+    spec = ResolverSpec(asys, pool, 600)
+    nodes = builder.build_pool(spec)
+    return network, rdns, churn, builder, nodes, spec
+
+
+class TestDistributions:
+    def test_count(self, built):
+        # 600 pool members plus the ISP's provider resolver.
+        __, __, __, builder, nodes, __ = built
+        assert len(nodes) == 601
+        assert len(builder.resolvers) == 601
+
+    def test_all_registered_with_unique_ips(self, built):
+        network, __, __, __, nodes, __ = built
+        ips = {node.ip for node in nodes}
+        assert len(ips) == 601
+        for node in nodes[:20]:
+            assert network.node_at(node.ip) is node
+
+    def test_response_mode_shares(self, built):
+        __, __, __, __, nodes, spec = built
+        refused = sum(1 for n in nodes if n.response_mode == MODE_REFUSED)
+        servfail = sum(1 for n in nodes
+                       if n.response_mode == MODE_SERVFAIL)
+        assert 0.04 < refused / 600 < 0.14
+        assert 0.01 < servfail / 600 < 0.09
+
+    def test_chaos_version_share(self, built):
+        __, __, __, __, nodes, __ = built
+        with_version = [n for n in nodes if n.chaos_style == STYLE_VERSION]
+        assert 0.25 < len(with_version) / 600 < 0.45
+        assert all(n.software is not None for n in with_version)
+
+    def test_tcp_share(self, built):
+        __, __, __, __, nodes, __ = built
+        with_tcp = sum(1 for n in nodes if n.tcp_ports())
+        assert 0.18 < with_tcp / 600 < 0.36
+
+    def test_divergent_sources_exist(self, built):
+        __, __, __, __, nodes, __ = built
+        divergent = [n for n in nodes if n.answer_source_ip]
+        assert 0 < len(divergent) < 60
+        for node in divergent:
+            assert node.answer_source_ip != node.ip
+
+    def test_rdns_coverage(self, built):
+        __, rdns, __, __, nodes, __ = built
+        with_ptr = sum(1 for n in nodes if rdns.ptr(n.ip))
+        assert 0.6 < with_ptr / 600 < 0.95
+
+    def test_by_country_index(self, built):
+        __, __, __, builder, nodes, __ = built
+        assert len(builder.by_country["US"]) == 601
+
+
+class TestLifecycleWiring:
+    def test_refused_resolvers_are_stable(self, built):
+        __, __, churn, builder, nodes, __ = built
+        for host in builder.hosts:
+            if host.node.response_mode == MODE_REFUSED:
+                assert host.offline_after is None
+                assert host.lease_duration >= 100 * WEEK
+
+    def test_offline_fraction_applied(self):
+        network = Network(SimClock(), seed=1)
+        churn = ChurnModel(network, seed=2)
+        pool = PrefixAllocator().allocate(18)
+        asys = AutonomousSystem(64501, "Dying ISP", "AR", prefixes=[pool])
+        builder = PopulationBuilder(network, churn, None, seed=3)
+        builder.build_pool(ResolverSpec(asys, pool, 300,
+                                        offline_fraction=0.9))
+        with_offline = sum(1 for host in builder.hosts
+                           if host.offline_after is not None)
+        assert with_offline > 180
+
+    def test_growth_fraction_starts_offline(self):
+        network = Network(SimClock(), seed=1)
+        churn = ChurnModel(network, seed=2)
+        pool = PrefixAllocator().allocate(18)
+        asys = AutonomousSystem(64502, "Growing ISP", "IN",
+                                prefixes=[pool])
+        builder = PopulationBuilder(network, churn, None, seed=3)
+        builder.build_pool(ResolverSpec(asys, pool, 300,
+                                        growth_fraction=0.3))
+        total = len(builder.hosts)  # 300 members + the provider resolver
+        offline_now = sum(1 for host in builder.hosts if not host.online)
+        assert 50 < offline_now < 130
+        assert len(builder.online_resolver_ips()) == total - offline_now
+
+    def test_behavior_factory_invoked(self):
+        network = Network(SimClock(), seed=1)
+        churn = ChurnModel(network, seed=2)
+        pool = PrefixAllocator().allocate(18)
+        asys = AutonomousSystem(64503, "ISP", "US", prefixes=[pool])
+        builder = PopulationBuilder(network, churn, None, seed=3)
+        calls = []
+
+        def factory(rng, spec, index, ip):
+            calls.append(ip)
+            return []
+
+        builder.build_pool(ResolverSpec(asys, pool, 50,
+                                        behavior_factory=factory))
+        assert len(calls) == 50

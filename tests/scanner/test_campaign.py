@@ -1,0 +1,79 @@
+"""Tests for the weekly scan campaign runner."""
+
+import pytest
+
+from repro.inetmodel import ChurnModel, LeasedHost, PrefixAllocator
+from repro.netsim.clock import DAY, WEEK
+from repro.resolvers import ResolverNode
+from repro.scanner import ScanCampaign, ScanTargetSpace
+
+
+@pytest.fixture
+def world(mini):
+    mini.builder.register_domain("scan.dnsstudy.edu",
+                                 wildcard_address="198.18.0.99")
+    mini.service.wildcard_suffixes = ("scan.dnsstudy.edu",)
+    pool = mini.allocator.allocate(26)
+    churn = ChurnModel(mini.network, rdns=mini.rdns, seed=5)
+    for index, lease in enumerate((None, None, DAY, 2 * WEEK)):
+        ip = churn.allocate_address(pool)
+        node = ResolverNode(ip, resolution_service=mini.service)
+        mini.network.register(node)
+        churn.add(LeasedHost(node, pool, lease_duration=lease))
+    mini.pool = pool
+    mini.churn = churn
+    return mini
+
+
+def make_campaign(world, verify=False):
+    return ScanCampaign(
+        world.network, world.churn, ScanTargetSpace([world.pool]),
+        world.client_ip, "scan.dnsstudy.edu",
+        verification_source_ip=(world.infra.address_at(777)
+                                if verify else None))
+
+
+class TestCampaign:
+    def test_weekly_snapshots(self, world):
+        campaign = make_campaign(world)
+        campaign.run(3)
+        assert len(campaign.snapshots) == 3
+        assert [snapshot.week for snapshot in campaign.snapshots] == \
+            [0, 1, 2]
+        assert campaign.first() is campaign.snapshots[0]
+        assert campaign.last() is campaign.snapshots[-1]
+
+    def test_clock_advances_per_week(self, world):
+        campaign = make_campaign(world)
+        start = world.clock.now
+        campaign.run(2)
+        assert world.clock.now - start == 2 * WEEK
+
+    def test_churn_applied_between_weeks(self, world):
+        campaign = make_campaign(world)
+        campaign.run(4)
+        # The day-lease host must have changed address at least once:
+        # its original address disappears from a later scan.
+        first_responders = campaign.first().result.responders
+        assert len(first_responders) == 4
+        later = campaign.snapshots[-1].result.responders
+        assert later != first_responders or world.churn.rebind_count > 0
+
+    def test_verification_scan_only_when_requested(self, world):
+        campaign = make_campaign(world, verify=True)
+        campaign.run(2, verify_last=True)
+        assert campaign.snapshots[0].verification is None
+        assert campaign.snapshots[1].verification is not None
+
+    def test_no_verifier_configured(self, world):
+        campaign = make_campaign(world, verify=False)
+        campaign.run(1, verify_last=True)
+        assert campaign.snapshots[0].verification is None
+
+    def test_results_stay_stable_for_static_hosts(self, world):
+        campaign = make_campaign(world)
+        campaign.run(5)
+        static_ips = {host.node.ip for host in world.churn.hosts()
+                      if not host.dynamic}
+        for snapshot in campaign.snapshots:
+            assert static_ips <= snapshot.result.responders

@@ -1,0 +1,103 @@
+"""Tests for the scan identity encodings."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dnswire.name import normalize_name
+from repro.scanner.encoding import (
+    MAX_RESOLVER_ID,
+    ResolverIdCodec,
+    decode_target_ip,
+    encode_target_qname,
+)
+
+DOMAIN = "scan.dnsstudy.edu"
+
+
+class TestTargetEncoding:
+    def test_roundtrip(self):
+        qname = encode_target_qname("203.5.113.7", DOMAIN, probe_id=42)
+        assert decode_target_ip(qname, DOMAIN) == "203.5.113.7"
+
+    def test_qname_shape(self):
+        qname = encode_target_qname("1.2.3.4", DOMAIN, probe_id=0xAB)
+        assert qname == "rab.01020304.%s" % DOMAIN
+
+    def test_decode_rejects_foreign_domain(self):
+        assert decode_target_ip("r1.01020304.other.example",
+                                DOMAIN) is None
+
+    def test_decode_rejects_bad_hex(self):
+        assert decode_target_ip("r1.zzzz.%s" % DOMAIN, DOMAIN) is None
+
+    def test_decode_rejects_wrong_label_count(self):
+        assert decode_target_ip("a.b.c.%s" % DOMAIN, DOMAIN) is None
+
+    def test_decode_case_insensitive(self):
+        qname = encode_target_qname("1.2.3.4", DOMAIN).upper()
+        assert decode_target_ip(qname, DOMAIN) == "1.2.3.4"
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_roundtrip_property(self, value):
+        from repro.netsim.address import int_to_ip
+        ip = int_to_ip(value)
+        assert decode_target_ip(encode_target_qname(ip, DOMAIN),
+                                DOMAIN) == ip
+
+
+class TestResolverIdCodec:
+    def test_roundtrip_via_port(self):
+        codec = ResolverIdCodec()
+        txid, port, qname = codec.encode(1234567, "facebook.com")
+        assert codec.decode(txid, port, qname) == 1234567
+
+    def test_txid_and_port_split(self):
+        codec = ResolverIdCodec(base_port=33000)
+        resolver_id = (3 << 16) | 0xBEEF
+        txid, port, __ = codec.encode(resolver_id, "facebook.com")
+        assert txid == 0xBEEF
+        assert port == 33003
+
+    def test_0x20_fallback_when_port_rewritten(self):
+        # Some resolvers change the destination port of the response;
+        # the case pattern of the echoed question recovers the high bits.
+        codec = ResolverIdCodec()
+        resolver_id = (0b101010101 << 16) | 0x1234
+        txid, __, qname = codec.encode(resolver_id, "facebook.com")
+        assert codec.decode(txid, 53, qname) == resolver_id
+
+    def test_case_pattern_normalizes(self):
+        codec = ResolverIdCodec()
+        __, __, qname = codec.encode((0b111 << 16) | 1, "facebook.com")
+        assert normalize_name(qname) == "facebook.com"
+        assert qname != "facebook.com"  # some letters upper-cased
+
+    def test_id_out_of_range(self):
+        codec = ResolverIdCodec()
+        with pytest.raises(ValueError):
+            codec.encode(MAX_RESOLVER_ID + 1, "x.com")
+
+    def test_bad_base_port(self):
+        with pytest.raises(ValueError):
+            ResolverIdCodec(base_port=65500)
+        with pytest.raises(ValueError):
+            ResolverIdCodec(base_port=80)
+
+    @given(st.integers(min_value=0, max_value=MAX_RESOLVER_ID))
+    def test_roundtrip_property(self, resolver_id):
+        codec = ResolverIdCodec()
+        txid, port, qname = codec.encode(resolver_id, "youtube.com")
+        assert codec.decode(txid, port, qname) == resolver_id
+
+    @given(st.integers(min_value=0, max_value=MAX_RESOLVER_ID))
+    def test_0x20_fallback_property(self, resolver_id):
+        codec = ResolverIdCodec()
+        txid, __, qname = codec.encode(resolver_id, "wikipedia.org")
+        # 'wikipediaorg' has 12 letters >= 9 bits: full recovery.
+        assert codec.decode(txid, 99, qname) == resolver_id
+
+    def test_short_domain_port_still_works(self):
+        codec = ResolverIdCodec()
+        resolver_id = (0x1FF << 16) | 7
+        txid, port, qname = codec.encode(resolver_id, "qq.com")
+        assert codec.decode(txid, port, qname) == resolver_id

@@ -1,0 +1,107 @@
+"""Tests for the Internet-wide IPv4 scanner."""
+
+import pytest
+
+from repro.dnswire import Message
+from repro.inetmodel import PrefixAllocator
+from repro.resolvers import ResolverNode
+from repro.resolvers.resolver import MODE_REFUSED, MODE_SERVFAIL
+from repro.scanner import Blacklist, Ipv4Scanner, ScanTargetSpace
+from repro.scanner.ipv4scan import ScanResult
+
+MEASUREMENT_DOMAIN = "scan.dnsstudy.edu"
+
+
+@pytest.fixture
+def world(mini):
+    mini.builder.register_domain(MEASUREMENT_DOMAIN,
+                                 wildcard_address="198.18.0.99")
+    mini.service.wildcard_suffixes = (MEASUREMENT_DOMAIN,)
+    pool = mini.allocator.allocate(24)
+    for offset, kwargs in ((1, {}), (2, {}),
+                           (3, {"response_mode": MODE_REFUSED}),
+                           (4, {"response_mode": MODE_SERVFAIL}),
+                           (5, {"answer_source_ip": pool.address_at(200)})):
+        node = ResolverNode(pool.address_at(offset),
+                            resolution_service=mini.service, **kwargs)
+        mini.network.register(node)
+    mini.pool = pool
+    return mini
+
+
+def make_scanner(world, **kwargs):
+    return Ipv4Scanner(world.network, world.client_ip, MEASUREMENT_DOMAIN,
+                       **kwargs)
+
+
+class TestScan:
+    def test_finds_all_resolvers_by_rcode(self, world):
+        result = make_scanner(world).scan(ScanTargetSpace([world.pool]))
+        pool = world.pool
+        assert pool.address_at(1) in result.noerror
+        assert pool.address_at(2) in result.noerror
+        assert pool.address_at(3) in result.refused
+        assert pool.address_at(4) in result.servfail
+        assert result.counts()["all"] == 5
+
+    def test_divergent_source_detected(self, world):
+        result = make_scanner(world).scan(ScanTargetSpace([world.pool]))
+        # Node 5 answers from a different source; attribution by the
+        # encoded target still credits the probed address.
+        assert world.pool.address_at(5) in result.noerror
+        assert result.divergent_sources == {world.pool.address_at(5)}
+
+    def test_probe_count_excludes_blacklist(self, world):
+        blacklist = Blacklist(addresses=[world.pool.address_at(1)])
+        result = make_scanner(world, blacklist=blacklist).scan(
+            ScanTargetSpace([world.pool]))
+        assert world.pool.address_at(1) not in result.responders
+        assert result.probes_sent == world.pool.num_addresses - 1
+
+    def test_scan_addresses(self, world):
+        result = make_scanner(world).scan_addresses(
+            [world.pool.address_at(1), world.pool.address_at(9)])
+        assert result.probes_sent == 2
+        assert result.counts()["noerror"] == 1
+
+    def test_fast_query_wire_matches_message_codec(self, world):
+        scanner = make_scanner(world)
+        payload = scanner._query_wire(("r2a", "01020304"), 0x1234)
+        reference = Message.query(
+            "r2a.01020304.%s" % MEASUREMENT_DOMAIN, txid=0x1234).to_wire()
+        assert payload == reference
+
+    def test_deterministic_across_runs(self, world):
+        first = make_scanner(world).scan(ScanTargetSpace([world.pool]))
+        second = make_scanner(world).scan(ScanTargetSpace([world.pool]))
+        assert first.responders == second.responders
+
+
+class TestScanTargetSpace:
+    def test_spans_prefixes(self):
+        allocator = PrefixAllocator()
+        first = allocator.allocate(28)
+        second = allocator.allocate(28)
+        space = ScanTargetSpace([first, second])
+        assert len(space) == 32
+        assert space.ip_at(0) == first.address_at(0)
+        assert space.ip_at(16) == second.address_at(0)
+        assert space.ip_at(31) == second.address_at(15)
+
+    def test_out_of_range(self):
+        space = ScanTargetSpace([PrefixAllocator().allocate(28)])
+        with pytest.raises(IndexError):
+            space.ip_at(16)
+        with pytest.raises(IndexError):
+            space.ip_at(-1)
+
+
+class TestScanResult:
+    def test_record_and_counts(self):
+        result = ScanResult(0.0)
+        result.record("1.1.1.1", 0, "1.1.1.1")
+        result.record("1.1.1.2", 5, "9.9.9.9")
+        counts = result.counts()
+        assert counts == {"all": 2, "noerror": 1, "refused": 1,
+                          "servfail": 0}
+        assert result.divergent_sources == {"1.1.1.2"}

@@ -1,0 +1,63 @@
+"""Tests for the LFSR scan-order permutation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.scanner.lfsr import LFSR, MAXIMAL_TAPS
+
+
+class TestMaximality:
+    @pytest.mark.parametrize("order", list(range(3, 17)))
+    def test_full_period_small_orders(self, order):
+        lfsr = LFSR(order, seed=1)
+        values = list(lfsr.sequence())
+        assert len(values) == (1 << order) - 1
+        assert set(values) == set(range(1, 1 << order))
+
+    @pytest.mark.parametrize("order", [17, 18, 19, 20])
+    def test_no_short_cycle_spot_check(self, order):
+        lfsr = LFSR(order, seed=1)
+        first = lfsr.state
+        # A maximal LFSR must not return to the seed early.
+        for __ in range(100000):
+            if lfsr.step() == first:
+                pytest.fail("short cycle for order %d" % order)
+
+    def test_all_documented_orders_have_taps(self):
+        assert set(MAXIMAL_TAPS) == set(range(3, 33))
+
+
+class TestApi:
+    def test_zero_seed_rejected(self):
+        with pytest.raises(ValueError):
+            LFSR(8, seed=0)
+
+    def test_unknown_order_without_taps_rejected(self):
+        with pytest.raises(ValueError):
+            LFSR(2)
+
+    def test_custom_taps_accepted(self):
+        lfsr = LFSR(2, seed=1, taps=0b11)
+        assert len(list(lfsr.sequence())) == 3
+
+    def test_seed_masked(self):
+        lfsr = LFSR(4, seed=0x1F)
+        assert lfsr.state <= 0xF
+
+    def test_period_property(self):
+        assert LFSR(8).period == 255
+
+    @given(st.integers(min_value=1, max_value=10 ** 6))
+    def test_order_for_covers_count(self, count):
+        order = LFSR.order_for(count)
+        assert (1 << order) - 1 >= count
+        assert order == 3 or (1 << (order - 1)) - 1 < count
+
+    def test_different_seeds_same_set(self):
+        first = set(LFSR(6, seed=1).sequence())
+        second = set(LFSR(6, seed=33).sequence())
+        assert first == second
+
+    def test_permutation_not_sequential(self):
+        values = list(LFSR(10, seed=1).sequence())[:50]
+        assert values != sorted(values)

@@ -1,0 +1,46 @@
+"""Property: LFSR scan order spreads probes across networks.
+
+The paper adopts the LFSR so that "scanned networks receive a limited
+number of DNS requests within a short time frame" — consecutive probes
+must not walk a /24 sequentially.
+"""
+
+from repro.scanner.lfsr import LFSR
+
+
+def consecutive_same_slash24(order, window=256):
+    """How often consecutive scan targets fall in the same /24-sized
+    index window (sequential scanning would score 1.0)."""
+    lfsr = LFSR(order, seed=1)
+    values = list(lfsr.sequence())
+    hits = sum(1 for left, right in zip(values, values[1:])
+               if left // window == right // window)
+    return hits / (len(values) - 1)
+
+
+def test_probes_spread_across_networks():
+    for order in (12, 14, 16):
+        rate = consecutive_same_slash24(order)
+        # A random permutation would hit ~window/period; allow slack.
+        expected_random = 256 / ((1 << order) - 1)
+        assert rate < 12 * expected_random, \
+            "order %d clusters consecutive probes (rate %.4f)" % (order,
+                                                                  rate)
+
+
+def test_burst_into_one_network_is_bounded():
+    # Within any short probe burst, one /24-sized window receives only
+    # a handful of probes.
+    lfsr = LFSR(16, seed=1)
+    values = list(lfsr.sequence())
+    burst = values[:512]
+    per_window = {}
+    for value in burst:
+        window = value // 256
+        per_window[window] = per_window.get(window, 0) + 1
+    assert max(per_window.values()) <= 8
+
+
+def test_full_space_still_covered():
+    lfsr = LFSR(12, seed=1)
+    assert set(lfsr.sequence()) == set(range(1, 1 << 12))

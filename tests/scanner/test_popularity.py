@@ -1,0 +1,92 @@
+"""Tests for the fine-grained popularity estimation extension."""
+
+import pytest
+
+from repro.resolvers import ResolverNode
+from repro.resolvers.cache import CacheActivityModel
+from repro.scanner.popularity import (
+    CLASS_HEAVY,
+    CLASS_IDLE,
+    CLASS_LIGHT,
+    CLASS_MODERATE,
+    PopularityEstimate,
+    PopularityProber,
+)
+
+
+@pytest.fixture
+def world(mini):
+    return mini
+
+
+def add_resolver(world, gap, ttl=3600, tlds=("com",), style=None):
+    patterns = {tld: (gap, 0.0) for tld in tlds}
+    activity = CacheActivityModel(
+        style or CacheActivityModel.STYLE_NORMAL,
+        tld_patterns=patterns, ttl=ttl)
+    node = ResolverNode(world.infra.address_at(43000),
+                        resolution_service=world.service,
+                        activity=activity)
+    world.network.register(node)
+    return node
+
+
+def make_prober(world, tlds=("com",)):
+    return PopularityProber(world.network, world.client_ip, tlds,
+                            fine_interval=0.5, coarse_interval=300.0,
+                            fine_window=20.0)
+
+
+class TestEstimate:
+    def test_heavy_resolver(self, world):
+        node = add_resolver(world, gap=2.0)
+        estimate = make_prober(world).estimate(node.ip, cycles=2)
+        assert estimate.gaps, "re-add gaps must be observed"
+        assert estimate.mean_gap == pytest.approx(2.0, abs=1.5)
+        assert estimate.popularity_class == CLASS_HEAVY
+        assert estimate.request_rate_hz > 0.2
+
+    def test_moderate_resolver(self, world):
+        node = add_resolver(world, gap=120.0)
+        estimate = make_prober(world).estimate(node.ip, cycles=1)
+        assert estimate.gaps
+        assert estimate.mean_gap == pytest.approx(120.0, rel=0.2)
+        assert estimate.popularity_class == CLASS_MODERATE
+
+    def test_idle_resolver(self, world):
+        node = add_resolver(world, gap=0.0,
+                            style=CacheActivityModel.STYLE_IDLE)
+        estimate = make_prober(world).estimate(node.ip, cycles=1)
+        assert estimate.popularity_class == CLASS_IDLE
+        assert estimate.request_rate_hz == 0.0
+
+    def test_silent_resolver(self, world):
+        prober = make_prober(world)
+        estimate = prober.estimate(world.infra.address_at(43999),
+                                   cycles=1)
+        assert estimate.popularity_class == CLASS_IDLE
+        assert not estimate.gaps
+
+    def test_gap_ordering_distinguishes_load(self, world):
+        busy = add_resolver(world, gap=1.0)
+        busy_estimate = make_prober(world).estimate(busy.ip, cycles=2)
+        world.network.unregister(busy.ip)
+        quiet = add_resolver(world, gap=300.0)
+        quiet_estimate = make_prober(world).estimate(quiet.ip, cycles=1)
+        assert busy_estimate.mean_gap < quiet_estimate.mean_gap
+
+
+class TestEstimateObject:
+    def test_classes(self):
+        heavy = PopularityEstimate("1.1.1.1", [1.0, 3.0], ["com"], 2)
+        assert heavy.popularity_class == CLASS_HEAVY
+        moderate = PopularityEstimate("1.1.1.1", [120.0], ["com"], 1)
+        assert moderate.popularity_class == CLASS_MODERATE
+        light = PopularityEstimate("1.1.1.1", [5000.0], ["com"], 1)
+        assert light.popularity_class == CLASS_LIGHT
+        idle = PopularityEstimate("1.1.1.1", [], ["com"], 0)
+        assert idle.popularity_class == CLASS_IDLE
+
+    def test_rate(self):
+        estimate = PopularityEstimate("1.1.1.1", [2.0, 2.0], ["com"], 2)
+        assert estimate.request_rate_hz == pytest.approx(0.5)

@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_scan_defaults(self):
+        args = build_parser().parse_args(["scan"])
+        assert args.scale == 20000
+        assert args.seed == 7
+
+    def test_campaign_weeks(self):
+        args = build_parser().parse_args(["campaign", "--weeks", "3"])
+        assert args.weeks == 3
+
+    def test_classify_set(self):
+        args = build_parser().parse_args(["classify", "--set", "Adult"])
+        assert args.set == "Adult"
+
+    def test_audit_requires_resolver(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["audit"])
+
+
+SMALL = ["--scale", "120000", "--seed", "3"]
+
+
+class TestCommands:
+    def test_scan(self, capsys):
+        assert main(["scan"] + SMALL) == 0
+        out = capsys.readouterr().out
+        assert "NOERROR" in out
+        assert "probes sent" in out
+
+    def test_campaign(self, capsys):
+        assert main(["campaign", "--weeks", "2"] + SMALL) == 0
+        out = capsys.readouterr().out
+        assert "decline ratio" in out
+        assert "surviving" in out
+
+    def test_classify_rejects_unknown_set(self, capsys):
+        assert main(["classify", "--set", "Nope"] + SMALL) == 2
+
+    def test_classify(self, capsys):
+        assert main(["classify", "--set", "Dating"] + SMALL) == 0
+        out = capsys.readouterr().out
+        assert "legitimate" in out
+        assert "classified" in out
+
+    def test_audit_falls_back_to_real_resolver(self, capsys):
+        assert main(["audit", "203.0.113.7"] + SMALL) == 0
+        out = capsys.readouterr().out
+        assert "verdict" in out
+
+    def test_snoop(self, capsys):
+        assert main(["snoop", "--sample", "20", "--hours", "6"]
+                    + SMALL) == 0
+        out = capsys.readouterr().out
+        assert "snooped resolvers" in out

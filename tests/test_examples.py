@@ -1,0 +1,45 @@
+"""Smoke checks for the example scripts (compile + structure)."""
+
+import ast
+import pathlib
+
+import pytest
+
+EXAMPLES = sorted(
+    pathlib.Path(__file__).resolve().parent.parent.joinpath(
+        "examples").glob("*.py"))
+
+
+def test_examples_exist():
+    names = {path.name for path in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 3, "the repository promises >=3 examples"
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    source = path.read_text()
+    compile(source, str(path), "exec")
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_structure(path):
+    """Every example is a documented script with a main() entry point."""
+    tree = ast.parse(path.read_text())
+    assert ast.get_docstring(tree), "%s needs a module docstring" % path
+    function_names = {node.name for node in ast.walk(tree)
+                      if isinstance(node, ast.FunctionDef)}
+    assert "main" in function_names
+    # __main__ guard present.
+    assert any(isinstance(node, ast.If) for node in tree.body)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_imports_only_public_api(path):
+    """Examples should demonstrate the public package, not test shims."""
+    tree = ast.parse(path.read_text())
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module:
+            top = node.module.split(".")[0]
+            assert top in ("repro", "collections", "sys", "random"), \
+                "%s imports %s" % (path.name, node.module)

@@ -1,0 +1,132 @@
+"""Integration tests: the paper's experiments at miniature scale.
+
+Uses the session-scoped small scenario (scale 1:40000); these check that
+the qualitative shapes the benchmarks reproduce at larger scale emerge
+end-to-end, not exact percentages.
+"""
+
+import pytest
+
+from repro.analysis import (
+    churn_survival,
+    classification_table,
+    magnitude_series,
+    social_geography,
+    software_table,
+    utilization_summary,
+)
+from repro.analysis.devices import device_table
+from repro.datasets import DOMAIN_SETS, SNOOPING_TLDS
+from repro.scanner import (
+    BannerGrabber,
+    CacheSnoopingProber,
+    ChaosScanner,
+    FingerprintMatcher,
+)
+
+
+@pytest.fixture(scope="module")
+def campaign_run(small_scenario):
+    campaign = small_scenario.new_campaign(verify=False)
+    campaign.run(8)
+    return campaign
+
+
+class TestWeeklyScans:
+    def test_magnitude_series_monotone_overall(self, campaign_run):
+        series = magnitude_series(campaign_run.snapshots)
+        assert len(series) == 8
+        assert series[0]["noerror"] > 0
+        # The population declines over the campaign (Fig. 1 shape).
+        assert series[-1]["noerror"] <= series[0]["noerror"]
+
+    def test_rcode_breakdown_present(self, campaign_run):
+        counts = campaign_run.first().result.counts()
+        assert counts["refused"] > 0
+        assert counts["servfail"] > 0
+        assert counts["noerror"] > counts["refused"]
+
+    def test_churn_curve_decreasing(self, campaign_run):
+        curve = churn_survival(campaign_run.snapshots)
+        assert curve[0][1] == 100.0
+        # Week-1 churn is severe (paper: 52.2% gone).
+        assert curve[1][1] < 85.0
+        assert curve[-1][1] <= curve[1][1]
+
+    def test_divergent_sources_observed(self, campaign_run):
+        # Multi-homed hosts / proxies answering from other addresses.
+        assert campaign_run.first().result.divergent_sources
+
+
+class TestFingerprinting:
+    def test_chaos_outcome_mix(self, small_scenario, campaign_run):
+        resolvers = sorted(campaign_run.last().result.noerror)
+        scanner = ChaosScanner(small_scenario.network,
+                               small_scenario.scanner_ip)
+        table = software_table(scanner.scan(resolvers))
+        # Two thirds leak nothing; BIND dominates the leakers.
+        assert table["version_share_pct"] < 55
+        if table["rows"]:
+            assert table["rows"][0]["software"].startswith("BIND")
+
+    def test_device_mix(self, small_scenario, campaign_run):
+        resolvers = sorted(campaign_run.last().result.noerror)
+        grabber = BannerGrabber(small_scenario.network,
+                                small_scenario.scanner_ip)
+        banners = grabber.grab_all(resolvers)
+        table = device_table(FingerprintMatcher().classify_all(banners),
+                             total_scanned=len(resolvers))
+        # Roughly a quarter of resolvers expose TCP services.
+        assert 10 < table["tcp_responding_share_pct"] < 45
+        hardware = {row["name"]: row["share_pct"]
+                    for row in table["hardware"]}
+        assert hardware.get("Router", 0) > hardware.get("Camera", 0)
+
+
+class TestUtilization:
+    def test_snooping_classes(self, small_scenario, campaign_run):
+        resolvers = sorted(campaign_run.last().result.noerror)[:120]
+        prober = CacheSnoopingProber(
+            small_scenario.network, small_scenario.scanner_ip,
+            SNOOPING_TLDS, duration_hours=36)
+        summary = utilization_summary(prober.run(resolvers))
+        assert summary["responding_share_pct"] > 60
+        assert summary["in_use_share_pct"] > 30
+
+
+class TestManipulationPipeline:
+    @pytest.fixture(scope="class")
+    def adult_report(self, small_scenario, campaign_run):
+        resolvers = sorted(campaign_run.last().result.noerror)
+        pipeline = small_scenario.new_pipeline()
+        return pipeline.run(resolvers, list(DOMAIN_SETS["Adult"]))
+
+    def test_prefilter_majority_legitimate(self, adult_report):
+        stats = adult_report.prefilter.stats()
+        assert stats["legitimate_share"] > 0.6
+        assert stats["unknown_share"] < 0.35
+
+    def test_censorship_dominates_adult_suspicious(self, adult_report):
+        table = classification_table({"Adult": adult_report})
+        rows = table["Adult"]
+        assert rows["Censorship"]["avg_pct"] > rows["Search"]["avg_pct"]
+        assert rows["Censorship"]["avg_pct"] > 20
+
+    def test_nearly_everything_classified(self, adult_report):
+        assert adult_report.classified_share() > 0.9
+
+    def test_social_censorship_geography(self, small_scenario,
+                                         campaign_run):
+        resolvers = sorted(campaign_run.last().result.noerror)
+        pipeline = small_scenario.new_pipeline()
+        report = pipeline.run(resolvers, [
+            d for d in DOMAIN_SETS["Alexa"]
+            if d.name in ("facebook.com", "twitter.com", "youtube.com")])
+        fig4 = social_geography(
+            report, small_scenario.geoip,
+            ["facebook.com", "twitter.com", "youtube.com"])
+        unexpected = fig4.unexpected_shares()
+        assert unexpected, "no unexpected responses at all"
+        # China leads the unexpected-response distribution (Fig. 4b).
+        assert unexpected[0][0] == "CN"
+        assert unexpected[0][1] > 30

@@ -1,0 +1,173 @@
+"""Invariants of the built scenario world (session-scoped small build)."""
+
+import pytest
+
+from repro.datasets import (
+    DOMAIN_SETS,
+    GROUND_TRUTH_DOMAIN,
+    MEASUREMENT_DOMAIN,
+    all_domains,
+)
+from repro.netsim.gfw import GreatFirewall
+from repro.scenario import COUNTRY_PLAN, ScenarioConfig, build_scenario
+from repro.websim.pages import CENSOR_COUNTRIES
+
+
+class TestDomainSets:
+    def test_paper_category_sizes(self):
+        sizes = {category: len(domains)
+                 for category, domains in DOMAIN_SETS.items()}
+        assert sizes == {
+            "Ads": 9, "Adult": 4, "Alexa": 20, "Antivirus": 15,
+            "Banking": 20, "Dating": 3, "Filesharing": 5, "Gambling": 4,
+            "Malware": 13, "MX": 13, "NX": 21, "Tracking": 5, "Misc": 22,
+        }
+
+    def test_total_with_ground_truth_is_155(self):
+        assert len(all_domains()) + 1 == 155
+
+    def test_no_duplicate_domains(self):
+        names = [d.name for d in all_domains()]
+        assert len(names) == len(set(names))
+
+    def test_nx_domains_flagged(self):
+        for domain in DOMAIN_SETS["NX"]:
+            assert not domain.exists
+
+    def test_mx_domains_are_mail(self):
+        for domain in DOMAIN_SETS["MX"]:
+            assert domain.kind == "mail"
+
+    def test_paper_named_domains_present(self):
+        names = {d.name for d in all_domains()}
+        for name in ("irc.zief.pl", "kickass.to", "thepiratebay.se",
+                     "match.com", "bet-at-home.com", "rswkllf.twitter.com",
+                     "amason.com", "ghoogle.com", "wikipeida.org",
+                     "rotten.com", "wikileaks.org", "okcupid.com",
+                     "adultfinder.com", "youporn.com", "blogspot.com",
+                     "torproject.org", "paypal.com", "alipay.com"):
+            assert name in names, name
+
+
+class TestCountryPlan:
+    def test_top10_matches_table1(self):
+        top10 = [(c, n) for c, n, __ in COUNTRY_PLAN[:10]]
+        assert top10 == [
+            ("US", 2958640), ("CN", 2418949), ("TR", 1439736),
+            ("VN", 1393618), ("MX", 1372934), ("IN", 1269714),
+            ("TH", 1214042), ("IT", 1172001), ("CO", 1062080),
+            ("TW", 1061218)]
+
+    def test_table1_changes(self):
+        changes = {c: delta for c, __, delta in COUNTRY_PLAN}
+        assert changes["US"] == pytest.approx(-0.142)
+        assert changes["IN"] == pytest.approx(+0.127)
+        assert changes["TW"] == pytest.approx(-0.573)
+        assert changes["AR"] == pytest.approx(-0.750)
+        assert changes["MY"] == pytest.approx(+0.597)
+        assert changes["LB"] == pytest.approx(+0.767)
+
+    def test_total_near_paper(self):
+        total = sum(count for __, count, __d in COUNTRY_PLAN)
+        assert 25e6 < total < 30e6
+
+    def test_top10_share_near_491(self):
+        total = sum(count for __, count, __d in COUNTRY_PLAN)
+        top10 = sum(count for __, count, __d in COUNTRY_PLAN[:10])
+        assert 0.45 < top10 / total < 0.53
+
+
+class TestBuiltWorld:
+    def test_population_scaled(self, small_scenario):
+        expected = sum(count for __, count, __d in COUNTRY_PLAN) \
+            / small_scenario.config.scale
+        built = len(small_scenario.population.resolvers)
+        assert built == pytest.approx(expected, rel=0.6)
+
+    def test_every_existing_web_domain_resolvable(self, small_scenario):
+        scenario = small_scenario
+        missing = []
+        for domain in all_domains():
+            if not domain.exists or domain.kind != "web":
+                continue
+            if domain.category == "Malware":
+                continue  # deliberately dead/sinkholed/parked
+            result = scenario.service.resolve_trusted(scenario.network,
+                                                      domain.name)
+            if result.rcode != 0 or not result.addresses:
+                missing.append(domain.name)
+        assert not missing
+
+    def test_ground_truth_domain_resolves(self, small_scenario):
+        result = small_scenario.service.resolve_trusted(
+            small_scenario.network, GROUND_TRUTH_DOMAIN)
+        assert result.addresses
+
+    def test_measurement_domain_wildcard(self, small_scenario):
+        result = small_scenario.service.resolve_trusted(
+            small_scenario.network, "r123.00010203." + MEASUREMENT_DOMAIN)
+        assert result.addresses
+
+    def test_gfw_installed_over_cn(self, small_scenario):
+        gfw = small_scenario.gfw
+        assert isinstance(gfw, GreatFirewall)
+        assert gfw.censors_name("facebook.com")
+        cn_resolvers = small_scenario.population.by_country["CN"]
+        inside = sum(1 for node in cn_resolvers if gfw._inside(node.ip))
+        assert inside / len(cn_resolvers) > 0.8
+
+    def test_landing_pages_for_all_censor_countries(self, small_scenario):
+        assert set(small_scenario.landing_ips) == set(CENSOR_COUNTRIES)
+        for ips in small_scenario.landing_ips.values():
+            assert len(ips) == \
+                small_scenario.config.landing_ips_per_country
+
+    def test_case_study_groups_nonempty(self, small_scenario):
+        groups = small_scenario.case_study_resolvers
+        for name in ("ad_inject", "phish_paypal", "proxy_http",
+                     "malware", "mail_banner_copy"):
+            assert groups[name], name
+
+    def test_case_study_resolvers_not_forwarders(self):
+        # A forwarding proxy relays queries verbatim: behaviors stuck on
+        # it would never fire, silently shrinking the case studies.
+        # (Fresh scenario: the session fixture may have churned IPs.)
+        scenario = build_scenario(ScenarioConfig(scale=60000, seed=23))
+        nodes = {node.ip: node
+                 for node in scenario.population.resolvers}
+        for name, ips in scenario.case_study_resolvers.items():
+            for ip in ips:
+                node = nodes.get(ip)
+                assert node is not None and node.forward_to is None, \
+                    (name, ip)
+
+    def test_mail_hostnames_resolve_to_mail_servers(self, small_scenario):
+        scenario = small_scenario
+        result = scenario.service.resolve_trusted(scenario.network,
+                                                  "imap.gmail.com")
+        assert result.addresses
+        node = scenario.network.node_at(result.addresses[0])
+        assert 143 in node.tcp_ports()
+
+    def test_cdn_domains_have_pools(self, small_scenario):
+        pools = small_scenario.service.cdn_pools
+        assert "facebook.com" in pools
+        assert len(pools["facebook.com"]) >= 6
+
+    def test_self_ip_resolvers_have_login_pages(self, small_scenario):
+        from repro.resolvers.behaviors import SelfIpBehavior
+        count = 0
+        for node in small_scenario.population.resolvers:
+            if any(isinstance(b, SelfIpBehavior) for b in node.behaviors):
+                count += 1
+                body = node.device_page or (node.device.http_body
+                                            if node.device else None)
+                assert body
+        assert count > 0
+
+    def test_scanner_ips_distinct(self, small_scenario):
+        assert small_scenario.scanner_ip != \
+            small_scenario.verification_scanner_ip
+        # The verification scanner lives in a different /8 (§2.2).
+        assert small_scenario.scanner_ip.split(".")[0] != \
+            small_scenario.verification_scanner_ip.split(".")[0]

@@ -1,0 +1,130 @@
+"""Statistical tests of the scenario's behavior assignment."""
+
+import pytest
+
+from repro.resolvers.behaviors import (
+    BlockingBehavior,
+    CensorshipBehavior,
+    EmptyAnswerBehavior,
+    MailRedirectBehavior,
+    NxRedirectBehavior,
+    ParkingBehavior,
+    SelfIpBehavior,
+    StaticIpBehavior,
+)
+from repro.scenario import (
+    BACKGROUND_SHARE,
+    CENSOR_POLICIES,
+    EMPTY_ANSWER_SHARE,
+    GFW_CENSORED,
+)
+
+
+def behavior_share(scenario, behavior_type, country=None):
+    nodes = (scenario.population.by_country.get(country, [])
+             if country else scenario.population.resolvers)
+    if not nodes:
+        return 0.0, 0
+    hits = sum(1 for node in nodes
+               if any(isinstance(b, behavior_type)
+                      for b in node.behaviors))
+    return hits / len(nodes), len(nodes)
+
+
+class TestBehaviorShares:
+    def test_empty_answer_share(self, small_scenario):
+        share, count = behavior_share(small_scenario,
+                                      EmptyAnswerBehavior)
+        assert abs(share - EMPTY_ANSWER_SHARE) < 0.04
+
+    def test_background_static_share(self, small_scenario):
+        share, __ = behavior_share(small_scenario, StaticIpBehavior)
+        # Most background-suspicious resolvers use a static answer.
+        assert 0.2 * BACKGROUND_SHARE < share < 3 * BACKGROUND_SHARE
+
+    def test_nx_monetizers_exist(self, small_scenario):
+        share, __ = behavior_share(small_scenario, NxRedirectBehavior)
+        assert 0 < share < 0.06
+
+    def test_mail_redirectors_exist(self, small_scenario):
+        share, __ = behavior_share(small_scenario, MailRedirectBehavior)
+        assert 0 < share < 0.10
+
+    def test_av_blockers_exist(self, small_scenario):
+        share, __ = behavior_share(small_scenario, BlockingBehavior)
+        assert 0 < share < 0.05
+
+    def test_parking_much_higher_in_cn(self, small_scenario):
+        cn_share, cn_count = behavior_share(small_scenario,
+                                            ParkingBehavior, "CN")
+        us_share, __ = behavior_share(small_scenario, ParkingBehavior,
+                                      "US")
+        if cn_count >= 30:
+            assert cn_share > us_share
+
+
+class TestCensorshipAssignment:
+    def test_policy_countries_get_censorship(self, small_scenario):
+        for country in ("IR", "ID", "TR", "IT"):
+            share, count = behavior_share(small_scenario,
+                                          CensorshipBehavior, country)
+            if count >= 20:
+                assert share > 0.2, country
+
+    def test_non_censor_countries_clean(self, small_scenario):
+        for country in ("US", "CA", "DE"):
+            share, count = behavior_share(small_scenario,
+                                          CensorshipBehavior, country)
+            assert share == 0.0, country
+
+    def test_censorship_points_at_landing_ips(self, small_scenario):
+        landing_all = {ip for ips in small_scenario.landing_ips.values()
+                       for ip in ips}
+        for node in small_scenario.population.resolvers:
+            for behavior in node.behaviors:
+                if isinstance(behavior, CensorshipBehavior):
+                    assert set(behavior.landing_ips) <= landing_all
+
+    def test_ir_censors_social(self, small_scenario):
+        ir_nodes = small_scenario.population.by_country.get("IR", [])
+        censoring_social = 0
+        for node in ir_nodes:
+            for behavior in node.behaviors:
+                if isinstance(behavior, CensorshipBehavior) and \
+                        behavior.targets("facebook.com"):
+                    censoring_social += 1
+        if len(ir_nodes) >= 20:
+            # ~8% of pool members are plain forwarders (no local
+            # behaviors), so coverage sits below the 0.97 policy rate.
+            assert censoring_social / len(ir_nodes) > 0.55
+
+    def test_gfw_list_covers_social(self):
+        for name in ("facebook.com", "twitter.com", "youtube.com"):
+            assert name in GFW_CENSORED
+
+    def test_policies_reference_known_countries(self):
+        from repro.websim.pages import CENSOR_AUTHORITIES
+        for country, policy in CENSOR_POLICIES.items():
+            landing = policy.get("landing_country", country)
+            assert landing in CENSOR_AUTHORITIES, country
+
+
+class TestSelfIpEquipment:
+    def test_self_ip_resolvers_serve_vendor_pages(self, small_scenario):
+        vendors = {"TP-LINK": 0, "ZyXEL": 0, "other": 0}
+        for node in small_scenario.population.resolvers:
+            if not any(isinstance(b, SelfIpBehavior)
+                       for b in node.behaviors):
+                continue
+            page = node.device_page or (node.device.http_body
+                                        if node.device else "")
+            if "TP-LINK" in page:
+                vendors["TP-LINK"] += 1
+            elif "ZyXEL" in page or "ZyNOS" in page:
+                vendors["ZyXEL"] += 1
+            else:
+                vendors["other"] += 1
+        total = sum(vendors.values())
+        if total >= 10:
+            # Two large manufacturers dominate (91.7%, §4.2).
+            assert (vendors["TP-LINK"] + vendors["ZyXEL"]) / total > 0.6

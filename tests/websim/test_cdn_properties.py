@@ -1,0 +1,57 @@
+"""Property tests for the CDN rotation and certificate model."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.authdns.zone import ZoneLookupResult
+from repro.dnswire.constants import QTYPE_A
+from repro.websim.cdn import RotatingAZone
+
+
+@settings(max_examples=40)
+@given(st.integers(min_value=1, max_value=12),
+       st.integers(min_value=1, max_value=6),
+       st.integers(min_value=1, max_value=30))
+def test_rotation_covers_whole_pool(pool_size, per_query, queries):
+    pool = ["10.0.0.%d" % i for i in range(1, pool_size + 1)]
+    zone = RotatingAZone("big.com", {"big.com": pool},
+                         answers_per_query=per_query)
+    seen = set()
+    for __ in range(queries):
+        result = zone.lookup("big.com", QTYPE_A)
+        assert result.status == ZoneLookupResult.ANSWER
+        addresses = [r.data.address for r in result.records]
+        # Answers always come from the pool, never more than requested.
+        assert set(addresses) <= set(pool)
+        assert len(addresses) == min(per_query, pool_size)
+        seen.update(addresses)
+    # Enough queries walk the entire pool: the rotation counter advances
+    # one slot per query with a window of per_query addresses.
+    if queries + per_query - 1 >= pool_size:
+        assert seen == set(pool)
+
+
+@settings(max_examples=40)
+@given(st.integers(min_value=2, max_value=10))
+def test_rotation_deterministic_sequence(pool_size):
+    pool = ["10.0.0.%d" % i for i in range(1, pool_size + 1)]
+
+    def sequence():
+        zone = RotatingAZone("big.com", {"big.com": pool},
+                             answers_per_query=2)
+        out = []
+        for __ in range(6):
+            result = zone.lookup("big.com", QTYPE_A)
+            out.append(tuple(r.data.address for r in result.records))
+        return out
+
+    assert sequence() == sequence()
+
+
+def test_non_pool_names_fall_through():
+    zone = RotatingAZone("big.com", {"big.com": ["10.0.0.1"]})
+    zone.add_a("static.big.com", "10.0.9.9")
+    result = zone.lookup("static.big.com", QTYPE_A)
+    assert result.status == ZoneLookupResult.ANSWER
+    assert result.records[0].data.address == "10.0.9.9"
+    missing = zone.lookup("nope.big.com", QTYPE_A)
+    assert missing.status == ZoneLookupResult.NXDOMAIN

@@ -1,0 +1,221 @@
+"""Tests for web server nodes, mail servers, and the CDN model."""
+
+import pytest
+
+from repro.dnswire.constants import QTYPE_A
+from repro.websim import (
+    CdnProvider,
+    CertificateAuthority,
+    MailServer,
+    RotatingAZone,
+    SiteLibrary,
+    TransparentProxy,
+    WebServer,
+)
+from repro.websim.http import HttpRequest
+from repro.websim.httpserver import ContentTransformServer, StaticPageServer
+from repro.websim.mail import (
+    MAIL_PORTS,
+    banners_for_provider,
+    provider_for_hostname,
+)
+from repro.websim.pages import inject_ad_banner
+
+
+@pytest.fixture
+def sites():
+    library = SiteLibrary(seed=3)
+    return library
+
+
+class TestWebServer:
+    def test_serves_hosted_domain(self, mini, sites):
+        server = WebServer("198.18.5.1", sites, ["example.com"])
+        mini.network.register(server)
+        response = mini.network.http_request(
+            mini.client_ip, "198.18.5.1", HttpRequest("example.com"))
+        assert response.status == 200
+        assert response.body == sites.page_for("example.com")
+
+    def test_404_for_foreign_host_header(self, mini, sites):
+        # A bogus DNS answer pointing here lands in "HTTP Error".
+        server = WebServer("198.18.5.1", sites, ["example.com"])
+        mini.network.register(server)
+        response = mini.network.http_request(
+            mini.client_ip, "198.18.5.1", HttpRequest("paypal.com"))
+        assert response.status == 404
+
+    def test_tls_certificate(self, mini, sites):
+        ca = CertificateAuthority()
+        server = WebServer("198.18.5.1", sites, ["example.com"],
+                           certificate=ca.issue("example.com"))
+        mini.network.register(server)
+        certificate = mini.network.tls_handshake(mini.client_ip,
+                                                 "198.18.5.1",
+                                                 sni="example.com")
+        assert ca.validates(certificate, "example.com")
+
+    def test_http_only_server(self, mini, sites):
+        server = WebServer("198.18.5.1", sites, ["example.com"],
+                           https=False)
+        mini.network.register(server)
+        assert mini.network.tls_handshake(mini.client_ip,
+                                          "198.18.5.1") is None
+        assert server.tcp_ports() == frozenset((80,))
+
+
+class TestStaticPageServer:
+    def test_same_body_for_every_host(self, mini):
+        server = StaticPageServer("198.18.5.2", "<html>blocked</html>")
+        mini.network.register(server)
+        for host in ("a.com", "b.net"):
+            response = mini.network.http_request(
+                mini.client_ip, "198.18.5.2", HttpRequest(host))
+            assert response.body == "<html>blocked</html>"
+
+    def test_custom_status(self, mini):
+        server = StaticPageServer("198.18.5.2", "x", status=503)
+        mini.network.register(server)
+        response = mini.network.http_request(
+            mini.client_ip, "198.18.5.2", HttpRequest("a.com"))
+        assert response.status == 503
+
+    def test_redirect_mode(self, mini):
+        server = StaticPageServer("198.18.5.2", "",
+                                  redirect_to="http://portal.example/")
+        mini.network.register(server)
+        response = mini.network.http_request(
+            mini.client_ip, "198.18.5.2", HttpRequest("a.com"))
+        assert response.is_redirect
+
+
+class TestTransparentProxy:
+    def test_serves_original_content(self, mini, sites):
+        proxy = TransparentProxy("198.18.5.3", sites)
+        mini.network.register(proxy)
+        response = mini.network.http_request(
+            mini.client_ip, "198.18.5.3", HttpRequest("anything.example"))
+        assert response.body == sites.page_for("anything.example")
+
+    def test_http_only_refuses_tls(self, mini, sites):
+        proxy = TransparentProxy("198.18.5.3", sites, https=False)
+        mini.network.register(proxy)
+        assert mini.network.tls_handshake(
+            mini.client_ip, "198.18.5.3", sni="example.com") is None
+
+    def test_tls_proxy_presents_valid_cert(self, mini, sites):
+        ca = CertificateAuthority()
+        proxy = TransparentProxy("198.18.5.3", sites, https=True, ca=ca)
+        mini.network.register(proxy)
+        certificate = mini.network.tls_handshake(
+            mini.client_ip, "198.18.5.3", sni="example.com")
+        assert ca.validates(certificate, "example.com")
+
+
+class TestContentTransformServer:
+    def test_transforms_target(self, mini, sites):
+        server = ContentTransformServer(
+            "198.18.5.4", sites, inject_ad_banner, target_domains=None)
+        mini.network.register(server)
+        response = mini.network.http_request(
+            mini.client_ip, "198.18.5.4", HttpRequest("victim.example"))
+        assert "injected-banner" in response.body
+
+    def test_untargeted_domain_proxied(self, mini, sites):
+        server = ContentTransformServer(
+            "198.18.5.4", sites, inject_ad_banner,
+            target_domains=["ads.example"])
+        mini.network.register(server)
+        response = mini.network.http_request(
+            mini.client_ip, "198.18.5.4", HttpRequest("other.example"))
+        assert response.body == sites.page_for("other.example")
+
+
+class TestMail:
+    def test_provider_banners(self, mini):
+        server = MailServer("198.18.5.5", provider="gmail.com")
+        mini.network.register(server)
+        banner = mini.network.tcp_banner(mini.client_ip, "198.18.5.5",
+                                         MAIL_PORTS["imap"])
+        assert "Gimap" in banner
+
+    def test_generic_banners(self, mini):
+        server = MailServer("198.18.5.5", provider=None)
+        mini.network.register(server)
+        banner = mini.network.tcp_banner(mini.client_ip, "198.18.5.5",
+                                         MAIL_PORTS["smtp"])
+        assert "ESMTP" in banner
+
+    def test_provider_for_hostname(self):
+        assert provider_for_hostname("imap.gmail.com") == "gmail.com"
+        assert provider_for_hostname("smtp.mail.yahoo.com") == "yahoo.com"
+        assert provider_for_hostname("mail.unknown.tld") is None
+
+    def test_banners_for_provider_fallback(self):
+        assert banners_for_provider(None)["imap"].startswith("* OK")
+
+    def test_selected_services_only(self, mini):
+        server = MailServer("198.18.5.5", provider=None,
+                            services=("smtp",))
+        assert server.tcp_ports() == frozenset((25,))
+
+
+class TestCdn:
+    def build_provider(self, mini, sites):
+        ca = CertificateAuthority()
+        provider = CdnProvider("EdgeNet", "edgenet-cdn.net", ca, sites)
+        for i in range(4):
+            provider.deploy_edge(mini.network, "198.18.6.%d" % (i + 1),
+                                 enabled=(i != 3))
+        provider.add_customer("bigsite.com")
+        return ca, provider
+
+    def test_pool_excludes_disabled(self, mini, sites):
+        __, provider = self.build_provider(mini, sites)
+        pool = provider.edge_pool_for("bigsite.com")
+        assert "198.18.6.4" not in pool
+        assert len(pool) == 3
+
+    def test_unknown_customer_raises(self, mini, sites):
+        __, provider = self.build_provider(mini, sites)
+        with pytest.raises(KeyError):
+            provider.edge_pool_for("nobody.com")
+
+    def test_edge_serves_customer(self, mini, sites):
+        __, provider = self.build_provider(mini, sites)
+        response = mini.network.http_request(
+            mini.client_ip, "198.18.6.1", HttpRequest("bigsite.com"))
+        assert response.status == 200
+
+    def test_edge_404_for_non_customer(self, mini, sites):
+        self.build_provider(mini, sites)
+        response = mini.network.http_request(
+            mini.client_ip, "198.18.6.1", HttpRequest("other.com"))
+        assert response.status == 404
+
+    def test_sni_vs_default_certificate(self, mini, sites):
+        ca, provider = self.build_provider(mini, sites)
+        sni_cert = mini.network.tls_handshake(
+            mini.client_ip, "198.18.6.1", sni="bigsite.com")
+        assert ca.validates(sni_cert, "bigsite.com")
+        default_cert = mini.network.tls_handshake(mini.client_ip,
+                                                  "198.18.6.1", sni=None)
+        assert default_cert.common_name == "edgenet-cdn.net"
+
+    def test_disabled_edge_is_dark(self, mini, sites):
+        self.build_provider(mini, sites)
+        assert mini.network.http_request(
+            mini.client_ip, "198.18.6.4", HttpRequest("bigsite.com")) is None
+        assert mini.network.tls_handshake(
+            mini.client_ip, "198.18.6.4", sni="bigsite.com") is None
+
+    def test_rotating_zone(self):
+        zone = RotatingAZone("big.com", {"big.com": ["1.1.1.1", "2.2.2.2",
+                                                     "3.3.3.3"]},
+                             answers_per_query=2)
+        first = zone.lookup("big.com", QTYPE_A)
+        second = zone.lookup("big.com", QTYPE_A)
+        first_ips = [r.data.address for r in first.records]
+        second_ips = [r.data.address for r in second.records]
+        assert first_ips != second_ips
+        assert len(first_ips) == 2

@@ -1,0 +1,137 @@
+"""Tests for the legitimate site library and the manipulation pages."""
+
+import re
+
+from repro.datasets.domains import (
+    CATEGORY_ADS,
+    CATEGORY_BANKING,
+    CATEGORY_FILESHARING,
+)
+from repro.websim import SiteLibrary
+from repro.websim import pages
+
+
+class TestSiteLibrary:
+    def test_deterministic(self):
+        first = SiteLibrary(seed=5)
+        second = SiteLibrary(seed=5)
+        assert first.page_for("example.com") == second.page_for(
+            "example.com")
+
+    def test_seed_changes_content(self):
+        assert SiteLibrary(seed=1).page_for("example.com") != \
+            SiteLibrary(seed=2).page_for("example.com")
+
+    def test_cached(self):
+        library = SiteLibrary()
+        assert library.page_for("x.com") is library.page_for("x.com")
+
+    def test_banking_shape(self):
+        library = SiteLibrary()
+        library.set_category("mybank.com", CATEGORY_BANKING)
+        html = library.page_for("mybank.com")
+        assert 'type="password"' in html
+        assert "Online Banking" in html
+
+    def test_ads_shape(self):
+        library = SiteLibrary()
+        library.set_category("adnet.com", CATEGORY_ADS)
+        html = library.page_for("adnet.com")
+        assert "adsby" in html or "ads" in html
+        assert html.count("<script") >= 3
+
+    def test_filesharing_shape(self):
+        library = SiteLibrary()
+        library.set_category("torrents.to", CATEGORY_FILESHARING)
+        html = library.page_for("torrents.to")
+        assert "magnet:" in html
+
+    def test_generic_fallback(self):
+        html = SiteLibrary().page_for("unknown-site.net")
+        assert "<title>" in html
+
+
+class TestManipulationPages:
+    def test_censorship_text_fragment(self):
+        html = pages.censorship_landing("TR")
+        assert "blocked by the order of the competent" in html
+        assert "court/authority" in html
+        assert "TIB" in html
+
+    def test_censorship_covers_34_countries(self):
+        assert len(pages.CENSOR_COUNTRIES) == 34
+        for country in pages.CENSOR_COUNTRIES:
+            assert "court/authority" in pages.censorship_landing(country)
+
+    def test_blocking_page_not_censorship(self):
+        html = pages.isp_blocking_page()
+        assert "blocked" in html.lower()
+        assert "court/authority" not in html
+
+    def test_parking_page(self):
+        html = pages.parking_page("dead-domain.com")
+        assert "parked free" in html
+        assert "may be for sale" in html
+
+    def test_search_page(self):
+        html = pages.search_page()
+        assert 'name="q"' in html
+
+    def test_error_page(self):
+        html = pages.error_page(404)
+        assert "<title>404 Not Found</title>" in html
+
+    def test_router_login_vendors(self):
+        for vendor in pages.ROUTER_VENDORS:
+            html = pages.router_login(vendor)
+            assert vendor in html
+            assert 'type="password"' in html
+
+    def test_captive_portal(self):
+        html = pages.captive_portal("Grand Hotel", "hotel")
+        assert "Grand Hotel" in html
+        assert "roomnumber" in html
+
+    def test_phishing_paypal_structure(self):
+        html = pages.phishing_paypal()
+        # The §4.3 signature: 46 <img> tags plus a form posting to .php.
+        assert len(re.findall(r"<img\b", html)) == 46
+        assert re.search(r'action="[^"]*\.php"', html)
+        assert 'type="password"' in html
+
+    def test_phishing_bank_swaps_form_action(self):
+        original = SiteLibrary().page_for("bank.example")
+        library = SiteLibrary()
+        library.set_category("bank.example", CATEGORY_BANKING)
+        original = library.page_for("bank.example")
+        phished = pages.phishing_bank(original)
+        assert phished != original
+        assert "conferma.php" in phished
+
+    def test_ad_injection(self):
+        original = "<html><head></head><body><p>x</p></body></html>"
+        injected = pages.inject_ad_banner(original)
+        assert "injected-banner" in injected
+        assert injected.index("injected-banner") < injected.index("<p>x</p>")
+
+    def test_ad_script_injection(self):
+        injected = pages.inject_ad_script("<html><body></body></html>")
+        assert "deliver.js" in injected
+
+    def test_ad_blanking(self):
+        library = SiteLibrary()
+        library.set_category("adnet.com", CATEGORY_ADS)
+        original = library.page_for("adnet.com")
+        blanked = pages.blank_ads(original)
+        assert "blocked-ad-placeholder" in blanked or \
+            "<!-- ad removed -->" in blanked
+
+    def test_fake_search_with_ads(self):
+        html = pages.fake_search_with_ads()
+        assert 'name="q"' in html
+        assert "banner" in html
+
+    def test_malware_update_page(self):
+        html = pages.malware_update_page()
+        assert "update_installer.exe" in html
+        assert "Critical update" in html
