@@ -1,0 +1,1 @@
+"""Scan-engine throughput benchmarks (``python -m benchmarks.perf.bench_scan``)."""

@@ -1,0 +1,160 @@
+"""Scan-engine throughput benchmark: seed loop vs fast path vs shards.
+
+Runs the full-scenario weekly scan three ways — the seed implementation
+(:mod:`benchmarks.perf.legacy`), the optimised sequential fast path, and
+the fork-sharded engine — each against a freshly built scenario with the
+same scale and seed, and writes the measurements to ``BENCH_scan.json``.
+The sharded run doubles as the determinism check: its merged
+``counts()`` must equal the sequential run's exactly.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.perf.bench_scan
+    PYTHONPATH=src python -m benchmarks.perf.bench_scan --quick
+"""
+
+import argparse
+import json
+import sys
+import time
+
+from benchmarks.perf.legacy import LegacyIpv4Scanner, LegacyScanTargetSpace
+from repro.perf import PerfRegistry
+from repro.scenario import MEASUREMENT_DOMAIN, ScenarioConfig, build_scenario
+
+
+def _build(scale, seed):
+    return build_scenario(ScenarioConfig(scale=scale, seed=seed))
+
+
+def _measure_legacy(scale, seed, repeats):
+    """Time the seed scan loop on week 1 of a fresh scenario.
+
+    Each repetition rebuilds the scenario and scans once; the fastest
+    repetition is reported (the shared host's background load only ever
+    slows a run down, so min-time is the least-noise estimator).
+    """
+    samples = []
+    for __ in range(repeats):
+        scenario = _build(scale, seed)
+        scenario.churn.step()
+        scanner = LegacyIpv4Scanner(
+            scenario.network, scenario.scanner_ip, MEASUREMENT_DOMAIN,
+            blacklist=scenario.blacklist)
+        space = LegacyScanTargetSpace(scenario.resolver_prefixes)
+        start = time.perf_counter()
+        result = scanner.scan(space)
+        samples.append((time.perf_counter() - start, result))
+    elapsed, result = min(samples, key=lambda item: item[0])
+    return {
+        "probes_sent": result.probes_sent,
+        "seconds": round(elapsed, 4),
+        "probes_per_sec": round(result.probes_sent / elapsed, 1),
+        "samples_probes_per_sec": [
+            round(result.probes_sent / sample, 1)
+            for sample, __ in samples],
+        "counts": result.counts(),
+    }
+
+
+def _measure_engine(scale, seed, shards, repeats):
+    """Time the engine (sequential when ``shards == 1``) on week 1."""
+    samples = []
+    for __ in range(repeats):
+        scenario = _build(scale, seed)
+        perf = PerfRegistry()
+        campaign = scenario.new_campaign(verify=False, shards=shards,
+                                         perf=perf)
+        snapshot = campaign.run_week()
+        samples.append((perf.seconds("scan_wall"), snapshot.result, perf))
+    elapsed, result, perf = min(samples, key=lambda item: item[0])
+    stats = {
+        "shards": shards,
+        "probes_sent": result.probes_sent,
+        "seconds": round(elapsed, 4),
+        "probes_per_sec": round(result.probes_sent / elapsed, 1),
+        "samples_probes_per_sec": [
+            round(result.probes_sent / sample, 1)
+            for sample, __, __unused in samples],
+        "counts": result.counts(),
+        "divergent_sources": len(result.divergent_sources),
+        "parse_calls_avoided": perf.counter("parse_calls_avoided"),
+    }
+    return stats, result
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="scan-engine throughput benchmark")
+    parser.add_argument("--scale", type=int, default=20000,
+                        help="1:N scale of the simulated Internet")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--check-shards", type=int, default=2,
+                        help="shard count for the determinism check")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller world (CI smoke run)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="repetitions per variant (fastest wins)")
+    parser.add_argument("--out", default="BENCH_scan.json")
+    args = parser.parse_args(argv)
+    scale = 60000 if args.quick else args.scale
+    repeats = max(1, args.repeats if not args.quick else 2)
+
+    print("benchmarking at scale 1:%d (seed %d, best of %d)..."
+          % (scale, args.seed, repeats), file=sys.stderr)
+    legacy = _measure_legacy(scale, args.seed, repeats)
+    print("  legacy:    %8.0f probes/sec" % legacy["probes_per_sec"],
+          file=sys.stderr)
+    fast, sequential_result = _measure_engine(scale, args.seed, shards=1,
+                                              repeats=repeats)
+    print("  fast:      %8.0f probes/sec" % fast["probes_per_sec"],
+          file=sys.stderr)
+    sharded, sharded_result = _measure_engine(scale, args.seed,
+                                              shards=args.check_shards,
+                                              repeats=1)
+    print("  sharded:   %8.0f probes/sec (%d shards)"
+          % (sharded["probes_per_sec"], args.check_shards), file=sys.stderr)
+
+    identical = (
+        sequential_result.counts() == sharded_result.counts()
+        and sequential_result.responders == sharded_result.responders
+        and sequential_result.divergent_sources
+        == sharded_result.divergent_sources
+        and sequential_result.probes_sent == sharded_result.probes_sent)
+    speedup = fast["probes_per_sec"] / legacy["probes_per_sec"]
+    speedup_sharded = sharded["probes_per_sec"] / legacy["probes_per_sec"]
+    report = {
+        "benchmark": "scan_engine_throughput",
+        "scale": scale,
+        "seed": args.seed,
+        "legacy": legacy,
+        "fast": fast,
+        "sharded": sharded,
+        "speedup_fast_vs_legacy": round(speedup, 2),
+        "speedup_sharded_vs_legacy": round(speedup_sharded, 2),
+        "shard_determinism": {
+            "shards_compared": [1, args.check_shards],
+            "identical": identical,
+            "counts": sequential_result.counts(),
+        },
+    }
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("speedup: %.2fx (sharded %.2fx); determinism: %s; wrote %s"
+          % (speedup, speedup_sharded,
+             "OK" if identical else "MISMATCH", args.out), file=sys.stderr)
+
+    if not identical:
+        print("FAIL: sharded result differs from sequential",
+              file=sys.stderr)
+        return 1
+    if speedup < 2.0:
+        print("FAIL: fast path below 2x the seed implementation "
+              "(%.2fx)" % speedup, file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,136 @@
+"""The seed implementation of the IPv4 scan loop, kept as a baseline.
+
+This is a faithful copy of ``repro.scanner.ipv4scan`` as it stood before
+the sharded engine landed (commit ``v0`` of the repo), including its own
+uncached address conversions — the optimised tree memoizes
+``ip_to_int``/``int_to_ip`` globally, which would otherwise quietly speed
+the baseline up too.  It exists only so ``bench_scan`` can measure the
+fast path against the exact code it replaced; nothing in ``src/``
+imports it.
+"""
+
+import bisect
+
+from repro.dnswire.message import Message
+from repro.netsim.address import RESERVED_NETWORKS
+from repro.netsim.network import UdpPacket
+from repro.scanner.ipv4scan import ScanResult
+from repro.scanner.lfsr import LFSR
+
+
+def _legacy_ip_to_int(text):
+    """Seed ``ip_to_int``: parses the dotted quad on every call."""
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise ValueError("bad IPv4 address %r" % text)
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError("bad IPv4 address %r" % text)
+        value = (value << 8) | octet
+    return value
+
+
+def _legacy_int_to_ip(value):
+    """Seed ``int_to_ip``: formats the text on every call."""
+    if not 0 <= value <= 0xFFFFFFFF:
+        raise ValueError("IPv4 integer out of range: %r" % value)
+    return "%d.%d.%d.%d" % (value >> 24, (value >> 16) & 0xFF,
+                            (value >> 8) & 0xFF, value & 0xFF)
+
+
+def _legacy_is_reserved(address):
+    value = (_legacy_ip_to_int(address) if isinstance(address, str)
+             else address)
+    return any(net.contains_int(value) for net in RESERVED_NETWORKS)
+
+
+class LegacyScanTargetSpace:
+    """Seed ``ScanTargetSpace`` (per-call bisect import included)."""
+
+    def __init__(self, prefixes):
+        self.prefixes = list(prefixes)
+        self._cumulative = []
+        total = 0
+        for prefix in self.prefixes:
+            self._cumulative.append(total)
+            total += prefix.num_addresses
+        self.total = total
+
+    def ip_at(self, index):
+        if not 0 <= index < self.total:
+            raise IndexError(index)
+        slot = bisect.bisect_right(self._cumulative, index) - 1
+        prefix = self.prefixes[slot]
+        return _legacy_int_to_ip(
+            prefix.base + (index - self._cumulative[slot]))
+
+    def __len__(self):
+        return self.total
+
+
+class LegacyIpv4Scanner:
+    """Seed ``Ipv4Scanner``: sequential probe ids, full message parse."""
+
+    def __init__(self, network, source_ip, measurement_domain,
+                 blacklist=None, source_port=31337, lfsr_seed=0xACE1):
+        self.network = network
+        self.source_ip = source_ip
+        self.measurement_domain = measurement_domain
+        self.blacklist = blacklist
+        self.source_port = source_port
+        self.lfsr_seed = lfsr_seed
+        self._probe_id = 0
+        from repro.dnswire.name import encode_name
+        self._suffix_wire = encode_name(measurement_domain)
+
+    def _query_wire(self, qname_prefix_labels, txid):
+        parts = [bytes((txid >> 8, txid & 0xFF)),
+                 b"\x01\x00\x00\x01\x00\x00\x00\x00\x00\x00"]
+        for label in qname_prefix_labels:
+            raw = label.encode("ascii")
+            parts.append(bytes((len(raw),)))
+            parts.append(raw)
+        parts.append(self._suffix_wire)
+        parts.append(b"\x00\x01\x00\x01")  # QTYPE=A, QCLASS=IN
+        return b"".join(parts)
+
+    def probe(self, target_ip):
+        self._probe_id += 1
+        txid = self._probe_id & 0xFFFF
+        payload = self._query_wire(
+            ("r%x" % (self._probe_id & 0xFFFFFF),
+             "%08x" % _legacy_ip_to_int(target_ip)), txid)
+        packet = UdpPacket(self.source_ip, self.source_port,
+                           target_ip, 53, payload)
+        observations = []
+        for response in self.network.send_udp(packet):
+            try:
+                message = Message.from_wire(response.packet.payload)
+            except ValueError:
+                continue  # corrupted packet: ignored (§5 Completeness)
+            if not message.header.qr:
+                continue
+            if message.header.txid != txid:
+                continue
+            observations.append((message.rcode, response.packet.src_ip))
+        return observations
+
+    def scan(self, target_space):
+        result = ScanResult(self.network.clock.now)
+        order = LFSR.order_for(len(target_space))
+        lfsr = LFSR(order, seed=(self.lfsr_seed % ((1 << order) - 1)) or 1)
+        for state in lfsr.sequence():
+            index = state - 1
+            if index >= len(target_space):
+                continue
+            target_ip = target_space.ip_at(index)
+            if _legacy_is_reserved(target_ip):
+                continue
+            if self.blacklist is not None and target_ip in self.blacklist:
+                continue
+            result.probes_sent += 1
+            for rcode, source_ip in self.probe(target_ip):
+                result.record(target_ip, rcode, source_ip)
+        return result

@@ -16,6 +16,7 @@ and ``--seed``.  All output is plain text on stdout.
 import argparse
 import sys
 
+from repro.perf import PerfRegistry
 from repro.scenario import ScenarioConfig, build_scenario
 
 
@@ -23,6 +24,10 @@ def _add_common(parser):
     parser.add_argument("--scale", type=int, default=20000,
                         help="1:N scale of the simulated Internet")
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--shards", type=int, default=1,
+                        help="scan worker processes (fork-based)")
+    parser.add_argument("--perf", action="store_true",
+                        help="print a throughput report to stderr")
 
 
 def _build(args):
@@ -32,14 +37,27 @@ def _build(args):
                                          seed=args.seed))
 
 
-def _scan(scenario):
-    campaign = scenario.new_campaign(verify=False)
+def _perf_registry(args):
+    return PerfRegistry() if getattr(args, "perf", False) else None
+
+
+def _report_perf(args, perf):
+    if perf is not None:
+        print(perf.format_report("perf %s" % args.command),
+              file=sys.stderr)
+
+
+def _scan(scenario, args=None, perf=None):
+    shards = getattr(args, "shards", 1) if args is not None else 1
+    campaign = scenario.new_campaign(verify=False, shards=shards,
+                                     perf=perf)
     return campaign.run_week()
 
 
 def cmd_scan(args):
     scenario = _build(args)
-    snapshot = _scan(scenario)
+    perf = _perf_registry(args)
+    snapshot = _scan(scenario, args, perf)
     counts = snapshot.result.counts()
     print("probes sent:      %d" % snapshot.result.probes_sent)
     print("responders:       %d" % counts["all"])
@@ -47,6 +65,7 @@ def cmd_scan(args):
     print("  REFUSED:        %d" % counts["refused"])
     print("  SERVFAIL:       %d" % counts["servfail"])
     print("divergent source: %d" % len(snapshot.result.divergent_sources))
+    _report_perf(args, perf)
     return 0
 
 
@@ -58,13 +77,16 @@ def cmd_campaign(args):
         magnitude_series,
     )
     scenario = _build(args)
-    campaign = scenario.new_campaign(verify=False)
+    perf = _perf_registry(args)
+    campaign = scenario.new_campaign(verify=False, shards=args.shards,
+                                     perf=perf)
     campaign.run(args.weeks)
     series = magnitude_series(campaign.snapshots)
     print(format_series(series))
     print("decline ratio: %.2f" % decline_ratio(series))
     print()
     print(format_survival(churn_survival(campaign.snapshots)))
+    _report_perf(args, perf)
     return 0
 
 
@@ -80,7 +102,7 @@ def cmd_fingerprint(args):
         FingerprintMatcher,
     )
     scenario = _build(args)
-    resolvers = sorted(_scan(scenario).result.noerror)
+    resolvers = sorted(_scan(scenario, args).result.noerror)
     chaos = ChaosScanner(scenario.network, scenario.scanner_ip)
     print(format_software_table(software_table(chaos.scan(resolvers))))
     print()
@@ -100,7 +122,7 @@ def cmd_snoop(args):
     from repro.datasets import SNOOPING_TLDS
     from repro.scanner import CacheSnoopingProber
     scenario = _build(args)
-    resolvers = sorted(_scan(scenario).result.noerror)[:args.sample]
+    resolvers = sorted(_scan(scenario, args).result.noerror)[:args.sample]
     prober = CacheSnoopingProber(scenario.network, scenario.scanner_ip,
                                  SNOOPING_TLDS,
                                  duration_hours=args.hours)
@@ -116,7 +138,7 @@ def cmd_classify(args):
               % (args.set, ", ".join(ALL_CATEGORIES)), file=sys.stderr)
         return 2
     scenario = _build(args)
-    resolvers = sorted(_scan(scenario).result.noerror)
+    resolvers = sorted(_scan(scenario, args).result.noerror)
     pipeline = scenario.new_pipeline()
     report = pipeline.run(resolvers, list(DOMAIN_SETS[args.set]))
     stats = report.prefilter.stats()

@@ -1,5 +1,7 @@
 """End-to-end orchestration of the Figure 3 processing chain."""
 
+from contextlib import nullcontext
+
 from repro.core.acquisition import DataAcquirer
 from repro.core.clustering import cluster_deduplicated
 from repro.core.diffcluster import build_diff_profile, diff_cluster
@@ -61,8 +63,9 @@ class ManipulationPipeline:
     def __init__(self, network, resolution_service, as_registry, rdns, ca,
                  known_cdn_common_names, source_ip, domain_catalog,
                  cluster_threshold=0.30, diff_threshold=0.5,
-                 distance=None):
+                 distance=None, perf=None):
         self.network = network
+        self.perf = perf
         self.service = resolution_service
         self.as_registry = as_registry
         self.rdns = rdns
@@ -108,6 +111,12 @@ class ManipulationPipeline:
 
     # -- the chain ------------------------------------------------------------
 
+    def _stage(self, name):
+        """Perf timer for one Figure 3 step (no-op without a registry)."""
+        if self.perf is None:
+            return nullcontext()
+        return self.perf.stage("pipeline_" + name)
+
     def run(self, resolver_ips, domains):
         """Execute steps 2–6 of Figure 3 for one domain set.
 
@@ -118,15 +127,18 @@ class ManipulationPipeline:
         report = PipelineReport()
         names = [d.name for d in domains]
         # Step 2: domain scan.
-        report.observations = self.scanner.scan(resolver_ips, names)
+        with self._stage("domain_scan"):
+            report.observations = self.scanner.scan(resolver_ips, names)
         # Step 3: DNS-based prefiltering.
-        report.prefilter = self.prefilterer.process(report.observations,
-                                                    self.domain_catalog)
-        # Ground truth content, used by labeling and diff clustering.
-        report.ground_truth_bodies = self.collect_ground_truth(domains)
+        with self._stage("prefilter"):
+            report.prefilter = self.prefilterer.process(
+                report.observations, self.domain_catalog)
+            # Ground truth content, used by labeling and diff clustering.
+            report.ground_truth_bodies = self.collect_ground_truth(domains)
         # Step 4: data acquisition for unknown tuples.
-        http_captures, mail_captures = self.acquirer.acquire(
-            report.prefilter.unknown, self.domain_catalog)
+        with self._stage("acquisition"):
+            http_captures, mail_captures = self.acquirer.acquire(
+                report.prefilter.unknown, self.domain_catalog)
         report.mail_captures = mail_captures
         report.http_captures = [c for c in http_captures if c.fetched]
         report.failed_captures = [c for c in http_captures if not c.fetched]
@@ -141,28 +153,35 @@ class ManipulationPipeline:
             return profile
 
         keyed = [(capture.body, capture) for capture in report.http_captures]
-        clusters, dendrogram = cluster_deduplicated(
-            keyed,
-            lambda a, b: self.distance(profile_of(a), profile_of(b)),
-            self.cluster_threshold)
+        with self._stage("clustering"):
+            clusters, dendrogram = cluster_deduplicated(
+                keyed,
+                lambda a, b: self.distance(profile_of(a), profile_of(b)),
+                self.cluster_threshold)
         report.clusters = clusters
         report.dendrogram = dendrogram
         # Step 6: labeling.
-        labeler = ClusterLabeler(report.ground_truth_bodies)
-        report.labeled = labeler.label_clusters(clusters)
-        # Fine-grained diff clustering of near-original modifications.
-        diff_profiles = []
-        for capture in report.http_captures:
-            truths = report.ground_truth_bodies.get(
-                normalize_name(capture.domain))
-            if not truths or not capture.body:
-                continue
-            profile = build_diff_profile(capture, truths)
-            if 0 < profile.modification_size <= 40:
-                diff_profiles.append(profile)
-        if diff_profiles:
-            report.diff_clusters, __ = diff_cluster(
-                diff_profiles, threshold=self.diff_threshold)
+        with self._stage("labeling"):
+            labeler = ClusterLabeler(report.ground_truth_bodies)
+            report.labeled = labeler.label_clusters(clusters)
+            # Fine-grained diff clustering of near-original modifications.
+            diff_profiles = []
+            for capture in report.http_captures:
+                truths = report.ground_truth_bodies.get(
+                    normalize_name(capture.domain))
+                if not truths or not capture.body:
+                    continue
+                profile = build_diff_profile(capture, truths)
+                if 0 < profile.modification_size <= 40:
+                    diff_profiles.append(profile)
+            if diff_profiles:
+                report.diff_clusters, __ = diff_cluster(
+                    diff_profiles, threshold=self.diff_threshold)
+        if self.perf is not None:
+            self.perf.count("pipeline_observations",
+                            len(report.observations))
+            self.perf.count("pipeline_captures",
+                            len(report.http_captures))
         return report
 
     # -- mail classification --------------------------------------------------

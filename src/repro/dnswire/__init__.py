@@ -29,7 +29,7 @@ from repro.dnswire.constants import (
     qtype_name,
     rcode_name,
 )
-from repro.dnswire.message import Header, Message, Question
+from repro.dnswire.message import Header, Message, Question, peek_header
 from repro.dnswire.name import (
     apply_0x20,
     decode_name,
@@ -86,6 +86,7 @@ __all__ = [
     "encode_name",
     "matches_0x20",
     "normalize_name",
+    "peek_header",
     "qtype_name",
     "random_0x20_bits",
     "rcode_name",

@@ -9,6 +9,23 @@ from repro.dnswire.records import ResourceRecord
 HEADER_STRUCT = struct.Struct("!HHHHHH")
 
 
+def peek_header(data):
+    """Read (txid, qr, rcode) straight off the fixed 12-byte header.
+
+    The Internet-wide scanner only needs these three fields to attribute
+    a response, so it can skip constructing a :class:`Message` (and
+    decoding names/records) entirely.  Returns ``None`` for payloads too
+    short to carry a DNS header; anything longer yields whatever the
+    header bytes say — callers reject garbage through the same txid/qr
+    checks they already apply to parsed messages.
+    """
+    if len(data) < 12:
+        return None
+    return ((data[0] << 8) | data[1],        # txid
+            bool(data[2] & 0x80),            # qr
+            data[3] & 0x0F)                  # rcode
+
+
 class Header:
     """The 12-byte DNS header with all flag bits."""
 

@@ -5,11 +5,20 @@ scanners need, plus the private/unallocated ranges the paper's Internet-wide
 scans exclude.
 """
 
-import struct
+# Conversion memos: scans touch every address of every target prefix each
+# week, so both directions are called hundreds of thousands of times per
+# simulated week on a small, recurring working set.  Capped so unbounded
+# address churn cannot grow them without limit.
+_INT_CACHE = {}
+_TEXT_CACHE = {}
+_CACHE_LIMIT = 1 << 18
 
 
 def ip_to_int(text):
     """Convert dotted-quad text to a 32-bit integer."""
+    value = _INT_CACHE.get(text)
+    if value is not None:
+        return value
     parts = text.split(".")
     if len(parts) != 4:
         raise ValueError("bad IPv4 address %r" % text)
@@ -19,14 +28,23 @@ def ip_to_int(text):
         if not 0 <= octet <= 255:
             raise ValueError("bad IPv4 address %r" % text)
         value = (value << 8) | octet
+    if len(_INT_CACHE) < _CACHE_LIMIT:
+        _INT_CACHE[text] = value
     return value
 
 
 def int_to_ip(value):
     """Convert a 32-bit integer to dotted-quad text."""
+    text = _TEXT_CACHE.get(value)
+    if text is not None:
+        return text
     if not 0 <= value <= 0xFFFFFFFF:
         raise ValueError("IPv4 integer out of range: %r" % value)
-    return "%d.%d.%d.%d" % struct.unpack("!BBBB", struct.pack("!I", value))
+    text = "%d.%d.%d.%d" % (value >> 24, (value >> 16) & 0xFF,
+                            (value >> 8) & 0xFF, value & 0xFF)
+    if len(_TEXT_CACHE) < _CACHE_LIMIT:
+        _TEXT_CACHE[value] = text
+    return text
 
 
 class Ipv4Network:

@@ -14,20 +14,22 @@ WEEK = 7 * DAY
 
 
 class SimClock:
-    """A monotonically advancing simulated clock."""
+    """A monotonically advancing simulated clock.
+
+    ``now`` is a plain attribute, not a property: per-packet code (loss
+    draws, middlebox activation checks) reads it millions of times per
+    simulated week, and a property call there is measurable.  Mutate it
+    only through the ``advance*`` methods.
+    """
 
     def __init__(self, start=0.0):
-        self._now = float(start)
-
-    @property
-    def now(self):
-        return self._now
+        self.now = float(start)
 
     def advance(self, seconds):
         """Move time forward; negative advances are a programming error."""
         if seconds < 0:
             raise ValueError("cannot move the clock backwards (%r)" % seconds)
-        self._now += seconds
+        self.now += seconds
 
     def advance_minutes(self, minutes):
         self.advance(minutes * MINUTE)
@@ -42,4 +44,4 @@ class SimClock:
         self.advance(weeks * WEEK)
 
     def __repr__(self):
-        return "SimClock(now=%.1f)" % self._now
+        return "SimClock(now=%.1f)" % self.now

@@ -15,11 +15,13 @@ import random
 
 from repro.dnswire.constants import CLASS_IN, QTYPE_A
 from repro.dnswire.message import Message
-from repro.dnswire.name import normalize_name
+from repro.dnswire.name import decode_name, normalize_name
 from repro.dnswire.records import ResourceRecord
 from repro.netsim.address import int_to_ip, ip_to_int
-from repro.netsim.middlebox import Middlebox
+from repro.netsim.middlebox import PATH_IGNORE, PATH_INSPECT, Middlebox
 from repro.netsim.network import UdpResponse
+
+_QTYPE_A_IN_WIRE = b"\x00\x01\x00\x01"
 
 
 class GreatFirewall(Middlebox):
@@ -37,7 +39,17 @@ class GreatFirewall(Middlebox):
         self.decoy_share = decoy_share
         self.injection_count = 0
         self._prefix_masks = [(p.base, p.mask) for p in self.prefixes]
+        # First octets covered by any watched prefix: a one-lookup guard
+        # that rejects almost every destination before the mask loop.
+        octets = set()
+        for prefix in self.prefixes:
+            span = 1 << max(0, 8 - prefix.prefix_length)
+            first = prefix.base >> 24
+            octets.update(range(first, first + span))
+        self._dst_octet_guard = frozenset(octets)
         self._inside_cache = {}
+        # (src, dst) -> crosses-boundary, the per-packet hot check.
+        self._boundary_cache = {}
 
     def _inside(self, ip):
         cached = self._inside_cache.get(ip)
@@ -57,8 +69,33 @@ class GreatFirewall(Middlebox):
                 return True
         return False
 
+    def path_verdict(self, src_ip, dst_int, dst_port, network):
+        """Injection depends on the query name, so boundary-crossing DNS
+        paths need per-packet inspection; everything else is ignored."""
+        if dst_port != 53 or not self.censored:
+            return PATH_IGNORE
+        inside_dst = False
+        if dst_int >> 24 in self._dst_octet_guard:
+            for base, mask in self._prefix_masks:
+                if dst_int & mask == base:
+                    inside_dst = True
+                    break
+        inside_src = self._inside_cache.get(src_ip)
+        if inside_src is None:
+            inside_src = self._inside(src_ip)
+        if inside_dst == inside_src:
+            return PATH_IGNORE
+        return PATH_INSPECT
+
     def _crosses_boundary(self, packet):
-        return self._inside(packet.dst_ip) != self._inside(packet.src_ip)
+        key = (packet.src_ip, packet.dst_ip)
+        cached = self._boundary_cache.get(key)
+        if cached is None:
+            cached = self._inside(packet.dst_ip) != self._inside(
+                packet.src_ip)
+            if len(self._boundary_cache) < 1 << 20:
+                self._boundary_cache[key] = cached
+        return cached
 
     def forged_address(self, query_name, client_key=None):
         """A pseudo-random bogus IPv4 address.
@@ -79,6 +116,22 @@ class GreatFirewall(Middlebox):
     def inject_responses(self, packet, network):
         if packet.dst_port != 53 or not self._crosses_boundary(packet):
             return []
+        # Light triage before any full message parse: an on-path injector
+        # only needs the query bit, a single question, and its name.
+        payload = packet.payload
+        if (len(payload) < 12 or payload[2] & 0x80
+                or payload[4:6] != b"\x00\x01"):
+            return []
+        try:
+            name, pos = decode_name(payload, 12)
+        except (ValueError, IndexError):
+            return []
+        if payload[pos:pos + 4] != _QTYPE_A_IN_WIRE:
+            return []
+        if not self.censors_name(name):
+            return []
+        # Censored A query confirmed (rare path): parse fully to echo the
+        # question section faithfully in the forged answer.
         try:
             query = Message.from_wire(packet.payload)
         except ValueError:
@@ -87,8 +140,6 @@ class GreatFirewall(Middlebox):
         if question is None or query.header.qr:
             return []
         if question.qtype != QTYPE_A or question.qclass != CLASS_IN:
-            return []
-        if not self.censors_name(question.name):
             return []
         forged = query.make_response()
         forged.answers.append(ResourceRecord.a(

@@ -8,8 +8,32 @@ methodology (scan again from a second /8) can be reproduced.
 """
 
 
+# Path verdicts: how a middlebox relates to one (src, dst, dst_port)
+# path at the network's current clock.  The network asks per packet —
+# boxes answering PATH_IGNORE are never handed the packet itself, so the
+# verdict must be cheap: integer arithmetic on the addressing tuple, no
+# text parsing.
+PATH_IGNORE = "ignore"    # never affects packets on this path right now
+PATH_DROP = "drop"        # drops every query on this path right now
+PATH_INSPECT = "inspect"  # must see each packet (payload-dependent)
+
+
 class Middlebox:
     """Base middlebox: sees every packet, may drop or inject."""
+
+    def path_verdict(self, src_ip, dst_int, dst_port, network):
+        """Classify this box's effect on a path (see PATH_* above).
+
+        ``dst_int`` is the destination as a 32-bit integer — the network
+        hands middleboxes the numeric form so per-packet verdicts stay
+        free of dotted-quad parsing (scans visit millions of distinct
+        destinations, so per-destination string caches never hit).  The
+        conservative default keeps duck-typed boxes correct: inspect
+        everything.  Boxes whose behaviour is a pure function of the
+        addressing tuple and the clock should return PATH_IGNORE or
+        PATH_DROP so the network can skip them on the hot path.
+        """
+        return PATH_INSPECT
 
     def drops_query(self, packet, network):
         """Return True to silently drop the query before delivery."""
@@ -34,9 +58,26 @@ class ScannerBlocker(Middlebox):
         self.blocked_sources = frozenset(blocked_sources)
         self.protected_networks = list(protected_networks)
         self.active_after = active_after
+        self._protect_masks = [(net.base, net.mask)
+                               for net in self.protected_networks]
+        self._protect_cache = {}
 
     def _protects(self, ip):
-        return any(ip in net for net in self.protected_networks)
+        cached = self._protect_cache.get(ip)
+        if cached is None:
+            cached = any(ip in net for net in self.protected_networks)
+            if len(self._protect_cache) < 1 << 20:
+                self._protect_cache[ip] = cached
+        return cached
+
+    def path_verdict(self, src_ip, dst_int, dst_port, network):
+        if (network.clock.now < self.active_after
+                or src_ip not in self.blocked_sources):
+            return PATH_IGNORE
+        for base, mask in self._protect_masks:
+            if dst_int & mask == base:
+                return PATH_DROP
+        return PATH_IGNORE
 
     def drops_query(self, packet, network):
         if network.clock.now < self.active_after:
@@ -54,9 +95,27 @@ class DnsIngressFilter(Middlebox):
         self.protected_networks = list(protected_networks)
         self.active_after = active_after
         self.port = port
+        self._inside_masks = [(net.base, net.mask)
+                              for net in self.protected_networks]
+        self._inside_cache = {}
 
     def _inside(self, ip):
-        return any(ip in net for net in self.protected_networks)
+        cached = self._inside_cache.get(ip)
+        if cached is None:
+            cached = any(ip in net for net in self.protected_networks)
+            if len(self._inside_cache) < 1 << 20:
+                self._inside_cache[ip] = cached
+        return cached
+
+    def path_verdict(self, src_ip, dst_int, dst_port, network):
+        if (dst_port != self.port
+                or network.clock.now < self.active_after
+                or self._inside(src_ip)):
+            return PATH_IGNORE
+        for base, mask in self._inside_masks:
+            if dst_int & mask == base:
+                return PATH_DROP
+        return PATH_IGNORE
 
     def drops_query(self, packet, network):
         if network.clock.now < self.active_after:

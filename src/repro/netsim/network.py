@@ -9,21 +9,58 @@ paper observed (§4.2).
 """
 
 import random
+from operator import attrgetter
 
 from repro.netsim.address import ip_to_int
+from repro.netsim.middlebox import (
+    PATH_DROP,
+    PATH_INSPECT,
+    Middlebox,
+)
+
+# splitmix64 finaliser: mixes a flow key into an evenly distributed
+# 64-bit value.  Used for packet-fate decisions (loss, corruption) so the
+# outcome of each delivery is a pure function of (network seed, flow,
+# occurrence) — independent of how concurrent flows interleave, which is
+# what lets sharded scan workers reproduce a sequential scan exactly.
+_M64 = (1 << 64) - 1
+
+
+def _mix64(value):
+    value &= _M64
+    value ^= value >> 30
+    value = (value * 0xBF58476D1CE4E5B9) & _M64
+    value ^= value >> 27
+    value = (value * 0x94D049BB133111EB) & _M64
+    value ^= value >> 31
+    return value
+
+
+_SALT_QUERY_LOSS = 0x51
+_SALT_RESPONSE_LOSS = 0x52
+_SALT_CORRUPTION = 0x53
 
 
 class UdpPacket:
-    """A UDP datagram: addressing 4-tuple plus opaque payload bytes."""
+    """A UDP datagram: addressing 4-tuple plus opaque payload bytes.
 
-    __slots__ = ("src_ip", "src_port", "dst_ip", "dst_port", "payload")
+    ``dst_int`` optionally carries the destination as a 32-bit integer.
+    Senders that already hold the integer form (the scanner generates
+    targets numerically) pass it so the delivery path never has to parse
+    dotted-quad text per packet; it must equal ``ip_to_int(dst_ip)``.
+    """
 
-    def __init__(self, src_ip, src_port, dst_ip, dst_port, payload):
+    __slots__ = ("src_ip", "src_port", "dst_ip", "dst_port", "payload",
+                 "dst_int")
+
+    def __init__(self, src_ip, src_port, dst_ip, dst_port, payload,
+                 dst_int=None):
         self.src_ip = src_ip
         self.src_port = src_port
         self.dst_ip = dst_ip
         self.dst_port = dst_port
         self.payload = payload
+        self.dst_int = dst_int
 
     def reply(self, payload, src_ip=None, src_port=None):
         """Build a response packet back to this packet's sender.
@@ -113,8 +150,26 @@ class Network:
         self.corruption_rate = corruption_rate
         self.base_latency = base_latency
         self.middleboxes = []
+        self._response_droppers = []
+        # (box, bound path_verdict or None) pairs, rebuilt whenever a
+        # middlebox is added; binding once keeps the per-packet verdict
+        # loop to plain calls with no attribute lookups.
+        self._path_checks = []
         self._nodes = {}
+        self._seed = seed
         self._rng = random.Random(seed)
+        # Per-flow occurrence counters for packet-fate decisions; repeated
+        # sends over the same 4-tuple get fresh draws (so loss statistics
+        # hold), while each occurrence's fate stays order-independent.
+        # Reset whenever simulated time moves, bounding memory to one
+        # scan's worth of flows.
+        self._flow_counts = {}
+        self._flow_epoch = clock.now
+        # Pure-function memos for the fate computation (never reset):
+        # 4-tuple -> unsalted flow key, occurrence -> mixed occurrence.
+        self._flow_key_cache = {}
+        self._occurrence_mix = {}
+        self._seed_high = (seed << 32) & _M64
         self.udp_queries_sent = 0
         self.udp_queries_lost = 0
         self.udp_responses_corrupted = 0
@@ -144,6 +199,18 @@ class Network:
 
     def add_middlebox(self, middlebox):
         self.middleboxes.append(middlebox)
+        # Boxes without a path_verdict (duck-typed test doubles) are
+        # conservatively inspected for every packet.
+        self._path_checks = [
+            (box, getattr(box, "path_verdict", None))
+            for box in self.middleboxes]
+        # drops_response cannot be classified per path (it may depend on
+        # the response packet), so boxes that override it are consulted
+        # for every delivered reply; the rest are skipped entirely.
+        self._response_droppers = [
+            box for box in self.middleboxes
+            if not isinstance(box, Middlebox)
+            or type(box).drops_response is not Middlebox.drops_response]
 
     # -- latency / loss ---------------------------------------------------
 
@@ -153,41 +220,160 @@ class Network:
         return self.base_latency + (mix % 1000) / 1000.0 * 0.180
 
     def _lost(self):
+        """Sequential loss draw for connection-oriented services (TCP)."""
         return self.loss_rate > 0 and self._rng.random() < self.loss_rate
+
+    def _packet_fate(self, salt, rate, packet):
+        """Order-independent delivery decision for one UDP packet.
+
+        The draw is a pure hash of (seed, salt, flow 4-tuple, occurrence
+        index of that flow since time last advanced) — NOT a shared
+        sequential RNG.  Any interleaving of distinct flows therefore
+        yields identical per-packet fates, the property the sharded scan
+        engine relies on for bit-identical merged results.
+        """
+        if self.clock.now != self._flow_epoch:
+            self._flow_counts.clear()
+            self._flow_epoch = self.clock.now
+        dst_int = packet.dst_int
+        if dst_int is not None:
+            # Integer addressing available: compute the flow key directly,
+            # skipping both text parsing and the string-tuple memo.
+            base = (ip_to_int(packet.src_ip) * 0x9E3779B1
+                    ^ dst_int * 0x85EBCA77
+                    ^ packet.src_port << 17 ^ packet.dst_port << 1)
+        else:
+            flow = (packet.src_ip, packet.dst_ip,
+                    packet.src_port, packet.dst_port)
+            base = self._flow_key_cache.get(flow)
+            if base is None:
+                base = (ip_to_int(packet.src_ip) * 0x9E3779B1
+                        ^ ip_to_int(packet.dst_ip) * 0x85EBCA77
+                        ^ packet.src_port << 17 ^ packet.dst_port << 1)
+                if len(self._flow_key_cache) < 1 << 20:
+                    self._flow_key_cache[flow] = base
+        key = salt ^ base
+        occurrence = self._flow_counts.get(key, 0)
+        self._flow_counts[key] = occurrence + 1
+        mixed = self._occurrence_mix.get(occurrence)
+        if mixed is None:
+            mixed = _mix64(occurrence + 1)
+            self._occurrence_mix[occurrence] = mixed
+        draw = _mix64(self._seed_high ^ key ^ mixed)
+        return draw < rate * (_M64 + 1)
 
     # -- UDP --------------------------------------------------------------
 
     def send_udp(self, packet):
         """Deliver a UDP packet; return responses sorted by arrival time."""
+        dst_int = packet.dst_int
+        if dst_int is None:
+            dst_int = ip_to_int(packet.dst_ip)
+        return self.send_probe(packet.src_ip, packet.src_port,
+                               packet.dst_ip, packet.dst_port, dst_int,
+                               packet.payload, _packet=packet)
+
+    def send_probe(self, src_ip, src_port, dst_ip, dst_port, dst_int,
+                   payload, _packet=None):
+        """Wire-level delivery fast path: :meth:`send_udp` semantics with
+        the addressing passed as scalars (``dst_int`` must equal
+        ``ip_to_int(dst_ip)``).
+
+        The :class:`UdpPacket` is only materialised when something needs
+        it — a PATH_INSPECT middlebox or a node at the destination.  For
+        the overwhelmingly common scan case (a probe to an address that
+        hosts nothing and concerns no middlebox) no packet object is
+        built at all.
+        """
         self.udp_queries_sent += 1
-        responses = []
+        # Per-packet middlebox triage: each box classifies the (src, dst
+        # int, port) path and only PATH_INSPECT boxes see the payload.
+        # Verdicts are integer arithmetic, so for the common case no box
+        # ever touches the packet.
+        packet = _packet
         dropped = False
-        for box in self.middleboxes:
-            responses.extend(box.inject_responses(packet, self))
+        responses = None
+        for box, check in self._path_checks:
+            if check is not None:
+                verdict = check(src_ip, dst_int, dst_port, self)
+                if verdict == PATH_DROP:
+                    dropped = True
+                    continue
+                if verdict != PATH_INSPECT:
+                    continue
+            if packet is None:
+                packet = UdpPacket(src_ip, src_port, dst_ip, dst_port,
+                                   payload, dst_int)
+            injected = box.inject_responses(packet, self)
+            if injected:
+                if responses is None:
+                    responses = list(injected)
+                else:
+                    responses.extend(injected)
             if box.drops_query(packet, self):
                 dropped = True
-        if not dropped and not self._lost():
-            node = self._nodes.get(packet.dst_ip)
+        loss_rate = self.loss_rate
+        delivered = not dropped
+        if delivered and loss_rate > 0:
+            # Query-loss fate, inlined (bit-identical to _packet_fate
+            # with _SALT_QUERY_LOSS): one draw per probe is the single
+            # hottest fate decision, so it skips the call overhead.
+            now = self.clock.now
+            if now != self._flow_epoch:
+                self._flow_counts.clear()
+                self._flow_epoch = now
+            key = _SALT_QUERY_LOSS ^ (
+                ip_to_int(src_ip) * 0x9E3779B1 ^ dst_int * 0x85EBCA77
+                ^ src_port << 17 ^ dst_port << 1)
+            occurrence = self._flow_counts.get(key, 0)
+            self._flow_counts[key] = occurrence + 1
+            mixed = self._occurrence_mix.get(occurrence)
+            if mixed is None:
+                mixed = _mix64(occurrence + 1)
+                self._occurrence_mix[occurrence] = mixed
+            draw = (self._seed_high ^ key ^ mixed) & _M64
+            draw ^= draw >> 30
+            draw = (draw * 0xBF58476D1CE4E5B9) & _M64
+            draw ^= draw >> 27
+            draw = (draw * 0x94D049BB133111EB) & _M64
+            draw ^= draw >> 31
+            delivered = draw >= loss_rate * (_M64 + 1)
+        if delivered:
+            node = self._nodes.get(dst_ip)
             if node is not None:
+                if packet is None:
+                    packet = UdpPacket(src_ip, src_port, dst_ip, dst_port,
+                                       payload, dst_int)
                 result = node.handle_udp(packet, self)
-                base = self.latency_between(packet.src_ip, packet.dst_ip)
+                base = self.latency_between(src_ip, dst_ip)
                 for reply in self._normalize_replies(packet, result):
-                    if self._lost():
+                    if loss_rate > 0 and self._packet_fate(
+                            _SALT_RESPONSE_LOSS, loss_rate, reply):
                         self.udp_queries_lost += 1
                         continue
-                    if any(box.drops_response(packet, reply, self)
-                           for box in self.middleboxes):
+                    if self._response_droppers and any(
+                            box.drops_response(packet, reply, self)
+                            for box in self._response_droppers):
                         continue
-                    if self.corruption_rate > 0 and \
-                            self._rng.random() < self.corruption_rate:
+                    if self.corruption_rate > 0 and self._packet_fate(
+                            _SALT_CORRUPTION, self.corruption_rate, reply):
                         reply = UdpPacket(
                             reply.src_ip, reply.src_port, reply.dst_ip,
                             reply.dst_port, self._corrupt(reply.payload))
                         self.udp_responses_corrupted += 1
+                    if responses is None:
+                        responses = []
                     responses.append(UdpResponse(reply, base * 2))
         else:
             self.udp_queries_lost += 1
-        responses.sort(key=lambda response: response.latency)
+        if responses is None:
+            return []
+        # Injected (forged) responses racing a genuine answer at the exact
+        # same latency must keep winning: explicit injected-first
+        # tie-break, then a stable sort by arrival time.
+        if len(responses) > 1:
+            responses.sort(key=attrgetter("injected"), reverse=True)
+            responses.sort(key=attrgetter("latency"))
         return responses
 
     def _corrupt(self, payload):

@@ -1,0 +1,11 @@
+"""Performance instrumentation: counters, timers, throughput reporting.
+
+Shared by the sharded scan engine (:mod:`repro.scanner.engine`), weekly
+campaigns, the classification pipeline, and the CLI ``--perf`` flag; the
+``benchmarks/perf`` harness serialises registry snapshots into the
+``BENCH_scan.json`` trajectory file.
+"""
+
+from repro.perf.metrics import PerfRegistry
+
+__all__ = ["PerfRegistry"]

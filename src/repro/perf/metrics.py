@@ -1,0 +1,102 @@
+"""Throughput counters and stage timers for the measurement machinery.
+
+The scan engine, campaigns, and the classification pipeline all report
+through a :class:`PerfRegistry`: plain monotonically increasing counters
+(probes sent, parse calls avoided) plus named wall-clock timers (scan
+duration, per-shard wall time, pipeline stage durations).  Registries are
+cheap dictionaries — hot loops accumulate into local variables and flush
+once per scan, so instrumentation never shows up in a profile.
+"""
+
+import time
+from contextlib import contextmanager
+
+
+class PerfRegistry:
+    """Named counters and timers, mergeable across shards and stages."""
+
+    def __init__(self):
+        self.counters = {}
+        self.timers = {}          # name -> [total_seconds, entry_count]
+
+    # -- counters ---------------------------------------------------------
+
+    def count(self, name, amount=1):
+        """Add ``amount`` to the counter ``name``."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def counter(self, name):
+        return self.counters.get(name, 0)
+
+    # -- timers -----------------------------------------------------------
+
+    def record_seconds(self, name, seconds):
+        """Record one timed entry of ``seconds`` under ``name``."""
+        entry = self.timers.get(name)
+        if entry is None:
+            self.timers[name] = [seconds, 1]
+        else:
+            entry[0] += seconds
+            entry[1] += 1
+
+    @contextmanager
+    def stage(self, name):
+        """Context manager timing one pipeline/scan stage."""
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.record_seconds(name, time.perf_counter() - start)
+
+    def seconds(self, name):
+        entry = self.timers.get(name)
+        return entry[0] if entry else 0.0
+
+    def rate(self, counter_name, timer_name):
+        """Counter per second of timer, e.g. probes/sec (0.0 if untimed)."""
+        elapsed = self.seconds(timer_name)
+        if elapsed <= 0:
+            return 0.0
+        return self.counters.get(counter_name, 0) / elapsed
+
+    # -- aggregation ------------------------------------------------------
+
+    def merge(self, other):
+        """Fold another registry (e.g. a shard's) into this one."""
+        for name, amount in other.counters.items():
+            self.count(name, amount)
+        for name, (total, entries) in other.timers.items():
+            entry = self.timers.get(name)
+            if entry is None:
+                self.timers[name] = [total, entries]
+            else:
+                entry[0] += total
+                entry[1] += entries
+        return self
+
+    def snapshot(self):
+        """A plain-dict view, suitable for ``json.dump``."""
+        return {
+            "counters": dict(self.counters),
+            "timers": {name: {"seconds": total, "entries": entries}
+                       for name, (total, entries) in self.timers.items()},
+        }
+
+    def format_report(self, title="perf"):
+        """A human-readable multi-line summary."""
+        lines = ["[%s]" % title]
+        for name in sorted(self.counters):
+            lines.append("  %-28s %d" % (name, self.counters[name]))
+        for name in sorted(self.timers):
+            total, entries = self.timers[name]
+            lines.append("  %-28s %.3fs (%d entries)"
+                         % (name, total, entries))
+        probes = self.counters.get("probes_sent")
+        wall = self.seconds("scan_wall")
+        if probes and wall > 0:
+            lines.append("  %-28s %.0f" % ("probes_per_sec", probes / wall))
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return "PerfRegistry(%d counters, %d timers)" % (
+            len(self.counters), len(self.timers))

@@ -15,7 +15,13 @@ from repro.scanner.encoding import (
     decode_target_ip,
     encode_target_qname,
 )
-from repro.scanner.ipv4scan import Ipv4Scanner, ScanResult, ScanTargetSpace
+from repro.scanner.ipv4scan import (
+    Ipv4Scanner,
+    ScanResult,
+    ScanTargetSpace,
+    merge_scan_results,
+)
+from repro.scanner.engine import ScanEngine
 from repro.scanner.campaign import ScanCampaign, WeeklySnapshot
 from repro.scanner.chaos import ChaosScanner, ChaosObservation
 from repro.scanner.banner import BannerGrabber, HostBanners
@@ -39,10 +45,12 @@ __all__ = [
     "MAXIMAL_TAPS",
     "ResolverIdCodec",
     "ScanCampaign",
+    "ScanEngine",
     "ScanResult",
     "ScanTargetSpace",
     "SnoopingTrace",
     "WeeklySnapshot",
     "decode_target_ip",
     "encode_target_qname",
+    "merge_scan_results",
 ]

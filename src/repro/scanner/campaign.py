@@ -7,6 +7,7 @@ primary scanner (§2.2 Scan Verification).
 """
 
 from repro.netsim.clock import WEEK
+from repro.scanner.engine import ScanEngine
 from repro.scanner.ipv4scan import Ipv4Scanner
 
 
@@ -28,29 +29,36 @@ class ScanCampaign:
 
     def __init__(self, network, churn_model, target_space, source_ip,
                  measurement_domain, blacklist=None,
-                 verification_source_ip=None):
+                 verification_source_ip=None, shards=1, perf=None):
         self.network = network
         self.churn = churn_model
         self.target_space = target_space
+        self.perf = perf
         self.scanner = Ipv4Scanner(network, source_ip, measurement_domain,
-                                   blacklist=blacklist)
+                                   blacklist=blacklist, perf=perf)
+        self.engine = ScanEngine(self.scanner, shards=shards, perf=perf)
         self.verification_scanner = None
+        self.verification_engine = None
         if verification_source_ip is not None:
             self.verification_scanner = Ipv4Scanner(
                 network, verification_source_ip, measurement_domain,
-                blacklist=blacklist, source_port=31338)
+                blacklist=blacklist, source_port=31338, perf=perf)
+            self.verification_engine = ScanEngine(
+                self.verification_scanner, shards=shards, perf=perf)
         self.snapshots = []
 
     def run_week(self, verify=False):
         """Advance churn, run this week's scan (plus verification scan)."""
         self.churn.step()
         week = len(self.snapshots)
-        result = self.scanner.scan(self.target_space)
+        result = self.engine.scan(self.target_space)
         verification = None
-        if verify and self.verification_scanner is not None:
-            verification = self.verification_scanner.scan(self.target_space)
+        if verify and self.verification_engine is not None:
+            verification = self.verification_engine.scan(self.target_space)
         snapshot = WeeklySnapshot(week, result, verification)
         self.snapshots.append(snapshot)
+        if self.perf is not None:
+            self.perf.count("weeks_scanned")
         self.network.clock.advance(WEEK)
         return snapshot
 

@@ -1,0 +1,171 @@
+"""Sharded parallel scan engine.
+
+Splits a :class:`~repro.scanner.ipv4scan.ScanTargetSpace` into N
+contiguous index shards and drives each through a fork-based worker
+process.  ``os.fork`` gives every worker a copy-on-write view of the
+fully built scenario — no scenario rebuild, no pickling of the world,
+just the per-shard :class:`ScanResult` coming back over a pipe.
+
+Determinism contract (verified by ``tests/scanner/test_engine.py``):
+the merged result is **identical** to a sequential single-process scan
+of the same space — same ``counts()``, same ``responders``, same
+``divergent_sources``, same ``probes_sent`` — for any shard count.
+Three properties make this hold:
+
+* probe identity is a pure hash of (scanner, scan epoch, target), so a
+  worker scanning indexes [k, m) emits byte-identical packets to the
+  ones a full scan would emit for those targets;
+* packet fates (loss/corruption) are keyed per flow + occurrence, not
+  drawn from a shared sequential RNG, so fates cannot depend on how
+  workers interleave sends (:meth:`repro.netsim.network.Network._packet_fate`);
+* shard results are merged with set unions over disjoint target sets,
+  which is order-insensitive.
+
+Workers cannot write back into the parent (fork semantics), so parent-
+side state the scan would have advanced — network traffic counters,
+warm resolver caches — is reconciled explicitly: counter deltas ride
+back over the pipe, while cache warm-ups are deliberately dropped (the
+next scan replays the identical resolutions from the identical pre-fork
+state, so dropped warm-ups cannot change any later result).  One
+observable consequence: every worker re-warms the resolution suffix
+cache in its own copy, so the *traffic* counters report a few more
+queries than a sequential scan (one warm-up per extra worker) even
+though the scan results are identical.
+
+When ``shards <= 1``, the platform lacks ``os.fork`` (non-POSIX), or a
+worker dies, the engine transparently falls back to scanning in-process.
+"""
+
+import os
+import pickle
+import time
+
+from repro.perf import PerfRegistry
+from repro.scanner.ipv4scan import merge_scan_results
+
+# Network traffic counters reconciled from workers back into the parent.
+_NET_COUNTERS = ("udp_queries_sent", "udp_queries_lost",
+                 "udp_responses_corrupted")
+
+
+class ScanEngine:
+    """Runs Internet-wide scans, optionally sharded across processes."""
+
+    def __init__(self, scanner, shards=1, perf=None):
+        if shards < 1:
+            raise ValueError("shard count must be >= 1")
+        self.scanner = scanner
+        self.shards = shards
+        self.perf = perf
+        if perf is not None and scanner.perf is None:
+            scanner.perf = perf
+
+    @property
+    def can_fork(self):
+        return hasattr(os, "fork")
+
+    def scan(self, target_space):
+        """Scan the whole target space; returns one merged ScanResult."""
+        start = time.perf_counter()
+        ranges = target_space.shard_ranges(self.shards)
+        if len(ranges) <= 1 or not self.can_fork:
+            result = self.scanner.scan(target_space)
+        else:
+            result = self._scan_forked(target_space, ranges)
+        if self.perf is not None:
+            self.perf.record_seconds("scan_wall",
+                                     time.perf_counter() - start)
+            self.perf.count("scans_run")
+        return result
+
+    # -- forked path -------------------------------------------------------
+
+    def _scan_forked(self, target_space, ranges):
+        network = self.scanner.network
+        children = []
+        for index_range in ranges:
+            read_fd, write_fd = os.pipe()
+            pid = os.fork()
+            if pid == 0:
+                # Worker: scan one shard of the COW-shared scenario and
+                # ship the result back; never return into the caller.
+                os.close(read_fd)
+                status = 0
+                try:
+                    payload = pickle.dumps(
+                        self._run_shard(target_space, index_range),
+                        protocol=pickle.HIGHEST_PROTOCOL)
+                    with os.fdopen(write_fd, "wb") as pipe:
+                        pipe.write(payload)
+                except BaseException:
+                    status = 1
+                finally:
+                    # Skip atexit/buffer teardown of the forked
+                    # interpreter; only the pipe payload matters.
+                    os._exit(status)
+            os.close(write_fd)
+            children.append((pid, read_fd, index_range))
+
+        shard_results = []
+        failed_ranges = []
+        counter_deltas = {name: 0 for name in _NET_COUNTERS}
+        for pid, read_fd, index_range in children:
+            with os.fdopen(read_fd, "rb") as pipe:
+                payload = pipe.read()
+            __, status = os.waitpid(pid, 0)
+            shard = None
+            if status == 0 and payload:
+                try:
+                    shard = pickle.loads(payload)
+                except Exception:
+                    shard = None
+            if shard is None:
+                failed_ranges.append(index_range)
+                continue
+            shard_results.append(shard["result"])
+            for name in _NET_COUNTERS:
+                counter_deltas[name] += shard["net_counters"][name]
+            if self.perf is not None:
+                self.perf.record_seconds("shard_wall",
+                                         shard["wall_seconds"])
+                if shard["perf"] is not None:
+                    self.perf.merge(shard["perf"])
+
+        # A dead worker's shard is re-scanned in-process: probe identity
+        # and packet fates are position-independent, so the late retry
+        # still produces exactly the bytes and fates the worker would
+        # have.
+        for index_range in failed_ranges:
+            if self.perf is not None:
+                self.perf.count("shard_failures")
+            shard_results.append(
+                self.scanner.scan(target_space, index_range=index_range))
+
+        for name, delta in counter_deltas.items():
+            setattr(network, name, getattr(network, name) + delta)
+        return merge_scan_results(network.clock.now, shard_results)
+
+    def _run_shard(self, target_space, index_range):
+        """Executed inside a worker: one shard scan plus bookkeeping."""
+        network = self.scanner.network
+        # The worker inherits the parent's registry copy-on-write; swap
+        # in a fresh one so only shard-local numbers ride back (merging
+        # the inherited copy would double-count pre-fork totals).
+        if self.scanner.perf is not None:
+            self.scanner.perf = PerfRegistry()
+        before = {name: getattr(network, name) for name in _NET_COUNTERS}
+        shard_start = time.perf_counter()
+        result = self.scanner.scan(target_space, index_range=index_range)
+        wall = time.perf_counter() - shard_start
+        return {
+            "result": result,
+            "wall_seconds": wall,
+            "net_counters": {
+                name: getattr(network, name) - before[name]
+                for name in _NET_COUNTERS},
+            "perf": self.scanner.perf,
+        }
+
+    def __repr__(self):
+        return "ScanEngine(shards=%d, fork=%s)" % (
+            self.shards, self.can_fork)

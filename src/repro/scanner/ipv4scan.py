@@ -6,18 +6,65 @@ target address hex-encoded in the query name.  The result records, per
 rcode, the set of *target* addresses that answered — attributing responses
 by the encoded name, so hosts answering from a different source address
 (multi-homed / DNS proxies) are both counted correctly and detected.
+
+Hot-path design (the "wire-level fast paths" of the sharded engine):
+
+* responses are triaged with :func:`repro.dnswire.message.peek_header`
+  — txid/qr/rcode read straight off the fixed 12-byte header, no
+  :class:`~repro.dnswire.message.Message` construction;
+* query payloads come from a pre-encoded template (header flags, suffix
+  wire, and QTYPE/QCLASS tail are built once per scanner);
+* reserved/blacklist membership is precomputed per target prefix, so
+  prefixes that cannot intersect an excluded range skip the per-address
+  checks entirely;
+* probe identity (txid + cache-busting label) is a pure hash of
+  (scanner, scan epoch, target address) rather than a sequential
+  counter, so any index subset of the target space — a shard — sends
+  byte-identical probes to what a sequential full scan would send.
 """
+
+import bisect
 
 from repro.dnswire.constants import (
     RCODE_NOERROR,
     RCODE_REFUSED,
     RCODE_SERVFAIL,
 )
-from repro.dnswire.message import Message
-from repro.netsim.address import is_reserved
-from repro.netsim.network import UdpPacket
-from repro.scanner.encoding import decode_target_ip, encode_target_qname
+from repro.dnswire.message import peek_header
+from repro.dnswire.name import encode_name
+from repro.netsim.address import (
+    RESERVED_NETWORKS,
+    int_to_ip,
+    ip_to_int,
+    is_reserved,
+)
 from repro.scanner.lfsr import LFSR
+
+# Fixed header flags + section counts of a standard 1-question query
+# (rd=1, qdcount=1), i.e. bytes 2..11 of every probe we send.
+_QUERY_HEADER_TAIL = b"\x01\x00\x00\x01\x00\x00\x00\x00\x00\x00"
+_QUESTION_TAIL = b"\x00\x01\x00\x01"  # QTYPE=A, QCLASS=IN
+_M64 = (1 << 64) - 1
+# Single-byte label-length prefixes, indexed by length (qname labels are
+# at most 63 bytes by definition).
+_LABEL_LEN = tuple(bytes((n,)) for n in range(64))
+
+
+def _mix64(value):
+    """splitmix64 finaliser (see :mod:`repro.netsim.network`)."""
+    value &= _M64
+    value ^= value >> 30
+    value = (value * 0xBF58476D1CE4E5B9) & _M64
+    value ^= value >> 27
+    value = (value * 0x94D049BB133111EB) & _M64
+    value ^= value >> 31
+    return value
+
+
+def _networks_intersect(left, right):
+    """True when two CIDR prefixes share any address."""
+    return ((left.base & right.mask) == right.base
+            or (right.base & left.mask) == left.base)
 
 
 class ScanTargetSpace:
@@ -39,13 +86,36 @@ class ScanTargetSpace:
             total += prefix.num_addresses
         self.total = total
 
-    def ip_at(self, index):
+    def int_at(self, index):
+        """The 32-bit integer address ``index`` positions into the space."""
         if not 0 <= index < self.total:
             raise IndexError(index)
-        import bisect
         slot = bisect.bisect_right(self._cumulative, index) - 1
-        prefix = self.prefixes[slot]
-        return prefix.address_at(index - self._cumulative[slot])
+        return self.prefixes[slot].base + (index - self._cumulative[slot])
+
+    def ip_at(self, index):
+        return int_to_ip(self.int_at(index))
+
+    def shard_ranges(self, shards):
+        """Split ``[0, len(self))`` into ``shards`` contiguous ranges.
+
+        Every index lands in exactly one range; empty trailing ranges are
+        dropped (a space smaller than the shard count yields fewer
+        ranges).  Sharding by index keeps each worker's targets
+        contiguous in address space while the shared LFSR walk still
+        interleaves probe *order* pseudo-randomly within each shard.
+        """
+        if shards < 1:
+            raise ValueError("shard count must be >= 1")
+        size, remainder = divmod(self.total, shards)
+        ranges = []
+        start = 0
+        for shard in range(shards):
+            stop = start + size + (1 if shard < remainder else 0)
+            if stop > start:
+                ranges.append((start, stop))
+            start = stop
+        return ranges
 
     def __len__(self):
         return self.total
@@ -66,6 +136,15 @@ class ScanResult:
         self.by_rcode.setdefault(rcode, set()).add(target_ip)
         if source_ip != target_ip:
             self.divergent_sources.add(target_ip)
+
+    def merge(self, other):
+        """Fold another (disjoint shard's) result into this one."""
+        self.probes_sent += other.probes_sent
+        self.responders |= other.responders
+        self.divergent_sources |= other.divergent_sources
+        for rcode, targets in other.by_rcode.items():
+            self.by_rcode.setdefault(rcode, set()).update(targets)
+        return self
 
     @property
     def noerror(self):
@@ -93,20 +172,90 @@ class ScanResult:
             self.timestamp, len(self.responders))
 
 
+def merge_scan_results(timestamp, results):
+    """Merge disjoint per-shard results into one :class:`ScanResult`.
+
+    Set unions are order-insensitive and the shards partition the index
+    space, so the merged result is identical to what one sequential scan
+    over the whole space produces.
+    """
+    merged = ScanResult(timestamp)
+    for result in results:
+        merged.merge(result)
+    return merged
+
+
+class TargetFilter:
+    """Precomputed reserved/blacklist membership for one target space.
+
+    Prefixes that provably cannot intersect a reserved range or a
+    blacklisted network are marked clean once, reducing the per-address
+    check to (at most) one set lookup.
+    """
+
+    def __init__(self, target_space, blacklist=None):
+        self.blacklist = blacklist
+        blacklist_networks = list(blacklist.networks) if blacklist else []
+        self.blacklist_addresses = (frozenset(blacklist.addresses)
+                                    if blacklist else frozenset())
+        excluded = list(RESERVED_NETWORKS) + blacklist_networks
+        # One flag per prefix slot, aligned with ScanTargetSpace.prefixes.
+        self.clean = [
+            not any(_networks_intersect(prefix, other)
+                    for other in excluded)
+            for prefix in target_space.prefixes
+        ]
+        self.all_clean = all(self.clean) and not self.blacklist_addresses
+
+    def allows_slot(self, slot, value):
+        """Membership check given the prefix slot and integer address."""
+        if self.clean[slot]:
+            return value not in self.blacklist_addresses
+        if is_reserved(value):
+            return False
+        if self.blacklist is not None and value in self.blacklist:
+            return False
+        return True
+
+
 class Ipv4Scanner:
     """Sends one DNS A probe per target address and aggregates responses."""
 
     def __init__(self, network, source_ip, measurement_domain,
-                 blacklist=None, source_port=31337, lfsr_seed=0xACE1):
+                 blacklist=None, source_port=31337, lfsr_seed=0xACE1,
+                 perf=None):
         self.network = network
         self.source_ip = source_ip
         self.measurement_domain = measurement_domain
         self.blacklist = blacklist
         self.source_port = source_port
         self.lfsr_seed = lfsr_seed
-        self._probe_id = 0
-        from repro.dnswire.name import encode_name
+        self.perf = perf
         self._suffix_wire = encode_name(measurement_domain)
+        # Pre-encoded query template: everything after the txid plus
+        # everything after the variable qname labels.
+        self._template_head = _QUERY_HEADER_TAIL
+        self._template_tail = self._suffix_wire + _QUESTION_TAIL
+        # Scanner identity folded into probe ids: the verification
+        # scanner (different source) must not reuse the primary
+        # scanner's query names even when probing the same target at the
+        # same simulated time.
+        self._identity = _mix64(
+            (ip_to_int(source_ip) << 17) ^ source_port ^ lfsr_seed)
+
+    # -- probe construction ------------------------------------------------
+
+    def _probe_key(self, epoch, target_int):
+        """Deterministic 40-bit probe identity for one (scan, target).
+
+        Independent of probe *order*, so shard workers and a sequential
+        scan build byte-identical packets for the same target.
+        """
+        return _mix64(self._identity ^ (epoch << 32) ^ target_int)
+
+    def _scan_epoch(self):
+        """Per-scan component of probe identity (advances with the clock)."""
+        return int(self.network.clock.now) & 0xFFFFFFFF
 
     def _query_wire(self, qname_prefix_labels, txid):
         """Build query bytes directly: header + labels + suffix + A/IN.
@@ -114,65 +263,147 @@ class Ipv4Scanner:
         Equivalent to ``Message.query(...).to_wire()`` (covered by tests)
         but ~4x faster, which matters at one probe per address per week.
         """
-        parts = [bytes((txid >> 8, txid & 0xFF)),
-                 b"\x01\x00\x00\x01\x00\x00\x00\x00\x00\x00"]
+        parts = [txid.to_bytes(2, "big"), self._template_head]
         for label in qname_prefix_labels:
             raw = label.encode("ascii")
             parts.append(bytes((len(raw),)))
             parts.append(raw)
-        parts.append(self._suffix_wire)
-        parts.append(b"\x00\x01\x00\x01")  # QTYPE=A, QCLASS=IN
+        parts.append(self._template_tail)
         return b"".join(parts)
 
     def probe(self, target_ip):
         """Send one scan probe; return parsed (rcode, source_ip) pairs."""
-        self._probe_id += 1
-        txid = self._probe_id & 0xFFFF
-        from repro.netsim.address import ip_to_int
-        payload = self._query_wire(
-            ("r%x" % (self._probe_id & 0xFFFFFF),
-             "%08x" % ip_to_int(target_ip)), txid)
-        packet = UdpPacket(self.source_ip, self.source_port,
-                           target_ip, 53, payload)
+        target_int = ip_to_int(target_ip)
+        return self._probe_fast(target_ip, target_int,
+                                self._probe_key(self._scan_epoch(),
+                                                target_int))
+
+    def _probe_fast(self, target_ip, target_int, key):
+        """Hot-path probe: pre-keyed identity, header-peek triage."""
+        txid = key & 0xFFFF
+        prefix_label = b"r%x" % ((key >> 16) & 0xFFFFFF)
+        payload = b"".join((
+            txid.to_bytes(2, "big"), self._template_head,
+            bytes((len(prefix_label),)), prefix_label,
+            b"\x08", b"%08x" % target_int,
+            self._template_tail))
         observations = []
-        for response in self.network.send_udp(packet):
-            try:
-                message = Message.from_wire(response.packet.payload)
-            except ValueError:
-                continue  # corrupted packet: ignored (§5 Completeness)
-            if not message.header.qr:
+        for response in self.network.send_probe(
+                self.source_ip, self.source_port, target_ip, 53,
+                target_int, payload):
+            peeked = peek_header(response.packet.payload)
+            if peeked is None:
+                continue  # short/truncated garbage (§5 Completeness)
+            rtxid, qr, rcode = peeked
+            if not qr:
                 continue
-            if message.header.txid != txid:
-                continue
-            observations.append((message.rcode, response.packet.src_ip))
+            if rtxid != txid:
+                continue  # mismatched (or corrupted) transaction id
+            observations.append((rcode, response.packet.src_ip))
         return observations
 
-    def scan(self, target_space):
-        """Scan every allowed address in the target space once."""
+    # -- scans -------------------------------------------------------------
+
+    def scan(self, target_space, index_range=None):
+        """Scan every allowed address in the target space once.
+
+        ``index_range`` restricts the walk to a contiguous ``(start,
+        stop)`` index shard; the full LFSR permutation is still walked
+        (integer ops only), so probe order within the shard — and every
+        probe's bytes — match the sequential scan exactly.
+        """
         result = ScanResult(self.network.clock.now)
-        order = LFSR.order_for(len(target_space))
+        total = len(target_space)
+        if total == 0:
+            return result
+        start, stop = index_range if index_range is not None else (0, total)
+        epoch = self._scan_epoch()
+        order = LFSR.order_for(total)
         lfsr = LFSR(order, seed=(self.lfsr_seed % ((1 << order) - 1)) or 1)
-        for state in lfsr.sequence():
+        target_filter = TargetFilter(target_space, self.blacklist)
+        # The loop below is the engine's single-core fast path: the LFSR
+        # step, probe-key mix, payload template fill, and response header
+        # peek are all inlined (no per-probe function calls beyond the
+        # network send itself).  ``probe()``/``_probe_fast`` remain the
+        # readable reference implementation of one probe; the determinism
+        # test comparing sharded vs sequential scans pins both paths.
+        cumulative = target_space._cumulative
+        prefixes = target_space.prefixes
+        bisect_right = bisect.bisect_right
+        allows_slot = target_filter.allows_slot
+        all_clean = target_filter.all_clean
+        seed_epoch = self._identity ^ (epoch << 32)
+        template_head = self._template_head
+        template_tail = self._template_tail
+        send_probe = self.network.send_probe
+        source_ip = self.source_ip
+        source_port = self.source_port
+        label_len = _LABEL_LEN
+        record = result.record
+        taps = lfsr.taps
+        state = first = lfsr.state
+        probes_sent = 0
+        responses_seen = 0
+        while True:
             index = state - 1
-            if index >= len(target_space):
-                continue
-            target_ip = target_space.ip_at(index)
-            if is_reserved(target_ip):
-                continue
-            if self.blacklist is not None and target_ip in self.blacklist:
-                continue
-            result.probes_sent += 1
-            for rcode, source_ip in self.probe(target_ip):
-                result.record(target_ip, rcode, source_ip)
+            if index < total and start <= index < stop:
+                slot = bisect_right(cumulative, index) - 1
+                value = prefixes[slot].base + (index - cumulative[slot])
+                if all_clean or allows_slot(slot, value):
+                    probes_sent += 1
+                    # splitmix64 finaliser, inlined (== _mix64).
+                    key = (seed_epoch ^ value) & _M64
+                    key ^= key >> 30
+                    key = (key * 0xBF58476D1CE4E5B9) & _M64
+                    key ^= key >> 27
+                    key = (key * 0x94D049BB133111EB) & _M64
+                    key ^= key >> 31
+                    txid = key & 0xFFFF
+                    prefix_label = b"r%x" % ((key >> 16) & 0xFFFFFF)
+                    payload = b"".join((
+                        txid.to_bytes(2, "big"), template_head,
+                        label_len[len(prefix_label)], prefix_label,
+                        b"\x08", b"%08x" % value, template_tail))
+                    target_ip = int_to_ip(value)
+                    responses = send_probe(source_ip, source_port,
+                                           target_ip, 53, value, payload)
+                    for response in responses:
+                        raw = response.packet.payload
+                        # Inlined peek_header + qr/txid triage.
+                        if len(raw) < 12 or not raw[2] & 0x80:
+                            continue
+                        if (raw[0] << 8) | raw[1] != txid:
+                            continue
+                        responses_seen += 1
+                        record(target_ip, raw[3] & 0x0F,
+                               response.packet.src_ip)
+            # Inlined Fibonacci LFSR step (== LFSR.step).
+            lsb = state & 1
+            state >>= 1
+            if lsb:
+                state ^= taps
+            if state == first:
+                break
+        result.probes_sent = probes_sent
+        if self.perf is not None:
+            self.perf.count("probes_sent", probes_sent)
+            self.perf.count("responses_seen", responses_seen)
+            self.perf.count("parse_calls_avoided", responses_seen)
         return result
 
     def scan_addresses(self, addresses):
         """Probe an explicit address list (re-probing known resolvers)."""
         result = ScanResult(self.network.clock.now)
+        epoch = self._scan_epoch()
         for target_ip in addresses:
             if self.blacklist is not None and target_ip in self.blacklist:
                 continue
             result.probes_sent += 1
-            for rcode, source_ip in self.probe(target_ip):
+            target_int = ip_to_int(target_ip)
+            key = self._probe_key(epoch, target_int)
+            for rcode, source_ip in self._probe_fast(target_ip, target_int,
+                                                     key):
                 result.record(target_ip, rcode, source_ip)
+        if self.perf is not None:
+            self.perf.count("probes_sent", result.probes_sent)
         return result

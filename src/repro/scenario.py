@@ -244,12 +244,13 @@ class Scenario:
     def target_space(self):
         return ScanTargetSpace(self.resolver_prefixes)
 
-    def new_campaign(self, verify=True):
+    def new_campaign(self, verify=True, shards=1, perf=None):
         return ScanCampaign(
             self.network, self.churn, self.target_space(),
             self.scanner_ip, MEASUREMENT_DOMAIN, blacklist=self.blacklist,
             verification_source_ip=(self.verification_scanner_ip
-                                    if verify else None))
+                                    if verify else None),
+            shards=shards, perf=perf)
 
     def new_pipeline(self, **kwargs):
         return ManipulationPipeline(

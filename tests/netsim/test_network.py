@@ -154,6 +154,77 @@ class TestMiddleboxes:
         network.add_middlebox(ResponseDropBox())
         assert probe(network) == []
 
+    def test_injected_wins_exact_latency_tie(self):
+        """A forged answer racing the genuine one at the *same* arrival
+        time must still be delivered first (the GFW-race ordering the
+        paper's double-response detection keys on)."""
+        network = make_network()
+        network.register(EchoNode("2.0.0.1"))
+        tie_latency = network.latency_between("1.0.0.1", "2.0.0.1") * 2
+
+        class TieInjector(Middlebox):
+            def inject_responses(self, packet, net):
+                return [UdpResponse(packet.reply(b"forged"), tie_latency,
+                                    injected=True)]
+
+        network.add_middlebox(TieInjector())
+        responses = probe(network)
+        assert len(responses) == 2
+        assert responses[0].latency == responses[1].latency
+        assert responses[0].injected
+        assert responses[0].packet.payload == b"forged"
+        assert not responses[1].injected
+
+    def test_duck_typed_middlebox_without_path_verdict(self):
+        """Boxes that don't subclass Middlebox (and lack path_verdict)
+        must still see every packet."""
+
+        class DuckDrop:
+            def inject_responses(self, packet, network):
+                return []
+
+            def drops_query(self, packet, network):
+                return packet.dst_ip == "2.0.0.1"
+
+            def drops_response(self, query, response, network):
+                return False
+
+        network = make_network()
+        network.register(EchoNode("2.0.0.1"))
+        network.add_middlebox(DuckDrop())
+        assert probe(network) == []
+        assert probe(network, dst="2.0.0.2") == []  # no node there
+
+
+class TestSendProbe:
+    def test_send_probe_matches_send_udp(self):
+        """The scalar fast path must be fate-for-fate identical to
+        packet-based delivery, including loss draws."""
+        from repro.netsim.address import ip_to_int
+
+        def run(use_probe):
+            network = make_network(loss_rate=0.25, seed=9)
+            network.register(EchoNode("2.0.0.1"))
+            outcomes = []
+            for __ in range(60):
+                if use_probe:
+                    responses = network.send_probe(
+                        "1.0.0.1", 1000, "2.0.0.1", 53,
+                        ip_to_int("2.0.0.1"), b"hi")
+                else:
+                    responses = network.send_udp(UdpPacket(
+                        "1.0.0.1", 1000, "2.0.0.1", 53, b"hi"))
+                outcomes.append([r.packet.payload for r in responses])
+            return outcomes
+
+        assert run(True) == run(False)
+
+    def test_send_probe_dead_address(self):
+        network = make_network()
+        responses = network.send_probe("1.0.0.1", 1000, "2.0.0.9", 53,
+                                       0x0200_0009, b"hi")
+        assert list(responses) == []
+
 
 class TestTcpServices:
     def test_banner_requires_open_port(self):

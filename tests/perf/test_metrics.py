@@ -1,0 +1,80 @@
+"""Tests for the performance instrumentation registry."""
+
+from repro.perf import PerfRegistry
+
+
+class TestCounters:
+    def test_count_and_read(self):
+        perf = PerfRegistry()
+        perf.count("probes_sent")
+        perf.count("probes_sent", 41)
+        assert perf.counter("probes_sent") == 42
+        assert perf.counter("missing") == 0
+
+
+class TestTimers:
+    def test_record_accumulates(self):
+        perf = PerfRegistry()
+        perf.record_seconds("scan_wall", 1.5)
+        perf.record_seconds("scan_wall", 0.5)
+        assert perf.seconds("scan_wall") == 2.0
+        assert perf.timers["scan_wall"] == [2.0, 2]
+        assert perf.seconds("missing") == 0.0
+
+    def test_stage_context_manager(self):
+        perf = PerfRegistry()
+        with perf.stage("pipeline_clustering"):
+            pass
+        assert perf.seconds("pipeline_clustering") >= 0.0
+        assert perf.timers["pipeline_clustering"][1] == 1
+
+    def test_stage_records_on_exception(self):
+        perf = PerfRegistry()
+        try:
+            with perf.stage("broken"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert perf.timers["broken"][1] == 1
+
+    def test_rate(self):
+        perf = PerfRegistry()
+        perf.count("probes_sent", 100)
+        perf.record_seconds("scan_wall", 4.0)
+        assert perf.rate("probes_sent", "scan_wall") == 25.0
+        assert perf.rate("probes_sent", "missing") == 0.0
+
+
+class TestAggregation:
+    def test_merge_folds_shard_registry(self):
+        parent, shard = PerfRegistry(), PerfRegistry()
+        parent.count("probes_sent", 10)
+        parent.record_seconds("shard_wall", 1.0)
+        shard.count("probes_sent", 5)
+        shard.count("responses_seen", 2)
+        shard.record_seconds("shard_wall", 2.0)
+        parent.merge(shard)
+        assert parent.counter("probes_sent") == 15
+        assert parent.counter("responses_seen") == 2
+        assert parent.timers["shard_wall"] == [3.0, 2]
+
+    def test_snapshot_is_plain_data(self):
+        import json
+
+        perf = PerfRegistry()
+        perf.count("probes_sent", 3)
+        perf.record_seconds("scan_wall", 0.25)
+        snapshot = perf.snapshot()
+        assert json.loads(json.dumps(snapshot)) == snapshot
+        assert snapshot["counters"]["probes_sent"] == 3
+        assert snapshot["timers"]["scan_wall"]["entries"] == 1
+
+    def test_format_report_includes_throughput(self):
+        perf = PerfRegistry()
+        perf.count("probes_sent", 200)
+        perf.record_seconds("scan_wall", 2.0)
+        report = perf.format_report("perf scan")
+        assert "[perf scan]" in report
+        assert "probes_sent" in report
+        assert "probes_per_sec" in report
+        assert "100" in report

@@ -4,6 +4,7 @@ import pytest
 
 from repro.dnswire import Message
 from repro.inetmodel import PrefixAllocator
+from repro.netsim import Node
 from repro.resolvers import ResolverNode
 from repro.resolvers.resolver import MODE_REFUSED, MODE_SERVFAIL
 from repro.scanner import Blacklist, Ipv4Scanner, ScanTargetSpace
@@ -75,6 +76,63 @@ class TestScan:
         first = make_scanner(world).scan(ScanTargetSpace([world.pool]))
         second = make_scanner(world).scan(ScanTargetSpace([world.pool]))
         assert first.responders == second.responders
+
+
+class WrongTxidNode(Node):
+    """Replies with the QR bit set but a flipped transaction id."""
+
+    def handle_udp(self, packet, network):
+        reply = bytearray(packet.payload)
+        reply[0] ^= 0xFF
+        reply[2] |= 0x80
+        return bytes(reply)
+
+
+class QueryEchoNode(Node):
+    """Reflects the query unchanged (QR still 0) — not a response."""
+
+    def handle_udp(self, packet, network):
+        return packet.payload
+
+
+class GarbageNode(Node):
+    """Replies with a payload too short to be a DNS header."""
+
+    def handle_udp(self, packet, network):
+        return b"\x00\x01\x02"
+
+
+class TestResponseTriage:
+    """Regression tests for the wire-level response fast path: the
+    header-peek triage must reject exactly what the full parser did."""
+
+    def _scan(self, world, node):
+        world.network.register(node)
+        return make_scanner(world).scan(ScanTargetSpace([world.pool]))
+
+    def test_mismatched_txid_ignored(self, world):
+        bad_ip = world.pool.address_at(9)
+        result = self._scan(world, WrongTxidNode(bad_ip))
+        assert bad_ip not in result.responders
+        assert world.pool.address_at(1) in result.responders
+
+    def test_echoed_query_ignored(self, world):
+        bad_ip = world.pool.address_at(9)
+        result = self._scan(world, QueryEchoNode(bad_ip))
+        assert bad_ip not in result.responders
+
+    def test_corrupted_short_payload_dropped(self, world):
+        bad_ip = world.pool.address_at(9)
+        result = self._scan(world, GarbageNode(bad_ip))
+        assert bad_ip not in result.responders
+        # The garbage host was still probed — it just never counts.
+        assert result.probes_sent == world.pool.num_addresses
+
+    def test_divergent_source_still_recorded(self, world):
+        result = make_scanner(world).scan(ScanTargetSpace([world.pool]))
+        divergent = world.pool.address_at(5)
+        assert divergent in result.responders
+        assert divergent in result.divergent_sources
 
 
 class TestScanTargetSpace:
