@@ -83,6 +83,32 @@ def _measure_engine(scale, seed, shards, repeats):
     return stats, result
 
 
+def _measure_robustness(scale, seed, retries, loss_rate):
+    """One weekly scan under injected loss, with/without retransmissions.
+
+    Quantifies the robustness tax: what `--retries N` costs in wall
+    time and probe volume, and what it buys back in responders that
+    plain single-probe scanning loses to the injected loss.
+    """
+    from repro.faults import FaultPlan, FaultProfile
+    scenario = _build(scale, seed)
+    scenario.network.install_faults(FaultPlan(
+        FaultProfile(loss_rate=loss_rate), seed=seed))
+    perf = PerfRegistry()
+    campaign = scenario.new_campaign(verify=False, perf=perf,
+                                     retries=retries)
+    result = campaign.run_week().result
+    elapsed = perf.seconds("scan_wall")
+    return {
+        "retries": retries,
+        "probes_sent": result.probes_sent,
+        "retransmissions": result.retransmissions,
+        "responders": len(result.responders),
+        "seconds": round(elapsed, 4),
+        "probes_per_sec": round(result.probes_sent / elapsed, 1),
+    }
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         description="scan-engine throughput benchmark")
@@ -115,6 +141,19 @@ def main(argv=None):
     print("  sharded:   %8.0f probes/sec (%d shards)"
           % (sharded["probes_per_sec"], args.check_shards), file=sys.stderr)
 
+    loss_rate = 0.05
+    tax_single = _measure_robustness(scale, args.seed, retries=0,
+                                     loss_rate=loss_rate)
+    tax_robust = _measure_robustness(scale, args.seed, retries=2,
+                                     loss_rate=loss_rate)
+    print("  retries=0: %8.0f probes/sec, %d responders (5%% loss)"
+          % (tax_single["probes_per_sec"], tax_single["responders"]),
+          file=sys.stderr)
+    print("  retries=2: %8.0f probes/sec, %d responders (+%d recovered)"
+          % (tax_robust["probes_per_sec"], tax_robust["responders"],
+             tax_robust["responders"] - tax_single["responders"]),
+          file=sys.stderr)
+
     identical = (
         sequential_result.counts() == sharded_result.counts()
         and sequential_result.responders == sharded_result.responders
@@ -136,6 +175,15 @@ def main(argv=None):
             "shards_compared": [1, args.check_shards],
             "identical": identical,
             "counts": sequential_result.counts(),
+        },
+        "robustness_tax": {
+            "injected_loss_rate": loss_rate,
+            "retries_0": tax_single,
+            "retries_2": tax_robust,
+            "time_overhead_x": round(
+                tax_robust["seconds"] / tax_single["seconds"], 2),
+            "responders_recovered": (tax_robust["responders"]
+                                     - tax_single["responders"]),
         },
     }
     with open(args.out, "w") as handle:

@@ -28,13 +28,31 @@ def _add_common(parser):
                         help="scan worker processes (fork-based)")
     parser.add_argument("--perf", action="store_true",
                         help="print a throughput report to stderr")
+    parser.add_argument("--faults", default=None, metavar="SPEC",
+                        help="deterministic fault plan: a profile name "
+                             "(none/mild/aggressive) plus overrides, "
+                             "e.g. 'aggressive,loss_rate=0.2,kill=0'")
+    parser.add_argument("--retries", type=int, default=0,
+                        help="probe retransmissions per unanswered "
+                             "target (exponential backoff)")
+    parser.add_argument("--probe-timeout", type=float, default=None,
+                        metavar="SEC",
+                        help="base per-probe response timeout; grows "
+                             "with backoff, floored at the target's "
+                             "round-trip estimate")
 
 
 def _build(args):
     print("building 1:%d world (seed %d)..." % (args.scale, args.seed),
           file=sys.stderr)
-    return build_scenario(ScenarioConfig(scale=args.scale,
-                                         seed=args.seed))
+    scenario = build_scenario(ScenarioConfig(scale=args.scale,
+                                             seed=args.seed))
+    if getattr(args, "faults", None):
+        from repro.faults import FaultPlan, parse_fault_spec
+        plan = FaultPlan(parse_fault_spec(args.faults), seed=args.seed)
+        scenario.network.install_faults(plan)
+        print("fault plan: %r" % plan, file=sys.stderr)
+    return scenario
 
 
 def _perf_registry(args):
@@ -49,8 +67,11 @@ def _report_perf(args, perf):
 
 def _scan(scenario, args=None, perf=None):
     shards = getattr(args, "shards", 1) if args is not None else 1
-    campaign = scenario.new_campaign(verify=False, shards=shards,
-                                     perf=perf)
+    campaign = scenario.new_campaign(
+        verify=False, shards=shards, perf=perf,
+        retries=getattr(args, "retries", 0) if args is not None else 0,
+        probe_timeout=(getattr(args, "probe_timeout", None)
+                       if args is not None else None))
     return campaign.run_week()
 
 
@@ -65,6 +86,11 @@ def cmd_scan(args):
     print("  REFUSED:        %d" % counts["refused"])
     print("  SERVFAIL:       %d" % counts["servfail"])
     print("divergent source: %d" % len(snapshot.result.divergent_sources))
+    if snapshot.result.retransmissions:
+        print("retransmissions:  %d" % snapshot.result.retransmissions)
+    degraded = snapshot.result.degraded_shards
+    if degraded:
+        print("degraded shards:  %d" % len(degraded))
     _report_perf(args, perf)
     return 0
 
@@ -79,7 +105,8 @@ def cmd_campaign(args):
     scenario = _build(args)
     perf = _perf_registry(args)
     campaign = scenario.new_campaign(verify=False, shards=args.shards,
-                                     perf=perf)
+                                     perf=perf, retries=args.retries,
+                                     probe_timeout=args.probe_timeout)
     campaign.run(args.weeks)
     series = magnitude_series(campaign.snapshots)
     print(format_series(series))

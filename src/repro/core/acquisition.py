@@ -74,11 +74,21 @@ class DataAcquirer:
     """Fetches HTTP(S) content and mail banners for response tuples."""
 
     def __init__(self, network, source_ip, max_redirects=2,
-                 source_port=31600):
+                 source_port=31600, fetch_timeout=None, error_budget=None):
         self.network = network
         self.source_ip = source_ip
         self.max_redirects = max_redirects
         self.source_port = source_port
+        # Timeout bound on every TCP fetch (HTTP and banner connects):
+        # a fault-injected stall past this fails the fetch instead of
+        # hanging the whole acquisition stage.
+        self.fetch_timeout = fetch_timeout
+        # Maximum unreachable fetches tolerated per acquire() batch;
+        # beyond it remaining tuples are skipped (``failure="budget"``)
+        # and ``budget_exhausted`` flags the degradation.
+        self.error_budget = error_budget
+        self.failed_fetches = 0
+        self.budget_exhausted = False
         self._txid = 0
         self.http_fetches = 0
 
@@ -106,7 +116,8 @@ class DataAcquirer:
     def _single_fetch(self, ip, host, path, scheme):
         self.http_fetches += 1
         request = HttpRequest(host=host, path=path or "/", scheme=scheme)
-        return self.network.http_request(self.source_ip, ip, request)
+        return self.network.http_request(self.source_ip, ip, request,
+                                         timeout=self.fetch_timeout)
 
     @staticmethod
     def _parse_url(url, current_host, current_scheme):
@@ -178,7 +189,8 @@ class DataAcquirer:
         banners = {}
         for service, port in MAIL_PORTS.items():
             banner = self.network.tcp_banner(self.source_ip,
-                                             response_tuple.ip, port)
+                                             response_tuple.ip, port,
+                                             timeout=self.fetch_timeout)
             if banner:
                 banners[service] = banner
         return MailCapture(response_tuple.domain, response_tuple.ip,
@@ -196,7 +208,18 @@ class DataAcquirer:
         http_captures = []
         mail_captures = []
         fetch_cache = {}
+        self.failed_fetches = 0
+        self.budget_exhausted = False
         for response_tuple in tuples:
+            if self.budget_exhausted:
+                # Error budget spent: stop touching the network, mark
+                # the remaining tuples as skipped so the report's
+                # degraded provenance stays explicit.
+                http_captures.append(HttpCapture(
+                    normalize_name(response_tuple.domain),
+                    response_tuple.ip, response_tuple.resolver_ip,
+                    failure="budget"))
+                continue
             meta = (domain_catalog or {}).get(
                 normalize_name(response_tuple.domain))
             is_mail = meta is not None and meta.kind == "mail"
@@ -221,4 +244,9 @@ class DataAcquirer:
             if not capture.redirects:
                 fetch_cache[cache_key] = capture
             http_captures.append(capture)
+            if capture.failure == "unreachable":
+                self.failed_fetches += 1
+                if self.error_budget is not None and \
+                        self.failed_fetches > self.error_budget:
+                    self.budget_exhausted = True
         return http_captures, mail_captures

@@ -32,6 +32,16 @@ class PipelineReport:
         self.labeled = []
         self.diff_clusters = []
         self.ground_truth_bodies = {}
+        # Degradation provenance: one entry per stage that failed or ran
+        # partially; an empty list means a clean, complete run.
+        self.degraded = []
+
+    def mark_degraded(self, stage, reason):
+        self.degraded.append({"stage": stage, "reason": reason})
+
+    @property
+    def is_degraded(self):
+        return bool(self.degraded)
 
     @property
     def suspicious_resolvers(self):
@@ -63,7 +73,8 @@ class ManipulationPipeline:
     def __init__(self, network, resolution_service, as_registry, rdns, ca,
                  known_cdn_common_names, source_ip, domain_catalog,
                  cluster_threshold=0.30, diff_threshold=0.5,
-                 distance=None, perf=None):
+                 distance=None, perf=None, fetch_timeout=None,
+                 error_budget=None):
         self.network = network
         self.perf = perf
         self.service = resolution_service
@@ -78,7 +89,9 @@ class ManipulationPipeline:
         self.diff_threshold = diff_threshold
         self.distance = distance or PageDistance()
         self.scanner = DomainScanner(network, source_ip)
-        self.acquirer = DataAcquirer(network, source_ip)
+        self.acquirer = DataAcquirer(network, source_ip,
+                                     fetch_timeout=fetch_timeout,
+                                     error_budget=error_budget)
         self.prefilterer = Prefilterer(
             network, resolution_service, as_registry, rdns, ca=ca,
             known_cdn_common_names=known_cdn_common_names,
@@ -123,22 +136,49 @@ class ManipulationPipeline:
         ``resolver_ips`` come from a fresh Internet-wide scan (step 1);
         ``domains`` is a list of :class:`ScanDomain`.  Returns a
         :class:`PipelineReport`.
+
+        A failing stage never aborts the chain: its fallback output is
+        empty, the failure is recorded in ``report.degraded``, and the
+        remaining stages run on whatever survived — the partial report
+        the ROADMAP's graceful-degradation goal calls for.
         """
         report = PipelineReport()
         names = [d.name for d in domains]
         # Step 2: domain scan.
         with self._stage("domain_scan"):
-            report.observations = self.scanner.scan(resolver_ips, names)
+            try:
+                report.observations = self.scanner.scan(resolver_ips,
+                                                        names)
+            except Exception as error:
+                report.mark_degraded("domain_scan", repr(error))
         # Step 3: DNS-based prefiltering.
         with self._stage("prefilter"):
-            report.prefilter = self.prefilterer.process(
-                report.observations, self.domain_catalog)
+            try:
+                report.prefilter = self.prefilterer.process(
+                    report.observations, self.domain_catalog)
+            except Exception as error:
+                report.mark_degraded("prefilter", repr(error))
             # Ground truth content, used by labeling and diff clustering.
-            report.ground_truth_bodies = self.collect_ground_truth(domains)
+            try:
+                report.ground_truth_bodies = self.collect_ground_truth(
+                    domains)
+            except Exception as error:
+                report.mark_degraded("ground_truth", repr(error))
         # Step 4: data acquisition for unknown tuples.
         with self._stage("acquisition"):
-            http_captures, mail_captures = self.acquirer.acquire(
-                report.prefilter.unknown, self.domain_catalog)
+            unknown = (report.prefilter.unknown
+                       if report.prefilter is not None else [])
+            try:
+                http_captures, mail_captures = self.acquirer.acquire(
+                    unknown, self.domain_catalog)
+            except Exception as error:
+                report.mark_degraded("acquisition", repr(error))
+                http_captures, mail_captures = [], []
+            if self.acquirer.budget_exhausted:
+                report.mark_degraded(
+                    "acquisition",
+                    "error budget exhausted after %d unreachable "
+                    "fetches" % self.acquirer.failed_fetches)
         report.mail_captures = mail_captures
         report.http_captures = [c for c in http_captures if c.fetched]
         report.failed_captures = [c for c in http_captures if not c.fetched]

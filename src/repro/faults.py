@@ -1,0 +1,296 @@
+"""Deterministic, seed-keyed fault injection (chaos plane).
+
+The paper's 13-month campaign ran against an Internet full of burst
+loss, ICMP rate limiting, flapping resolvers, and hung web servers.
+This module injects those conditions into the simulator *reproducibly*:
+every fault draw is a pure splitmix64 hash of (plan seed, fault salt,
+flow key, occurrence) — the same scheme :meth:`Network._packet_fate`
+uses for baseline loss — so an injected fault plan yields bit-identical
+scan and pipeline results for any shard count, worker interleaving, or
+rerun with the same seed.
+
+A :class:`FaultPlan` is installed on the network via
+``network.install_faults(plan)``; the network, resolvers, and scan
+engine then consult it at well-defined decision points:
+
+* ``query_fate`` — drop a UDP query (uniform extra loss, spatial burst
+  windows, ICMP-style per-flow rate limiting of repeated sends);
+* ``truncates_response`` — damage a delivered response below
+  parseability (the paper's "invalid UDP checksum" completeness bucket);
+* ``tcp_stall_seconds`` — stall a TCP connect (hung web/mail servers);
+* ``resolver_offline`` — flap a resolver through offline episodes;
+* ``worker_dies`` — kill a scan worker process (supervision testing).
+
+Faults absorbed or injected anywhere increment
+``network.fault_counters``; the scan engine flushes those into its
+:class:`repro.perf.PerfRegistry` as ``fault_*`` counters.
+"""
+
+_M64 = (1 << 64) - 1
+
+
+def _mix64(value):
+    """splitmix64 finaliser (see :mod:`repro.netsim.network`)."""
+    value &= _M64
+    value ^= value >> 30
+    value = (value * 0xBF58476D1CE4E5B9) & _M64
+    value ^= value >> 27
+    value = (value * 0x94D049BB133111EB) & _M64
+    value ^= value >> 31
+    return value
+
+
+# Fault-plane salts: disjoint from the network's packet-fate salts
+# (0x51..0x53) so a fault draw never correlates with a baseline loss
+# draw on the same flow.
+_SALT_EXTRA_LOSS = 0x61
+_SALT_BURST_WINDOW = 0x62
+_SALT_BURST_LOSS = 0x63
+_SALT_RATE_LIMIT = 0x64
+_SALT_TRUNCATION = 0x65
+_SALT_TCP_HANG = 0x66
+_SALT_FLAP = 0x67
+_SALT_WORKER_DEATH = 0x68
+
+_WEEK = 7 * 24 * 3600.0
+
+_PROFILE_FIELDS = (
+    "loss_rate", "burst_share", "burst_loss_rate", "rate_limit_share",
+    "rate_limit_step", "truncation_rate", "tcp_hang_rate",
+    "tcp_stall_seconds", "flap_share", "flap_period", "flap_duty",
+    "worker_death_rate",
+)
+
+
+class FaultProfile:
+    """One named bundle of fault intensities (all default to inert).
+
+    ``kill_shards`` maps a shard index to the number of consecutive
+    worker attempts that die for it (``{0: 2}`` = shard 0's first two
+    workers are killed); it forces deterministic worker deaths for
+    supervision tests and chaos smoke runs.
+    """
+
+    def __init__(self, loss_rate=0.0, burst_share=0.0, burst_loss_rate=0.0,
+                 rate_limit_share=0.0, rate_limit_step=0,
+                 truncation_rate=0.0, tcp_hang_rate=0.0,
+                 tcp_stall_seconds=30.0, flap_share=0.0, flap_period=4,
+                 flap_duty=0.25, worker_death_rate=0.0, kill_shards=None):
+        self.loss_rate = loss_rate
+        # Spatial burst windows: a share of /16-sized destination windows
+        # suffers elevated loss for the whole scan epoch (lightning-storm
+        # loss localized in address space, since the simulated clock is
+        # frozen within one scan).
+        self.burst_share = burst_share
+        self.burst_loss_rate = burst_loss_rate
+        # ICMP-style rate limiting: a share of destinations drop every
+        # send on a flow beyond the first ``rate_limit_step`` occurrences
+        # within one scan epoch — retransmissions hit this first.
+        self.rate_limit_share = rate_limit_share
+        self.rate_limit_step = rate_limit_step
+        self.truncation_rate = truncation_rate
+        # Hung TCP connects: a share of connection attempts stall for
+        # ``tcp_stall_seconds`` of simulated time before completing.
+        self.tcp_hang_rate = tcp_hang_rate
+        self.tcp_stall_seconds = tcp_stall_seconds
+        # Resolver flapping: a share of resolvers cycle through offline
+        # episodes, ``flap_duty`` of every ``flap_period`` weeks, with a
+        # per-resolver phase so episodes do not synchronise.
+        self.flap_share = flap_share
+        self.flap_period = flap_period
+        self.flap_duty = flap_duty
+        self.worker_death_rate = worker_death_rate
+        self.kill_shards = dict(kill_shards or {})
+
+    def replace(self, **overrides):
+        """A copy of this profile with the given fields replaced."""
+        fields = {name: getattr(self, name) for name in _PROFILE_FIELDS}
+        fields["kill_shards"] = dict(self.kill_shards)
+        fields.update(overrides)
+        return FaultProfile(**fields)
+
+    def __repr__(self):
+        active = ["%s=%r" % (name, getattr(self, name))
+                  for name in _PROFILE_FIELDS
+                  if getattr(self, name) not in (0, 0.0)]
+        if self.kill_shards:
+            active.append("kill_shards=%r" % self.kill_shards)
+        return "FaultProfile(%s)" % ", ".join(active)
+
+
+PROFILES = {
+    "none": FaultProfile(),
+    "mild": FaultProfile(
+        loss_rate=0.01, burst_share=0.05, burst_loss_rate=0.30,
+        rate_limit_share=0.05, rate_limit_step=2,
+        truncation_rate=0.005, tcp_hang_rate=0.02,
+        flap_share=0.02),
+    "aggressive": FaultProfile(
+        loss_rate=0.10, burst_share=0.15, burst_loss_rate=0.60,
+        rate_limit_share=0.20, rate_limit_step=1,
+        truncation_rate=0.03, tcp_hang_rate=0.10,
+        flap_share=0.08, flap_period=3, flap_duty=0.34),
+}
+
+
+def parse_fault_spec(spec):
+    """Parse a ``--faults`` CLI spec into a :class:`FaultProfile`.
+
+    Grammar: ``[profile][,key=value]...`` — a base profile name
+    (default ``mild``) followed by field overrides, e.g.
+    ``aggressive,loss_rate=0.2,kill=0:2,kill=1``.  ``kill=N[:M]`` adds a
+    forced worker death entry (shard ``N`` dies ``M`` times, default 1).
+    """
+    profile = None
+    overrides = {}
+    kills = {}
+    for token in str(spec).split(","):
+        token = token.strip()
+        if not token:
+            continue
+        if "=" not in token:
+            if profile is not None:
+                raise ValueError("duplicate profile name %r in fault "
+                                 "spec %r" % (token, spec))
+            try:
+                profile = PROFILES[token]
+            except KeyError:
+                raise ValueError(
+                    "unknown fault profile %r (choose from: %s)"
+                    % (token, ", ".join(sorted(PROFILES))))
+            continue
+        key, __, raw = token.partition("=")
+        key = key.strip()
+        raw = raw.strip()
+        if key == "kill":
+            shard, __, times = raw.partition(":")
+            kills[int(shard)] = int(times) if times else 1
+            continue
+        if key not in _PROFILE_FIELDS:
+            raise ValueError("unknown fault field %r (choose from: %s)"
+                             % (key, ", ".join(_PROFILE_FIELDS)))
+        value = float(raw)
+        if key in ("rate_limit_step", "flap_period"):
+            value = int(value)
+        overrides[key] = value
+    if profile is None:
+        profile = PROFILES["mild"]
+    if kills:
+        merged = dict(profile.kill_shards)
+        merged.update(kills)
+        overrides["kill_shards"] = merged
+    return profile.replace(**overrides) if overrides else profile
+
+
+class FaultPlan:
+    """A profile bound to a seed: the pure fault-draw functions.
+
+    Every method is a pure function of its arguments and the plan seed —
+    no internal state, no sequential RNG — so any caller (a forked scan
+    worker, a retried shard, a rerun) observes identical faults.
+    """
+
+    def __init__(self, profile, seed=0):
+        if isinstance(profile, str):
+            profile = PROFILES[profile]
+        self.profile = profile
+        self.seed = seed
+        self._seed_high = (_mix64(seed ^ 0xFA017) << 1) & _M64
+
+    # -- draw primitives --------------------------------------------------
+
+    def _chance(self, salt, key, occurrence, rate):
+        if rate <= 0.0:
+            return False
+        draw = _mix64(self._seed_high ^ (salt << 56) ^ (key & _M64)
+                      ^ _mix64(occurrence + 1))
+        return draw < rate * (_M64 + 1)
+
+    # -- UDP query plane --------------------------------------------------
+
+    def query_fate(self, flow_key, dst_int, occurrence, now):
+        """The injected fate of one UDP query send, or ``None``.
+
+        ``flow_key`` is the network's unsalted flow hash; ``occurrence``
+        counts sends of this flow within the current scan epoch (a
+        retransmission is a fresh occurrence and gets a fresh draw).
+        Returns a counter-name suffix: ``"injected_loss"``,
+        ``"burst_loss"``, or ``"rate_limited"``.
+        """
+        profile = self.profile
+        if profile.rate_limit_share > 0.0 and \
+                occurrence > profile.rate_limit_step and \
+                self._chance(_SALT_RATE_LIMIT, dst_int, 0,
+                             profile.rate_limit_share):
+            return "rate_limited"
+        if profile.burst_share > 0.0:
+            # Burst windows are keyed spatially (per destination /16) and
+            # per epoch: the clock is constant within one scan, so a
+            # "burst" manifests as elevated loss over an address window.
+            window = (dst_int >> 16) ^ (int(now) << 20)
+            if self._chance(_SALT_BURST_WINDOW, window, 0,
+                            profile.burst_share) and \
+                    self._chance(_SALT_BURST_LOSS, flow_key, occurrence,
+                                 profile.burst_loss_rate):
+                return "burst_loss"
+        if self._chance(_SALT_EXTRA_LOSS, flow_key, occurrence,
+                        profile.loss_rate):
+            return "injected_loss"
+        return None
+
+    # -- UDP response plane -----------------------------------------------
+
+    def truncates_response(self, flow_key, occurrence):
+        """Whether one delivered response arrives truncated (unparseable)."""
+        return self._chance(_SALT_TRUNCATION, flow_key, occurrence,
+                            self.profile.truncation_rate)
+
+    # -- TCP plane --------------------------------------------------------
+
+    def tcp_stall_seconds(self, flow_key, occurrence):
+        """Simulated stall before one TCP connect completes (0.0 = none)."""
+        if self._chance(_SALT_TCP_HANG, flow_key, occurrence,
+                        self.profile.tcp_hang_rate):
+            return self.profile.tcp_stall_seconds
+        return 0.0
+
+    # -- resolver plane ---------------------------------------------------
+
+    def resolver_offline(self, ip_int, now):
+        """Whether a flapping resolver is in an offline episode at ``now``.
+
+        A ``flap_share`` subset of resolvers (hash-selected, stable for
+        the campaign) cycles offline ``flap_duty`` of every
+        ``flap_period`` weeks, phase-shifted per resolver.  The simulated
+        clock is frozen within one scan, so episodes toggle between
+        weekly scans — the mid-campaign flapping the paper's churn
+        analysis must survive.
+        """
+        profile = self.profile
+        if profile.flap_share <= 0.0 or profile.flap_period <= 0:
+            return False
+        if not self._chance(_SALT_FLAP, ip_int, 0, profile.flap_share):
+            return False
+        phase = _mix64(self._seed_high ^ (_SALT_FLAP << 48) ^ ip_int) \
+            % profile.flap_period
+        week = int(now // _WEEK)
+        position = (week + phase) % profile.flap_period
+        return position < profile.flap_period * profile.flap_duty
+
+    # -- worker plane -----------------------------------------------------
+
+    def worker_dies(self, shard_index, attempt):
+        """Whether the scan worker for (shard, attempt) is killed.
+
+        Forced deaths (``kill_shards``) take priority; otherwise a
+        ``worker_death_rate`` draw keyed on (shard, attempt) applies.
+        """
+        forced = self.profile.kill_shards.get(shard_index, 0)
+        if attempt < forced:
+            return True
+        return self._chance(_SALT_WORKER_DEATH,
+                            (shard_index << 20) ^ attempt, 0,
+                            self.profile.worker_death_rate)
+
+    def __repr__(self):
+        return "FaultPlan(seed=%d, %r)" % (self.seed, self.profile)

@@ -8,7 +8,6 @@ lower latency than the genuine ones, reproducing the racing behaviour the
 paper observed (§4.2).
 """
 
-import random
 from operator import attrgetter
 
 from repro.netsim.address import ip_to_int
@@ -39,6 +38,14 @@ def _mix64(value):
 _SALT_QUERY_LOSS = 0x51
 _SALT_RESPONSE_LOSS = 0x52
 _SALT_CORRUPTION = 0x53
+# Occurrence-counter salts for the flow-keyed TCP loss draw and the
+# fault-injection plane (the fault *draws* themselves live in
+# :mod:`repro.faults`; these only key the per-flow occurrence counters
+# so fault draws never share a counter with baseline loss draws).
+_SALT_TCP_LOSS = 0x54
+_SALT_FAULT_QUERY = 0x55
+_SALT_FAULT_TRUNC = 0x56
+_SALT_FAULT_TCP = 0x57
 
 
 class UdpPacket:
@@ -157,7 +164,6 @@ class Network:
         self._path_checks = []
         self._nodes = {}
         self._seed = seed
-        self._rng = random.Random(seed)
         # Per-flow occurrence counters for packet-fate decisions; repeated
         # sends over the same 4-tuple get fresh draws (so loss statistics
         # hold), while each occurrence's fate stays order-independent.
@@ -173,6 +179,11 @@ class Network:
         self.udp_queries_sent = 0
         self.udp_queries_lost = 0
         self.udp_responses_corrupted = 0
+        # Optional fault-injection plan (:class:`repro.faults.FaultPlan`)
+        # plus counters of every fault injected or absorbed; ``None``
+        # keeps every fault hook a single attribute test.
+        self.faults = None
+        self.fault_counters = {}
 
     # -- registry ---------------------------------------------------------
 
@@ -219,9 +230,60 @@ class Network:
         mix = (ip_to_int(src_ip) * 2654435761 ^ ip_to_int(dst_ip)) & 0xFFFFFFFF
         return self.base_latency + (mix % 1000) / 1000.0 * 0.180
 
-    def _lost(self):
-        """Sequential loss draw for connection-oriented services (TCP)."""
-        return self.loss_rate > 0 and self._rng.random() < self.loss_rate
+    def install_faults(self, plan):
+        """Activate a :class:`repro.faults.FaultPlan` on this network."""
+        self.faults = plan
+        return plan
+
+    def count_fault(self, name, amount=1):
+        """Record one injected/absorbed fault under ``name``."""
+        counters = self.fault_counters
+        counters[name] = counters.get(name, 0) + amount
+
+    def _occurrence(self, key):
+        """Occurrence index of one salted flow key this scan epoch."""
+        if self.clock.now != self._flow_epoch:
+            self._flow_counts.clear()
+            self._flow_epoch = self.clock.now
+        occurrence = self._flow_counts.get(key, 0)
+        self._flow_counts[key] = occurrence + 1
+        return occurrence
+
+    def _tcp_lost(self, src_ip, dst_ip, port):
+        """Flow-keyed loss draw for connection-oriented services (TCP).
+
+        Same contract as :meth:`_packet_fate`: a pure hash of (seed,
+        flow, occurrence), so connection outcomes are independent of how
+        pipeline fetches interleave — not a shared sequential RNG.
+        """
+        loss_rate = self.loss_rate
+        if loss_rate <= 0:
+            return False
+        key = _SALT_TCP_LOSS ^ (
+            ip_to_int(src_ip) * 0x9E3779B1 ^ ip_to_int(dst_ip) * 0x85EBCA77
+            ^ port << 1)
+        occurrence = self._occurrence(key)
+        draw = _mix64(self._seed_high ^ key ^ _mix64(occurrence + 1))
+        return draw < loss_rate * (_M64 + 1)
+
+    def _tcp_connect(self, src_ip, dst_ip, port, timeout):
+        """Fault hook for one TCP connect; False = failed (hung past
+        ``timeout``).  A stall shorter than the caller's patience is
+        absorbed (the connect eventually completes)."""
+        faults = self.faults
+        if faults is None or faults.profile.tcp_hang_rate <= 0:
+            return True
+        base = (ip_to_int(src_ip) * 0x9E3779B1
+                ^ ip_to_int(dst_ip) * 0x85EBCA77 ^ port << 1)
+        occurrence = self._occurrence(_SALT_FAULT_TCP ^ base)
+        stall = faults.tcp_stall_seconds(base, occurrence)
+        if stall <= 0.0:
+            return True
+        if timeout is not None and stall >= timeout:
+            self.count_fault("tcp_hang")
+            return False
+        self.count_fault("tcp_stall_absorbed")
+        return True
 
     def _packet_fate(self, salt, rate, packet):
         """Order-independent delivery decision for one UDP packet.
@@ -338,6 +400,24 @@ class Network:
             draw = (draw * 0x94D049BB133111EB) & _M64
             draw ^= draw >> 31
             delivered = draw >= loss_rate * (_M64 + 1)
+        faults = self.faults
+        if delivered and faults is not None:
+            # Injected query fate (burst loss / rate limiting / extra
+            # loss): flow-keyed like the baseline draw, with its own
+            # occurrence counter so fault and loss draws never alias.
+            now = self.clock.now
+            if now != self._flow_epoch:
+                self._flow_counts.clear()
+                self._flow_epoch = now
+            base = (ip_to_int(src_ip) * 0x9E3779B1 ^ dst_int * 0x85EBCA77
+                    ^ src_port << 17 ^ dst_port << 1)
+            fault_key = _SALT_FAULT_QUERY ^ base
+            occurrence = self._flow_counts.get(fault_key, 0)
+            self._flow_counts[fault_key] = occurrence + 1
+            reason = faults.query_fate(base, dst_int, occurrence, now)
+            if reason is not None:
+                self.count_fault(reason)
+                delivered = False
         if delivered:
             node = self._nodes.get(dst_ip)
             if node is not None:
@@ -361,6 +441,23 @@ class Network:
                             reply.src_ip, reply.src_port, reply.dst_ip,
                             reply.dst_port, self._corrupt(reply.payload))
                         self.udp_responses_corrupted += 1
+                    if faults is not None and \
+                            faults.profile.truncation_rate > 0:
+                        reply_base = (
+                            ip_to_int(reply.src_ip) * 0x9E3779B1
+                            ^ ip_to_int(reply.dst_ip) * 0x85EBCA77
+                            ^ reply.src_port << 17 ^ reply.dst_port << 1)
+                        reply_occurrence = self._occurrence(
+                            _SALT_FAULT_TRUNC ^ reply_base)
+                        if faults.truncates_response(reply_base,
+                                                     reply_occurrence):
+                            # Truncated below the 12-byte DNS header:
+                            # receivers must discard it as garbage.
+                            reply = UdpPacket(
+                                reply.src_ip, reply.src_port,
+                                reply.dst_ip, reply.dst_port,
+                                reply.payload[:8])
+                            self.count_fault("truncated_response")
                     if responses is None:
                         responses = []
                     responses.append(UdpResponse(reply, base * 2))
@@ -402,25 +499,34 @@ class Network:
 
     # -- TCP-based services ----------------------------------------------
 
-    def tcp_banner(self, src_ip, dst_ip, port):
-        """Connect and read the service banner; ``None`` when closed/lost."""
-        if self._lost():
+    def tcp_banner(self, src_ip, dst_ip, port, timeout=None):
+        """Connect and read the service banner; ``None`` when closed/lost
+        (or when a fault-injected stall exceeds ``timeout``)."""
+        if self._tcp_lost(src_ip, dst_ip, port):
+            return None
+        if not self._tcp_connect(src_ip, dst_ip, port, timeout):
             return None
         node = self._nodes.get(dst_ip)
         if node is None or port not in node.tcp_ports():
             return None
         return node.tcp_banner(port, network=self)
 
-    def http_request(self, src_ip, dst_ip, request):
-        """Issue an HTTP request to ``dst_ip``; ``None`` when no service."""
+    def http_request(self, src_ip, dst_ip, request, timeout=None):
+        """Issue an HTTP request to ``dst_ip``; ``None`` when no service
+        (or when a fault-injected stall exceeds ``timeout``)."""
+        port = 443 if getattr(request, "scheme", "http") == "https" else 80
+        if not self._tcp_connect(src_ip, dst_ip, port, timeout):
+            return None
         node = self._nodes.get(dst_ip)
         if node is None:
             return None
         request.client_ip = src_ip
         return node.handle_http(request, self)
 
-    def tls_handshake(self, src_ip, dst_ip, sni=None):
+    def tls_handshake(self, src_ip, dst_ip, sni=None, timeout=None):
         """Fetch the TLS certificate ``dst_ip`` presents for ``sni``."""
+        if not self._tcp_connect(src_ip, dst_ip, 443, timeout):
+            return None
         node = self._nodes.get(dst_ip)
         if node is None:
             return None

@@ -20,6 +20,7 @@ from repro.dnswire.name import normalize_name
 from repro.util import stable_hash
 from repro.dnswire.records import ResourceRecord
 from repro.authdns.resolution import IterativeResolver
+from repro.netsim.address import ip_to_int
 from repro.netsim.gfw import GreatFirewall
 from repro.netsim.network import Node, UdpPacket
 from repro.resolvers.cache import CacheActivityModel, DnsCache
@@ -216,6 +217,13 @@ class ResolverNode(Node):
 
     def handle_udp(self, packet, network):
         if packet.dst_port != 53:
+            return None
+        faults = getattr(network, "faults", None)
+        if faults is not None and faults.resolver_offline(
+                ip_to_int(self.ip), network.clock.now):
+            # Fault-injected offline episode (flapping CPE): the host is
+            # unreachable this week — silence, exactly like churn.
+            network.count_fault("resolver_flap")
             return None
         try:
             query = Message.from_wire(packet.payload)

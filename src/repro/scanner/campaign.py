@@ -29,22 +29,28 @@ class ScanCampaign:
 
     def __init__(self, network, churn_model, target_space, source_ip,
                  measurement_domain, blacklist=None,
-                 verification_source_ip=None, shards=1, perf=None):
+                 verification_source_ip=None, shards=1, perf=None,
+                 retries=0, probe_timeout=None, heartbeat_timeout=None):
         self.network = network
         self.churn = churn_model
         self.target_space = target_space
         self.perf = perf
         self.scanner = Ipv4Scanner(network, source_ip, measurement_domain,
-                                   blacklist=blacklist, perf=perf)
-        self.engine = ScanEngine(self.scanner, shards=shards, perf=perf)
+                                   blacklist=blacklist, perf=perf,
+                                   retries=retries,
+                                   probe_timeout=probe_timeout)
+        self.engine = ScanEngine(self.scanner, shards=shards, perf=perf,
+                                 heartbeat_timeout=heartbeat_timeout)
         self.verification_scanner = None
         self.verification_engine = None
         if verification_source_ip is not None:
             self.verification_scanner = Ipv4Scanner(
                 network, verification_source_ip, measurement_domain,
-                blacklist=blacklist, source_port=31338, perf=perf)
+                blacklist=blacklist, source_port=31338, perf=perf,
+                retries=retries, probe_timeout=probe_timeout)
             self.verification_engine = ScanEngine(
-                self.verification_scanner, shards=shards, perf=perf)
+                self.verification_scanner, shards=shards, perf=perf,
+                heartbeat_timeout=heartbeat_timeout)
         self.snapshots = []
 
     def run_week(self, verify=False):

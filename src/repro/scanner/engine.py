@@ -1,4 +1,4 @@
-"""Sharded parallel scan engine.
+"""Sharded parallel scan engine with worker supervision.
 
 Splits a :class:`~repro.scanner.ipv4scan.ScanTargetSpace` into N
 contiguous index shards and drives each through a fork-based worker
@@ -15,30 +15,55 @@ Three properties make this hold:
 * probe identity is a pure hash of (scanner, scan epoch, target), so a
   worker scanning indexes [k, m) emits byte-identical packets to the
   ones a full scan would emit for those targets;
-* packet fates (loss/corruption) are keyed per flow + occurrence, not
-  drawn from a shared sequential RNG, so fates cannot depend on how
-  workers interleave sends (:meth:`repro.netsim.network.Network._packet_fate`);
+* packet fates (loss/corruption/injected faults) are keyed per flow +
+  occurrence, not drawn from a shared sequential RNG, so fates cannot
+  depend on how workers interleave sends
+  (:meth:`repro.netsim.network.Network._packet_fate`);
 * shard results are merged with set unions over disjoint target sets,
   which is order-insensitive.
 
-Workers cannot write back into the parent (fork semantics), so parent-
-side state the scan would have advanced — network traffic counters,
-warm resolver caches — is reconciled explicitly: counter deltas ride
-back over the pipe, while cache warm-ups are deliberately dropped (the
-next scan replays the identical resolutions from the identical pre-fork
-state, so dropped warm-ups cannot change any later result).  One
-observable consequence: every worker re-warms the resolution suffix
-cache in its own copy, so the *traffic* counters report a few more
-queries than a sequential scan (one warm-up per extra worker) even
-though the scan results are identical.
+Because those properties also make a *repeated* shard scan reproduce
+the exact bytes and fates of the first attempt, worker failure recovery
+is cheap and safe.  The engine supervises its workers over the result
+pipe — workers stream single-byte heartbeats while scanning and ship
+their result as one length-prefixed frame — and reacts to failures with
+escalating, narrow recovery:
 
-When ``shards <= 1``, the platform lacks ``os.fork`` (non-POSIX), or a
-worker dies, the engine transparently falls back to scanning in-process.
+1. a worker that dies on its first attempt is retried once (fresh fork
+   of the same shard);
+2. a second death splits the shard in half and retries both halves;
+3. a death after splitting falls back to scanning just that index range
+   in-process — never the whole space.
+
+A worker that stops heartbeating for ``heartbeat_timeout`` seconds is
+killed and treated as dead (hang recovery; requires a scanner with
+``supports_progress``).  Every completed work item is recorded in the
+merged result's ``provenance`` so degraded shards are visible to the
+analysis layer, and all recovery events increment ``repro.perf``
+counters (``worker_deaths``, ``shard_retries``, ``shard_splits``,
+``shard_failures``, ``workers_hung``).
+
+Workers cannot write back into the parent (fork semantics), so parent-
+side state the scan would have advanced — network traffic and fault
+counters, warm resolver caches — is reconciled explicitly: counter
+deltas ride back in the result frame, while cache warm-ups are
+deliberately dropped (the next scan replays the identical resolutions
+from the identical pre-fork state, so dropped warm-ups cannot change
+any later result).  One observable consequence: every worker re-warms
+the resolution suffix cache in its own copy, so the *traffic* counters
+report a few more queries than a sequential scan (one warm-up per extra
+worker) even though the scan results are identical.
+
+When ``shards <= 1`` or the platform lacks ``os.fork`` (non-POSIX), the
+engine transparently scans in-process.
 """
 
 import os
 import pickle
+import select
+import signal
 import time
+from collections import deque
 
 from repro.perf import PerfRegistry
 from repro.scanner.ipv4scan import merge_scan_results
@@ -47,16 +72,75 @@ from repro.scanner.ipv4scan import merge_scan_results
 _NET_COUNTERS = ("udp_queries_sent", "udp_queries_lost",
                  "udp_responses_corrupted")
 
+# Pipe protocol: workers stream _HEARTBEAT bytes while scanning, then
+# one _RESULT frame (tag + 4-byte big-endian length + pickled payload).
+_HEARTBEAT = b"\x01"
+_RESULT = b"\x02"
+
+# Exit code of a worker killed by an injected fault (worker_dies).
+_FAULT_EXIT = 23
+
+
+def _write_all(fd, data):
+    view = memoryview(data)
+    while view:
+        view = view[os.write(fd, view):]
+
+
+class _Worker:
+    """Parent-side state of one live worker process."""
+
+    __slots__ = ("pid", "fd", "item", "heartbeats", "last_beat", "frame")
+
+    def __init__(self, pid, fd, item, now):
+        self.pid = pid
+        self.fd = fd
+        self.item = item              # (start, stop, origin, attempt)
+        self.heartbeats = 0
+        self.last_beat = now
+        self.frame = None             # result frame bytes, once started
+
+    def feed(self, data, now):
+        """Consume pipe bytes: count heartbeats, buffer the result frame."""
+        self.last_beat = now
+        if self.frame is None:
+            cut = data.find(_RESULT)
+            if cut < 0:
+                self.heartbeats += data.count(_HEARTBEAT)
+                return
+            self.heartbeats += data[:cut].count(_HEARTBEAT)
+            self.frame = bytearray(data[cut:])
+        else:
+            self.frame.extend(data)
+
+    def shard_payload(self):
+        """The unpickled result dict, or ``None`` if the frame never
+        completed (worker died mid-write)."""
+        frame = self.frame
+        if frame is None or len(frame) < 5:
+            return None
+        need = int.from_bytes(frame[1:5], "big")
+        if len(frame) < 5 + need:
+            return None
+        try:
+            return pickle.loads(bytes(frame[5:5 + need]))
+        except Exception:
+            return None
+
 
 class ScanEngine:
     """Runs Internet-wide scans, optionally sharded across processes."""
 
-    def __init__(self, scanner, shards=1, perf=None):
+    def __init__(self, scanner, shards=1, perf=None,
+                 heartbeat_timeout=None):
         if shards < 1:
             raise ValueError("shard count must be >= 1")
         self.scanner = scanner
         self.shards = shards
         self.perf = perf
+        # Kill workers silent for this many wall-clock seconds (needs a
+        # scanner with ``supports_progress``); ``None`` disables.
+        self.heartbeat_timeout = heartbeat_timeout
         if perf is not None and scanner.perf is None:
             scanner.perf = perf
 
@@ -64,9 +148,15 @@ class ScanEngine:
     def can_fork(self):
         return hasattr(os, "fork")
 
+    def _count(self, name, amount=1):
+        if self.perf is not None:
+            self.perf.count(name, amount)
+
     def scan(self, target_space):
         """Scan the whole target space; returns one merged ScanResult."""
         start = time.perf_counter()
+        network = self.scanner.network
+        fault_before = dict(getattr(network, "fault_counters", None) or {})
         ranges = target_space.shard_ranges(self.shards)
         if len(ranges) <= 1 or not self.can_fork:
             result = self.scanner.scan(target_space)
@@ -76,76 +166,175 @@ class ScanEngine:
             self.perf.record_seconds("scan_wall",
                                      time.perf_counter() - start)
             self.perf.count("scans_run")
+            # Flush this scan's injected/absorbed fault deltas.
+            fault_after = getattr(network, "fault_counters", None)
+            if fault_after:
+                for name, value in fault_after.items():
+                    delta = value - fault_before.get(name, 0)
+                    if delta:
+                        self.perf.count("fault_" + name, delta)
         return result
 
     # -- forked path -------------------------------------------------------
 
     def _scan_forked(self, target_space, ranges):
         network = self.scanner.network
-        children = []
-        for index_range in ranges:
-            read_fd, write_fd = os.pipe()
-            pid = os.fork()
-            if pid == 0:
-                # Worker: scan one shard of the COW-shared scenario and
-                # ship the result back; never return into the caller.
-                os.close(read_fd)
-                status = 0
-                try:
-                    payload = pickle.dumps(
-                        self._run_shard(target_space, index_range),
-                        protocol=pickle.HIGHEST_PROTOCOL)
-                    with os.fdopen(write_fd, "wb") as pipe:
-                        pipe.write(payload)
-                except BaseException:
-                    status = 1
-                finally:
-                    # Skip atexit/buffer teardown of the forked
-                    # interpreter; only the pipe payload matters.
-                    os._exit(status)
-            os.close(write_fd)
-            children.append((pid, read_fd, index_range))
-
-        shard_results = []
-        failed_ranges = []
+        plan = getattr(network, "faults", None)
+        supports_progress = getattr(self.scanner, "supports_progress",
+                                    False)
+        heartbeat_timeout = (self.heartbeat_timeout
+                             if supports_progress else None)
+        pending = deque((start, stop, origin, 0)
+                        for origin, (start, stop) in enumerate(ranges))
+        active = {}                     # read fd -> _Worker
+        shard_results = []              # (start, ScanResult)
+        provenance = []
+        rescues = []                    # items for in-process fallback
+        rescued_origins = set()
         counter_deltas = {name: 0 for name in _NET_COUNTERS}
-        for pid, read_fd, index_range in children:
-            with os.fdopen(read_fd, "rb") as pipe:
-                payload = pipe.read()
-            __, status = os.waitpid(pid, 0)
-            shard = None
-            if status == 0 and payload:
-                try:
-                    shard = pickle.loads(payload)
-                except Exception:
-                    shard = None
-            if shard is None:
-                failed_ranges.append(index_range)
-                continue
-            shard_results.append(shard["result"])
-            for name in _NET_COUNTERS:
-                counter_deltas[name] += shard["net_counters"][name]
-            if self.perf is not None:
-                self.perf.record_seconds("shard_wall",
-                                         shard["wall_seconds"])
-                if shard["perf"] is not None:
-                    self.perf.merge(shard["perf"])
+        fault_deltas = {}
 
-        # A dead worker's shard is re-scanned in-process: probe identity
-        # and packet fates are position-independent, so the late retry
-        # still produces exactly the bytes and fates the worker would
-        # have.
-        for index_range in failed_ranges:
-            if self.perf is not None:
-                self.perf.count("shard_failures")
-            shard_results.append(
-                self.scanner.scan(target_space, index_range=index_range))
+        while pending or active:
+            while pending:
+                worker = self._spawn(target_space, pending.popleft(),
+                                     plan, supports_progress)
+                active[worker.fd] = worker
+            wait = 0.05 if heartbeat_timeout is not None else None
+            ready, __, __unused = select.select(list(active), [], [], wait)
+            now = time.monotonic()
+            for fd in ready:
+                worker = active[fd]
+                data = os.read(fd, 1 << 16)
+                if data:
+                    worker.feed(data, now)
+                    continue
+                # EOF: the worker finished or died.
+                del active[fd]
+                os.close(fd)
+                os.waitpid(worker.pid, 0)
+                if worker.heartbeats:
+                    self._count("heartbeats_seen", worker.heartbeats)
+                shard = worker.shard_payload()
+                if shard is None:
+                    self._on_death(worker.item, pending, rescues,
+                                   rescued_origins)
+                else:
+                    self._on_success(worker.item, shard, shard_results,
+                                     provenance, counter_deltas,
+                                     fault_deltas)
+            if heartbeat_timeout is not None:
+                for worker in list(active.values()):
+                    if now - worker.last_beat > heartbeat_timeout:
+                        # Hung worker: no heartbeat within budget.  Kill
+                        # it; the pipe EOF routes it through _on_death.
+                        self._count("workers_hung")
+                        worker.last_beat = now
+                        try:
+                            os.kill(worker.pid, signal.SIGKILL)
+                        except ProcessLookupError:
+                            pass
+
+        # In-process fallback, narrowed to just the failed index ranges:
+        # probe identity and packet fates are position-independent, so
+        # the late retry still produces exactly the bytes and fates the
+        # worker would have.
+        for start, stop, origin, attempt in sorted(rescues):
+            shard_results.append((start, self.scanner.scan(
+                target_space, index_range=(start, stop))))
+            provenance.append({"shard": origin, "start": start,
+                               "stop": stop, "mode": "in-process",
+                               "attempt": attempt, "status": "rescued"})
 
         for name, delta in counter_deltas.items():
             setattr(network, name, getattr(network, name) + delta)
-        return merge_scan_results(network.clock.now, shard_results)
+        fault_counters = getattr(network, "fault_counters", None)
+        if fault_counters is not None:
+            for name, delta in fault_deltas.items():
+                fault_counters[name] = fault_counters.get(name, 0) + delta
+        shard_results.sort(key=lambda entry: entry[0])
+        merged = merge_scan_results(
+            network.clock.now, [result for __, result in shard_results])
+        # Completion order varies run to run; sorted provenance keeps
+        # same-seed runs bit-identical.
+        merged.provenance = sorted(
+            provenance, key=lambda e: (e["start"], e["stop"],
+                                       e["attempt"]))
+        return merged
 
-    def _run_shard(self, target_space, index_range):
+    def _spawn(self, target_space, item, plan, supports_progress):
+        """Fork one worker for a work item; returns its parent-side state."""
+        start, stop, origin, attempt = item
+        read_fd, write_fd = os.pipe()
+        pid = os.fork()
+        if pid == 0:
+            # Worker: scan one shard of the COW-shared scenario and
+            # ship the result back; never return into the caller.
+            os.close(read_fd)
+            status = 0
+            try:
+                if plan is not None and plan.worker_dies(origin, attempt):
+                    # Injected worker death (chaos testing): die before
+                    # any work, as a crashed process would.
+                    os._exit(_FAULT_EXIT)
+                on_progress = None
+                if supports_progress:
+                    def on_progress():
+                        os.write(write_fd, _HEARTBEAT)
+                payload = pickle.dumps(
+                    self._run_shard(target_space, (start, stop),
+                                    on_progress),
+                    protocol=pickle.HIGHEST_PROTOCOL)
+                _write_all(write_fd, _RESULT
+                           + len(payload).to_bytes(4, "big") + payload)
+            except BaseException:
+                status = 1
+            finally:
+                # Skip atexit/buffer teardown of the forked
+                # interpreter; only the pipe payload matters.
+                os._exit(status)
+        os.close(write_fd)
+        return _Worker(pid, read_fd, item, time.monotonic())
+
+    def _on_death(self, item, pending, rescues, rescued_origins):
+        """Escalating recovery: retry, then split, then in-process."""
+        start, stop, origin, attempt = item
+        self._count("worker_deaths")
+        if attempt == 0:
+            self._count("shard_retries")
+            pending.append((start, stop, origin, 1))
+        elif attempt == 1 and stop - start > 1:
+            self._count("shard_splits")
+            middle = (start + stop) // 2
+            pending.append((start, middle, origin, 2))
+            pending.append((middle, stop, origin, 2))
+        else:
+            # Repeated deaths: rescue this narrow range in-process.
+            # ``shard_failures`` counts once per original shard needing
+            # rescue (the pre-supervision contract).
+            if origin not in rescued_origins:
+                rescued_origins.add(origin)
+                self._count("shard_failures")
+            rescues.append(item)
+
+    def _on_success(self, item, shard, shard_results, provenance,
+                    counter_deltas, fault_deltas):
+        start, stop, origin, attempt = item
+        shard_results.append((start, shard["result"]))
+        status = ("ok" if attempt == 0
+                  else "retried" if attempt == 1 else "split")
+        provenance.append({"shard": origin, "start": start, "stop": stop,
+                           "mode": "worker", "attempt": attempt,
+                           "status": status})
+        for name in _NET_COUNTERS:
+            counter_deltas[name] += shard["net_counters"][name]
+        for name, delta in shard.get("fault_counters", {}).items():
+            fault_deltas[name] = fault_deltas.get(name, 0) + delta
+        if self.perf is not None:
+            self.perf.record_seconds("shard_wall", shard["wall_seconds"])
+            if shard["perf"] is not None:
+                self.perf.merge(shard["perf"])
+
+    def _run_shard(self, target_space, index_range, on_progress=None):
         """Executed inside a worker: one shard scan plus bookkeeping."""
         network = self.scanner.network
         # The worker inherits the parent's registry copy-on-write; swap
@@ -154,15 +343,27 @@ class ScanEngine:
         if self.scanner.perf is not None:
             self.scanner.perf = PerfRegistry()
         before = {name: getattr(network, name) for name in _NET_COUNTERS}
+        fault_before = dict(getattr(network, "fault_counters", None) or {})
         shard_start = time.perf_counter()
-        result = self.scanner.scan(target_space, index_range=index_range)
+        if on_progress is not None:
+            result = self.scanner.scan(target_space,
+                                       index_range=index_range,
+                                       on_progress=on_progress)
+        else:
+            result = self.scanner.scan(target_space,
+                                       index_range=index_range)
         wall = time.perf_counter() - shard_start
+        fault_after = getattr(network, "fault_counters", None) or {}
         return {
             "result": result,
             "wall_seconds": wall,
             "net_counters": {
                 name: getattr(network, name) - before[name]
                 for name in _NET_COUNTERS},
+            "fault_counters": {
+                name: value - fault_before.get(name, 0)
+                for name, value in fault_after.items()
+                if value - fault_before.get(name, 0)},
             "perf": self.scanner.perf,
         }
 

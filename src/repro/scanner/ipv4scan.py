@@ -122,7 +122,14 @@ class ScanTargetSpace:
 
 
 class ScanResult:
-    """Outcome of one Internet-wide scan."""
+    """Outcome of one Internet-wide scan.
+
+    ``retransmissions`` counts retry datagrams beyond the first probe of
+    each target (zero on the default single-probe path).  ``provenance``
+    is filled by the sharded engine: one entry per completed work item,
+    recording which shards degraded (worker retried, split, or rescued
+    in-process) on the way to this merged result.
+    """
 
     def __init__(self, timestamp):
         self.timestamp = timestamp
@@ -130,6 +137,8 @@ class ScanResult:
         self.responders = set()       # all target IPs that answered
         self.divergent_sources = set()  # targets whose reply src differed
         self.probes_sent = 0
+        self.retransmissions = 0
+        self.provenance = []
 
     def record(self, target_ip, rcode, source_ip):
         self.responders.add(target_ip)
@@ -140,11 +149,19 @@ class ScanResult:
     def merge(self, other):
         """Fold another (disjoint shard's) result into this one."""
         self.probes_sent += other.probes_sent
+        self.retransmissions += other.retransmissions
+        self.provenance.extend(other.provenance)
         self.responders |= other.responders
         self.divergent_sources |= other.divergent_sources
         for rcode, targets in other.by_rcode.items():
             self.by_rcode.setdefault(rcode, set()).update(targets)
         return self
+
+    @property
+    def degraded_shards(self):
+        """Provenance entries that did not complete on a first try."""
+        return [entry for entry in self.provenance
+                if entry.get("status") != "ok"]
 
     @property
     def noerror(self):
@@ -170,6 +187,24 @@ class ScanResult:
     def __repr__(self):
         return "ScanResult(t=%.0f, %d responders)" % (
             self.timestamp, len(self.responders))
+
+
+def retry_schedule(probe_timeout, retries, backoff=2.0, rtt_floor=0.0):
+    """Effective per-attempt response timeouts for one target.
+
+    Pure function: attempt ``k`` waits ``probe_timeout * backoff**k``
+    (exponential backoff), floored at ``rtt_floor`` — the deterministic
+    pairwise round-trip estimate, so a far target is never timed out
+    faster than its own path latency.  ``None`` entries mean "wait
+    indefinitely" (no timeout configured): responses are never discarded
+    as late, and a retry happens only when nothing answered at all.
+    """
+    if retries < 0:
+        raise ValueError("retries must be >= 0")
+    if probe_timeout is None:
+        return [None] * (retries + 1)
+    return [max(probe_timeout * backoff ** attempt, rtt_floor)
+            for attempt in range(retries + 1)]
 
 
 def merge_scan_results(timestamp, results):
@@ -219,11 +254,25 @@ class TargetFilter:
 
 
 class Ipv4Scanner:
-    """Sends one DNS A probe per target address and aggregates responses."""
+    """Sends one DNS A probe per target address and aggregates responses.
+
+    ``retries``/``probe_timeout``/``backoff`` configure the robust probe
+    path: up to ``retries`` retransmissions per unanswered target, each
+    attempt's timeout growing exponentially from ``probe_timeout`` but
+    never below the target's own deterministic round-trip estimate
+    (adaptive per-target timeout).  The defaults (``retries=0``,
+    ``probe_timeout=None``) keep the single-probe fast path — and the
+    existing determinism gates — bit-identical to before.
+    """
+
+    # The engine checks this before passing its heartbeat callback
+    # (scanner doubles in tests may not accept ``on_progress``).
+    supports_progress = True
 
     def __init__(self, network, source_ip, measurement_domain,
                  blacklist=None, source_port=31337, lfsr_seed=0xACE1,
-                 perf=None):
+                 perf=None, retries=0, probe_timeout=None, backoff=2.0,
+                 timeout_margin=1.25):
         self.network = network
         self.source_ip = source_ip
         self.measurement_domain = measurement_domain
@@ -231,6 +280,12 @@ class Ipv4Scanner:
         self.source_port = source_port
         self.lfsr_seed = lfsr_seed
         self.perf = perf
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.retries = retries
+        self.probe_timeout = probe_timeout
+        self.backoff = backoff
+        self.timeout_margin = timeout_margin
         self._suffix_wire = encode_name(measurement_domain)
         # Pre-encoded query template: everything after the txid plus
         # everything after the variable qname labels.
@@ -304,14 +359,22 @@ class Ipv4Scanner:
 
     # -- scans -------------------------------------------------------------
 
-    def scan(self, target_space, index_range=None):
+    def scan(self, target_space, index_range=None, on_progress=None):
         """Scan every allowed address in the target space once.
 
         ``index_range`` restricts the walk to a contiguous ``(start,
         stop)`` index shard; the full LFSR permutation is still walked
         (integer ops only), so probe order within the shard — and every
         probe's bytes — match the sequential scan exactly.
+
+        ``on_progress`` (no arguments) is invoked every 1024 probes —
+        the engine's worker heartbeat.  When retries or a probe timeout
+        are configured the scan takes the robust per-target path;
+        otherwise the single-probe fast loop below runs unchanged.
         """
+        if self.retries > 0 or self.probe_timeout is not None:
+            return self._scan_robust(target_space, index_range,
+                                     on_progress)
         result = ScanResult(self.network.clock.now)
         total = len(target_space)
         if total == 0:
@@ -351,6 +414,8 @@ class Ipv4Scanner:
                 value = prefixes[slot].base + (index - cumulative[slot])
                 if all_clean or allows_slot(slot, value):
                     probes_sent += 1
+                    if on_progress is not None and not probes_sent & 1023:
+                        on_progress()
                     # splitmix64 finaliser, inlined (== _mix64).
                     key = (seed_epoch ^ value) & _M64
                     key ^= key >> 30
@@ -389,6 +454,112 @@ class Ipv4Scanner:
             self.perf.count("probes_sent", probes_sent)
             self.perf.count("responses_seen", responses_seen)
             self.perf.count("parse_calls_avoided", responses_seen)
+        return result
+
+    def _scan_robust(self, target_space, index_range, on_progress):
+        """Retry/backoff scan path (``retries > 0`` or a probe timeout).
+
+        Walks the identical LFSR permutation as the fast loop, but each
+        unanswered target is retransmitted up to ``retries`` times with
+        exponentially growing, latency-floored timeouts.  Every
+        retransmission re-sends the *same* flow, so the network's
+        flow-keyed fate draws give it a fresh, order-independent loss
+        decision — merged shard results stay bit-identical to a
+        sequential robust scan.
+        """
+        result = ScanResult(self.network.clock.now)
+        total = len(target_space)
+        if total == 0:
+            return result
+        start, stop = index_range if index_range is not None else (0, total)
+        epoch = self._scan_epoch()
+        order = LFSR.order_for(total)
+        lfsr = LFSR(order, seed=(self.lfsr_seed % ((1 << order) - 1)) or 1)
+        target_filter = TargetFilter(target_space, self.blacklist)
+        cumulative = target_space._cumulative
+        prefixes = target_space.prefixes
+        bisect_right = bisect.bisect_right
+        allows_slot = target_filter.allows_slot
+        all_clean = target_filter.all_clean
+        seed_epoch = self._identity ^ (epoch << 32)
+        attempts = self.retries + 1
+        base_schedule = retry_schedule(self.probe_timeout, self.retries,
+                                       self.backoff)
+        latency_between = self.network.latency_between
+        margin = self.timeout_margin
+        taps = lfsr.taps
+        state = first = lfsr.state
+        probes_sent = 0
+        targets_probed = 0
+        retransmissions = 0
+        late_responses = 0
+        responses_seen = 0
+        while True:
+            index = state - 1
+            if index < total and start <= index < stop:
+                slot = bisect_right(cumulative, index) - 1
+                value = prefixes[slot].base + (index - cumulative[slot])
+                if all_clean or allows_slot(slot, value):
+                    targets_probed += 1
+                    if on_progress is not None and \
+                            not targets_probed & 1023:
+                        on_progress()
+                    key = _mix64(seed_epoch ^ value)
+                    txid = key & 0xFFFF
+                    prefix_label = b"r%x" % ((key >> 16) & 0xFFFFFF)
+                    payload = b"".join((
+                        txid.to_bytes(2, "big"), self._template_head,
+                        _LABEL_LEN[len(prefix_label)], prefix_label,
+                        b"\x08", b"%08x" % value, self._template_tail))
+                    target_ip = int_to_ip(value)
+                    # Adaptive floor: never time a target out faster
+                    # than its own deterministic round trip.
+                    rtt_floor = None
+                    for attempt in range(attempts):
+                        timeout = base_schedule[attempt]
+                        if timeout is not None:
+                            if rtt_floor is None:
+                                rtt_floor = 2 * latency_between(
+                                    self.source_ip, target_ip) * margin
+                            if timeout < rtt_floor:
+                                timeout = rtt_floor
+                        probes_sent += 1
+                        if attempt:
+                            retransmissions += 1
+                        answered = False
+                        for response in self.network.send_probe(
+                                self.source_ip, self.source_port,
+                                target_ip, 53, value, payload):
+                            raw = response.packet.payload
+                            if len(raw) < 12 or not raw[2] & 0x80:
+                                continue
+                            if (raw[0] << 8) | raw[1] != txid:
+                                continue
+                            if timeout is not None and \
+                                    response.latency > timeout:
+                                late_responses += 1
+                                continue
+                            answered = True
+                            responses_seen += 1
+                            result.record(target_ip, raw[3] & 0x0F,
+                                          response.packet.src_ip)
+                        if answered:
+                            break
+            lsb = state & 1
+            state >>= 1
+            if lsb:
+                state ^= taps
+            if state == first:
+                break
+        result.probes_sent = probes_sent
+        result.retransmissions = retransmissions
+        if self.perf is not None:
+            self.perf.count("probes_sent", probes_sent)
+            self.perf.count("responses_seen", responses_seen)
+            self.perf.count("parse_calls_avoided", responses_seen)
+            self.perf.count("probe_retransmissions", retransmissions)
+            if late_responses:
+                self.perf.count("probe_responses_late", late_responses)
         return result
 
     def scan_addresses(self, addresses):

@@ -244,13 +244,16 @@ class Scenario:
     def target_space(self):
         return ScanTargetSpace(self.resolver_prefixes)
 
-    def new_campaign(self, verify=True, shards=1, perf=None):
+    def new_campaign(self, verify=True, shards=1, perf=None, retries=0,
+                     probe_timeout=None, heartbeat_timeout=None):
         return ScanCampaign(
             self.network, self.churn, self.target_space(),
             self.scanner_ip, MEASUREMENT_DOMAIN, blacklist=self.blacklist,
             verification_source_ip=(self.verification_scanner_ip
                                     if verify else None),
-            shards=shards, perf=perf)
+            shards=shards, perf=perf, retries=retries,
+            probe_timeout=probe_timeout,
+            heartbeat_timeout=heartbeat_timeout)
 
     def new_pipeline(self, **kwargs):
         return ManipulationPipeline(

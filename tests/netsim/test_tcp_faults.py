@@ -1,0 +1,157 @@
+"""Flow-keyed TCP loss and the network-level fault hooks."""
+
+from repro.faults import FaultPlan, FaultProfile
+from repro.netsim import Network, Node, SimClock
+
+
+class BannerNode(Node):
+    def __init__(self, ip):
+        super().__init__(ip)
+
+    def tcp_ports(self):
+        return frozenset({25})
+
+    def tcp_banner(self, port, network=None):
+        return "220 mail.example ESMTP"
+
+
+class WebNode(Node):
+    def handle_http(self, request, network):
+        class Response:
+            status = 200
+            body = "<html>ok</html>"
+        return Response()
+
+
+def make_network(loss_rate=0.0, seed=3):
+    return Network(SimClock(), seed=seed, loss_rate=loss_rate)
+
+
+class TestFlowKeyedTcpLoss:
+    def test_outcomes_independent_of_interleaving(self):
+        """The same sequence of banner fetches succeeds/fails identically
+        regardless of what other flows ran in between — the draw is keyed
+        per flow + occurrence, not by a shared sequential RNG."""
+        def outcomes(interleave):
+            network = make_network(loss_rate=0.3, seed=7)
+            for index in range(40):
+                network.register(BannerNode("198.18.5.%d" % index))
+            fates = []
+            for index in range(40):
+                if interleave:
+                    # Unrelated traffic between the draws under test.
+                    network.tcp_banner("10.9.0.9", "198.18.200.1", 80)
+                fates.append(network.tcp_banner(
+                    "10.0.0.1", "198.18.5.%d" % index, 25) is not None)
+            return fates
+
+        assert outcomes(False) == outcomes(True)
+
+    def test_loss_rate_zero_never_drops(self):
+        network = make_network(loss_rate=0.0)
+        network.register(BannerNode("198.18.5.1"))
+        for __ in range(20):
+            assert network.tcp_banner("10.0.0.1", "198.18.5.1", 25)
+
+    def test_repeat_attempts_get_fresh_draws(self):
+        """Occurrence indexing: a retried connect can succeed even when
+        the first attempt on the identical flow was lost."""
+        network = make_network(loss_rate=0.5, seed=11)
+        network.register(BannerNode("198.18.5.1"))
+        fates = [network.tcp_banner("10.0.0.1", "198.18.5.1", 25)
+                 is not None for __ in range(64)]
+        assert True in fates and False in fates
+
+
+class TestTcpHangFaults:
+    def plan(self, hang_rate=1.0, stall=30.0):
+        return FaultPlan(FaultProfile(tcp_hang_rate=hang_rate,
+                                      tcp_stall_seconds=stall), seed=5)
+
+    def test_stall_past_timeout_fails_fetch(self):
+        network = make_network()
+        network.register(WebNode("198.18.7.1"))
+        network.install_faults(self.plan(stall=30.0))
+
+        class Request:
+            scheme = "http"
+        assert network.http_request("10.0.0.1", "198.18.7.1", Request(),
+                                    timeout=5.0) is None
+        assert network.fault_counters["tcp_hang"] >= 1
+
+    def test_stall_below_timeout_is_absorbed(self):
+        network = make_network()
+        network.register(WebNode("198.18.7.1"))
+        network.install_faults(self.plan(stall=2.0))
+
+        class Request:
+            scheme = "http"
+        response = network.http_request("10.0.0.1", "198.18.7.1",
+                                        Request(), timeout=5.0)
+        assert response is not None and response.status == 200
+        assert network.fault_counters["tcp_stall_absorbed"] >= 1
+        assert "tcp_hang" not in network.fault_counters
+
+    def test_no_timeout_waits_out_any_stall(self):
+        network = make_network()
+        network.register(BannerNode("198.18.7.2"))
+        network.install_faults(self.plan(stall=3600.0))
+        assert network.tcp_banner("10.0.0.1", "198.18.7.2", 25)
+        assert network.fault_counters["tcp_stall_absorbed"] >= 1
+
+    def test_tls_handshake_honours_timeout(self):
+        network = make_network()
+        network.register(WebNode("198.18.7.3"))
+        network.install_faults(self.plan(stall=30.0))
+        assert network.tls_handshake("10.0.0.1", "198.18.7.3",
+                                     timeout=1.0) is None
+        assert network.fault_counters["tcp_hang"] >= 1
+
+
+class EchoNode(Node):
+    """Replies to every datagram with a fixed well-formed-length payload."""
+
+    def handle_udp(self, packet, network):
+        return b"\x00\x4d\x80" + b"\x00" * 13
+
+
+class TestResponseTruncation:
+    def test_truncated_replies_are_unparseable(self):
+        from repro.netsim import UdpPacket
+
+        network = make_network()
+        network.register(EchoNode("198.18.9.1"))
+        network.install_faults(FaultPlan(
+            FaultProfile(truncation_rate=1.0), seed=1))
+        packet = UdpPacket("10.0.0.1", 4242, "198.18.9.1", 53, b"hello")
+        responses = network.send_udp(packet)
+        assert responses
+        for response in responses:
+            assert len(response.packet.payload) < 12
+        assert network.fault_counters["truncated_response"] >= 1
+
+    def test_zero_rate_leaves_replies_intact(self):
+        from repro.netsim import UdpPacket
+
+        network = make_network()
+        network.register(EchoNode("198.18.9.1"))
+        network.install_faults(FaultPlan(
+            FaultProfile(truncation_rate=0.0), seed=1))
+        packet = UdpPacket("10.0.0.1", 4242, "198.18.9.1", 53, b"hello")
+        responses = network.send_udp(packet)
+        assert responses and len(responses[0].packet.payload) == 16
+        assert network.fault_counters == {}
+
+
+class TestInjectedQueryLoss:
+    def test_injected_loss_counts_and_drops(self):
+        from repro.netsim import UdpPacket
+
+        network = make_network()
+        network.register(EchoNode("198.18.9.1"))
+        network.install_faults(FaultPlan(
+            FaultProfile(loss_rate=1.0), seed=1))
+        packet = UdpPacket("10.0.0.1", 4242, "198.18.9.1", 53, b"hello")
+        assert network.send_udp(packet) == []
+        assert network.fault_counters["injected_loss"] >= 1
+        assert network.udp_queries_lost >= 1

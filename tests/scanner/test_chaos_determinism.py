@@ -1,0 +1,77 @@
+"""Chaos determinism: same seed + same fault plan => bit-identical scans.
+
+The acceptance gate for the fault plane: with aggressive injected faults,
+forced worker deaths, and retries enabled, the merged scan result must be
+identical across reruns and across shard counts — every fault draw is a
+pure function of (seed, flow, occurrence), never of scheduling.
+"""
+
+import pytest
+
+from repro.faults import FaultPlan, parse_fault_spec
+from repro.scenario import ScenarioConfig, build_scenario
+
+
+SCALE = 60000
+SEED = 3
+
+
+def chaos_scan(shards, spec="aggressive", retries=1):
+    """A fresh scenario, a fault plan, one sharded scan."""
+    scenario = build_scenario(ScenarioConfig(scale=SCALE, seed=SEED))
+    scenario.network.install_faults(
+        FaultPlan(parse_fault_spec(spec), seed=SEED))
+    campaign = scenario.new_campaign(verify=False, shards=shards,
+                                     retries=retries)
+    return campaign.run_week().result
+
+
+def fingerprint(result):
+    return (result.counts(), sorted(result.responders),
+            sorted(result.divergent_sources),
+            {rcode: sorted(ips) for rcode, ips in result.by_rcode.items()},
+            result.probes_sent, result.retransmissions)
+
+
+class TestChaosDeterminism:
+    def test_rerun_is_bit_identical(self):
+        assert fingerprint(chaos_scan(shards=1)) == \
+            fingerprint(chaos_scan(shards=1))
+
+    def test_sharded_identical_to_sequential_under_faults(self):
+        sequential = chaos_scan(shards=1)
+        sharded = chaos_scan(shards=3)
+        assert fingerprint(sharded) == fingerprint(sequential)
+
+    def test_forced_worker_deaths_do_not_change_results(self):
+        """A run whose shard-0 workers are killed (recovered via retry)
+        produces the identical merged result."""
+        clean = chaos_scan(shards=3)
+        killed = chaos_scan(shards=3, spec="aggressive,kill=0")
+        assert fingerprint(killed) == fingerprint(clean)
+        assert killed.degraded_shards
+        assert any(entry["status"] == "retried"
+                   for entry in killed.provenance)
+
+    def test_sharded_reruns_identical_with_deaths(self):
+        left = chaos_scan(shards=3, spec="aggressive,kill=1:2")
+        right = chaos_scan(shards=3, spec="aggressive,kill=1:2")
+        assert fingerprint(left) == fingerprint(right)
+        assert left.provenance == right.provenance
+
+    def test_faults_actually_fire(self):
+        scenario = build_scenario(ScenarioConfig(scale=SCALE, seed=SEED))
+        plan = scenario.network.install_faults(
+            FaultPlan(parse_fault_spec("aggressive"), seed=SEED))
+        assert plan.profile.loss_rate > 0
+        campaign = scenario.new_campaign(verify=False, shards=2)
+        campaign.run_week()
+        counters = scenario.network.fault_counters
+        assert counters.get("injected_loss", 0) > 0
+
+
+@pytest.mark.parametrize("shards", [2, 5])
+def test_any_shard_count_matches(shards):
+    assert fingerprint(chaos_scan(shards=shards,
+                                  spec="mild", retries=0)) == \
+        fingerprint(chaos_scan(shards=1, spec="mild", retries=0))

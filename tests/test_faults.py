@@ -1,0 +1,227 @@
+"""Tests for the deterministic fault-injection plane (repro.faults)."""
+
+import pytest
+
+from repro.faults import (
+    FaultPlan,
+    FaultProfile,
+    PROFILES,
+    parse_fault_spec,
+)
+
+
+class TestFaultProfile:
+    def test_defaults_are_inert(self):
+        profile = FaultProfile()
+        assert profile.loss_rate == 0.0
+        assert profile.burst_share == 0.0
+        assert profile.truncation_rate == 0.0
+        assert profile.tcp_hang_rate == 0.0
+        assert profile.flap_share == 0.0
+        assert profile.worker_death_rate == 0.0
+        assert profile.kill_shards == {}
+
+    def test_replace_copies_without_mutating(self):
+        base = PROFILES["mild"]
+        derived = base.replace(loss_rate=0.5, kill_shards={0: 2})
+        assert derived.loss_rate == 0.5
+        assert derived.kill_shards == {0: 2}
+        assert derived.truncation_rate == base.truncation_rate
+        assert base.loss_rate == 0.01
+        assert base.kill_shards == {}
+
+    def test_named_profiles_exist(self):
+        assert set(PROFILES) == {"none", "mild", "aggressive"}
+        assert PROFILES["aggressive"].loss_rate > PROFILES["mild"].loss_rate
+
+
+class TestParseFaultSpec:
+    def test_bare_profile_name(self):
+        profile = parse_fault_spec("aggressive")
+        assert profile.loss_rate == PROFILES["aggressive"].loss_rate
+
+    def test_default_profile_is_mild(self):
+        profile = parse_fault_spec("loss_rate=0.2")
+        assert profile.loss_rate == 0.2
+        # Everything else inherits mild.
+        assert profile.truncation_rate == PROFILES["mild"].truncation_rate
+
+    def test_overrides_and_kill_entries(self):
+        profile = parse_fault_spec("aggressive,loss_rate=0.25,kill=0:2,kill=3")
+        assert profile.loss_rate == 0.25
+        assert profile.kill_shards == {0: 2, 3: 1}
+        assert profile.burst_share == PROFILES["aggressive"].burst_share
+
+    def test_integer_fields_coerced(self):
+        profile = parse_fault_spec("none,rate_limit_step=3,flap_period=6")
+        assert profile.rate_limit_step == 3
+        assert isinstance(profile.rate_limit_step, int)
+        assert profile.flap_period == 6
+        assert isinstance(profile.flap_period, int)
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError):
+            parse_fault_spec("bogus")
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError):
+            parse_fault_spec("mild,banana=1")
+
+    def test_duplicate_profile_rejected(self):
+        with pytest.raises(ValueError):
+            parse_fault_spec("mild,aggressive")
+
+
+class TestDrawDeterminism:
+    """Every fault draw is a pure function of (seed, salt, key, occurrence)."""
+
+    def test_same_seed_same_draws(self):
+        left = FaultPlan("aggressive", seed=42)
+        right = FaultPlan("aggressive", seed=42)
+        for key in range(200):
+            assert left.query_fate(key, key * 7, 0, 0.0) == \
+                right.query_fate(key, key * 7, 0, 0.0)
+            assert left.truncates_response(key, 0) == \
+                right.truncates_response(key, 0)
+            assert left.tcp_stall_seconds(key, 0) == \
+                right.tcp_stall_seconds(key, 0)
+
+    def test_draws_are_stateless(self):
+        """Repeating the identical draw yields the identical answer —
+        no hidden sequential RNG."""
+        plan = FaultPlan("aggressive", seed=5)
+        fates = [plan.query_fate(17, 1234, 0, 0.0) for __ in range(10)]
+        assert len(set(fates)) == 1
+
+    def test_different_seeds_differ(self):
+        left = FaultPlan("aggressive", seed=1)
+        right = FaultPlan("aggressive", seed=2)
+        fates_left = [left.query_fate(k, k, 0, 0.0) for k in range(500)]
+        fates_right = [right.query_fate(k, k, 0, 0.0) for k in range(500)]
+        assert fates_left != fates_right
+
+    def test_loss_rate_statistics(self):
+        plan = FaultPlan(FaultProfile(loss_rate=0.10), seed=9)
+        lost = sum(1 for key in range(20000)
+                   if plan.query_fate(key, key, 0, 0.0) == "injected_loss")
+        assert 0.08 < lost / 20000 < 0.12
+
+    def test_none_profile_never_faults(self):
+        plan = FaultPlan("none", seed=3)
+        for key in range(500):
+            assert plan.query_fate(key, key, 0, 0.0) is None
+            assert not plan.truncates_response(key, 0)
+            assert plan.tcp_stall_seconds(key, 0) == 0.0
+            assert not plan.resolver_offline(key, 0.0)
+            assert not plan.worker_dies(key % 8, 0)
+
+
+class TestRateLimiting:
+    def test_first_sends_pass_then_limited(self):
+        plan = FaultPlan(FaultProfile(rate_limit_share=1.0,
+                                      rate_limit_step=2), seed=1)
+        # Occurrences 0..step pass; beyond the step every send drops.
+        assert plan.query_fate(11, 99, 0, 0.0) is None
+        assert plan.query_fate(11, 99, 1, 0.0) is None
+        assert plan.query_fate(11, 99, 2, 0.0) is None
+        assert plan.query_fate(11, 99, 3, 0.0) == "rate_limited"
+        assert plan.query_fate(11, 99, 7, 0.0) == "rate_limited"
+
+    def test_only_selected_destinations_limit(self):
+        plan = FaultPlan(FaultProfile(rate_limit_share=0.5,
+                                      rate_limit_step=0), seed=8)
+        limited = sum(1 for dst in range(2000)
+                      if plan.query_fate(dst, dst, 5, 0.0) == "rate_limited")
+        assert 800 < limited < 1200
+
+
+class TestBurstLoss:
+    def test_burst_windows_are_spatial(self):
+        """All flows inside a selected /16 window share the burst; flows
+        outside it never draw burst loss."""
+        plan = FaultPlan(FaultProfile(burst_share=0.5,
+                                      burst_loss_rate=1.0), seed=4)
+        outcome_by_window = {}
+        for window in range(64):
+            dst = window << 16
+            fates = {plan.query_fate((dst << 8) ^ k, dst + k, 0, 0.0)
+                     for k in range(20)}
+            outcome_by_window[window] = fates
+        bursty = [w for w, fates in outcome_by_window.items()
+                  if fates == {"burst_loss"}]
+        quiet = [w for w, fates in outcome_by_window.items()
+                 if fates == {None}]
+        assert bursty and quiet
+        assert len(bursty) + len(quiet) == 64
+
+
+class TestResolverFlap:
+    def test_square_wave_over_weeks(self):
+        week = 7 * 24 * 3600.0
+        plan = FaultPlan(FaultProfile(flap_share=1.0, flap_period=4,
+                                      flap_duty=0.25), seed=2)
+        states = [plan.resolver_offline(12345, w * week) for w in range(12)]
+        # Duty 0.25 of period 4 => exactly one offline week per cycle.
+        assert sum(states) == 3
+        assert states[:4] == states[4:8] == states[8:12]
+
+    def test_share_selects_subset(self):
+        week = 7 * 24 * 3600.0
+        plan = FaultPlan(FaultProfile(flap_share=0.10, flap_period=2,
+                                      flap_duty=0.5), seed=6)
+        flappers = sum(
+            1 for ip in range(5000)
+            if any(plan.resolver_offline(ip, w * week) for w in range(2)))
+        assert 350 < flappers < 650
+
+    def test_phases_desynchronise(self):
+        week = 7 * 24 * 3600.0
+        plan = FaultPlan(FaultProfile(flap_share=1.0, flap_period=4,
+                                      flap_duty=0.25), seed=2)
+        offline_now = sum(1 for ip in range(2000)
+                          if plan.resolver_offline(ip, 0.0))
+        # Per-resolver phase: about a quarter offline at any instant, not
+        # everyone at once.
+        assert 350 < offline_now < 650
+
+
+class TestWorkerDeath:
+    def test_forced_kills_take_priority(self):
+        plan = FaultPlan(FaultProfile(kill_shards={1: 2}), seed=0)
+        assert plan.worker_dies(1, 0)
+        assert plan.worker_dies(1, 1)
+        assert not plan.worker_dies(1, 2)
+        assert not plan.worker_dies(0, 0)
+
+    def test_death_rate_draw(self):
+        plan = FaultPlan(FaultProfile(worker_death_rate=1.0), seed=0)
+        assert plan.worker_dies(0, 0)
+        quiet = FaultPlan(FaultProfile(), seed=0)
+        assert not quiet.worker_dies(0, 0)
+
+
+class TestResolverFlapIntegration:
+    def test_flapping_resolver_goes_silent(self, mini):
+        from repro.resolvers import ResolverNode
+        resolver = ResolverNode("198.18.9.1",
+                                resolution_service=mini.service)
+        mini.network.register(resolver)
+        mini.builder.register_domain("example.com",
+                                     {"example.com": ["198.18.0.1"]})
+
+        from repro.dnswire import Message
+        from repro.netsim import UdpPacket
+
+        def ask():
+            query = Message.query("example.com", txid=9)
+            packet = UdpPacket(mini.client_ip, 1234, "198.18.9.1", 53,
+                               query.to_wire())
+            return mini.network.send_udp(packet)
+
+        assert ask()  # answers before any plan is installed
+        plan = mini.network.install_faults(
+            FaultPlan(FaultProfile(flap_share=1.0, flap_period=1,
+                                   flap_duty=1.0), seed=1))
+        assert plan.resolver_offline(0, mini.clock.now)
+        assert ask() == []
+        assert mini.network.fault_counters.get("resolver_flap", 0) >= 1
