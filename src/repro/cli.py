@@ -26,6 +26,11 @@ def _add_common(parser):
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--shards", type=int, default=1,
                         help="scan worker processes (fork-based)")
+    parser.add_argument("--pipeline-shards", type=int, default=1,
+                        metavar="N",
+                        help="worker processes for the classification "
+                             "pipeline's domain scan (classify/audit/"
+                             "fullstudy)")
     parser.add_argument("--perf", action="store_true",
                         help="print a throughput report to stderr")
     parser.add_argument("--faults", default=None, metavar="SPEC",
@@ -165,8 +170,10 @@ def cmd_classify(args):
               % (args.set, ", ".join(ALL_CATEGORIES)), file=sys.stderr)
         return 2
     scenario = _build(args)
-    resolvers = sorted(_scan(scenario, args).result.noerror)
-    pipeline = scenario.new_pipeline()
+    perf = _perf_registry(args)
+    resolvers = sorted(_scan(scenario, args, perf).result.noerror)
+    pipeline = scenario.new_pipeline(shards=args.pipeline_shards,
+                                     perf=perf)
     report = pipeline.run(resolvers, list(DOMAIN_SETS[args.set]))
     stats = report.prefilter.stats()
     print("domain set:    %s" % args.set)
@@ -180,6 +187,7 @@ def cmd_classify(args):
         name = label if not sublabel else "%s (%s)" % (label, sublabel)
         print("  %-36s %d" % (name, count))
     print("classified:    %.1f%%" % (100 * report.classified_share()))
+    _report_perf(args, perf)
     return 0
 
 
@@ -197,7 +205,7 @@ def cmd_audit(args):
     domains = (list(DOMAIN_SETS["Banking"]) + list(DOMAIN_SETS["Alexa"])
                + list(DOMAIN_SETS["Adult"]) + list(DOMAIN_SETS["Gambling"])
                + list(DOMAIN_SETS["NX"]))
-    pipeline = scenario.new_pipeline()
+    pipeline = scenario.new_pipeline(shards=args.pipeline_shards)
     report = pipeline.run([resolver_ip], domains)
     labels = Counter((l.label, l.sublabel) for l in report.labeled)
     print("resolver:   %s" % resolver_ip)
@@ -218,6 +226,7 @@ def cmd_fullstudy(args):
     scenario = _build(args)
     results = run_full_study(
         scenario, weeks=args.weeks, snoop_sample=args.snoop_sample,
+        pipeline_shards=args.pipeline_shards,
         progress=lambda message: print(message, file=sys.stderr))
     report = render_markdown(results, scenario=scenario)
     if args.out:

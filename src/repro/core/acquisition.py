@@ -237,8 +237,7 @@ class DataAcquirer:
                     failure=cached.failure, final_host=cached.final_host))
                 continue
             https = meta is not None and getattr(meta, "https", False)
-            capture = self.fetch_http(response_tuple, https_first=False
-                                      if not https else False)
+            capture = self.fetch_http(response_tuple, https_first=https)
             # Content depends only on (domain, ip) unless redirects pulled
             # the resolver back in; cache the common case.
             if not capture.redirects:

@@ -6,6 +6,25 @@ Average linkage (UPGMA) is maintained exactly via the Lance-Williams
 update, so the merge history — returned as a dendrogram — reflects true
 mean pairwise distances, which is what lets an analyst inspect how groups
 formed (the paper's stated reason for choosing hierarchical clustering).
+
+Two agglomeration algorithms produce that history:
+
+* ``nn-chain`` (the default): the nearest-neighbor-chain algorithm.
+  Walks chains of nearest neighbors until a reciprocal pair is found
+  and merges it.  For reducible linkages — average, single, and
+  complete all are — reciprocal nearest neighbors remain reciprocal
+  under later merges, so the merge *tree* is identical to always
+  merging the globally closest pair; only the discovery order differs.
+  O(n²) total after the distance matrix.
+* ``pair-scan``: the direct transcription — rescan all active pairs for
+  the global minimum before every merge, O(n³).  Kept as the oracle the
+  equivalence property tests and benchmarks compare against.
+
+Because reducible linkages are monotone (a merged cluster is never
+closer to a bystander than the nearer of its parts was), sorting the
+NN-chain merges by distance yields the same bottom-up order the
+pair-scan discovers, and cutting at the threshold keeps a prefix of
+that order.
 """
 
 
@@ -47,35 +66,66 @@ class Dendrogram:
         return [distance for __, __, distance, __ in self.merges]
 
 
-def hierarchical_cluster(items, distance_fn, threshold, linkage="average"):
-    """Cluster ``items`` bottom-up; returns ``(clusters, dendrogram)``.
-
-    ``distance_fn(a, b)`` must be symmetric and non-negative.  ``linkage``
-    selects how inter-cluster distance is updated after a merge:
-    ``average`` (UPGMA, the paper's choice), ``single``, or ``complete``.
-    Merging stops when the smallest inter-cluster distance exceeds
-    ``threshold``.
-    """
-    if linkage not in ("average", "single", "complete"):
-        raise ValueError("unknown linkage %r" % linkage)
+def _distance_matrix(items, distance_fn):
     n = len(items)
-    dendrogram = Dendrogram()
-    if n == 0:
-        return [], dendrogram
-    if n == 1:
-        return [Cluster([0], [items[0]])], dendrogram
-
-    # Distance matrix between active clusters (dict-of-dict, upper keys).
     distance = [[0.0] * n for __ in range(n)]
     for i in range(n):
         for j in range(i + 1, n):
             d = distance_fn(items[i], items[j])
             distance[i][j] = d
             distance[j][i] = d
+    return distance
 
+
+def _lance_williams(linkage, size_i, size_j, d_ik, d_jk):
+    """Distance from the merge of clusters i and j to bystander k."""
+    if linkage == "average":
+        return (size_i * d_ik + size_j * d_jk) / (size_i + size_j)
+    if linkage == "single":
+        return min(d_ik, d_jk)
+    return max(d_ik, d_jk)  # complete
+
+
+def hierarchical_cluster(items, distance_fn, threshold, linkage="average",
+                         algorithm="nn-chain"):
+    """Cluster ``items`` bottom-up; returns ``(clusters, dendrogram)``.
+
+    ``distance_fn(a, b)`` must be symmetric and non-negative.  ``linkage``
+    selects how inter-cluster distance is updated after a merge:
+    ``average`` (UPGMA, the paper's choice), ``single``, or ``complete``.
+    Merging stops when the smallest inter-cluster distance exceeds
+    ``threshold``.  ``algorithm`` picks the agglomeration strategy —
+    ``nn-chain`` (O(n²), the default) or ``pair-scan`` (O(n³), the
+    direct transcription kept as the equivalence oracle); both produce
+    the same clusters and the same dendrogram up to floating-point
+    noise in tied/accumulated averages.
+    """
+    if linkage not in ("average", "single", "complete"):
+        raise ValueError("unknown linkage %r" % linkage)
+    if algorithm not in ("nn-chain", "pair-scan"):
+        raise ValueError("unknown algorithm %r" % algorithm)
+    n = len(items)
+    dendrogram = Dendrogram()
+    if n == 0:
+        return [], dendrogram
+    if n == 1:
+        return [Cluster([0], [items[0]])], dendrogram
+    distance = _distance_matrix(items, distance_fn)
+    if algorithm == "pair-scan":
+        members = _agglomerate_pair_scan(n, distance, threshold, linkage,
+                                         dendrogram)
+    else:
+        members = _agglomerate_nn_chain(n, distance, threshold, linkage,
+                                        dendrogram)
+    clusters = [Cluster(indices, [items[index] for index in indices])
+                for __, indices in sorted(members.items())]
+    return clusters, dendrogram
+
+
+def _agglomerate_pair_scan(n, distance, threshold, linkage, dendrogram):
+    """Merge the globally closest pair until it exceeds the threshold."""
     active = set(range(n))
     members = {i: [i] for i in range(n)}
-
     while len(active) > 1:
         best = None
         best_pair = None
@@ -97,24 +147,84 @@ def hierarchical_cluster(items, distance_fn, threshold, linkage="average"):
         for k in active:
             if k in (i, j):
                 continue
-            d_ik = distance[i][k]
-            d_jk = distance[j][k]
-            if linkage == "average":
-                updated = (size_i * d_ik + size_j * d_jk) / (size_i + size_j)
-            elif linkage == "single":
-                updated = min(d_ik, d_jk)
-            else:  # complete
-                updated = max(d_ik, d_jk)
+            updated = _lance_williams(linkage, size_i, size_j,
+                                      distance[i][k], distance[j][k])
             distance[i][k] = updated
             distance[k][i] = updated
         members[i] = members[i] + members[j]
         del members[j]
         active.remove(j)
         dendrogram.record(i, j, best, len(members[i]))
+    return members
 
-    clusters = [Cluster(indices, [items[index] for index in indices])
-                for __, indices in sorted(members.items())]
-    return clusters, dendrogram
+
+def _agglomerate_nn_chain(n, distance, threshold, linkage, dendrogram):
+    """Nearest-neighbor-chain agglomeration, O(n²).
+
+    Builds the *complete* merge tree first — following chains of nearest
+    neighbors costs O(n) per merge instead of rescanning all pairs —
+    then sorts the merges by distance (valid because reducible linkages
+    are monotone: every parent merge is at least as distant as its
+    children) and replays the prefix at or below the threshold.  The
+    replayed history is exactly what the pair-scan records.
+    """
+    alive = [True] * n
+    size = [1] * n
+    raw_merges = []                  # (kept index, dropped index, distance)
+    stack = []
+    next_seed = 0
+    remaining = n
+    while remaining > 1:
+        if not stack:
+            while not alive[next_seed]:
+                next_seed += 1
+            stack.append(next_seed)
+        top = stack[-1]
+        prev = stack[-2] if len(stack) >= 2 else -1
+        row = distance[top]
+        best = None
+        best_j = -1
+        for j in range(n):
+            if not alive[j] or j == top:
+                continue
+            d = row[j]
+            if best is None or d < best:
+                best = d
+                best_j = j
+            elif d == best and j == prev:
+                # On ties prefer the previous chain element: reciprocity
+                # must be detected or the chain would oscillate.
+                best_j = j
+        if best_j != prev:
+            stack.append(best_j)
+            continue
+        # Reciprocal nearest neighbors: merge under the smaller index,
+        # exactly as the pair-scan does.
+        stack.pop()
+        stack.pop()
+        i, j = (top, prev) if top < prev else (prev, top)
+        for k in range(n):
+            if not alive[k] or k in (i, j):
+                continue
+            updated = _lance_williams(linkage, size[i], size[j],
+                                      distance[i][k], distance[j][k])
+            distance[i][k] = updated
+            distance[k][i] = updated
+        alive[j] = False
+        size[i] += size[j]
+        raw_merges.append((i, j, best))
+        remaining -= 1
+
+    members = {i: [i] for i in range(n)}
+    # Stable sort: equal-distance merges keep chain order, which already
+    # has children before parents, so the replay below stays bottom-up.
+    for i, j, d in sorted(raw_merges, key=lambda merge: merge[2]):
+        if d > threshold:
+            break
+        members[i] = members[i] + members[j]
+        del members[j]
+        dendrogram.record(i, j, d, len(members[i]))
+    return members
 
 
 def render_dendrogram(dendrogram, labels=None, width=40):
@@ -142,7 +252,7 @@ def render_dendrogram(dendrogram, labels=None, width=40):
 
 
 def cluster_deduplicated(keys_items, distance_fn, threshold,
-                         linkage="average"):
+                         linkage="average", algorithm="nn-chain"):
     """Cluster with exact-duplicate collapsing.
 
     ``keys_items`` is a list of ``(dedup_key, item)``; items sharing a key
@@ -165,7 +275,8 @@ def cluster_deduplicated(keys_items, distance_fn, threshold,
         unique_items[slot] = keys_items[indices[0]][1]
         group_indices[slot] = indices
     clusters, dendrogram = hierarchical_cluster(
-        unique_items, distance_fn, threshold, linkage=linkage)
+        unique_items, distance_fn, threshold, linkage=linkage,
+        algorithm=algorithm)
     expanded = []
     for cluster in clusters:
         all_indices = []

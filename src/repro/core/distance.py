@@ -122,3 +122,92 @@ class PageDistance:
         distances = self.feature_distances(profile_a, profile_b)
         return sum(self.weights[name] * value
                    for name, value in distances.items()) / self.total_weight
+
+
+class MemoizedDistance:
+    """Memoizing wrapper around a symmetric distance callable.
+
+    The page distance is by far the most expensive per-call operation in
+    the pipeline (three edit-distance dynamic programs per pair), and
+    agglomerative clustering asks for the same pairs again across runs
+    of the same pipeline (weekly campaigns, ground-truth comparisons).
+    Keyed by the identity of the two profile objects — cheap, and exact
+    as long as profiles are immutable once built, which
+    :class:`FeatureCache` guarantees by returning the same profile
+    object for the same body.  The memo keeps references to both
+    profiles so ids cannot be recycled under it.
+
+    ``evaluations`` counts true underlying calls, ``hits`` the pairs
+    answered from the memo; both are mirrored into ``perf`` when a
+    registry is supplied (``distance_evals`` / ``distance_cache_hits``).
+    """
+
+    def __init__(self, distance, perf=None):
+        self.distance = distance
+        self.perf = perf
+        self._memo = {}     # (id, id) -> (value, profile, profile)
+        self.evaluations = 0
+        self.hits = 0
+
+    def __call__(self, profile_a, profile_b):
+        key = ((id(profile_a), id(profile_b))
+               if id(profile_a) <= id(profile_b)
+               else (id(profile_b), id(profile_a)))
+        entry = self._memo.get(key)
+        if entry is not None:
+            self.hits += 1
+            if self.perf is not None:
+                self.perf.count("distance_cache_hits")
+            return entry[0]
+        value = self.distance(profile_a, profile_b)
+        self.evaluations += 1
+        if self.perf is not None:
+            self.perf.count("distance_evals")
+        self._memo[key] = (value, profile_a, profile_b)
+        return value
+
+    def hit_rate(self):
+        total = self.evaluations + self.hits
+        return self.hits / total if total else 0.0
+
+
+class FeatureCache:
+    """Body-keyed memo of extracted :class:`PageProfile` objects.
+
+    Guarantees one profile object per distinct body, which both avoids
+    re-parsing identical pages (the overwhelmingly common case across
+    resolvers) and makes profile identity a stable cache key for
+    :class:`MemoizedDistance`.  Counters mirror into ``perf`` as
+    ``feature_extractions`` / ``feature_cache_hits``.
+    """
+
+    def __init__(self, extractor=None, perf=None):
+        if extractor is None:
+            from repro.core.features import extract_features
+            extractor = extract_features
+        self.extractor = extractor
+        self.perf = perf
+        self._profiles = {}
+        self.extractions = 0
+        self.hits = 0
+
+    def profile_of(self, body):
+        profile = self._profiles.get(body)
+        if profile is not None:
+            self.hits += 1
+            if self.perf is not None:
+                self.perf.count("feature_cache_hits")
+            return profile
+        profile = self.extractor(body)
+        self.extractions += 1
+        if self.perf is not None:
+            self.perf.count("feature_extractions")
+        self._profiles[body] = profile
+        return profile
+
+    def hit_rate(self):
+        total = self.extractions + self.hits
+        return self.hits / total if total else 0.0
+
+    def __len__(self):
+        return len(self._profiles)

@@ -5,8 +5,7 @@ from contextlib import nullcontext
 from repro.core.acquisition import DataAcquirer
 from repro.core.clustering import cluster_deduplicated
 from repro.core.diffcluster import build_diff_profile, diff_cluster
-from repro.core.distance import PageDistance
-from repro.core.features import extract_features
+from repro.core.distance import FeatureCache, MemoizedDistance, PageDistance
 from repro.core.labeling import (
     ClusterLabeler,
     LABEL_MISC,
@@ -14,6 +13,7 @@ from repro.core.labeling import (
 )
 from repro.core.prefilter import Prefilterer, ResponseTuple
 from repro.dnswire.name import normalize_name
+from repro.scanner.domainengine import DomainScanEngine
 from repro.scanner.domainscan import DomainScanner
 from repro.websim.mail import banners_for_provider, provider_for_hostname
 
@@ -74,7 +74,7 @@ class ManipulationPipeline:
                  known_cdn_common_names, source_ip, domain_catalog,
                  cluster_threshold=0.30, diff_threshold=0.5,
                  distance=None, perf=None, fetch_timeout=None,
-                 error_budget=None):
+                 error_budget=None, shards=1, heartbeat_timeout=None):
         self.network = network
         self.perf = perf
         self.service = resolution_service
@@ -87,8 +87,15 @@ class ManipulationPipeline:
                                for d in domain_catalog}
         self.cluster_threshold = cluster_threshold
         self.diff_threshold = diff_threshold
-        self.distance = distance or PageDistance()
-        self.scanner = DomainScanner(network, source_ip)
+        # Distance and feature evaluations are memoized for the life of
+        # the pipeline: weekly re-runs over largely unchanged content
+        # answer most cluster pairs from the caches.
+        self.features = FeatureCache(perf=perf)
+        self.distance = MemoizedDistance(distance or PageDistance(),
+                                         perf=perf)
+        self.domain_engine = DomainScanEngine(
+            DomainScanner(network, source_ip), shards=shards, perf=perf,
+            heartbeat_timeout=heartbeat_timeout)
         self.acquirer = DataAcquirer(network, source_ip,
                                      fetch_timeout=fetch_timeout,
                                      error_budget=error_budget)
@@ -96,6 +103,16 @@ class ManipulationPipeline:
             network, resolution_service, as_registry, rdns, ca=ca,
             known_cdn_common_names=known_cdn_common_names,
             probe_source_ip=source_ip)
+
+    @property
+    def scanner(self):
+        """The domain scanner, reachable (and replaceable, for tests)
+        through the shard engine that drives it."""
+        return self.domain_engine.scanner
+
+    @scanner.setter
+    def scanner(self, scanner):
+        self.domain_engine.scanner = scanner
 
     # -- ground truth ---------------------------------------------------------
 
@@ -107,7 +124,13 @@ class ManipulationPipeline:
             meta = self.domain_catalog.get(normalize_name(domain.name)
                                            if hasattr(domain, "name")
                                            else normalize_name(domain))
-            name = meta.name if meta is not None else str(domain)
+            # Fall back to the domain's name attribute before str():
+            # str(ScanDomain(...)) is the repr, which would poison the
+            # ground-truth key.
+            if meta is not None:
+                name = meta.name
+            else:
+                name = getattr(domain, "name", None) or str(domain)
             if meta is not None and (not meta.exists or meta.kind != "web"):
                 continue
             result = self.service.resolve_trusted(self.network, name)
@@ -144,13 +167,22 @@ class ManipulationPipeline:
         """
         report = PipelineReport()
         names = [d.name for d in domains]
-        # Step 2: domain scan.
+        # Step 2: domain scan (sharded across workers when shards > 1).
+        queries_before = getattr(self.scanner, "queries_sent", 0)
         with self._stage("domain_scan"):
             try:
-                report.observations = self.scanner.scan(resolver_ips,
-                                                        names)
+                report.observations = self.domain_engine.scan(resolver_ips,
+                                                              names)
             except Exception as error:
                 report.mark_degraded("domain_scan", repr(error))
+        if self.perf is not None:
+            self.perf.count("pipeline_domain_queries",
+                            getattr(self.scanner, "queries_sent", 0)
+                            - queries_before)
+            self.perf.gauge(
+                "pipeline_domain_scan_qps",
+                self.perf.rate("pipeline_domain_queries",
+                               "pipeline_domain_scan"))
         # Step 3: DNS-based prefiltering.
         with self._stage("prefilter"):
             try:
@@ -183,45 +215,60 @@ class ManipulationPipeline:
         report.http_captures = [c for c in http_captures if c.fetched]
         report.failed_captures = [c for c in http_captures if not c.fetched]
         # Step 5: coarse clustering (deduplicating identical bodies).
-        profiles = {}
-
-        def profile_of(capture):
-            profile = profiles.get(capture.body)
-            if profile is None:
-                profile = extract_features(capture.body)
-                profiles[capture.body] = profile
-            return profile
-
+        profile_of = (lambda capture: self.features.profile_of(capture.body))
         keyed = [(capture.body, capture) for capture in report.http_captures]
         with self._stage("clustering"):
-            clusters, dendrogram = cluster_deduplicated(
-                keyed,
-                lambda a, b: self.distance(profile_of(a), profile_of(b)),
-                self.cluster_threshold)
+            try:
+                clusters, dendrogram = cluster_deduplicated(
+                    keyed,
+                    lambda a, b: self.distance(profile_of(a), profile_of(b)),
+                    self.cluster_threshold)
+            except Exception as error:
+                report.mark_degraded("clustering", repr(error))
+                clusters, dendrogram = [], None
+        if self.perf is not None:
+            # Pair evaluations the body dedup spared the distance
+            # matrix: all-pairs over captures minus all-pairs over
+            # distinct bodies.
+            total = len(keyed)
+            unique = len({key for key, __ in keyed})
+            self.perf.count("pipeline_distance_evals_avoided",
+                            (total * (total - 1) - unique * (unique - 1))
+                            // 2)
         report.clusters = clusters
         report.dendrogram = dendrogram
         # Step 6: labeling.
         with self._stage("labeling"):
-            labeler = ClusterLabeler(report.ground_truth_bodies)
-            report.labeled = labeler.label_clusters(clusters)
-            # Fine-grained diff clustering of near-original modifications.
-            diff_profiles = []
-            for capture in report.http_captures:
-                truths = report.ground_truth_bodies.get(
-                    normalize_name(capture.domain))
-                if not truths or not capture.body:
-                    continue
-                profile = build_diff_profile(capture, truths)
-                if 0 < profile.modification_size <= 40:
-                    diff_profiles.append(profile)
-            if diff_profiles:
-                report.diff_clusters, __ = diff_cluster(
-                    diff_profiles, threshold=self.diff_threshold)
+            try:
+                labeler = ClusterLabeler(report.ground_truth_bodies)
+                report.labeled = labeler.label_clusters(clusters)
+                # Fine-grained diff clustering of near-original
+                # modifications.
+                diff_profiles = []
+                for capture in report.http_captures:
+                    truths = report.ground_truth_bodies.get(
+                        normalize_name(capture.domain))
+                    if not truths or not capture.body:
+                        continue
+                    profile = build_diff_profile(capture, truths)
+                    if 0 < profile.modification_size <= 40:
+                        diff_profiles.append(profile)
+                if diff_profiles:
+                    report.diff_clusters, __ = diff_cluster(
+                        diff_profiles, threshold=self.diff_threshold)
+            except Exception as error:
+                report.mark_degraded("labeling", repr(error))
+                report.labeled = []
+                report.diff_clusters = []
         if self.perf is not None:
             self.perf.count("pipeline_observations",
                             len(report.observations))
             self.perf.count("pipeline_captures",
                             len(report.http_captures))
+            self.perf.gauge("pipeline_distance_cache_hit_rate",
+                            self.distance.hit_rate())
+            self.perf.gauge("pipeline_feature_cache_hit_rate",
+                            self.features.hit_rate())
         return report
 
     # -- mail classification --------------------------------------------------

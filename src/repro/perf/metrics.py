@@ -18,6 +18,7 @@ class PerfRegistry:
     def __init__(self):
         self.counters = {}
         self.timers = {}          # name -> [total_seconds, entry_count]
+        self.gauges = {}          # name -> last observed value
 
     # -- counters ---------------------------------------------------------
 
@@ -27,6 +28,16 @@ class PerfRegistry:
 
     def counter(self, name):
         return self.counters.get(name, 0)
+
+    # -- gauges -----------------------------------------------------------
+
+    def gauge(self, name, value):
+        """Set the last-value gauge ``name`` (rates, ratios, sizes) —
+        unlike counters these overwrite rather than accumulate."""
+        self.gauges[name] = value
+
+    def gauge_value(self, name, default=0.0):
+        return self.gauges.get(name, default)
 
     # -- timers -----------------------------------------------------------
 
@@ -72,12 +83,14 @@ class PerfRegistry:
             else:
                 entry[0] += total
                 entry[1] += entries
+        self.gauges.update(other.gauges)
         return self
 
     def snapshot(self):
         """A plain-dict view, suitable for ``json.dump``."""
         return {
             "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
             "timers": {name: {"seconds": total, "entries": entries}
                        for name, (total, entries) in self.timers.items()},
         }
@@ -87,6 +100,8 @@ class PerfRegistry:
         lines = ["[%s]" % title]
         for name in sorted(self.counters):
             lines.append("  %-28s %d" % (name, self.counters[name]))
+        for name in sorted(self.gauges):
+            lines.append("  %-28s %.2f" % (name, self.gauges[name]))
         for name in sorted(self.timers):
             total, entries = self.timers[name]
             lines.append("  %-28s %.3fs (%d entries)"

@@ -73,11 +73,13 @@ class StudyResults:
 
 
 def run_full_study(scenario, weeks=20, snoop_sample=200,
-                   pipeline_categories=None, progress=None):
+                   pipeline_categories=None, progress=None,
+                   pipeline_shards=1):
     """Run the complete methodology; returns a :class:`StudyResults`.
 
     ``weeks`` bounds the longitudinal part (the paper ran 55);
-    ``pipeline_categories`` restricts the §4 pipeline (default: all 13).
+    ``pipeline_categories`` restricts the §4 pipeline (default: all 13);
+    ``pipeline_shards`` forks the per-category domain scans.
     ``progress`` is an optional callable for status lines.
     """
     say = progress or (lambda message: None)
@@ -119,7 +121,7 @@ def run_full_study(scenario, weeks=20, snoop_sample=200,
     reports = {}
     for category in categories:
         say("pipeline: %s..." % category)
-        pipeline = scenario.new_pipeline()
+        pipeline = scenario.new_pipeline(shards=pipeline_shards)
         reports[category] = pipeline.run(resolvers,
                                          list(DOMAIN_SETS[category]))
         results.prefilter[category] = prefilter_summary(

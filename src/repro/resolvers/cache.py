@@ -24,13 +24,17 @@ class DnsCache:
         if ttl is None:
             ttls = [record.ttl for record in records]
             ttl = min(ttls) if ttls else 300
-        if len(self._entries) >= self.max_entries:
-            # Evict the entry closest to expiry.
+        key = (name.lower(), qtype)
+        if key not in self._entries and \
+                len(self._entries) >= self.max_entries:
+            # Evict the entry closest to expiry — but only when the
+            # insert would actually grow the cache; refreshing an
+            # existing entry at capacity must not shrink the cache.
             victim = min(self._entries,
-                         key=lambda key: self._entries[key][1]
-                         + self._entries[key][2])
+                         key=lambda k: self._entries[k][1]
+                         + self._entries[k][2])
             del self._entries[victim]
-        self._entries[(name.lower(), qtype)] = (list(records), now, ttl)
+        self._entries[key] = (list(records), now, ttl)
 
     def get(self, name, qtype, now):
         """Records with decayed TTLs, or ``None`` when absent/expired."""

@@ -21,7 +21,8 @@ from repro.scanner.ipv4scan import (
     ScanTargetSpace,
     merge_scan_results,
 )
-from repro.scanner.engine import ScanEngine
+from repro.scanner.engine import ScanEngine, ShardSupervisor
+from repro.scanner.domainengine import DomainScanEngine
 from repro.scanner.campaign import ScanCampaign, WeeklySnapshot
 from repro.scanner.chaos import ChaosScanner, ChaosObservation
 from repro.scanner.banner import BannerGrabber, HostBanners
@@ -36,6 +37,7 @@ __all__ = [
     "ChaosObservation",
     "ChaosScanner",
     "DnsObservation",
+    "DomainScanEngine",
     "DomainScanner",
     "FINGERPRINT_RULES",
     "FingerprintMatcher",
@@ -48,6 +50,7 @@ __all__ = [
     "ScanEngine",
     "ScanResult",
     "ScanTargetSpace",
+    "ShardSupervisor",
     "SnoopingTrace",
     "WeeklySnapshot",
     "decode_target_ip",

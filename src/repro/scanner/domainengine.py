@@ -1,0 +1,119 @@
+"""Sharded domain scanning: step 2 of Figure 3 across worker processes.
+
+Splits the resolver list into N contiguous index shards and drives each
+through the shared fork/COW supervision machinery
+(:class:`repro.scanner.engine.ShardSupervisor`), the same pattern the
+IPv4 scan engine uses for step 1.  Each worker runs
+``DomainScanner.scan`` over its index slice of the *same* resolver
+list, so the resolver id encoded into every query (txid + source port +
+0x20 case pattern) is the global list index — a shard worker emits
+byte-identical queries to the ones the sequential scan would emit for
+those resolvers.
+
+Determinism contract (verified by ``tests/scanner/test_domainengine.py``
+and re-checked by ``benchmarks/perf/bench_pipeline.py``): the
+concatenated observation list is **bit-identical** to a sequential
+:meth:`DomainScanner.scan` of the same inputs for any shard count.
+This holds for the same reasons as the IPv4 engine: query bytes are a
+pure function of (resolver index, domain), packet fates are keyed per
+flow + occurrence rather than drawn from a shared RNG, and one
+resolver's queries — which share a flow 4-tuple — always run in domain
+order inside a single worker because shards are contiguous resolver
+ranges.  Shard observation lists are concatenated in range-start order,
+which is exactly sequential order.
+
+As with the IPv4 engine, worker-side traffic/fault counter deltas and
+the scanner's ``queries_sent`` are reconciled into the parent, while
+worker-local resolver-cache warm-ups are deliberately dropped (replays
+from the identical pre-fork state produce identical answers).
+"""
+
+import os
+import time
+
+from repro.scanner.engine import ShardSupervisor
+
+
+class DomainScanEngine:
+    """Runs the per-resolver domain scan, optionally sharded."""
+
+    def __init__(self, scanner, shards=1, perf=None,
+                 heartbeat_timeout=None):
+        if shards < 1:
+            raise ValueError("shard count must be >= 1")
+        self.scanner = scanner
+        self.shards = shards
+        self.perf = perf
+        self.heartbeat_timeout = heartbeat_timeout
+        # Provenance of the last sharded scan (one entry per work item).
+        self.provenance = []
+
+    @property
+    def can_fork(self):
+        return hasattr(os, "fork")
+
+    def shard_ranges(self, total):
+        """Split ``[0, total)`` resolver indexes into contiguous ranges
+        (same balanced split as ``ScanTargetSpace.shard_ranges``)."""
+        size, remainder = divmod(total, self.shards)
+        ranges = []
+        start = 0
+        for shard in range(self.shards):
+            stop = start + size + (1 if shard < remainder else 0)
+            if stop > start:
+                ranges.append((start, stop))
+            start = stop
+        return ranges
+
+    def scan(self, resolver_ips, domains):
+        """Query every domain at every resolver; returns the flat
+        observation list, identical to ``DomainScanner.scan``."""
+        start = time.perf_counter()
+        resolver_ips = list(resolver_ips)
+        domains = list(domains)
+        ranges = self.shard_ranges(len(resolver_ips))
+        self.provenance = []
+        if len(ranges) <= 1 or not self.can_fork:
+            observations = self.scanner.scan(resolver_ips, domains)
+        else:
+            observations = self._scan_forked(resolver_ips, domains, ranges)
+        if self.perf is not None:
+            self.perf.record_seconds("domain_scan_wall",
+                                     time.perf_counter() - start)
+            self.perf.count("domain_scans_run")
+        return observations
+
+    def _scan_forked(self, resolver_ips, domains, ranges):
+        scanner = self.scanner
+
+        def run_range(index_range, on_progress):
+            # Returns (observations, queries delta) so the parent can
+            # reconcile ``scanner.queries_sent`` for worker shards,
+            # whose increments die with the forked process.
+            before = scanner.queries_sent
+            if on_progress is not None:
+                observations = scanner.scan(resolver_ips, domains,
+                                            index_range=index_range,
+                                            on_progress=on_progress)
+            else:
+                observations = scanner.scan(resolver_ips, domains,
+                                            index_range=index_range)
+            return observations, scanner.queries_sent - before
+
+        supervisor = ShardSupervisor(
+            scanner.network, run_range, perf=self.perf,
+            heartbeat_timeout=self.heartbeat_timeout,
+            supports_progress=getattr(scanner, "supports_progress", False),
+            perf_host=scanner)
+        shard_results, self.provenance = supervisor.run(ranges)
+        observations = []
+        for __, (shard_observations, queries), mode in shard_results:
+            observations.extend(shard_observations)
+            if mode == "worker":
+                # In-process rescues already advanced the live counter.
+                scanner.queries_sent += queries
+        return observations
+
+    def __repr__(self):
+        return "DomainScanEngine(shards=%d, fork=%s)" % (
+            self.shards, self.can_fork)

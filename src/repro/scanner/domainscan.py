@@ -41,8 +41,12 @@ class DnsObservation:
     def multiple_disagreeing(self):
         if len(self.all_responses) < 2:
             return False
+        # Compare (rcode, addresses): an injected NXDOMAIN followed by a
+        # genuine empty NOERROR disagrees even though both address lists
+        # are empty (the GFW's NXDOMAIN-injection signature).
         first = self.all_responses[0]
-        return any(other[1] != first[1] for other in self.all_responses[1:])
+        return any(other[0] != first[0] or other[1] != first[1]
+                   for other in self.all_responses[1:])
 
     def __repr__(self):
         return "DnsObservation(%s @ %s, rcode=%d, %r)" % (
@@ -51,6 +55,10 @@ class DnsObservation:
 
 class DomainScanner:
     """Sends A queries for a domain list to a resolver list."""
+
+    # The scan loop can report progress per resolver, so the shard
+    # engine's heartbeat supervision works (see scanner.engine).
+    supports_progress = True
 
     def __init__(self, network, source_ip, codec=None):
         self.network = network
@@ -94,17 +102,32 @@ class DomainScanner:
             all_responses=[(r, a) for r, a, __, __n in responses],
             injected_suspect=injected, ns_record_count=ns_count)
 
-    def scan(self, resolver_ips, domains):
+    def scan(self, resolver_ips, domains, index_range=None,
+             on_progress=None):
         """Query every domain at every resolver.
 
         ``domains`` is an iterable of domain-name strings.  Returns a flat
         list of observations (resolvers that never answered are absent).
+
+        ``index_range`` restricts the scan to resolvers with positions in
+        the contiguous ``(start, stop)`` slice of ``resolver_ips``.  The
+        resolver id encoded into each query stays the *global* list
+        index, so a shard worker emits byte-identical queries to the ones
+        a sequential scan would emit for those resolvers.  ``on_progress``
+        (no arguments) is invoked once per resolver — the heartbeat hook
+        for worker supervision.
         """
+        resolver_ips = list(resolver_ips)
+        start, stop = (index_range if index_range is not None
+                       else (0, len(resolver_ips)))
         observations = []
-        for resolver_id, resolver_ip in enumerate(resolver_ips):
+        for resolver_id in range(start, stop):
+            resolver_ip = resolver_ips[resolver_id]
             for domain in domains:
                 observation = self.query_domain(resolver_ip, resolver_id,
                                                 domain)
                 if observation is not None:
                     observations.append(observation)
+            if on_progress is not None:
+                on_progress()
         return observations

@@ -24,10 +24,15 @@ Three properties make this hold:
 
 Because those properties also make a *repeated* shard scan reproduce
 the exact bytes and fates of the first attempt, worker failure recovery
-is cheap and safe.  The engine supervises its workers over the result
-pipe — workers stream single-byte heartbeats while scanning and ship
-their result as one length-prefixed frame — and reacts to failures with
-escalating, narrow recovery:
+is cheap and safe.  The fork/pipe/recovery machinery lives in
+:class:`ShardSupervisor`, which is scanner-agnostic: it drives any
+``run_range((start, stop), on_progress)`` callable over contiguous
+index ranges, so the IPv4 scan (:class:`ScanEngine`) and the per-domain
+scan (:class:`repro.scanner.domainengine.DomainScanEngine`) share one
+supervision implementation.  The supervisor watches its workers over
+the result pipe — workers stream single-byte heartbeats while scanning
+and ship their result as one length-prefixed frame — and reacts to
+failures with escalating, narrow recovery:
 
 1. a worker that dies on its first attempt is retried once (fresh fork
    of the same shard);
@@ -55,7 +60,7 @@ report a few more queries than a sequential scan (one warm-up per extra
 worker) even though the scan results are identical.
 
 When ``shards <= 1`` or the platform lacks ``os.fork`` (non-POSIX), the
-engine transparently scans in-process.
+engines transparently scan in-process.
 """
 
 import os
@@ -128,66 +133,54 @@ class _Worker:
             return None
 
 
-class ScanEngine:
-    """Runs Internet-wide scans, optionally sharded across processes."""
+class ShardSupervisor:
+    """Fork/COW worker supervision over contiguous index ranges.
 
-    def __init__(self, scanner, shards=1, perf=None,
-                 heartbeat_timeout=None):
-        if shards < 1:
-            raise ValueError("shard count must be >= 1")
-        self.scanner = scanner
-        self.shards = shards
+    ``run_range((start, stop), on_progress)`` is the unit of work: it is
+    executed inside a forked worker (with a heartbeat callback when the
+    scanner ``supports_progress``) or in-process for a last-resort
+    rescue, and must return a picklable per-shard result.  The
+    supervisor owns spawning, the heartbeat/result pipe protocol, hang
+    detection, escalating death recovery, and the reconciliation of
+    worker-side network/fault counter deltas back into the parent.
+
+    ``perf_host``, when given, is the object whose ``perf`` registry is
+    swapped for a fresh one inside each worker so only shard-local
+    numbers ride back (merging the inherited copy-on-write registry
+    would double-count pre-fork totals).
+    """
+
+    def __init__(self, network, run_range, perf=None,
+                 heartbeat_timeout=None, supports_progress=False,
+                 perf_host=None):
+        self.network = network
+        self.run_range = run_range
         self.perf = perf
-        # Kill workers silent for this many wall-clock seconds (needs a
-        # scanner with ``supports_progress``); ``None`` disables.
-        self.heartbeat_timeout = heartbeat_timeout
-        if perf is not None and scanner.perf is None:
-            scanner.perf = perf
-
-    @property
-    def can_fork(self):
-        return hasattr(os, "fork")
+        self.supports_progress = supports_progress
+        self.heartbeat_timeout = (heartbeat_timeout
+                                  if supports_progress else None)
+        self.perf_host = perf_host
 
     def _count(self, name, amount=1):
         if self.perf is not None:
             self.perf.count(name, amount)
 
-    def scan(self, target_space):
-        """Scan the whole target space; returns one merged ScanResult."""
-        start = time.perf_counter()
-        network = self.scanner.network
-        fault_before = dict(getattr(network, "fault_counters", None) or {})
-        ranges = target_space.shard_ranges(self.shards)
-        if len(ranges) <= 1 or not self.can_fork:
-            result = self.scanner.scan(target_space)
-        else:
-            result = self._scan_forked(target_space, ranges)
-        if self.perf is not None:
-            self.perf.record_seconds("scan_wall",
-                                     time.perf_counter() - start)
-            self.perf.count("scans_run")
-            # Flush this scan's injected/absorbed fault deltas.
-            fault_after = getattr(network, "fault_counters", None)
-            if fault_after:
-                for name, value in fault_after.items():
-                    delta = value - fault_before.get(name, 0)
-                    if delta:
-                        self.perf.count("fault_" + name, delta)
-        return result
+    def run(self, ranges):
+        """Supervise workers over ``ranges``; returns
+        ``(shard_results, provenance)``.
 
-    # -- forked path -------------------------------------------------------
-
-    def _scan_forked(self, target_space, ranges):
-        network = self.scanner.network
-        plan = getattr(network, "faults", None)
-        supports_progress = getattr(self.scanner, "supports_progress",
-                                    False)
-        heartbeat_timeout = (self.heartbeat_timeout
-                             if supports_progress else None)
+        ``shard_results`` is ``[(start, result, mode), ...]`` sorted by
+        range start (``mode`` is ``"worker"`` or ``"in-process"``), so
+        callers can concatenate or merge per-shard results in index
+        order and know which of them already mutated parent state.
+        ``provenance`` carries one sorted entry per completed work item.
+        """
+        plan = getattr(self.network, "faults", None)
+        heartbeat_timeout = self.heartbeat_timeout
         pending = deque((start, stop, origin, 0)
                         for origin, (start, stop) in enumerate(ranges))
         active = {}                     # read fd -> _Worker
-        shard_results = []              # (start, ScanResult)
+        shard_results = []              # (start, result, mode)
         provenance = []
         rescues = []                    # items for in-process fallback
         rescued_origins = set()
@@ -196,8 +189,7 @@ class ScanEngine:
 
         while pending or active:
             while pending:
-                worker = self._spawn(target_space, pending.popleft(),
-                                     plan, supports_progress)
+                worker = self._spawn(pending.popleft(), plan)
                 active[worker.fd] = worker
             wait = 0.05 if heartbeat_timeout is not None else None
             ready, __, __unused = select.select(list(active), [], [], wait)
@@ -239,12 +231,13 @@ class ScanEngine:
         # the late retry still produces exactly the bytes and fates the
         # worker would have.
         for start, stop, origin, attempt in sorted(rescues):
-            shard_results.append((start, self.scanner.scan(
-                target_space, index_range=(start, stop))))
+            shard_results.append(
+                (start, self.run_range((start, stop), None), "in-process"))
             provenance.append({"shard": origin, "start": start,
                                "stop": stop, "mode": "in-process",
                                "attempt": attempt, "status": "rescued"})
 
+        network = self.network
         for name, delta in counter_deltas.items():
             setattr(network, name, getattr(network, name) + delta)
         fault_counters = getattr(network, "fault_counters", None)
@@ -252,22 +245,19 @@ class ScanEngine:
             for name, delta in fault_deltas.items():
                 fault_counters[name] = fault_counters.get(name, 0) + delta
         shard_results.sort(key=lambda entry: entry[0])
-        merged = merge_scan_results(
-            network.clock.now, [result for __, result in shard_results])
         # Completion order varies run to run; sorted provenance keeps
         # same-seed runs bit-identical.
-        merged.provenance = sorted(
-            provenance, key=lambda e: (e["start"], e["stop"],
+        provenance.sort(key=lambda e: (e["start"], e["stop"],
                                        e["attempt"]))
-        return merged
+        return shard_results, provenance
 
-    def _spawn(self, target_space, item, plan, supports_progress):
+    def _spawn(self, item, plan):
         """Fork one worker for a work item; returns its parent-side state."""
         start, stop, origin, attempt = item
         read_fd, write_fd = os.pipe()
         pid = os.fork()
         if pid == 0:
-            # Worker: scan one shard of the COW-shared scenario and
+            # Worker: run one shard of the COW-shared scenario and
             # ship the result back; never return into the caller.
             os.close(read_fd)
             status = 0
@@ -277,12 +267,11 @@ class ScanEngine:
                     # any work, as a crashed process would.
                     os._exit(_FAULT_EXIT)
                 on_progress = None
-                if supports_progress:
+                if self.supports_progress:
                     def on_progress():
                         os.write(write_fd, _HEARTBEAT)
                 payload = pickle.dumps(
-                    self._run_shard(target_space, (start, stop),
-                                    on_progress),
+                    self._run_shard((start, stop), on_progress),
                     protocol=pickle.HIGHEST_PROTOCOL)
                 _write_all(write_fd, _RESULT
                            + len(payload).to_bytes(4, "big") + payload)
@@ -319,7 +308,7 @@ class ScanEngine:
     def _on_success(self, item, shard, shard_results, provenance,
                     counter_deltas, fault_deltas):
         start, stop, origin, attempt = item
-        shard_results.append((start, shard["result"]))
+        shard_results.append((start, shard["result"], "worker"))
         status = ("ok" if attempt == 0
                   else "retried" if attempt == 1 else "split")
         provenance.append({"shard": origin, "start": start, "stop": stop,
@@ -334,24 +323,19 @@ class ScanEngine:
             if shard["perf"] is not None:
                 self.perf.merge(shard["perf"])
 
-    def _run_shard(self, target_space, index_range, on_progress=None):
-        """Executed inside a worker: one shard scan plus bookkeeping."""
-        network = self.scanner.network
+    def _run_shard(self, index_range, on_progress=None):
+        """Executed inside a worker: one shard run plus bookkeeping."""
+        network = self.network
+        host = self.perf_host
         # The worker inherits the parent's registry copy-on-write; swap
         # in a fresh one so only shard-local numbers ride back (merging
         # the inherited copy would double-count pre-fork totals).
-        if self.scanner.perf is not None:
-            self.scanner.perf = PerfRegistry()
+        if host is not None and getattr(host, "perf", None) is not None:
+            host.perf = PerfRegistry()
         before = {name: getattr(network, name) for name in _NET_COUNTERS}
         fault_before = dict(getattr(network, "fault_counters", None) or {})
         shard_start = time.perf_counter()
-        if on_progress is not None:
-            result = self.scanner.scan(target_space,
-                                       index_range=index_range,
-                                       on_progress=on_progress)
-        else:
-            result = self.scanner.scan(target_space,
-                                       index_range=index_range)
+        result = self.run_range(index_range, on_progress)
         wall = time.perf_counter() - shard_start
         fault_after = getattr(network, "fault_counters", None) or {}
         return {
@@ -364,8 +348,75 @@ class ScanEngine:
                 name: value - fault_before.get(name, 0)
                 for name, value in fault_after.items()
                 if value - fault_before.get(name, 0)},
-            "perf": self.scanner.perf,
+            "perf": host.perf if host is not None else None,
         }
+
+
+class ScanEngine:
+    """Runs Internet-wide scans, optionally sharded across processes."""
+
+    def __init__(self, scanner, shards=1, perf=None,
+                 heartbeat_timeout=None):
+        if shards < 1:
+            raise ValueError("shard count must be >= 1")
+        self.scanner = scanner
+        self.shards = shards
+        self.perf = perf
+        # Kill workers silent for this many wall-clock seconds (needs a
+        # scanner with ``supports_progress``); ``None`` disables.
+        self.heartbeat_timeout = heartbeat_timeout
+        if perf is not None and scanner.perf is None:
+            scanner.perf = perf
+
+    @property
+    def can_fork(self):
+        return hasattr(os, "fork")
+
+    def scan(self, target_space):
+        """Scan the whole target space; returns one merged ScanResult."""
+        start = time.perf_counter()
+        network = self.scanner.network
+        fault_before = dict(getattr(network, "fault_counters", None) or {})
+        ranges = target_space.shard_ranges(self.shards)
+        if len(ranges) <= 1 or not self.can_fork:
+            result = self.scanner.scan(target_space)
+        else:
+            result = self._scan_forked(target_space, ranges)
+        if self.perf is not None:
+            self.perf.record_seconds("scan_wall",
+                                     time.perf_counter() - start)
+            self.perf.count("scans_run")
+            # Flush this scan's injected/absorbed fault deltas.
+            fault_after = getattr(network, "fault_counters", None)
+            if fault_after:
+                for name, value in fault_after.items():
+                    delta = value - fault_before.get(name, 0)
+                    if delta:
+                        self.perf.count("fault_" + name, delta)
+        return result
+
+    # -- forked path -------------------------------------------------------
+
+    def _scan_forked(self, target_space, ranges):
+        scanner = self.scanner
+
+        def run_range(index_range, on_progress):
+            if on_progress is not None:
+                return scanner.scan(target_space, index_range=index_range,
+                                    on_progress=on_progress)
+            return scanner.scan(target_space, index_range=index_range)
+
+        supervisor = ShardSupervisor(
+            scanner.network, run_range, perf=self.perf,
+            heartbeat_timeout=self.heartbeat_timeout,
+            supports_progress=getattr(scanner, "supports_progress", False),
+            perf_host=scanner)
+        shard_results, provenance = supervisor.run(ranges)
+        merged = merge_scan_results(
+            scanner.network.clock.now,
+            [result for __, result, __mode in shard_results])
+        merged.provenance = provenance
+        return merged
 
     def __repr__(self):
         return "ScanEngine(shards=%d, fork=%s)" % (

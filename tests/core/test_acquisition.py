@@ -128,6 +128,25 @@ class TestBatchAcquire:
         assert len(mail_captures) == 1
         assert len(http_captures) == 2  # mail tuple also fetched via HTTP
 
+    def test_https_catalog_entry_fetched_https_first(self, world):
+        # The catalog says example.com serves HTTPS; batch acquisition
+        # must pass that through so the capture records the https
+        # scheme (regression: the flag used to be dropped and every
+        # fetch went http-first).
+        catalog = {"example.com": ScanDomain("example.com", "Alexa")}
+        http_captures, __ = world.acquirer.acquire(
+            [tuple_for(world)], catalog)
+        assert http_captures[0].fetched
+        assert http_captures[0].scheme == "https"
+
+    def test_plain_http_catalog_entry_stays_http_first(self, world):
+        catalog = {"example.com": ScanDomain("example.com", "Alexa",
+                                             https=False)}
+        http_captures, __ = world.acquirer.acquire(
+            [tuple_for(world)], catalog)
+        assert http_captures[0].fetched
+        assert http_captures[0].scheme == "http"
+
     def test_cache_reuses_fetch(self, world):
         tuples = [tuple_for(world, resolver="5.5.5.%d" % i)
                   for i in range(10)]

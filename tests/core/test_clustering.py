@@ -117,6 +117,68 @@ class TestAverageLinkageExactness:
         assert all(d <= threshold for d in dendrogram.merge_distances())
 
 
+class TestNnChainEquivalence:
+    """NN-chain must reproduce the pair-scan oracle's output exactly."""
+
+    def both(self, values, threshold, linkage="average"):
+        chain = hierarchical_cluster(values, scalar_distance, threshold,
+                                     linkage=linkage,
+                                     algorithm="nn-chain")
+        scan = hierarchical_cluster(values, scalar_distance, threshold,
+                                    linkage=linkage,
+                                    algorithm="pair-scan")
+        return chain, scan
+
+    def assert_equivalent(self, chain, scan):
+        chain_clusters, chain_dendrogram = chain
+        scan_clusters, scan_dendrogram = scan
+        assert [frozenset(c.indices) for c in chain_clusters] \
+            == [frozenset(c.indices) for c in scan_clusters]
+        # Merge order is sorted-by-distance in both; distances can only
+        # differ by float accumulation order in tied averages.
+        assert chain_dendrogram.merge_distances() \
+            == pytest.approx(scan_dendrogram.merge_distances())
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError):
+            hierarchical_cluster([1], scalar_distance, 1.0,
+                                 algorithm="slink")
+
+    def test_small_example_identical_history(self):
+        chain, scan = self.both([0.0, 0.1, 0.2, 10.0, 10.1, 50.0], 1.0)
+        self.assert_equivalent(chain, scan)
+        assert chain[1].merges == scan[1].merges
+
+    def test_threshold_boundary_merge_kept(self):
+        # A merge at exactly the threshold is accepted by the oracle;
+        # the chain must agree.
+        chain, scan = self.both([0.0, 1.0, 10.0], 1.0)
+        self.assert_equivalent(chain, scan)
+        assert len(chain[1]) == 1
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.floats(min_value=0, max_value=100,
+                              allow_nan=False), min_size=2, max_size=14),
+           st.floats(min_value=0.1, max_value=60),
+           st.sampled_from(["average", "single", "complete"]))
+    def test_property_matches_pair_scan(self, values, threshold,
+                                        linkage):
+        chain, scan = self.both(values, threshold, linkage=linkage)
+        self.assert_equivalent(chain, scan)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=2 ** 32 - 1))
+    def test_property_random_fixtures_full_tree(self, seed):
+        import random
+        rng = random.Random(seed)
+        values = [round(rng.uniform(0, 100), 3)
+                  for __ in range(rng.randint(2, 20))]
+        chain, scan = self.both(values, 1000.0)
+        self.assert_equivalent(chain, scan)
+        # Full agglomeration: both record exactly n - 1 merges.
+        assert len(chain[1]) == len(values) - 1
+
+
 class TestDeduplication:
     def test_duplicates_collapse_and_expand(self):
         keyed = [("a", 1.0), ("a", 1.0), ("b", 50.0), ("a", 1.0)]

@@ -4,6 +4,8 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.distance import (
+    FeatureCache,
+    MemoizedDistance,
     PageDistance,
     edit_distance,
     jaccard_distance,
@@ -158,3 +160,84 @@ class TestPageDistance:
     def test_all_zero_weights_rejected(self):
         with pytest.raises(ValueError):
             PageDistance(weights={"title": 0.0})
+
+
+class TestMemoizedDistance:
+    def make(self, perf=None):
+        calls = []
+
+        def counting(a, b):
+            calls.append((a, b))
+            return abs(a - b)
+
+        return MemoizedDistance(counting, perf=perf), calls
+
+    def test_memoizes_by_identity(self):
+        memo, calls = self.make()
+        a, b = 1.0, 3.0
+        assert memo(a, b) == 2.0
+        assert memo(a, b) == 2.0
+        assert len(calls) == 1
+        assert memo.evaluations == 1
+        assert memo.hits == 1
+
+    def test_symmetric_key(self):
+        memo, calls = self.make()
+        a, b = 1.0, 3.0
+        memo(a, b)
+        assert memo(b, a) == 2.0
+        assert len(calls) == 1
+
+    def test_hit_rate(self):
+        memo, __ = self.make()
+        assert memo.hit_rate() == 0.0
+        a, b = 1.0, 3.0
+        memo(a, b)
+        memo(a, b)
+        memo(a, b)
+        assert memo.hit_rate() == pytest.approx(2 / 3)
+
+    def test_perf_counters_mirrored(self):
+        from repro.perf import PerfRegistry
+        perf = PerfRegistry()
+        memo, __ = self.make(perf=perf)
+        a, b = 1.0, 3.0
+        memo(a, b)
+        memo(a, b)
+        assert perf.counter("distance_evals") == 1
+        assert perf.counter("distance_cache_hits") == 1
+
+
+class TestFeatureCache:
+    def test_one_profile_per_body(self):
+        cache = FeatureCache()
+        first = cache.profile_of(SIMPLE)
+        second = cache.profile_of(SIMPLE)
+        # Same OBJECT: profile identity is the distance memo's key.
+        assert first is second
+        assert cache.extractions == 1
+        assert cache.hits == 1
+        assert len(cache) == 1
+
+    def test_distinct_bodies_distinct_profiles(self):
+        cache = FeatureCache()
+        a = cache.profile_of("<title>A</title>")
+        b = cache.profile_of("<title>B</title>")
+        assert a is not b
+        assert len(cache) == 2
+
+    def test_perf_counters_mirrored(self):
+        from repro.perf import PerfRegistry
+        perf = PerfRegistry()
+        cache = FeatureCache(perf=perf)
+        cache.profile_of(SIMPLE)
+        cache.profile_of(SIMPLE)
+        assert perf.counter("feature_extractions") == 1
+        assert perf.counter("feature_cache_hits") == 1
+
+    def test_custom_extractor(self):
+        cache = FeatureCache(extractor=len)
+        assert cache.profile_of("abcd") == 4
+        assert cache.hit_rate() == 0.0
+        cache.profile_of("abcd")
+        assert cache.hit_rate() == 0.5

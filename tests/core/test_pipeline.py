@@ -103,6 +103,17 @@ class TestPipeline:
         assert report.ground_truth_bodies["blocked.example"][0] == \
             world.sites.page_for("blocked.example")
 
+    def test_ground_truth_for_uncataloged_domain_keyed_by_name(self,
+                                                               world):
+        # A ScanDomain absent from the pipeline's catalog must still be
+        # keyed by its name (regression: the fallback was str(domain),
+        # which is the repr for ScanDomain and poisoned the key space).
+        domain = ScanDomain("normal.example", "Misc")
+        world.pipeline.domain_catalog.pop("normal.example")
+        bodies = world.pipeline.collect_ground_truth([domain])
+        assert "normal.example" in bodies
+        assert not any("ScanDomain" in key for key in bodies)
+
     def test_everything_classified(self, world):
         report = world.pipeline.run(list(world.resolver_ips.values()),
                                     world.catalog)

@@ -39,6 +39,26 @@ def make_pipeline(world, **kwargs):
         domain_catalog=world.catalog, **kwargs)
 
 
+def add_fake_sites(world, count=2):
+    """Resolvers that misdirect to live servers with distinct bodies,
+    so the pipeline reaches clustering with real captures."""
+    from repro.websim.httpserver import StaticPageServer
+    foreign = world.allocator.allocate(24)
+    resolver_ips = []
+    for i in range(count):
+        server_ip = foreign.address_at(20 + i)
+        world.network.register(StaticPageServer(
+            server_ip,
+            "<html><title>Fake %d</title><body>%s</body></html>"
+            % (i, "lorem ipsum " * (i + 1))))
+        resolver_ip = world.infra.address_at(41010 + i)
+        world.network.register(ResolverNode(
+            resolver_ip, resolution_service=world.service,
+            behaviors=[StaticIpBehavior(server_ip)]))
+        resolver_ips.append(resolver_ip)
+    return resolver_ips
+
+
 class TestReportDegradation:
     def test_clean_run_not_degraded(self, world):
         pipeline = make_pipeline(world)
@@ -86,6 +106,52 @@ class TestReportDegradation:
         assert report.prefilter is not None
         assert len(report.observations) == 2
         assert report.http_captures == []
+
+    def test_clustering_failure_yields_partial_report(self, world):
+        pipeline = make_pipeline(world)
+
+        def broken_distance(a, b):
+            raise RuntimeError("distance matrix corrupt")
+
+        pipeline.distance = broken_distance
+        resolvers = list(world.resolver_ips.values()) \
+            + add_fake_sites(world)
+        report = pipeline.run(resolvers, world.catalog)
+        stages = [entry["stage"] for entry in report.degraded]
+        assert "clustering" in stages
+        assert report.clusters == []
+        assert report.dendrogram is None
+        # The chain kept going: captures survive, labeling ran on the
+        # (empty) cluster list instead of raising.
+        assert report.http_captures
+        assert report.labeled == []
+
+    def test_labeling_failure_yields_partial_report(self, world):
+        import repro.core.pipeline as pipeline_module
+        pipeline = make_pipeline(world)
+
+        class BrokenLabeler:
+            def __init__(self, ground_truth_bodies):
+                pass
+
+            def label_clusters(self, clusters):
+                raise RuntimeError("labeler heuristics crashed")
+
+        resolvers = list(world.resolver_ips.values()) \
+            + add_fake_sites(world)
+        original = pipeline_module.ClusterLabeler
+        pipeline_module.ClusterLabeler = BrokenLabeler
+        try:
+            report = pipeline.run(resolvers, world.catalog)
+        finally:
+            pipeline_module.ClusterLabeler = original
+        stages = [entry["stage"] for entry in report.degraded]
+        assert "labeling" in stages
+        assert report.labeled == []
+        assert report.diff_clusters == []
+        # Everything upstream of labeling survived intact.
+        assert report.clusters
+        assert report.prefilter is not None
 
     def test_ground_truth_failure_still_labels(self, world):
         pipeline = make_pipeline(world)

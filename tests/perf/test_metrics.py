@@ -12,6 +12,42 @@ class TestCounters:
         assert perf.counter("missing") == 0
 
 
+class TestGauges:
+    def test_set_and_read(self):
+        perf = PerfRegistry()
+        perf.gauge("pipeline_domain_scan_qps", 125.0)
+        assert perf.gauge_value("pipeline_domain_scan_qps") == 125.0
+        assert perf.gauge_value("missing") == 0.0
+        assert perf.gauge_value("missing", default=-1.0) == -1.0
+
+    def test_last_value_wins(self):
+        perf = PerfRegistry()
+        perf.gauge("hit_rate", 0.2)
+        perf.gauge("hit_rate", 0.9)
+        assert perf.gauge_value("hit_rate") == 0.9
+
+    def test_merge_overwrites(self):
+        parent, shard = PerfRegistry(), PerfRegistry()
+        parent.gauge("hit_rate", 0.1)
+        shard.gauge("hit_rate", 0.5)
+        shard.gauge("qps", 10.0)
+        parent.merge(shard)
+        assert parent.gauge_value("hit_rate") == 0.5
+        assert parent.gauge_value("qps") == 10.0
+
+    def test_snapshot_and_report(self):
+        import json
+
+        perf = PerfRegistry()
+        perf.gauge("hit_rate", 0.25)
+        snapshot = perf.snapshot()
+        assert json.loads(json.dumps(snapshot)) == snapshot
+        assert snapshot["gauges"]["hit_rate"] == 0.25
+        report = perf.format_report("perf x")
+        assert "hit_rate" in report
+        assert "0.25" in report
+
+
 class TestTimers:
     def test_record_accumulates(self):
         perf = PerfRegistry()

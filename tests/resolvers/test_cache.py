@@ -44,6 +44,26 @@ class TestDnsCache:
         # The entry closest to expiry (d0, ttl=100) was evicted.
         assert cache.get("d0.example", 1, now=1) is None
 
+    def test_refresh_at_capacity_does_not_evict(self):
+        # Re-putting an existing key when the cache is full must not
+        # evict a victim (regression: the eviction check ran before the
+        # existing-key check, shrinking the cache on every refresh).
+        cache = DnsCache(max_entries=3)
+        for i in range(3):
+            cache.put("d%d.example" % i, 1, a_records(ttl=100 + i), now=0)
+        cache.put("d0.example", 1, a_records(ttl=500), now=0)
+        assert len(cache) == 3
+        for i in range(3):
+            assert cache.get("d%d.example" % i, 1, now=1) is not None
+
+    def test_refresh_is_case_insensitive_at_capacity(self):
+        cache = DnsCache(max_entries=2)
+        cache.put("a.example", 1, a_records(ttl=100), now=0)
+        cache.put("b.example", 1, a_records(ttl=200), now=0)
+        cache.put("A.Example", 1, a_records(ttl=300), now=0)
+        assert len(cache) == 2
+        assert cache.get("b.example", 1, now=1) is not None
+
     def test_flush(self):
         cache = DnsCache()
         cache.put("x.example", 1, a_records(), now=0)

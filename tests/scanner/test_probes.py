@@ -22,6 +22,7 @@ from repro.scanner import (
     FingerprintMatcher,
 )
 from repro.scanner.banner import HostBanners
+from repro.scanner.domainscan import DnsObservation
 from repro.scanner.chaos import (
     OUTCOME_ERROR,
     OUTCOME_HIDDEN,
@@ -217,6 +218,28 @@ class TestDomainScanner:
                                     ["example.com"])
         assert {o.resolver_ip for o in observations} == {first.ip,
                                                          second.ip}
+
+    def test_disagreement_on_rcode_alone(self):
+        # GFW NXDOMAIN injection: an injected NXDOMAIN followed by the
+        # genuine empty NOERROR — both address lists empty — must still
+        # count as disagreeing responses (regression: only the address
+        # lists were compared, so rcode-only disagreement was missed).
+        observation = DnsObservation(
+            "example.com", "1.2.3.4", 3, [],
+            all_responses=[(3, []), (0, [])])
+        assert observation.multiple_disagreeing
+
+    def test_disagreement_on_addresses(self):
+        observation = DnsObservation(
+            "example.com", "1.2.3.4", 0, ["6.6.6.6"],
+            all_responses=[(0, ["6.6.6.6"]), (0, ["198.18.0.1"])])
+        assert observation.multiple_disagreeing
+
+    def test_agreeing_duplicates_not_flagged(self):
+        observation = DnsObservation(
+            "example.com", "1.2.3.4", 0, ["198.18.0.1"],
+            all_responses=[(0, ["198.18.0.1"]), (0, ["198.18.0.1"])])
+        assert not observation.multiple_disagreeing
 
     def test_ns_record_count(self, world):
         from repro.resolvers import NsOnlyBehavior

@@ -27,6 +27,15 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["audit"])
 
+    def test_pipeline_shards_default(self):
+        args = build_parser().parse_args(["classify"])
+        assert args.pipeline_shards == 1
+
+    def test_pipeline_shards_override(self):
+        args = build_parser().parse_args(
+            ["classify", "--pipeline-shards", "4"])
+        assert args.pipeline_shards == 4
+
 
 SMALL = ["--scale", "120000", "--seed", "3"]
 
@@ -52,6 +61,13 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "legitimate" in out
         assert "classified" in out
+
+    def test_classify_sharded_matches_sequential(self, capsys):
+        assert main(["classify", "--set", "Dating"] + SMALL) == 0
+        sequential = capsys.readouterr().out
+        assert main(["classify", "--set", "Dating",
+                     "--pipeline-shards", "2"] + SMALL) == 0
+        assert capsys.readouterr().out == sequential
 
     def test_audit_falls_back_to_real_resolver(self, capsys):
         assert main(["audit", "203.0.113.7"] + SMALL) == 0
