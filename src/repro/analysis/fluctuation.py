@@ -40,7 +40,9 @@ def as_fluctuation(first_result, last_result, as_registry, top=10):
             "delta": last_count - first_count,
             "delta_pct": percentage(last_count - first_count, first_count),
         })
-    rows.sort(key=lambda row: row["delta"])
+    # ASN breaks delta ties so the ranking is independent of responder
+    # set-iteration order (e.g. snapshots restored from a checkpoint).
+    rows.sort(key=lambda row: (row["delta"], row["asn"]))
     return rows[:top]
 
 
@@ -128,7 +130,8 @@ def broadband_share_of_top_networks(result, as_registry, top=25):
         asn = as_registry.asn_of(ip)
         if asn is not None:
             counts[asn] = counts.get(asn, 0) + 1
-    ranked = sorted(counts.items(), key=lambda item: -item[1])[:top]
+    ranked = sorted(counts.items(),
+                    key=lambda item: (-item[1], item[0]))[:top]
     if not ranked:
         return 0.0, []
     rows = []

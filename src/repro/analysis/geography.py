@@ -13,7 +13,11 @@ def country_fluctuation(first_result, last_result, geoip, top=10):
     """
     first_counts = geoip.count_by_country(first_result.responders)
     last_counts = geoip.count_by_country(last_result.responders)
-    ranked = sorted(first_counts.items(), key=lambda item: -item[1])
+    # Country code breaks count ties: responder sets reach here in
+    # set-iteration order, which is not stable across e.g. a snapshot
+    # restored from a checkpoint, and rank order must be.
+    ranked = sorted(first_counts.items(),
+                    key=lambda item: (-item[1], item[0]))
     rows = []
     for country, first_count in ranked[:top]:
         last_count = last_counts.get(country, 0)
@@ -40,7 +44,7 @@ def extreme_changes(first_result, last_result, geoip, min_first=10):
         last_count = last_counts.get(country, 0)
         changes.append((country, percentage(last_count - first_count,
                                             first_count)))
-    changes.sort(key=lambda item: item[1])
+    changes.sort(key=lambda item: (item[1], item[0]))
     return changes
 
 
@@ -49,7 +53,7 @@ def rir_fluctuation(first_result, last_result, geoip):
     first_counts = geoip.count_by_rir(first_result.responders)
     last_counts = geoip.count_by_rir(last_result.responders)
     rows = []
-    for rir in sorted(first_counts, key=lambda r: -first_counts[r]):
+    for rir in sorted(first_counts, key=lambda r: (-first_counts[r], r)):
         first_count = first_counts[rir]
         last_count = last_counts.get(rir, 0)
         rows.append({

@@ -148,7 +148,7 @@ class Fig4Result:
         total = sum(counts.values()) or 1
         return sorted(((country, percentage(count, total))
                        for country, count in counts.items()),
-                      key=lambda item: -item[1])
+                      key=lambda item: (-item[1], item[0]))
 
     def all_shares(self):
         return self._shares(self.all_counts)

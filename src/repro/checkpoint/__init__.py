@@ -1,0 +1,47 @@
+"""Crash-safe checkpointing: write-ahead journal, atomic snapshots, resume.
+
+See :mod:`repro.checkpoint.run` for the supervisor that ties the pieces
+together, and ``DESIGN.md`` ("Durability & resume") for the invariants.
+"""
+
+from repro.checkpoint.journal import Journal, JournalReplay
+from repro.checkpoint.run import CheckpointedRun, CheckpointScope
+from repro.checkpoint.state import (
+    NET_COUNTERS,
+    capture_dns_caches,
+    capture_world_state,
+    churn_digest,
+    restore_dns_caches,
+    restore_world_state,
+)
+from repro.checkpoint.store import (
+    CheckpointError,
+    SnapshotCorruption,
+    SnapshotStore,
+    atomic_write_bytes,
+    atomic_write_text,
+    decode_snapshot,
+    encode_snapshot,
+    key_filename,
+)
+
+__all__ = [
+    "CheckpointError",
+    "CheckpointScope",
+    "CheckpointedRun",
+    "Journal",
+    "JournalReplay",
+    "NET_COUNTERS",
+    "SnapshotCorruption",
+    "SnapshotStore",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "capture_dns_caches",
+    "capture_world_state",
+    "churn_digest",
+    "restore_dns_caches",
+    "decode_snapshot",
+    "encode_snapshot",
+    "key_filename",
+    "restore_world_state",
+]

@@ -47,6 +47,63 @@ def _add_common(parser):
                              "round-trip estimate")
 
 
+def _add_checkpoint(parser):
+    parser.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                        help="directory for the crash-safe write-ahead "
+                             "journal and per-unit snapshots; completed "
+                             "weeks/stages/shards are committed durably "
+                             "as they finish")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume an interrupted run from "
+                             "--checkpoint-dir, re-entering at the "
+                             "first incomplete unit of work")
+
+
+def _open_checkpoint(args, scenario, perf, extra_meta=None):
+    """Build the CheckpointedRun for this command, or ``None``."""
+    directory = getattr(args, "checkpoint_dir", None)
+    if not directory:
+        if getattr(args, "resume", False):
+            raise SystemExit("--resume requires --checkpoint-dir")
+        return None
+    from repro.checkpoint import CheckpointedRun
+    meta = {"command": args.command, "scale": args.scale,
+            "seed": args.seed, "shards": args.shards,
+            "faults": getattr(args, "faults", None) or None}
+    meta.update(extra_meta or {})
+    checkpoint = CheckpointedRun(
+        directory, meta=meta, resume=getattr(args, "resume", False),
+        fault_plan=getattr(scenario.network, "faults", None), perf=perf)
+    if checkpoint.provenance["journal_records_replayed"] or \
+            checkpoint.provenance["journal_records_quarantined"]:
+        print("checkpoint: replayed %d journal records "
+              "(%d quarantined) from %s"
+              % (checkpoint.provenance["journal_records_replayed"],
+                 checkpoint.provenance["journal_records_quarantined"],
+                 directory), file=sys.stderr)
+    return checkpoint
+
+
+def _finish_checkpoint(checkpoint, crashed=None):
+    """Write provenance and report the run's durability outcome."""
+    if checkpoint is None:
+        return 0
+    from repro.reporting import format_resume_provenance
+    path = checkpoint.write_provenance()
+    if crashed is not None:
+        print("injected crash: %s (checkpoint preserved in %s; "
+              "rerun with --resume)" % (crashed, checkpoint.directory),
+              file=sys.stderr)
+    print(format_resume_provenance(checkpoint.provenance),
+          file=sys.stderr)
+    print("checkpoint provenance written to %s" % path, file=sys.stderr)
+    checkpoint.close()
+    if crashed is not None:
+        from repro.faults import CRASH_EXIT_CODE
+        return CRASH_EXIT_CODE
+    return 0
+
+
 def _build(args):
     print("building 1:%d world (seed %d)..." % (args.scale, args.seed),
           file=sys.stderr)
@@ -107,19 +164,25 @@ def cmd_campaign(args):
         format_series,
         magnitude_series,
     )
+    from repro.faults import InjectedCrash
     scenario = _build(args)
     perf = _perf_registry(args)
+    checkpoint = _open_checkpoint(args, scenario, perf,
+                                  extra_meta={"weeks": args.weeks})
     campaign = scenario.new_campaign(verify=False, shards=args.shards,
                                      perf=perf, retries=args.retries,
                                      probe_timeout=args.probe_timeout)
-    campaign.run(args.weeks)
+    try:
+        campaign.run(args.weeks, checkpoint=checkpoint)
+    except InjectedCrash as crash:
+        return _finish_checkpoint(checkpoint, crashed=crash)
     series = magnitude_series(campaign.snapshots)
     print(format_series(series))
     print("decline ratio: %.2f" % decline_ratio(series))
     print()
     print(format_survival(churn_survival(campaign.snapshots)))
     _report_perf(args, perf)
-    return 0
+    return _finish_checkpoint(checkpoint)
 
 
 def cmd_fingerprint(args):
@@ -222,20 +285,34 @@ def cmd_audit(args):
 
 
 def cmd_fullstudy(args):
+    from repro.faults import InjectedCrash
     from repro.reporting import render_markdown, run_full_study
     scenario = _build(args)
-    results = run_full_study(
-        scenario, weeks=args.weeks, snoop_sample=args.snoop_sample,
-        pipeline_shards=args.pipeline_shards,
-        progress=lambda message: print(message, file=sys.stderr))
+    perf = _perf_registry(args)
+    checkpoint = _open_checkpoint(
+        args, scenario, perf,
+        extra_meta={"weeks": args.weeks,
+                    "snoop_sample": args.snoop_sample,
+                    "pipeline_shards": args.pipeline_shards})
+    try:
+        results = run_full_study(
+            scenario, weeks=args.weeks, snoop_sample=args.snoop_sample,
+            pipeline_shards=args.pipeline_shards, shards=args.shards,
+            checkpoint=checkpoint, perf=perf,
+            progress=lambda message: print(message, file=sys.stderr))
+    except InjectedCrash as crash:
+        return _finish_checkpoint(checkpoint, crashed=crash)
     report = render_markdown(results, scenario=scenario)
     if args.out:
-        with open(args.out, "w") as handle:
-            handle.write(report + "\n")
+        # Atomic replace: a crash mid-write must never leave a torn
+        # report where a complete one (from a previous run) stood.
+        from repro.checkpoint import atomic_write_text
+        atomic_write_text(args.out, report + "\n")
         print("report written to %s" % args.out, file=sys.stderr)
     else:
         print(report)
-    return 0
+    _report_perf(args, perf)
+    return _finish_checkpoint(checkpoint)
 
 
 def build_parser():
@@ -252,6 +329,7 @@ def build_parser():
     campaign = subparsers.add_parser("campaign",
                                      help="weekly scan campaign")
     _add_common(campaign)
+    _add_checkpoint(campaign)
     campaign.add_argument("--weeks", type=int, default=12)
     campaign.set_defaults(func=cmd_campaign)
 
@@ -275,6 +353,7 @@ def build_parser():
     fullstudy = subparsers.add_parser(
         "fullstudy", help="run every experiment, emit one report")
     _add_common(fullstudy)
+    _add_checkpoint(fullstudy)
     fullstudy.add_argument("--weeks", type=int, default=20)
     fullstudy.add_argument("--snoop-sample", type=int, default=200)
     fullstudy.add_argument("--out", default=None)

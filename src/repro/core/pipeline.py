@@ -153,7 +153,47 @@ class ManipulationPipeline:
             return nullcontext()
         return self.perf.stage("pipeline_" + name)
 
-    def run(self, resolver_ips, domains):
+    def _unit(self, checkpoint, report, name, compute, apply):
+        """One checkpointable stage of the Figure 3 chain.
+
+        Without a checkpoint this is just ``apply(compute())``.  With
+        one, a committed stage is restored — its payload re-applied to
+        the report, its degradation entries replayed, and the world
+        state its commit captured (clock, counters, perf, the domain
+        scanner's ``queries_sent``) reinstated — while a fresh stage is
+        committed after it applies, then offers the crash plane a shot
+        at the ``stage`` boundary.
+        """
+        if checkpoint is not None:
+            record = checkpoint.restore(("stage", name))
+            if record is not None:
+                from repro.checkpoint import restore_world_state
+                payload = record["payload"]
+                apply(payload)
+                for entry in payload.get("degraded") or ():
+                    report.degraded.append(dict(entry))
+                state = record["state"] or {}
+                restore_world_state(self.network, self.perf, state)
+                if "queries_sent" in state and \
+                        hasattr(self.scanner, "queries_sent"):
+                    self.scanner.queries_sent = state["queries_sent"]
+                return
+        degraded_before = len(report.degraded)
+        payload = compute()
+        apply(payload)
+        if checkpoint is not None:
+            from repro.checkpoint import capture_world_state
+            payload = dict(payload)
+            payload["degraded"] = [
+                dict(entry) for entry
+                in report.degraded[degraded_before:]]
+            state = capture_world_state(self.network, self.perf)
+            if hasattr(self.scanner, "queries_sent"):
+                state["queries_sent"] = self.scanner.queries_sent
+            checkpoint.commit(("stage", name), payload, state=state)
+            checkpoint.maybe_crash("stage", (name,))
+
+    def run(self, resolver_ips, domains, checkpoint=None):
         """Execute steps 2–6 of Figure 3 for one domain set.
 
         ``resolver_ips`` come from a fresh Internet-wide scan (step 1);
@@ -164,111 +204,183 @@ class ManipulationPipeline:
         empty, the failure is recorded in ``report.degraded``, and the
         remaining stages run on whatever survived — the partial report
         the ROADMAP's graceful-degradation goal calls for.
+
+        ``checkpoint``, when given, is a :class:`repro.checkpoint`
+        scope: every stage's result is committed as it completes, and a
+        resumed pipeline re-enters at the first incomplete stage with
+        the earlier stages' outputs (and world state) restored.
         """
         report = PipelineReport()
         names = [d.name for d in domains]
+        resolver_ips = list(resolver_ips)
+
         # Step 2: domain scan (sharded across workers when shards > 1).
-        queries_before = getattr(self.scanner, "queries_sent", 0)
-        with self._stage("domain_scan"):
-            try:
-                report.observations = self.domain_engine.scan(resolver_ips,
-                                                              names)
-            except Exception as error:
-                report.mark_degraded("domain_scan", repr(error))
-        if self.perf is not None:
-            self.perf.count("pipeline_domain_queries",
-                            getattr(self.scanner, "queries_sent", 0)
-                            - queries_before)
-            self.perf.gauge(
-                "pipeline_domain_scan_qps",
-                self.perf.rate("pipeline_domain_queries",
-                               "pipeline_domain_scan"))
+        def compute_domain_scan():
+            queries_before = getattr(self.scanner, "queries_sent", 0)
+            observations = []
+            with self._stage("domain_scan"):
+                try:
+                    scope = (checkpoint.scope("stage", "domain_scan")
+                             if checkpoint is not None else None)
+                    observations = self.domain_engine.scan(
+                        resolver_ips, names, checkpoint=scope)
+                except Exception as error:
+                    report.mark_degraded("domain_scan", repr(error))
+            if self.perf is not None:
+                self.perf.count("pipeline_domain_queries",
+                                getattr(self.scanner, "queries_sent", 0)
+                                - queries_before)
+                self.perf.gauge(
+                    "pipeline_domain_scan_qps",
+                    self.perf.rate("pipeline_domain_queries",
+                                   "pipeline_domain_scan"))
+            return {"observations": observations}
+
+        def apply_domain_scan(payload):
+            report.observations = payload["observations"]
+
+        self._unit(checkpoint, report, "domain_scan",
+                   compute_domain_scan, apply_domain_scan)
+
         # Step 3: DNS-based prefiltering.
-        with self._stage("prefilter"):
-            try:
-                report.prefilter = self.prefilterer.process(
-                    report.observations, self.domain_catalog)
-            except Exception as error:
-                report.mark_degraded("prefilter", repr(error))
-            # Ground truth content, used by labeling and diff clustering.
-            try:
-                report.ground_truth_bodies = self.collect_ground_truth(
-                    domains)
-            except Exception as error:
-                report.mark_degraded("ground_truth", repr(error))
+        def compute_prefilter():
+            prefilter = None
+            with self._stage("prefilter"):
+                try:
+                    prefilter = self.prefilterer.process(
+                        report.observations, self.domain_catalog)
+                except Exception as error:
+                    report.mark_degraded("prefilter", repr(error))
+            return {"prefilter": prefilter}
+
+        def apply_prefilter(payload):
+            report.prefilter = payload["prefilter"]
+
+        self._unit(checkpoint, report, "prefilter",
+                   compute_prefilter, apply_prefilter)
+
+        # Ground truth content, used by labeling and diff clustering.
+        def compute_ground_truth():
+            bodies = {}
+            with self._stage("ground_truth"):
+                try:
+                    bodies = self.collect_ground_truth(domains)
+                except Exception as error:
+                    report.mark_degraded("ground_truth", repr(error))
+            return {"ground_truth_bodies": bodies}
+
+        def apply_ground_truth(payload):
+            report.ground_truth_bodies = payload["ground_truth_bodies"]
+
+        self._unit(checkpoint, report, "ground_truth",
+                   compute_ground_truth, apply_ground_truth)
+
         # Step 4: data acquisition for unknown tuples.
-        with self._stage("acquisition"):
+        def compute_acquisition():
             unknown = (report.prefilter.unknown
                        if report.prefilter is not None else [])
-            try:
-                http_captures, mail_captures = self.acquirer.acquire(
-                    unknown, self.domain_catalog)
-            except Exception as error:
-                report.mark_degraded("acquisition", repr(error))
-                http_captures, mail_captures = [], []
-            if self.acquirer.budget_exhausted:
-                report.mark_degraded(
-                    "acquisition",
-                    "error budget exhausted after %d unreachable "
-                    "fetches" % self.acquirer.failed_fetches)
-        report.mail_captures = mail_captures
-        report.http_captures = [c for c in http_captures if c.fetched]
-        report.failed_captures = [c for c in http_captures if not c.fetched]
+            with self._stage("acquisition"):
+                try:
+                    http_captures, mail_captures = self.acquirer.acquire(
+                        unknown, self.domain_catalog)
+                except Exception as error:
+                    report.mark_degraded("acquisition", repr(error))
+                    http_captures, mail_captures = [], []
+                if self.acquirer.budget_exhausted:
+                    report.mark_degraded(
+                        "acquisition",
+                        "error budget exhausted after %d unreachable "
+                        "fetches" % self.acquirer.failed_fetches)
+            return {"http_captures": http_captures,
+                    "mail_captures": mail_captures}
+
+        def apply_acquisition(payload):
+            http_captures = payload["http_captures"]
+            report.mail_captures = payload["mail_captures"]
+            report.http_captures = [c for c in http_captures if c.fetched]
+            report.failed_captures = [c for c in http_captures
+                                      if not c.fetched]
+
+        self._unit(checkpoint, report, "acquisition",
+                   compute_acquisition, apply_acquisition)
+
         # Step 5: coarse clustering (deduplicating identical bodies).
-        profile_of = (lambda capture: self.features.profile_of(capture.body))
-        keyed = [(capture.body, capture) for capture in report.http_captures]
-        with self._stage("clustering"):
-            try:
-                clusters, dendrogram = cluster_deduplicated(
-                    keyed,
-                    lambda a, b: self.distance(profile_of(a), profile_of(b)),
-                    self.cluster_threshold)
-            except Exception as error:
-                report.mark_degraded("clustering", repr(error))
-                clusters, dendrogram = [], None
-        if self.perf is not None:
-            # Pair evaluations the body dedup spared the distance
-            # matrix: all-pairs over captures minus all-pairs over
-            # distinct bodies.
-            total = len(keyed)
-            unique = len({key for key, __ in keyed})
-            self.perf.count("pipeline_distance_evals_avoided",
-                            (total * (total - 1) - unique * (unique - 1))
-                            // 2)
-        report.clusters = clusters
-        report.dendrogram = dendrogram
+        def compute_clustering():
+            profile_of = (
+                lambda capture: self.features.profile_of(capture.body))
+            keyed = [(capture.body, capture)
+                     for capture in report.http_captures]
+            with self._stage("clustering"):
+                try:
+                    clusters, dendrogram = cluster_deduplicated(
+                        keyed,
+                        lambda a, b: self.distance(profile_of(a),
+                                                   profile_of(b)),
+                        self.cluster_threshold)
+                except Exception as error:
+                    report.mark_degraded("clustering", repr(error))
+                    clusters, dendrogram = [], None
+            if self.perf is not None:
+                # Pair evaluations the body dedup spared the distance
+                # matrix: all-pairs over captures minus all-pairs over
+                # distinct bodies.
+                total = len(keyed)
+                unique = len({key for key, __ in keyed})
+                self.perf.count(
+                    "pipeline_distance_evals_avoided",
+                    (total * (total - 1) - unique * (unique - 1)) // 2)
+            return {"clusters": clusters, "dendrogram": dendrogram}
+
+        def apply_clustering(payload):
+            report.clusters = payload["clusters"]
+            report.dendrogram = payload["dendrogram"]
+
+        self._unit(checkpoint, report, "clustering",
+                   compute_clustering, apply_clustering)
+
         # Step 6: labeling.
-        with self._stage("labeling"):
-            try:
-                labeler = ClusterLabeler(report.ground_truth_bodies)
-                report.labeled = labeler.label_clusters(clusters)
-                # Fine-grained diff clustering of near-original
-                # modifications.
-                diff_profiles = []
-                for capture in report.http_captures:
-                    truths = report.ground_truth_bodies.get(
-                        normalize_name(capture.domain))
-                    if not truths or not capture.body:
-                        continue
-                    profile = build_diff_profile(capture, truths)
-                    if 0 < profile.modification_size <= 40:
-                        diff_profiles.append(profile)
-                if diff_profiles:
-                    report.diff_clusters, __ = diff_cluster(
-                        diff_profiles, threshold=self.diff_threshold)
-            except Exception as error:
-                report.mark_degraded("labeling", repr(error))
-                report.labeled = []
-                report.diff_clusters = []
-        if self.perf is not None:
-            self.perf.count("pipeline_observations",
-                            len(report.observations))
-            self.perf.count("pipeline_captures",
-                            len(report.http_captures))
-            self.perf.gauge("pipeline_distance_cache_hit_rate",
-                            self.distance.hit_rate())
-            self.perf.gauge("pipeline_feature_cache_hit_rate",
-                            self.features.hit_rate())
+        def compute_labeling():
+            labeled = []
+            diff_clusters = []
+            with self._stage("labeling"):
+                try:
+                    labeler = ClusterLabeler(report.ground_truth_bodies)
+                    labeled = labeler.label_clusters(report.clusters)
+                    # Fine-grained diff clustering of near-original
+                    # modifications.
+                    diff_profiles = []
+                    for capture in report.http_captures:
+                        truths = report.ground_truth_bodies.get(
+                            normalize_name(capture.domain))
+                        if not truths or not capture.body:
+                            continue
+                        profile = build_diff_profile(capture, truths)
+                        if 0 < profile.modification_size <= 40:
+                            diff_profiles.append(profile)
+                    if diff_profiles:
+                        diff_clusters, __ = diff_cluster(
+                            diff_profiles, threshold=self.diff_threshold)
+                except Exception as error:
+                    report.mark_degraded("labeling", repr(error))
+                    labeled = []
+                    diff_clusters = []
+            if self.perf is not None:
+                self.perf.count("pipeline_observations",
+                                len(report.observations))
+                self.perf.count("pipeline_captures",
+                                len(report.http_captures))
+                self.perf.gauge("pipeline_distance_cache_hit_rate",
+                                self.distance.hit_rate())
+                self.perf.gauge("pipeline_feature_cache_hit_rate",
+                                self.features.hit_rate())
+            return {"labeled": labeled, "diff_clusters": diff_clusters}
+
+        def apply_labeling(payload):
+            report.labeled = payload["labeled"]
+            report.diff_clusters = payload["diff_clusters"]
+
+        self._unit(checkpoint, report, "labeling",
+                   compute_labeling, apply_labeling)
         return report
 
     # -- mail classification --------------------------------------------------

@@ -24,9 +24,35 @@ engine then consult it at well-defined decision points:
 Faults absorbed or injected anywhere increment
 ``network.fault_counters``; the scan engine flushes those into its
 :class:`repro.perf.PerfRegistry` as ``fault_*`` counters.
+
+The crash plane (``crashes`` / ``torn_write``) is consulted by the
+checkpoint supervisor rather than the network: a crash draw raises
+:class:`InjectedCrash` at a unit-of-work boundary, and a torn-write draw
+truncates the write-ahead journal mid-record, so chaos tests can kill a
+campaign anywhere and assert a resumed run converges bit-identically.
 """
 
+import zlib
+
 _M64 = (1 << 64) - 1
+
+# Exit code for a run terminated by an injected crash (BSD EX_SOFTWARE).
+CRASH_EXIT_CODE = 70
+
+
+class InjectedCrash(BaseException):
+    """A fault-plane-ordered process death at a checkpoint boundary.
+
+    Derives from ``BaseException`` so the pipeline's per-stage
+    ``except Exception`` degradation guards cannot absorb it — an
+    injected crash must kill the run, exactly like SIGKILL would, and
+    only the top-level CLI handler may observe it.
+    """
+
+    def __init__(self, kind, point):
+        super().__init__("injected %s crash at %s" % (kind, point))
+        self.kind = kind
+        self.point = point
 
 
 def _mix64(value):
@@ -51,6 +77,8 @@ _SALT_TRUNCATION = 0x65
 _SALT_TCP_HANG = 0x66
 _SALT_FLAP = 0x67
 _SALT_WORKER_DEATH = 0x68
+_SALT_CRASH = 0x69
+_SALT_TORN = 0x6A
 
 _WEEK = 7 * 24 * 3600.0
 
@@ -58,7 +86,7 @@ _PROFILE_FIELDS = (
     "loss_rate", "burst_share", "burst_loss_rate", "rate_limit_share",
     "rate_limit_step", "truncation_rate", "tcp_hang_rate",
     "tcp_stall_seconds", "flap_share", "flap_period", "flap_duty",
-    "worker_death_rate",
+    "worker_death_rate", "crash_rate", "torn_write_rate",
 )
 
 
@@ -69,13 +97,22 @@ class FaultProfile:
     worker attempts that die for it (``{0: 2}`` = shard 0's first two
     workers are killed); it forces deterministic worker deaths for
     supervision tests and chaos smoke runs.
+
+    ``crash_points`` lists canonical checkpoint-boundary names (see
+    :meth:`FaultPlan.crash_point`, e.g. ``"week:3"``) at which the first
+    arrival is killed; ``torn_points`` lists journal sequence numbers
+    whose append is torn mid-record.  Both force deterministic deaths
+    for kill-anywhere resume tests, alongside the corresponding
+    ``crash_rate`` / ``torn_write_rate`` probabilistic draws.
     """
 
     def __init__(self, loss_rate=0.0, burst_share=0.0, burst_loss_rate=0.0,
                  rate_limit_share=0.0, rate_limit_step=0,
                  truncation_rate=0.0, tcp_hang_rate=0.0,
                  tcp_stall_seconds=30.0, flap_share=0.0, flap_period=4,
-                 flap_duty=0.25, worker_death_rate=0.0, kill_shards=None):
+                 flap_duty=0.25, worker_death_rate=0.0, kill_shards=None,
+                 crash_rate=0.0, torn_write_rate=0.0, crash_points=(),
+                 torn_points=()):
         self.loss_rate = loss_rate
         # Spatial burst windows: a share of /16-sized destination windows
         # suffers elevated loss for the whole scan epoch (lightning-storm
@@ -101,11 +138,17 @@ class FaultProfile:
         self.flap_duty = flap_duty
         self.worker_death_rate = worker_death_rate
         self.kill_shards = dict(kill_shards or {})
+        self.crash_rate = crash_rate
+        self.torn_write_rate = torn_write_rate
+        self.crash_points = tuple(crash_points)
+        self.torn_points = tuple(int(seq) for seq in torn_points)
 
     def replace(self, **overrides):
         """A copy of this profile with the given fields replaced."""
         fields = {name: getattr(self, name) for name in _PROFILE_FIELDS}
         fields["kill_shards"] = dict(self.kill_shards)
+        fields["crash_points"] = self.crash_points
+        fields["torn_points"] = self.torn_points
         fields.update(overrides)
         return FaultProfile(**fields)
 
@@ -115,6 +158,10 @@ class FaultProfile:
                   if getattr(self, name) not in (0, 0.0)]
         if self.kill_shards:
             active.append("kill_shards=%r" % self.kill_shards)
+        if self.crash_points:
+            active.append("crash_points=%r" % (self.crash_points,))
+        if self.torn_points:
+            active.append("torn_points=%r" % (self.torn_points,))
         return "FaultProfile(%s)" % ", ".join(active)
 
 
@@ -140,10 +187,17 @@ def parse_fault_spec(spec):
     (default ``mild``) followed by field overrides, e.g.
     ``aggressive,loss_rate=0.2,kill=0:2,kill=1``.  ``kill=N[:M]`` adds a
     forced worker death entry (shard ``N`` dies ``M`` times, default 1).
+    ``crash=POINT`` adds a forced checkpoint-boundary crash (e.g.
+    ``crash=week:3``, using ``/`` for key separators: ``crash=week:3/scan``)
+    and ``torn=SEQ`` adds a forced torn journal append at that sequence
+    number; both fire only on their first arrival so a resumed run
+    proceeds past them.
     """
     profile = None
     overrides = {}
     kills = {}
+    crash_points = []
+    torn_points = []
     for token in str(spec).split(","):
         token = token.strip()
         if not token:
@@ -166,6 +220,12 @@ def parse_fault_spec(spec):
             shard, __, times = raw.partition(":")
             kills[int(shard)] = int(times) if times else 1
             continue
+        if key == "crash":
+            crash_points.append(raw)
+            continue
+        if key == "torn":
+            torn_points.append(int(raw))
+            continue
         if key not in _PROFILE_FIELDS:
             raise ValueError("unknown fault field %r (choose from: %s)"
                              % (key, ", ".join(_PROFILE_FIELDS)))
@@ -179,6 +239,12 @@ def parse_fault_spec(spec):
         merged = dict(profile.kill_shards)
         merged.update(kills)
         overrides["kill_shards"] = merged
+    if crash_points:
+        overrides["crash_points"] = \
+            profile.crash_points + tuple(crash_points)
+    if torn_points:
+        overrides["torn_points"] = \
+            profile.torn_points + tuple(torn_points)
     return profile.replace(**overrides) if overrides else profile
 
 
@@ -291,6 +357,40 @@ class FaultPlan:
         return self._chance(_SALT_WORKER_DEATH,
                             (shard_index << 20) ^ attempt, 0,
                             self.profile.worker_death_rate)
+
+    # -- crash plane (checkpoint boundaries) ------------------------------
+
+    @staticmethod
+    def crash_point(kind, key):
+        """Canonical name of one checkpoint boundary: ``kind:a/b/c``."""
+        return "%s:%s" % (kind, "/".join(str(part) for part in key))
+
+    def crashes(self, kind, key, occurrence=0):
+        """Whether the process dies at this checkpoint boundary.
+
+        Forced ``crash_points`` fire on the boundary's first arrival
+        only (``occurrence`` counts prior crashes journaled at this
+        point), so resumes proceed; probabilistic ``crash_rate`` draws
+        are keyed on (point, occurrence) and likewise move on.
+        """
+        point = self.crash_point(kind, key)
+        if occurrence == 0 and point in self.profile.crash_points:
+            return True
+        return self._chance(_SALT_CRASH,
+                            zlib.crc32(point.encode("utf-8")),
+                            occurrence, self.profile.crash_rate)
+
+    def torn_write(self, seq, epoch=0):
+        """Whether the journal append for record ``seq`` is torn.
+
+        ``epoch`` counts prior quarantined spans in the checkpoint
+        directory, so a forced ``torn_points`` entry (or a rate draw on
+        the same sequence number) does not re-tear after resume.
+        """
+        if epoch == 0 and seq in self.profile.torn_points:
+            return True
+        return self._chance(_SALT_TORN, seq, epoch,
+                            self.profile.torn_write_rate)
 
     def __repr__(self):
         return "FaultPlan(seed=%d, %r)" % (self.seed, self.profile)

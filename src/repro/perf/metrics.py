@@ -95,6 +95,19 @@ class PerfRegistry:
                        for name, (total, entries) in self.timers.items()},
         }
 
+    def restore(self, snapshot):
+        """Replace this registry's contents from a :meth:`snapshot` dict.
+
+        Used by checkpoint resume to rewind the registry to exactly the
+        state recorded at a committed unit-of-work boundary.
+        """
+        self.counters = dict(snapshot.get("counters") or {})
+        self.gauges = dict(snapshot.get("gauges") or {})
+        self.timers = {name: [entry["seconds"], entry["entries"]]
+                       for name, entry
+                       in (snapshot.get("timers") or {}).items()}
+        return self
+
     def format_report(self, title="perf"):
         """A human-readable multi-line summary."""
         lines = ["[%s]" % title]

@@ -49,6 +49,36 @@ from repro.scanner import (
 SOCIAL = ("facebook.com", "twitter.com", "youtube.com")
 
 
+def _study_unit(checkpoint, network, perf, name, compute):
+    """One checkpointable top-level study phase (fingerprint, snoop...).
+
+    Restores the committed payload and the world state its commit
+    captured, or computes + commits and then offers the crash plane the
+    ``study`` boundary.  The derived analyses are recomputed either way —
+    they are cheap, pure functions of the restored payloads.
+    """
+    if checkpoint is None:
+        return compute()
+    from repro.checkpoint import capture_world_state, restore_world_state
+    record = checkpoint.restore(("study", name))
+    if record is not None:
+        restore_world_state(network, perf, record["state"])
+        return record["payload"]
+    payload = compute()
+    checkpoint.commit(("study", name), payload,
+                      state=capture_world_state(network, perf))
+    checkpoint.maybe_crash("study", (name,))
+    return payload
+
+
+def format_resume_provenance(provenance):
+    """Render a checkpoint run's resume provenance for stderr/logs."""
+    lines = ["[resume provenance]"]
+    for name in sorted(provenance):
+        lines.append("  %-32s %s" % (name, provenance[name]))
+    return "\n".join(lines)
+
+
 class StudyResults:
     """Everything one full study run produced."""
 
@@ -74,20 +104,28 @@ class StudyResults:
 
 def run_full_study(scenario, weeks=20, snoop_sample=200,
                    pipeline_categories=None, progress=None,
-                   pipeline_shards=1):
+                   pipeline_shards=1, checkpoint=None, shards=1,
+                   perf=None):
     """Run the complete methodology; returns a :class:`StudyResults`.
 
     ``weeks`` bounds the longitudinal part (the paper ran 55);
     ``pipeline_categories`` restricts the §4 pipeline (default: all 13);
     ``pipeline_shards`` forks the per-category domain scans.
     ``progress`` is an optional callable for status lines.
+    ``checkpoint`` (a :class:`repro.checkpoint.CheckpointedRun`) makes
+    every phase durable: campaign weeks, the fingerprint and snooping
+    sweeps, and each per-category pipeline stage commit as they
+    complete, and a resumed study re-enters at the first incomplete one.
     """
     say = progress or (lambda message: None)
     results = StudyResults()
+    network = scenario.network
 
     say("running %d weekly scans..." % weeks)
-    campaign = scenario.new_campaign(verify=False)
-    campaign.run(weeks)
+    campaign = scenario.new_campaign(verify=False, shards=shards,
+                                     perf=perf)
+    campaign.run(weeks, checkpoint=(checkpoint.scope("campaign")
+                                    if checkpoint is not None else None))
     results.series = magnitude_series(campaign.snapshots)
     results.survival = churn_survival(campaign.snapshots)
     first, last = campaign.first().result, campaign.last().result
@@ -102,28 +140,44 @@ def run_full_study(scenario, weeks=20, snoop_sample=200,
     results.resolver_count = len(resolvers)
 
     say("fingerprinting %d resolvers..." % len(resolvers))
-    chaos = ChaosScanner(scenario.network, scenario.scanner_ip)
-    results.software = software_table(chaos.scan(resolvers))
-    grabber = BannerGrabber(scenario.network, scenario.scanner_ip)
-    classifications = FingerprintMatcher().classify_all(
-        grabber.grab_all(resolvers))
-    results.devices = device_table(classifications,
+
+    def compute_fingerprint():
+        chaos = ChaosScanner(scenario.network, scenario.scanner_ip)
+        software_rows = chaos.scan(resolvers)
+        grabber = BannerGrabber(scenario.network, scenario.scanner_ip)
+        classifications = FingerprintMatcher().classify_all(
+            grabber.grab_all(resolvers))
+        return {"software": software_rows,
+                "classifications": classifications}
+
+    fingerprint = _study_unit(checkpoint, network, perf, "fingerprint",
+                              compute_fingerprint)
+    results.software = software_table(fingerprint["software"])
+    results.devices = device_table(fingerprint["classifications"],
                                    total_scanned=len(resolvers))
 
     say("snooping %d resolver caches..." % min(snoop_sample,
                                                len(resolvers)))
-    prober = CacheSnoopingProber(scenario.network, scenario.scanner_ip,
-                                 SNOOPING_TLDS, duration_hours=36)
-    results.utilization = utilization_summary(
-        prober.run(resolvers[:snoop_sample]))
+
+    def compute_snoop():
+        prober = CacheSnoopingProber(scenario.network, scenario.scanner_ip,
+                                     SNOOPING_TLDS, duration_hours=36)
+        return {"traces": prober.run(resolvers[:snoop_sample])}
+
+    snoop = _study_unit(checkpoint, network, perf, "snoop", compute_snoop)
+    results.utilization = utilization_summary(snoop["traces"])
 
     categories = list(pipeline_categories or ALL_CATEGORIES)
     reports = {}
     for category in categories:
         say("pipeline: %s..." % category)
-        pipeline = scenario.new_pipeline(shards=pipeline_shards)
+        pipeline = scenario.new_pipeline(shards=pipeline_shards,
+                                         perf=perf)
+        scope = (checkpoint.scope("pipeline", category)
+                 if checkpoint is not None else None)
         reports[category] = pipeline.run(resolvers,
-                                         list(DOMAIN_SETS[category]))
+                                         list(DOMAIN_SETS[category]),
+                                         checkpoint=scope)
         results.prefilter[category] = prefilter_summary(
             reports[category])
     results.table5 = classification_table(reports)

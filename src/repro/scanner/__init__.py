@@ -23,7 +23,7 @@ from repro.scanner.ipv4scan import (
 )
 from repro.scanner.engine import ScanEngine, ShardSupervisor
 from repro.scanner.domainengine import DomainScanEngine
-from repro.scanner.campaign import ScanCampaign, WeeklySnapshot
+from repro.scanner.campaign import CampaignError, ScanCampaign, WeeklySnapshot
 from repro.scanner.chaos import ChaosScanner, ChaosObservation
 from repro.scanner.banner import BannerGrabber, HostBanners
 from repro.scanner.fingerprints import FINGERPRINT_RULES, FingerprintMatcher
@@ -34,6 +34,7 @@ __all__ = [
     "Blacklist",
     "BannerGrabber",
     "CacheSnoopingProber",
+    "CampaignError",
     "ChaosObservation",
     "ChaosScanner",
     "DnsObservation",

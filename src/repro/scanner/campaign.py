@@ -4,11 +4,24 @@ Runs an Internet-wide scan every simulated week, advancing the clock and
 the churn model in between, and optionally runs a verification scan from a
 second source in a different /8 to estimate how many networks block the
 primary scanner (§2.2 Scan Verification).
+
+With a checkpoint attached (see :mod:`repro.checkpoint`), every
+completed week is committed durably — snapshot plus the world state a
+resume needs (clock, traffic counters, perf, a churn digest) — and a
+resumed campaign *fast-forwards* through committed weeks: it replays the
+churn model's deterministic ``step()`` draws, restores the recorded
+snapshot and counters, and validates via the churn digest that the
+rebuilt world converged on the one the checkpoint came from, before
+scanning the first incomplete week for real.
 """
 
 from repro.netsim.clock import WEEK
 from repro.scanner.engine import ScanEngine
 from repro.scanner.ipv4scan import Ipv4Scanner
+
+
+class CampaignError(RuntimeError):
+    """A campaign was asked for state it does not have (or cannot trust)."""
 
 
 class WeeklySnapshot:
@@ -53,14 +66,19 @@ class ScanCampaign:
                 heartbeat_timeout=heartbeat_timeout)
         self.snapshots = []
 
-    def run_week(self, verify=False):
+    def run_week(self, verify=False, checkpoint=None):
         """Advance churn, run this week's scan (plus verification scan)."""
         self.churn.step()
         week = len(self.snapshots)
-        result = self.engine.scan(self.target_space)
+        scan_scope = (checkpoint.scope("week", week, "scan")
+                      if checkpoint is not None else None)
+        result = self.engine.scan(self.target_space, checkpoint=scan_scope)
         verification = None
         if verify and self.verification_engine is not None:
-            verification = self.verification_engine.scan(self.target_space)
+            verify_scope = (checkpoint.scope("week", week, "verify")
+                            if checkpoint is not None else None)
+            verification = self.verification_engine.scan(
+                self.target_space, checkpoint=verify_scope)
         snapshot = WeeklySnapshot(week, result, verification)
         self.snapshots.append(snapshot)
         if self.perf is not None:
@@ -68,14 +86,63 @@ class ScanCampaign:
         self.network.clock.advance(WEEK)
         return snapshot
 
-    def run(self, weeks, verify_last=False):
-        """Run a full campaign of ``weeks`` weekly scans."""
+    def run(self, weeks, verify_last=False, checkpoint=None):
+        """Run a full campaign of ``weeks`` weekly scans.
+
+        With a ``checkpoint`` (a :class:`repro.checkpoint` run or
+        scope), committed weeks are restored via deterministic
+        fast-forward instead of re-scanned, and each newly completed
+        week is committed before the next begins.
+        """
+        if checkpoint is None:
+            for week in range(weeks):
+                self.run_week(verify=verify_last and week == weeks - 1)
+            return self.snapshots
+
+        from repro.checkpoint import (capture_world_state, churn_digest,
+                                      restore_world_state)
+        resume_noted = False
         for week in range(weeks):
-            self.run_week(verify=verify_last and week == weeks - 1)
+            verify = verify_last and week == weeks - 1
+            record = checkpoint.restore(("week", week))
+            if record is not None:
+                # Fast-forward: replay the churn draw this week made,
+                # install its committed result, and restore the world
+                # state its commit captured.
+                self.churn.step()
+                snapshot = record["payload"]
+                self.snapshots.append(snapshot)
+                state = record["state"] or {}
+                restore_world_state(self.network, self.perf, state)
+                recorded_digest = state.get("churn_digest")
+                if recorded_digest is not None and \
+                        recorded_digest != churn_digest(self.churn):
+                    raise CampaignError(
+                        "resume diverged at week %d: the rebuilt churn "
+                        "model does not match the checkpointed one "
+                        "(different seed/scale?)" % week)
+                continue
+            if not resume_noted:
+                resume_noted = True
+                checkpoint.note("resumed_from_week", week)
+            self.run_week(verify=verify, checkpoint=checkpoint)
+            state = capture_world_state(self.network, self.perf)
+            state["churn_digest"] = churn_digest(self.churn)
+            checkpoint.commit(("week", week), self.snapshots[-1],
+                              state=state)
+            checkpoint.maybe_crash("week", (week,))
         return self.snapshots
 
     def first(self):
+        if not self.snapshots:
+            raise CampaignError(
+                "campaign has no snapshots yet: run at least one week "
+                "before asking for first()")
         return self.snapshots[0]
 
     def last(self):
+        if not self.snapshots:
+            raise CampaignError(
+                "campaign has no snapshots yet: run at least one week "
+                "before asking for last()")
         return self.snapshots[-1]

@@ -31,7 +31,7 @@ from the identical pre-fork state produce identical answers).
 import os
 import time
 
-from repro.scanner.engine import ShardSupervisor
+from repro.scanner.engine import ShardSupervisor, _plan_checkpointed_shards
 
 
 class DomainScanEngine:
@@ -65,9 +65,14 @@ class DomainScanEngine:
             start = stop
         return ranges
 
-    def scan(self, resolver_ips, domains):
+    def scan(self, resolver_ips, domains, checkpoint=None):
         """Query every domain at every resolver; returns the flat
-        observation list, identical to ``DomainScanner.scan``."""
+        observation list, identical to ``DomainScanner.scan``.
+
+        ``checkpoint``, when given, is a :class:`repro.checkpoint`
+        scope: completed resolver-range shards are committed as they
+        merge and restored on resume instead of re-queried.
+        """
         start = time.perf_counter()
         resolver_ips = list(resolver_ips)
         domains = list(domains)
@@ -76,14 +81,15 @@ class DomainScanEngine:
         if len(ranges) <= 1 or not self.can_fork:
             observations = self.scanner.scan(resolver_ips, domains)
         else:
-            observations = self._scan_forked(resolver_ips, domains, ranges)
+            observations = self._scan_forked(resolver_ips, domains, ranges,
+                                             checkpoint=checkpoint)
         if self.perf is not None:
             self.perf.record_seconds("domain_scan_wall",
                                      time.perf_counter() - start)
             self.perf.count("domain_scans_run")
         return observations
 
-    def _scan_forked(self, resolver_ips, domains, ranges):
+    def _scan_forked(self, resolver_ips, domains, ranges, checkpoint=None):
         scanner = self.scanner
 
         def run_range(index_range, on_progress):
@@ -100,17 +106,31 @@ class DomainScanEngine:
                                             index_range=index_range)
             return observations, scanner.queries_sent - before
 
+        live_ranges, live_origins, on_item_done, restored, \
+            restored_provenance = _plan_checkpointed_shards(
+                scanner.network, self.perf, ranges, checkpoint)
         supervisor = ShardSupervisor(
             scanner.network, run_range, perf=self.perf,
             heartbeat_timeout=self.heartbeat_timeout,
             supports_progress=getattr(scanner, "supports_progress", False),
             perf_host=scanner)
-        shard_results, self.provenance = supervisor.run(ranges)
+        shard_results, provenance = supervisor.run(
+            live_ranges, origins=live_origins, on_item_done=on_item_done)
+        combined = [(start, result, "restored")
+                    for start, result in restored]
+        combined.extend(shard_results)
+        combined.sort(key=lambda entry: entry[0])
+        all_provenance = restored_provenance + provenance
+        all_provenance.sort(key=lambda e: (e["start"], e["stop"],
+                                           e["attempt"]))
+        self.provenance = all_provenance
         observations = []
-        for __, (shard_observations, queries), mode in shard_results:
+        for __, (shard_observations, queries), mode in combined:
             observations.extend(shard_observations)
-            if mode == "worker":
-                # In-process rescues already advanced the live counter.
+            if mode != "in-process":
+                # In-process rescues already advanced the live counter;
+                # worker shards (and restored shards, whose run never
+                # happened in this process) reconcile here.
                 scanner.queries_sent += queries
         return observations
 

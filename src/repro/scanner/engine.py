@@ -92,6 +92,73 @@ def _write_all(fd, data):
         view = view[os.write(fd, view):]
 
 
+def _restore_shard_record(network, perf, payload):
+    """Re-apply a checkpointed shard's side effects to a rebuilt world.
+
+    A restored shard contributed traffic/fault counter deltas and perf
+    numbers when it originally ran; replaying those (instead of
+    re-scanning) keeps a resumed run's counters identical to an
+    uninterrupted one.
+    """
+    for name, delta in (payload.get("net_counters") or {}).items():
+        setattr(network, name, getattr(network, name, 0) + delta)
+    fault_counters = getattr(network, "fault_counters", None)
+    if fault_counters is not None:
+        for name, delta in (payload.get("fault_counters") or {}).items():
+            fault_counters[name] = fault_counters.get(name, 0) + delta
+    if perf is None:
+        return
+    wall = payload.get("wall_seconds")
+    if wall is not None:
+        perf.record_seconds("shard_wall", wall)
+    shard_perf = payload.get("perf")
+    if shard_perf is not None:
+        perf.merge(shard_perf)
+    for name, amount in (payload.get("perf_counters") or {}).items():
+        perf.count(name, amount)
+
+
+def _plan_checkpointed_shards(network, perf, ranges, checkpoint):
+    """Split a sharded run into restored vs. still-to-run work.
+
+    Returns ``(live_ranges, live_origins, on_item_done, restored,
+    restored_provenance)``: committed shards come back as
+    ``(start, result)`` pairs with their side effects re-applied, and
+    ``on_item_done`` commits each newly completed shard — but only items
+    covering a *full* original range (a split half or narrowed rescue is
+    not independently restorable; its origin reruns whole on resume,
+    reproducing the identical escalation path from the same fault
+    draws).  After each commit the crash plane gets its shot at the
+    ``shard`` boundary.
+    """
+    if checkpoint is None:
+        return list(ranges), None, None, [], []
+    restored = []
+    restored_provenance = []
+    live_ranges = []
+    live_origins = []
+    for origin, (start, stop) in enumerate(ranges):
+        record = checkpoint.restore(("shard", origin, start, stop))
+        if record is not None:
+            payload = record["payload"]
+            _restore_shard_record(network, perf, payload)
+            restored.append((start, payload["result"]))
+            restored_provenance.extend(payload.get("provenance") or [])
+        else:
+            live_ranges.append((start, stop))
+            live_origins.append(origin)
+    full_ranges = {origin: tuple(ranges[origin]) for origin in live_origins}
+
+    def on_item_done(item, payload, entry):
+        start, stop, origin, __attempt = item
+        if (start, stop) == full_ranges[origin]:
+            checkpoint.commit(("shard", origin, start, stop), payload)
+        checkpoint.maybe_crash("shard", (origin,))
+
+    return live_ranges, live_origins, on_item_done, restored, \
+        restored_provenance
+
+
 class _Worker:
     """Parent-side state of one live worker process."""
 
@@ -165,7 +232,7 @@ class ShardSupervisor:
         if self.perf is not None:
             self.perf.count(name, amount)
 
-    def run(self, ranges):
+    def run(self, ranges, origins=None, on_item_done=None):
         """Supervise workers over ``ranges``; returns
         ``(shard_results, provenance)``.
 
@@ -174,11 +241,22 @@ class ShardSupervisor:
         callers can concatenate or merge per-shard results in index
         order and know which of them already mutated parent state.
         ``provenance`` carries one sorted entry per completed work item.
+
+        ``origins`` optionally names each range's global shard index —
+        a checkpointed resume runs only the not-yet-committed ranges but
+        must keep their original indices so per-origin fault draws
+        (``worker_dies``) and provenance stay identical to a full run.
+        ``on_item_done(item, payload, entry)`` fires after each completed
+        work item with a self-contained, picklable payload (result +
+        counter deltas + perf); it is the checkpoint commit hook and may
+        raise to abort the run — active workers are reaped first.
         """
         plan = getattr(self.network, "faults", None)
         heartbeat_timeout = self.heartbeat_timeout
+        if origins is None:
+            origins = range(len(ranges))
         pending = deque((start, stop, origin, 0)
-                        for origin, (start, stop) in enumerate(ranges))
+                        for origin, (start, stop) in zip(origins, ranges))
         active = {}                     # read fd -> _Worker
         shard_results = []              # (start, result, mode)
         provenance = []
@@ -187,55 +265,72 @@ class ShardSupervisor:
         counter_deltas = {name: 0 for name in _NET_COUNTERS}
         fault_deltas = {}
 
-        while pending or active:
-            while pending:
-                worker = self._spawn(pending.popleft(), plan)
-                active[worker.fd] = worker
-            wait = 0.05 if heartbeat_timeout is not None else None
-            ready, __, __unused = select.select(list(active), [], [], wait)
-            now = time.monotonic()
-            for fd in ready:
-                worker = active[fd]
-                data = os.read(fd, 1 << 16)
-                if data:
-                    worker.feed(data, now)
-                    continue
-                # EOF: the worker finished or died.
-                del active[fd]
-                os.close(fd)
-                os.waitpid(worker.pid, 0)
-                if worker.heartbeats:
-                    self._count("heartbeats_seen", worker.heartbeats)
-                shard = worker.shard_payload()
-                if shard is None:
-                    self._on_death(worker.item, pending, rescues,
-                                   rescued_origins)
-                else:
-                    self._on_success(worker.item, shard, shard_results,
-                                     provenance, counter_deltas,
-                                     fault_deltas)
-            if heartbeat_timeout is not None:
-                for worker in list(active.values()):
-                    if now - worker.last_beat > heartbeat_timeout:
-                        # Hung worker: no heartbeat within budget.  Kill
-                        # it; the pipe EOF routes it through _on_death.
-                        self._count("workers_hung")
-                        worker.last_beat = now
-                        try:
-                            os.kill(worker.pid, signal.SIGKILL)
-                        except ProcessLookupError:
-                            pass
+        try:
+            while pending or active:
+                while pending:
+                    worker = self._spawn(pending.popleft(), plan)
+                    active[worker.fd] = worker
+                wait = 0.05 if heartbeat_timeout is not None else None
+                ready, __, __unused = select.select(list(active), [], [],
+                                                    wait)
+                now = time.monotonic()
+                for fd in ready:
+                    worker = active[fd]
+                    data = os.read(fd, 1 << 16)
+                    if data:
+                        worker.feed(data, now)
+                        continue
+                    # EOF: the worker finished or died.
+                    del active[fd]
+                    os.close(fd)
+                    os.waitpid(worker.pid, 0)
+                    if worker.heartbeats:
+                        self._count("heartbeats_seen", worker.heartbeats)
+                    shard = worker.shard_payload()
+                    if shard is None:
+                        self._on_death(worker.item, pending, rescues,
+                                       rescued_origins)
+                    else:
+                        self._on_success(worker.item, shard, shard_results,
+                                         provenance, counter_deltas,
+                                         fault_deltas, on_item_done)
+                if heartbeat_timeout is not None:
+                    for worker in list(active.values()):
+                        if now - worker.last_beat > heartbeat_timeout:
+                            # Hung worker: no heartbeat within budget.
+                            # Kill it; the pipe EOF routes it through
+                            # _on_death.
+                            self._count("workers_hung")
+                            worker.last_beat = now
+                            try:
+                                os.kill(worker.pid, signal.SIGKILL)
+                            except ProcessLookupError:
+                                pass
 
-        # In-process fallback, narrowed to just the failed index ranges:
-        # probe identity and packet fates are position-independent, so
-        # the late retry still produces exactly the bytes and fates the
-        # worker would have.
-        for start, stop, origin, attempt in sorted(rescues):
-            shard_results.append(
-                (start, self.run_range((start, stop), None), "in-process"))
-            provenance.append({"shard": origin, "start": start,
-                               "stop": stop, "mode": "in-process",
-                               "attempt": attempt, "status": "rescued"})
+            # In-process fallback, narrowed to just the failed index
+            # ranges: probe identity and packet fates are position-
+            # independent, so the late retry still produces exactly the
+            # bytes and fates the worker would have.
+            for start, stop, origin, attempt in sorted(rescues):
+                self._rescue((start, stop, origin, attempt),
+                             shard_results, provenance, on_item_done)
+        except BaseException:
+            # Abort (an injected crash from the commit hook, ^C, ...):
+            # reap every live worker so no zombies outlive the run.
+            for worker in active.values():
+                try:
+                    os.kill(worker.pid, signal.SIGKILL)
+                except ProcessLookupError:
+                    pass
+                try:
+                    os.close(worker.fd)
+                except OSError:
+                    pass
+                try:
+                    os.waitpid(worker.pid, 0)
+                except ChildProcessError:
+                    pass
+            raise
 
         network = self.network
         for name, delta in counter_deltas.items():
@@ -306,14 +401,14 @@ class ShardSupervisor:
             rescues.append(item)
 
     def _on_success(self, item, shard, shard_results, provenance,
-                    counter_deltas, fault_deltas):
+                    counter_deltas, fault_deltas, on_item_done=None):
         start, stop, origin, attempt = item
         shard_results.append((start, shard["result"], "worker"))
         status = ("ok" if attempt == 0
                   else "retried" if attempt == 1 else "split")
-        provenance.append({"shard": origin, "start": start, "stop": stop,
-                           "mode": "worker", "attempt": attempt,
-                           "status": status})
+        entry = {"shard": origin, "start": start, "stop": stop,
+                 "mode": "worker", "attempt": attempt, "status": status}
+        provenance.append(entry)
         for name in _NET_COUNTERS:
             counter_deltas[name] += shard["net_counters"][name]
         for name, delta in shard.get("fault_counters", {}).items():
@@ -322,6 +417,54 @@ class ShardSupervisor:
             self.perf.record_seconds("shard_wall", shard["wall_seconds"])
             if shard["perf"] is not None:
                 self.perf.merge(shard["perf"])
+        if on_item_done is not None:
+            on_item_done(item, {
+                "result": shard["result"],
+                "net_counters": dict(shard["net_counters"]),
+                "fault_counters": dict(shard.get("fault_counters") or {}),
+                "perf": shard["perf"],
+                "wall_seconds": shard["wall_seconds"],
+                "provenance": [dict(entry)],
+            }, entry)
+
+    def _rescue(self, item, shard_results, provenance, on_item_done=None):
+        """Run one failed range in-process, with checkpoint bookkeeping.
+
+        Unlike a worker, an in-process rescue mutates parent state
+        directly, so the commit payload captures its counter/perf deltas
+        by differencing around the call.
+        """
+        start, stop, origin, attempt = item
+        network = self.network
+        before = {name: getattr(network, name) for name in _NET_COUNTERS}
+        fault_before = dict(getattr(network, "fault_counters", None) or {})
+        perf_before = (dict(self.perf.counters)
+                       if self.perf is not None else {})
+        result = self.run_range((start, stop), None)
+        shard_results.append((start, result, "in-process"))
+        entry = {"shard": origin, "start": start, "stop": stop,
+                 "mode": "in-process", "attempt": attempt,
+                 "status": "rescued"}
+        provenance.append(entry)
+        if on_item_done is None:
+            return
+        fault_after = getattr(network, "fault_counters", None) or {}
+        perf_after = (dict(self.perf.counters)
+                      if self.perf is not None else {})
+        on_item_done(item, {
+            "result": result,
+            "net_counters": {name: getattr(network, name) - before[name]
+                             for name in _NET_COUNTERS},
+            "fault_counters": {
+                name: value - fault_before.get(name, 0)
+                for name, value in fault_after.items()
+                if value - fault_before.get(name, 0)},
+            "perf_counters": {
+                name: value - perf_before.get(name, 0)
+                for name, value in perf_after.items()
+                if value - perf_before.get(name, 0)},
+            "provenance": [dict(entry)],
+        }, entry)
 
     def _run_shard(self, index_range, on_progress=None):
         """Executed inside a worker: one shard run plus bookkeeping."""
@@ -372,8 +515,15 @@ class ScanEngine:
     def can_fork(self):
         return hasattr(os, "fork")
 
-    def scan(self, target_space):
-        """Scan the whole target space; returns one merged ScanResult."""
+    def scan(self, target_space, checkpoint=None):
+        """Scan the whole target space; returns one merged ScanResult.
+
+        ``checkpoint``, when given, is a :class:`repro.checkpoint`
+        scope: completed shards are committed as they merge and a
+        resumed scan restores them instead of re-scanning.  (A
+        single-process scan has no sub-scan units; its enclosing
+        campaign week is the unit of durability.)
+        """
         start = time.perf_counter()
         network = self.scanner.network
         fault_before = dict(getattr(network, "fault_counters", None) or {})
@@ -381,7 +531,8 @@ class ScanEngine:
         if len(ranges) <= 1 or not self.can_fork:
             result = self.scanner.scan(target_space)
         else:
-            result = self._scan_forked(target_space, ranges)
+            result = self._scan_forked(target_space, ranges,
+                                       checkpoint=checkpoint)
         if self.perf is not None:
             self.perf.record_seconds("scan_wall",
                                      time.perf_counter() - start)
@@ -397,7 +548,7 @@ class ScanEngine:
 
     # -- forked path -------------------------------------------------------
 
-    def _scan_forked(self, target_space, ranges):
+    def _scan_forked(self, target_space, ranges, checkpoint=None):
         scanner = self.scanner
 
         def run_range(index_range, on_progress):
@@ -406,16 +557,26 @@ class ScanEngine:
                                     on_progress=on_progress)
             return scanner.scan(target_space, index_range=index_range)
 
+        live_ranges, live_origins, on_item_done, restored, \
+            restored_provenance = _plan_checkpointed_shards(
+                scanner.network, self.perf, ranges, checkpoint)
         supervisor = ShardSupervisor(
             scanner.network, run_range, perf=self.perf,
             heartbeat_timeout=self.heartbeat_timeout,
             supports_progress=getattr(scanner, "supports_progress", False),
             perf_host=scanner)
-        shard_results, provenance = supervisor.run(ranges)
+        shard_results, provenance = supervisor.run(
+            live_ranges, origins=live_origins, on_item_done=on_item_done)
+        combined = restored + [(start, result)
+                               for start, result, __mode in shard_results]
+        combined.sort(key=lambda entry: entry[0])
         merged = merge_scan_results(
             scanner.network.clock.now,
-            [result for __, result, __mode in shard_results])
-        merged.provenance = provenance
+            [result for __, result in combined])
+        all_provenance = restored_provenance + provenance
+        all_provenance.sort(key=lambda e: (e["start"], e["stop"],
+                                           e["attempt"]))
+        merged.provenance = all_provenance
         return merged
 
     def __repr__(self):

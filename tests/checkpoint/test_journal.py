@@ -1,0 +1,157 @@
+"""Tests for the write-ahead journal's append and torn-safe replay."""
+
+import os
+
+from repro.checkpoint import Journal
+from repro.perf import PerfRegistry
+
+
+def make_journal(tmp_path, name="journal.wal", perf=None):
+    return Journal(str(tmp_path / name), perf=perf)
+
+
+class TestAppendReplay:
+    def test_roundtrip_preserves_order(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.replay()
+        for index in range(5):
+            journal.append({"seq": index})
+        journal.close()
+        replay = make_journal(tmp_path).replay()
+        assert [record["seq"] for record in replay.records] == list(range(5))
+        assert replay.replayed == 5
+        assert replay.quarantined == 0
+
+    def test_missing_file_replays_empty(self, tmp_path):
+        replay = make_journal(tmp_path).replay()
+        assert replay.records == []
+        assert replay.replayed == 0
+
+    def test_seq_continues_after_replay(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.append("a")
+        journal.append("b")
+        journal.close()
+        reopened = make_journal(tmp_path)
+        reopened.replay()
+        assert reopened.append("c") == 2
+
+
+class TestTornTail:
+    def test_truncated_last_record_is_quarantined(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.append({"n": 1})
+        journal.append({"n": 2})
+        journal.append({"n": 3})
+        journal.close()
+        # Tear the tail mid-record, as a crash during append would.
+        path = journal.path
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(size - 4)
+        quarantined = []
+        replay = make_journal(tmp_path).replay(
+            quarantine=lambda raw, reason: quarantined.append(reason))
+        assert [record["n"] for record in replay.records] == [1, 2]
+        assert replay.quarantined == 1
+        assert replay.torn_bytes > 0
+        assert quarantined == ["torn-tail"]
+
+    def test_replay_truncates_tail_for_clean_appends(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.append("a")
+        journal.append("b")
+        journal.close()
+        with open(journal.path, "r+b") as handle:
+            handle.truncate(os.path.getsize(journal.path) - 3)
+        reopened = make_journal(tmp_path)
+        reopened.replay()
+        reopened.append("b2")
+        reopened.close()
+        final = make_journal(tmp_path).replay()
+        assert final.records == ["a", "b2"]
+        assert final.quarantined == 0
+
+    def test_append_torn_leaves_recoverable_journal(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.append("committed")
+        journal.append_torn("never-lands")
+        journal.close()
+        replay = make_journal(tmp_path).replay()
+        assert replay.records == ["committed"]
+        assert replay.quarantined == 1
+
+
+class TestCorruptRecords:
+    def _flip_payload_byte(self, path, record_index):
+        """Flip one payload byte of the ``record_index``-th record."""
+        with open(path, "rb") as handle:
+            data = bytearray(handle.read())
+        offset = 0
+        for __ in range(record_index):
+            length = int.from_bytes(data[offset + 2:offset + 6], "big")
+            offset += 10 + length
+        length = int.from_bytes(data[offset + 2:offset + 6], "big")
+        data[offset + 10 + length - 1] ^= 0xFF
+        with open(path, "wb") as handle:
+            handle.write(bytes(data))
+
+    def test_crc_mismatch_mid_file_skips_only_that_record(self, tmp_path):
+        journal = make_journal(tmp_path)
+        for index in range(3):
+            journal.append({"n": index})
+        journal.close()
+        self._flip_payload_byte(journal.path, 1)
+        quarantined = []
+        replay = make_journal(tmp_path).replay(
+            quarantine=lambda raw, reason: quarantined.append(reason))
+        assert [record["n"] for record in replay.records] == [0, 2]
+        assert replay.quarantined == 1
+        assert quarantined == ["crc-mismatch"]
+
+    def test_lost_framing_quarantines_remainder(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.append("first")
+        journal.append("second")
+        journal.close()
+        with open(journal.path, "rb") as handle:
+            data = bytearray(handle.read())
+        # Destroy the second record's magic: framing is lost from there.
+        length = int.from_bytes(data[2:6], "big")
+        data[10 + length] ^= 0xFF
+        with open(journal.path, "wb") as handle:
+            handle.write(bytes(data))
+        quarantined = []
+        replay = make_journal(tmp_path).replay(
+            quarantine=lambda raw, reason: quarantined.append(reason))
+        assert replay.records == ["first"]
+        assert quarantined == ["lost-framing"]
+
+    def test_absurd_length_treated_as_damage(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.append("first")
+        journal.close()
+        with open(journal.path, "ab") as handle:
+            handle.write(b"\xc4W" + (1 << 30).to_bytes(4, "big")
+                         + b"\x00" * 8)
+        quarantined = []
+        replay = make_journal(tmp_path).replay(
+            quarantine=lambda raw, reason: quarantined.append(reason))
+        assert replay.records == ["first"]
+        assert quarantined == ["bad-length"]
+
+
+class TestPerfCounters:
+    def test_append_and_replay_counters(self, tmp_path):
+        perf = PerfRegistry()
+        journal = make_journal(tmp_path, perf=perf)
+        journal.append("a")
+        journal.append("b")
+        journal.close()
+        assert perf.counter("checkpoint_journal_appends") == 2
+        assert perf.counter("checkpoint_journal_fsyncs") == 2
+        assert perf.counter("checkpoint_journal_bytes") > 0
+        replay_perf = PerfRegistry()
+        make_journal(tmp_path, perf=replay_perf).replay()
+        assert replay_perf.counter(
+            "checkpoint_journal_records_replayed") == 2

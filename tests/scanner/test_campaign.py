@@ -77,3 +77,36 @@ class TestCampaign:
                       if not host.dynamic}
         for snapshot in campaign.snapshots:
             assert static_ips <= snapshot.result.responders
+
+
+class TestCampaignErrors:
+    def test_first_raises_before_any_week(self, world):
+        from repro.scanner import CampaignError
+        campaign = make_campaign(world)
+        with pytest.raises(CampaignError) as error:
+            campaign.first()
+        assert "run at least one week" in str(error.value)
+
+    def test_last_raises_before_any_week(self, world):
+        from repro.scanner import CampaignError
+        campaign = make_campaign(world)
+        with pytest.raises(CampaignError):
+            campaign.last()
+
+    def test_campaign_error_is_a_runtime_error(self):
+        from repro.scanner import CampaignError
+        assert issubclass(CampaignError, RuntimeError)
+
+
+class TestVerifyLast:
+    def test_only_final_week_carries_verification(self, world):
+        campaign = make_campaign(world, verify=True)
+        campaign.run(3, verify_last=True)
+        assert [snapshot.verification is None
+                for snapshot in campaign.snapshots] == [True, True, False]
+
+    def test_verification_scan_sees_the_same_responders(self, world):
+        campaign = make_campaign(world, verify=True)
+        campaign.run(2, verify_last=True)
+        verification = campaign.last().verification
+        assert verification.responders == campaign.last().result.responders

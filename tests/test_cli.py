@@ -79,3 +79,68 @@ class TestCommands:
                     + SMALL) == 0
         out = capsys.readouterr().out
         assert "snooped resolvers" in out
+
+
+class TestCheckpointCli:
+    def test_checkpoint_flags_parse(self):
+        args = build_parser().parse_args(
+            ["campaign", "--checkpoint-dir", "/tmp/c", "--resume"])
+        assert args.checkpoint_dir == "/tmp/c"
+        assert args.resume is True
+
+    def test_resume_requires_checkpoint_dir(self):
+        with pytest.raises(SystemExit):
+            main(["campaign", "--weeks", "1", "--resume"] + SMALL)
+
+    def test_reopening_a_used_directory_without_resume_refused(
+            self, tmp_path, capsys):
+        from repro.checkpoint import CheckpointError
+        ckpt = str(tmp_path / "ckpt")
+        assert main(["campaign", "--weeks", "1",
+                     "--checkpoint-dir", ckpt] + SMALL) == 0
+        with pytest.raises(CheckpointError):
+            main(["campaign", "--weeks", "1",
+                  "--checkpoint-dir", ckpt] + SMALL)
+
+    def test_campaign_crash_then_resume_matches_plain_run(
+            self, tmp_path, capsys):
+        import os
+        from repro.faults import CRASH_EXIT_CODE
+        assert main(["campaign", "--weeks", "2"] + SMALL) == 0
+        plain = capsys.readouterr().out
+        ckpt = str(tmp_path / "ckpt")
+        faulted = SMALL + ["--faults", "none,crash=week:0"]
+        assert main(["campaign", "--weeks", "2",
+                     "--checkpoint-dir", ckpt] + faulted) == \
+            CRASH_EXIT_CODE
+        capsys.readouterr()
+        assert main(["campaign", "--weeks", "2", "--checkpoint-dir",
+                     ckpt, "--resume"] + faulted) == 0
+        captured = capsys.readouterr()
+        assert captured.out == plain
+        assert "[resume provenance]" in captured.err
+        assert os.path.exists(os.path.join(ckpt, "provenance.json"))
+
+    def test_fullstudy_crash_resume_writes_identical_report(
+            self, tmp_path, capsys):
+        import os
+        from repro.faults import CRASH_EXIT_CODE
+        args = ["fullstudy", "--weeks", "1", "--snoop-sample", "5"] + SMALL
+        plain_out = str(tmp_path / "plain.md")
+        # Baseline under the same (inert) fault profile: installing any
+        # plan changes which salted draws the network makes, so the fair
+        # comparison is crash+resume vs uninterrupted with equal faults.
+        assert main(args + ["--faults", "none", "--out", plain_out]) == 0
+        ckpt = str(tmp_path / "ckpt")
+        resumed_out = str(tmp_path / "resumed.md")
+        faulted = ["--faults", "none,crash=study:fingerprint",
+                   "--checkpoint-dir", ckpt, "--out", resumed_out]
+        assert main(args + faulted) == CRASH_EXIT_CODE
+        # Atomic --out: the crashed run must not leave a torn report.
+        assert not os.path.exists(resumed_out)
+        assert main(args + faulted + ["--resume"]) == 0
+        with open(plain_out) as handle:
+            plain = handle.read()
+        with open(resumed_out) as handle:
+            resumed = handle.read()
+        assert resumed == plain

@@ -225,3 +225,61 @@ class TestResolverFlapIntegration:
         assert plan.resolver_offline(0, mini.clock.now)
         assert ask() == []
         assert mini.network.fault_counters.get("resolver_flap", 0) >= 1
+
+
+class TestCrashPlane:
+    """The checkpoint-boundary crash and torn-write draws."""
+
+    def test_crash_point_canon(self):
+        assert FaultPlan.crash_point("week", (3,)) == "week:3"
+        assert FaultPlan.crash_point("shard", ("week", 1, "scan", 2)) == \
+            "shard:week/1/scan/2"
+
+    def test_forced_crash_fires_at_first_occurrence_only(self):
+        plan = FaultPlan(FaultProfile(crash_points=("week:1",)), seed=3)
+        assert plan.crashes("week", (1,), occurrence=0)
+        assert not plan.crashes("week", (1,), occurrence=1)
+        assert not plan.crashes("week", (0,), occurrence=0)
+
+    def test_crash_rate_draw_is_deterministic(self):
+        left = FaultPlan(FaultProfile(crash_rate=0.5), seed=42)
+        right = FaultPlan(FaultProfile(crash_rate=0.5), seed=42)
+        draws = [left.crashes("week", (week,)) for week in range(200)]
+        assert draws == [right.crashes("week", (week,))
+                         for week in range(200)]
+        assert any(draws) and not all(draws)
+
+    def test_forced_torn_write_keyed_by_seq_and_epoch(self):
+        plan = FaultPlan(FaultProfile(torn_points=(4,)), seed=3)
+        assert plan.torn_write(4, epoch=0)
+        assert not plan.torn_write(4, epoch=1)  # already torn once
+        assert not plan.torn_write(3, epoch=0)
+
+    def test_none_profile_never_crashes(self):
+        plan = FaultPlan("none", seed=3)
+        for week in range(100):
+            assert not plan.crashes("week", (week,))
+            assert not plan.torn_write(week)
+
+    def test_parse_crash_and_torn_tokens(self):
+        profile = parse_fault_spec(
+            "none,crash=week:3,crash=shard:week/1/scan/2,torn=5")
+        assert profile.crash_points == ("week:3", "shard:week/1/scan/2")
+        assert profile.torn_points == (5,)
+        assert profile.loss_rate == 0.0
+
+    def test_replace_copies_crash_fields(self):
+        base = FaultProfile(crash_points=("week:1",))
+        derived = base.replace(torn_points=[2, 3], crash_rate=0.25)
+        assert derived.crash_points == ("week:1",)
+        assert derived.torn_points == (2, 3)
+        assert derived.crash_rate == 0.25
+        assert base.torn_points == ()
+
+    def test_injected_crash_is_not_swallowed_by_except_exception(self):
+        from repro.faults import InjectedCrash
+        with pytest.raises(InjectedCrash):
+            try:
+                raise InjectedCrash("week", "week:0")
+            except Exception:  # noqa: BLE001 - the point of the test
+                pytest.fail("InjectedCrash must not be an Exception")
