@@ -117,6 +117,12 @@ def capture_world_state(network, perf=None):
         "dns_caches": capture_dns_caches(network),
         "perf": perf.snapshot() if perf is not None else None,
     }
+    tracer = getattr(network, "tracer", None)
+    if tracer is not None:
+        # Durable trace context: a resumed run adopts the interrupted
+        # run's trace id (and continues its span sequence) so the
+        # stitched trace reads as one campaign.
+        state["trace"] = tracer.context()
     return state
 
 
@@ -154,6 +160,9 @@ def restore_world_state(network, perf, state):
     restore_dns_caches(network, state.get("dns_caches"))
     if perf is not None and state.get("perf") is not None:
         perf.restore(state["perf"])
+    tracer = getattr(network, "tracer", None)
+    if tracer is not None and state.get("trace") is not None:
+        tracer.adopt(state["trace"])
 
 
 def churn_digest(churn):

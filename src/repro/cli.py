@@ -47,6 +47,39 @@ def _add_common(parser):
                              "round-trip estimate")
 
 
+def _add_trace(parser):
+    parser.add_argument("--trace", action="store_true",
+                        help="record spans and wire-level flight events "
+                             "(see 'repro trace' for rendering)")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="trace export path (JSONL; implies --trace; "
+                             "default trace.jsonl)")
+
+
+def _install_obs(args, scenario):
+    """Attach the observability bundle when tracing was requested."""
+    if not (getattr(args, "trace", False)
+            or getattr(args, "trace_out", None)):
+        return None
+    from repro.obs import Observability
+    obs = Observability(clock=scenario.network.clock, seed=args.seed)
+    obs.install(scenario.network)
+    return obs
+
+
+def _export_trace(args, obs, perf=None):
+    """Write the recorded trace (also on the injected-crash path, so a
+    crashed run's partial trace survives for inspection)."""
+    if obs is None:
+        return
+    path = getattr(args, "trace_out", None) or "trace.jsonl"
+    meta = {"command": args.command, "scale": args.scale,
+            "seed": args.seed}
+    spans, events = obs.export(path, perf=perf, meta=meta)
+    print("trace: %d spans, %d flight events written to %s"
+          % (spans, events, path), file=sys.stderr)
+
+
 def _add_checkpoint(parser):
     parser.add_argument("--checkpoint-dir", default=None, metavar="DIR",
                         help="directory for the crash-safe write-ahead "
@@ -140,6 +173,7 @@ def _scan(scenario, args=None, perf=None):
 def cmd_scan(args):
     scenario = _build(args)
     perf = _perf_registry(args)
+    obs = _install_obs(args, scenario)
     snapshot = _scan(scenario, args, perf)
     counts = snapshot.result.counts()
     print("probes sent:      %d" % snapshot.result.probes_sent)
@@ -154,6 +188,7 @@ def cmd_scan(args):
     if degraded:
         print("degraded shards:  %d" % len(degraded))
     _report_perf(args, perf)
+    _export_trace(args, obs, perf)
     return 0
 
 
@@ -169,12 +204,14 @@ def cmd_campaign(args):
     perf = _perf_registry(args)
     checkpoint = _open_checkpoint(args, scenario, perf,
                                   extra_meta={"weeks": args.weeks})
+    obs = _install_obs(args, scenario)
     campaign = scenario.new_campaign(verify=False, shards=args.shards,
                                      perf=perf, retries=args.retries,
                                      probe_timeout=args.probe_timeout)
     try:
         campaign.run(args.weeks, checkpoint=checkpoint)
     except InjectedCrash as crash:
+        _export_trace(args, obs, perf)
         return _finish_checkpoint(checkpoint, crashed=crash)
     series = magnitude_series(campaign.snapshots)
     print(format_series(series))
@@ -182,6 +219,7 @@ def cmd_campaign(args):
     print()
     print(format_survival(churn_survival(campaign.snapshots)))
     _report_perf(args, perf)
+    _export_trace(args, obs, perf)
     return _finish_checkpoint(checkpoint)
 
 
@@ -294,6 +332,7 @@ def cmd_fullstudy(args):
         extra_meta={"weeks": args.weeks,
                     "snoop_sample": args.snoop_sample,
                     "pipeline_shards": args.pipeline_shards})
+    obs = _install_obs(args, scenario)
     try:
         results = run_full_study(
             scenario, weeks=args.weeks, snoop_sample=args.snoop_sample,
@@ -301,6 +340,7 @@ def cmd_fullstudy(args):
             checkpoint=checkpoint, perf=perf,
             progress=lambda message: print(message, file=sys.stderr))
     except InjectedCrash as crash:
+        _export_trace(args, obs, perf)
         return _finish_checkpoint(checkpoint, crashed=crash)
     report = render_markdown(results, scenario=scenario)
     if args.out:
@@ -312,7 +352,27 @@ def cmd_fullstudy(args):
     else:
         print(report)
     _report_perf(args, perf)
+    _export_trace(args, obs, perf)
     return _finish_checkpoint(checkpoint)
+
+
+def cmd_trace(args):
+    from repro.obs import (TraceSchemaError, read_trace,
+                           render_trace_report, validate_trace)
+    try:
+        records = read_trace(args.file)
+        summary = validate_trace(records)
+    except (OSError, TraceSchemaError) as error:
+        print("invalid trace: %s" % error, file=sys.stderr)
+        return 2
+    if args.validate_only:
+        print("valid trace: %d spans, %d flight events, "
+              "%d losses (%d attributed)"
+              % (summary["spans"], summary["flight_events"],
+                 summary["losses"], summary["losses_attributed"]))
+        return 0
+    print(render_trace_report(records))
+    return 0
 
 
 def build_parser():
@@ -324,12 +384,14 @@ def build_parser():
 
     scan = subparsers.add_parser("scan", help="one Internet-wide scan")
     _add_common(scan)
+    _add_trace(scan)
     scan.set_defaults(func=cmd_scan)
 
     campaign = subparsers.add_parser("campaign",
                                      help="weekly scan campaign")
     _add_common(campaign)
     _add_checkpoint(campaign)
+    _add_trace(campaign)
     campaign.add_argument("--weeks", type=int, default=12)
     campaign.set_defaults(func=cmd_campaign)
 
@@ -354,6 +416,7 @@ def build_parser():
         "fullstudy", help="run every experiment, emit one report")
     _add_common(fullstudy)
     _add_checkpoint(fullstudy)
+    _add_trace(fullstudy)
     fullstudy.add_argument("--weeks", type=int, default=20)
     fullstudy.add_argument("--snoop-sample", type=int, default=200)
     fullstudy.add_argument("--out", default=None)
@@ -363,6 +426,14 @@ def build_parser():
     _add_common(audit)
     audit.add_argument("resolver")
     audit.set_defaults(func=cmd_audit)
+
+    trace = subparsers.add_parser(
+        "trace", help="validate and render an exported trace")
+    trace.add_argument("file", help="JSONL trace from --trace-out")
+    trace.add_argument("--validate-only", action="store_true",
+                       help="schema-check the trace and print a summary "
+                            "instead of the full report")
+    trace.set_defaults(func=cmd_trace)
     return parser
 
 

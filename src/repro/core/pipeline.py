@@ -1,6 +1,6 @@
 """End-to-end orchestration of the Figure 3 processing chain."""
 
-from contextlib import nullcontext
+from contextlib import contextmanager, nullcontext
 
 from repro.core.acquisition import DataAcquirer
 from repro.core.clustering import cluster_deduplicated
@@ -67,6 +67,13 @@ class PipelineReport:
                    len(self.clusters)))
 
 
+@contextmanager
+def _nested(outer, inner):
+    """Enter two context managers as one (perf timer around span)."""
+    with outer, inner:
+        yield
+
+
 class ManipulationPipeline:
     """Wires scanning, prefiltering, acquisition, clustering, labeling."""
 
@@ -87,6 +94,17 @@ class ManipulationPipeline:
                                for d in domain_catalog}
         self.cluster_threshold = cluster_threshold
         self.diff_threshold = diff_threshold
+        if perf is not None:
+            # Shard-merge reduction policies for the pipeline gauges
+            # (set once per run; any shard's copy is equally current, so
+            # the highest shard index deterministically wins) and the
+            # derived QPS rate surfaced by ``format_report``.
+            perf.declare_gauge("pipeline_domain_scan_qps", "last")
+            perf.declare_gauge("pipeline_distance_cache_hit_rate", "last")
+            perf.declare_gauge("pipeline_feature_cache_hit_rate", "last")
+            perf.declare_rate("pipeline_domain_qps",
+                              "pipeline_domain_queries",
+                              "pipeline_domain_scan")
         # Distance and feature evaluations are memoized for the life of
         # the pipeline: weekly re-runs over largely unchanged content
         # answer most cluster pairs from the caches.
@@ -148,10 +166,18 @@ class ManipulationPipeline:
     # -- the chain ------------------------------------------------------------
 
     def _stage(self, name):
-        """Perf timer for one Figure 3 step (no-op without a registry)."""
-        if self.perf is None:
-            return nullcontext()
-        return self.perf.stage("pipeline_" + name)
+        """Perf timer + trace span for one Figure 3 step (no-op when
+        neither instrument is active)."""
+        perf_context = (self.perf.stage("pipeline_" + name)
+                        if self.perf is not None else None)
+        tracer = getattr(self.network, "tracer", None)
+        span_context = tracer.span(name) if tracer is not None else None
+        if span_context is None:
+            return perf_context if perf_context is not None \
+                else nullcontext()
+        if perf_context is None:
+            return span_context
+        return _nested(perf_context, span_context)
 
     def _unit(self, checkpoint, report, name, compute, apply):
         """One checkpointable stage of the Figure 3 chain.
@@ -177,6 +203,12 @@ class ManipulationPipeline:
                 if "queries_sent" in state and \
                         hasattr(self.scanner, "queries_sent"):
                     self.scanner.queries_sent = state["queries_sent"]
+                tracer = getattr(self.network, "tracer", None)
+                if tracer is not None:
+                    # A zero-duration marker keeps the resumed trace's
+                    # stage coverage complete: the stage ran before the
+                    # crash, under the same trace id.
+                    tracer.emit(name, restored=True)
                 return
         degraded_before = len(report.degraded)
         payload = compute()

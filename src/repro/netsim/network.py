@@ -184,6 +184,13 @@ class Network:
         # keeps every fault hook a single attribute test.
         self.faults = None
         self.fault_counters = {}
+        # Optional observability instruments (:mod:`repro.obs`): a span
+        # tracer and a packet flight recorder.  ``None`` means disabled,
+        # and the probe hot path pays exactly one attribute test each —
+        # no allocation, no call — which is what keeps the scan perf
+        # gates intact with tracing off.
+        self.tracer = None
+        self.recorder = None
 
     # -- registry ---------------------------------------------------------
 
@@ -348,6 +355,11 @@ class Network:
         built at all.
         """
         self.udp_queries_sent += 1
+        # Flight recorder: event kinds/causes per repro.obs.flight.  One
+        # attribute load + None test when disabled.
+        recorder = self.recorder
+        if recorder is not None:
+            recorder.record(self.clock.now, "sent", src_ip, dst_int)
         # Per-packet middlebox triage: each box classifies the (src, dst
         # int, port) path and only PATH_INSPECT boxes see the payload.
         # Verdicts are integer arithmetic, so for the common case no box
@@ -376,6 +388,9 @@ class Network:
                 dropped = True
         loss_rate = self.loss_rate
         delivered = not dropped
+        if dropped and recorder is not None:
+            recorder.record(self.clock.now, "lost", src_ip, dst_int,
+                            "middlebox_drop")
         if delivered and loss_rate > 0:
             # Query-loss fate, inlined (bit-identical to _packet_fate
             # with _SALT_QUERY_LOSS): one draw per probe is the single
@@ -400,6 +415,9 @@ class Network:
             draw = (draw * 0x94D049BB133111EB) & _M64
             draw ^= draw >> 31
             delivered = draw >= loss_rate * (_M64 + 1)
+            if not delivered and recorder is not None:
+                recorder.record(now, "lost", src_ip, dst_int,
+                                "baseline_loss")
         faults = self.faults
         if delivered and faults is not None:
             # Injected query fate (burst loss / rate limiting / extra
@@ -418,6 +436,9 @@ class Network:
             if reason is not None:
                 self.count_fault(reason)
                 delivered = False
+                if recorder is not None:
+                    recorder.record(now, "lost", src_ip, dst_int,
+                                    "fault:" + reason)
         if delivered:
             node = self._nodes.get(dst_ip)
             if node is not None:
@@ -430,10 +451,18 @@ class Network:
                     if loss_rate > 0 and self._packet_fate(
                             _SALT_RESPONSE_LOSS, loss_rate, reply):
                         self.udp_queries_lost += 1
+                        if recorder is not None:
+                            recorder.record(self.clock.now,
+                                            "response_lost", src_ip,
+                                            dst_int, "response_loss")
                         continue
                     if self._response_droppers and any(
                             box.drops_response(packet, reply, self)
                             for box in self._response_droppers):
+                        if recorder is not None:
+                            recorder.record(self.clock.now,
+                                            "response_lost", src_ip,
+                                            dst_int, "middlebox_drop")
                         continue
                     if self.corruption_rate > 0 and self._packet_fate(
                             _SALT_CORRUPTION, self.corruption_rate, reply):
@@ -441,6 +470,9 @@ class Network:
                             reply.src_ip, reply.src_port, reply.dst_ip,
                             reply.dst_port, self._corrupt(reply.payload))
                         self.udp_responses_corrupted += 1
+                        if recorder is not None:
+                            recorder.record(self.clock.now, "corrupted",
+                                            src_ip, dst_int, "corruption")
                     if faults is not None and \
                             faults.profile.truncation_rate > 0:
                         reply_base = (
@@ -458,9 +490,16 @@ class Network:
                                 reply.dst_ip, reply.dst_port,
                                 reply.payload[:8])
                             self.count_fault("truncated_response")
+                            if recorder is not None:
+                                recorder.record(
+                                    self.clock.now, "truncated", src_ip,
+                                    dst_int, "fault:truncated_response")
                     if responses is None:
                         responses = []
                     responses.append(UdpResponse(reply, base * 2))
+                    if recorder is not None:
+                        recorder.record(self.clock.now, "answered",
+                                        src_ip, dst_int, None, base * 2)
         else:
             self.udp_queries_lost += 1
         if responses is None:

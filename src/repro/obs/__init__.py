@@ -1,0 +1,59 @@
+"""repro.obs — tracing, flight recording, and histogram metrics.
+
+One bundle, :class:`Observability`, owns the three instruments and
+attaches them to a simulated :class:`~repro.netsim.network.Network`:
+
+* :class:`~repro.obs.trace.Tracer` — nested spans across scan shards,
+  pipeline stages, and checkpoint resumes;
+* :class:`~repro.obs.flight.FlightRecorder` — a bounded ring of
+  wire-level probe events with per-loss drop-cause attribution;
+* :class:`~repro.obs.hist.LogHistogram` — mergeable latency
+  distributions, surfaced through :class:`~repro.perf.metrics.PerfRegistry`.
+
+Disabled observability installs *nothing*: ``network.tracer`` and
+``network.recorder`` stay ``None`` and the probe hot path pays a single
+attribute test, which is how the scan/pipeline perf gates keep holding
+with tracing off.
+"""
+
+from repro.obs.trace import Tracer
+from repro.obs.flight import (FlightRecorder, FAULT_CAUSE_PREFIX,
+                              DEFAULT_CAPACITY)
+from repro.obs.hist import LogHistogram
+from repro.obs.export import (export_trace, read_trace, trace_records,
+                              validate_trace, TraceSchemaError,
+                              SCHEMA_VERSION)
+from repro.obs.report import render_trace_report
+
+__all__ = [
+    "Observability", "Tracer", "FlightRecorder", "LogHistogram",
+    "export_trace", "read_trace", "trace_records", "validate_trace",
+    "render_trace_report", "TraceSchemaError", "SCHEMA_VERSION",
+    "FAULT_CAUSE_PREFIX", "DEFAULT_CAPACITY",
+]
+
+
+class Observability:
+    """The per-run observability bundle (tracer + flight recorder)."""
+
+    def __init__(self, clock=None, trace_id=None, seed=None,
+                 ring=DEFAULT_CAPACITY, enabled=True):
+        self.enabled = enabled
+        if enabled:
+            self.tracer = Tracer(clock=clock, trace_id=trace_id, seed=seed)
+            self.recorder = FlightRecorder(capacity=ring)
+        else:
+            self.tracer = None
+            self.recorder = None
+
+    def install(self, network):
+        """Attach (or, when disabled, verifiably *not* attach) the
+        instruments to a network's hot path."""
+        network.tracer = self.tracer
+        network.recorder = self.recorder
+        return self
+
+    def export(self, path, perf=None, meta=None):
+        """Write this run's trace to ``path`` (JSONL)."""
+        return export_trace(path, tracer=self.tracer,
+                            recorder=self.recorder, perf=perf, meta=meta)

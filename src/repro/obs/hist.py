@@ -1,0 +1,142 @@
+"""Log-bucketed histograms with exact, order-independent merge.
+
+Latency distributions (probe round trips, shard wall times, fetch
+durations) are summarised into logarithmic buckets: eight sub-buckets
+per octave (~9% relative resolution), derived from ``math.frexp`` so
+bucketing is pure integer arithmetic on the float's exponent/mantissa —
+no ``log()`` rounding surprises, and the same value always lands in the
+same bucket on every platform.
+
+Merging is *exact*: bucket counts and the integer-nanosecond total add,
+min/max select — all commutative and associative — so shard registries
+merged in any completion order produce bit-identical snapshots.  (A
+float running sum would make merge order observable through the last
+ulp; that is why ``total_ns`` is an integer.)
+"""
+
+import math
+
+_SUB = 8           # sub-buckets per octave (power of two)
+_UNDERFLOW = -(1 << 30)   # bucket index for values <= 0
+
+
+def bucket_index(value):
+    """The histogram bucket that ``value`` (seconds) falls into."""
+    if value <= 0.0:
+        return _UNDERFLOW
+    mantissa, exponent = math.frexp(value)   # value = m * 2**e, m in [0.5, 1)
+    sub = int((mantissa - 0.5) * 2 * _SUB)   # 0 .. _SUB-1
+    return exponent * _SUB + sub
+
+
+def bucket_bounds(index):
+    """``(low, high)`` value bounds of one bucket index."""
+    if index == _UNDERFLOW:
+        return (0.0, 0.0)
+    exponent, sub = divmod(index, _SUB)
+    scale = math.ldexp(1.0, exponent)
+    return ((0.5 + sub / (2 * _SUB)) * scale,
+            (0.5 + (sub + 1) / (2 * _SUB)) * scale)
+
+
+class LogHistogram:
+    """One mergeable latency distribution (values in seconds)."""
+
+    __slots__ = ("count", "total_ns", "min", "max", "buckets")
+
+    def __init__(self):
+        self.count = 0
+        self.total_ns = 0         # integer nanoseconds: exact merges
+        self.min = None
+        self.max = None
+        self.buckets = {}         # bucket index -> count
+
+    # -- recording --------------------------------------------------------
+
+    def observe(self, value):
+        value = float(value)
+        self.count += 1
+        self.total_ns += int(round(value * 1e9))
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        index = bucket_index(value)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
+
+    def observe_many(self, values):
+        for value in values:
+            self.observe(value)
+
+    # -- statistics -------------------------------------------------------
+
+    @property
+    def mean(self):
+        return (self.total_ns / 1e9 / self.count) if self.count else 0.0
+
+    def percentile(self, q):
+        """The ``q``-th percentile (0..100), estimated at bucket
+        midpoints and clamped to the exact observed min/max."""
+        if not self.count:
+            return 0.0
+        rank = max(1, math.ceil(self.count * q / 100.0))
+        cumulative = 0
+        for index in sorted(self.buckets):
+            cumulative += self.buckets[index]
+            if cumulative >= rank:
+                low, high = bucket_bounds(index)
+                middle = (low + high) / 2.0
+                return min(max(middle, self.min), self.max)
+        return self.max
+
+    # -- aggregation ------------------------------------------------------
+
+    def merge(self, other):
+        """Fold another histogram in (exact: counts add, bounds select)."""
+        self.count += other.count
+        self.total_ns += other.total_ns
+        if other.min is not None and (self.min is None
+                                      or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None
+                                      or other.max > self.max):
+            self.max = other.max
+        for index, count in other.buckets.items():
+            self.buckets[index] = self.buckets.get(index, 0) + count
+        return self
+
+    def snapshot(self):
+        """A plain-dict view, suitable for ``json.dump`` (and exact
+        restore — bucket keys are stringified indices)."""
+        return {
+            "count": self.count,
+            "total_ns": self.total_ns,
+            "min": self.min,
+            "max": self.max,
+            "buckets": {str(index): count
+                        for index, count in sorted(self.buckets.items())},
+        }
+
+    @classmethod
+    def restore(cls, snapshot):
+        histogram = cls()
+        histogram.count = snapshot["count"]
+        histogram.total_ns = snapshot["total_ns"]
+        histogram.min = snapshot["min"]
+        histogram.max = snapshot["max"]
+        histogram.buckets = {int(index): count
+                             for index, count
+                             in snapshot["buckets"].items()}
+        return histogram
+
+    def format_summary(self):
+        """One-line ``p50/p90/p99`` summary for perf reports."""
+        if not self.count:
+            return "empty"
+        return ("n=%d p50=%.4fs p90=%.4fs p99=%.4fs mean=%.4fs"
+                % (self.count, self.percentile(50), self.percentile(90),
+                   self.percentile(99), self.mean))
+
+    def __repr__(self):
+        return "LogHistogram(n=%d, %d buckets)" % (self.count,
+                                                   len(self.buckets))

@@ -1,0 +1,177 @@
+"""Human-readable rendering of an exported trace.
+
+Backs the ``repro trace`` CLI subcommand: given the parsed JSONL
+records, renders
+
+* a per-stage timeline — spans aggregated by stage name, with call
+  counts, total/max wall seconds, and simulated-clock time covered;
+* the critical path — the root-to-leaf chain of spans with the largest
+  wall-clock cost, the first place to look when a campaign is slow;
+* the drop-cause breakdown — every recorded probe loss, attributed
+  (fault rules appear under their ``fault:`` names);
+* histogram summaries (p50/p90/p99) for any exported latency
+  distributions.
+"""
+
+from repro.obs.hist import LogHistogram
+
+_BAR_WIDTH = 32
+
+
+def _spans(records):
+    return [r for r in records if r.get("type") == "span"]
+
+
+def _flights(records):
+    return [r for r in records if r.get("type") == "flight"]
+
+
+def stage_summary(records):
+    """Aggregate spans by stage: count, total/max wall, sim seconds."""
+    stages = {}
+    for span in _spans(records):
+        entry = stages.setdefault(span["stage"], {
+            "stage": span["stage"], "count": 0, "wall_seconds": 0.0,
+            "max_wall_seconds": 0.0, "sim_seconds": 0.0, "errors": 0,
+            "first_start": span["wall_start"]})
+        entry["count"] += 1
+        wall = span.get("wall_seconds") or 0.0
+        entry["wall_seconds"] += wall
+        entry["max_wall_seconds"] = max(entry["max_wall_seconds"], wall)
+        entry["sim_seconds"] += span.get("sim_seconds") or 0.0
+        entry["first_start"] = min(entry["first_start"],
+                                   span["wall_start"])
+        if span.get("status") == "error":
+            entry["errors"] += 1
+    return sorted(stages.values(), key=lambda e: e["first_start"])
+
+
+def critical_path(records):
+    """The most expensive root-to-leaf span chain, as a span list.
+
+    Cost of a chain is the wall time of its spans; children are walked
+    greedily by subtree cost, which on a tree of nested timings yields
+    the classic critical path.
+    """
+    spans = _spans(records)
+    if not spans:
+        return []
+    children = {}
+    by_id = {}
+    for span in spans:
+        by_id[span["span_id"]] = span
+        children.setdefault(span.get("parent_id"), []).append(span)
+
+    cost_cache = {}
+
+    def subtree_cost(span):
+        span_id = span["span_id"]
+        if span_id not in cost_cache:
+            own = span.get("wall_seconds") or 0.0
+            kids = children.get(span_id, ())
+            # A parent's wall time already covers its children (nested
+            # timing): subtree cost is the max of the span's own wall
+            # and its deepest child chain, never the sum.
+            cost_cache[span_id] = max(
+                [own] + [subtree_cost(kid) for kid in kids])
+        return cost_cache[span_id]
+
+    roots = children.get(None, [])
+    if not roots:
+        # Every span has a parent (absorbed fragments): treat spans
+        # whose parent is missing from the export as roots.
+        roots = [span for span in spans
+                 if span.get("parent_id") not in by_id]
+    if not roots:
+        return []
+    path = []
+    node = max(roots, key=subtree_cost)
+    while node is not None:
+        path.append(node)
+        kids = children.get(node["span_id"])
+        node = max(kids, key=subtree_cost) if kids else None
+    return path
+
+
+def drop_breakdown(records):
+    """``{cause: count}`` over the exported loss events plus the meta
+    line's exact tallies (which survive ring eviction)."""
+    causes = {}
+    for record in records:
+        if record.get("type") == "meta":
+            for cause, count in (record.get("drop_causes") or {}).items():
+                causes[cause] = max(causes.get(cause, 0), count)
+    if causes:
+        return causes
+    for event in _flights(records):
+        cause = event.get("cause")
+        if cause:
+            causes[cause] = causes.get(cause, 0) + 1
+    return causes
+
+
+def render_trace_report(records):
+    """The full ``repro trace`` report as one string."""
+    meta = records[0] if records and records[0].get("type") == "meta" \
+        else {}
+    lines = []
+    lines.append("trace %s — %d spans, %d flight events%s"
+                 % (meta.get("trace_id") or "<unknown>",
+                    meta.get("spans", len(_spans(records))),
+                    meta.get("flight_events", len(_flights(records))),
+                    (" (%d evicted from ring)"
+                     % meta["flight_events_evicted"]
+                     if meta.get("flight_events_evicted") else "")))
+    if meta.get("command"):
+        lines.append("command: %s" % meta["command"])
+
+    stages = stage_summary(records)
+    if stages:
+        lines.append("")
+        lines.append("timeline (per stage, in first-start order):")
+        widest = max(e["wall_seconds"] for e in stages) or 1.0
+        for entry in stages:
+            bar = "#" * max(1, int(_BAR_WIDTH * entry["wall_seconds"]
+                                   / widest)) \
+                if entry["wall_seconds"] > 0 else ""
+            flags = " [%d errors]" % entry["errors"] \
+                if entry["errors"] else ""
+            lines.append(
+                "  %-24s %5dx %9.3fs  %-*s%s"
+                % (entry["stage"], entry["count"], entry["wall_seconds"],
+                   _BAR_WIDTH, bar, flags))
+
+    path = critical_path(records)
+    if path:
+        lines.append("")
+        lines.append("critical path (wall seconds):")
+        for span in path:
+            label = span["stage"]
+            attrs = span.get("attrs") or {}
+            detail = ", ".join("%s=%s" % (k, attrs[k])
+                               for k in sorted(attrs))
+            lines.append("  %9.3fs  %s%s"
+                         % (span.get("wall_seconds") or 0.0, label,
+                            ("  (%s)" % detail) if detail else ""))
+
+    causes = drop_breakdown(records)
+    lines.append("")
+    if causes:
+        lines.append("drop causes (every recorded loss, attributed):")
+        total = sum(causes.values())
+        for cause in sorted(causes, key=lambda c: (-causes[c], c)):
+            lines.append("  %-28s %8d  (%5.1f%%)"
+                         % (cause, causes[cause],
+                            100.0 * causes[cause] / total))
+    else:
+        lines.append("drop causes: none recorded")
+
+    histograms = [r for r in records if r.get("type") == "hist"]
+    if histograms:
+        lines.append("")
+        lines.append("latency histograms:")
+        for record in histograms:
+            histogram = LogHistogram.restore(record["snapshot"])
+            lines.append("  %-28s %s" % (record["name"],
+                                         histogram.format_summary()))
+    return "\n".join(lines)

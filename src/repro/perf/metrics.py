@@ -1,24 +1,46 @@
-"""Throughput counters and stage timers for the measurement machinery.
+"""Throughput counters, stage timers, and latency histograms.
 
 The scan engine, campaigns, and the classification pipeline all report
 through a :class:`PerfRegistry`: plain monotonically increasing counters
-(probes sent, parse calls avoided) plus named wall-clock timers (scan
-duration, per-shard wall time, pipeline stage durations).  Registries are
-cheap dictionaries — hot loops accumulate into local variables and flush
-once per scan, so instrumentation never shows up in a profile.
+(probes sent, parse calls avoided), named wall-clock timers (scan
+duration, per-shard wall time, pipeline stage durations), last-value
+gauges, and log-bucketed latency histograms.  Registries are cheap
+dictionaries — hot loops accumulate into local variables and flush once
+per scan, so instrumentation never shows up in a profile.
+
+Shard registries merge back into the supervisor's registry.  Counters,
+timers, and histograms merge exactly (commutative sums), but a bare
+"last value wins" gauge would make the merged value depend on shard
+*completion* order, which is nondeterministic.  Gauges therefore carry a
+declared merge policy (:meth:`PerfRegistry.declare_gauge`): ``last``
+keeps the value from the highest shard index, ``max``/``min``/``sum``
+reduce, ``mean`` weights by contribution count — all order-independent
+when :meth:`merge` is told the shard's index via ``rank``.  Undeclared
+gauges keep the legacy overwrite semantics.
 """
 
 import time
 from contextlib import contextmanager
 
+from repro.obs.hist import LogHistogram
+
+GAUGE_POLICIES = ("last", "max", "min", "mean", "sum")
+
 
 class PerfRegistry:
-    """Named counters and timers, mergeable across shards and stages."""
+    """Named counters, timers, gauges, and histograms, mergeable across
+    shards and stages."""
 
     def __init__(self):
         self.counters = {}
         self.timers = {}          # name -> [total_seconds, entry_count]
-        self.gauges = {}          # name -> last observed value
+        self.gauges = {}          # name -> current value
+        self.histograms = {}      # name -> LogHistogram
+        self.gauge_policies = {}  # name -> declared merge policy
+        self._gauge_ranks = {}    # name -> shard index of current value
+        self._gauge_state = {}    # name -> [sum, weight] (mean policy)
+        # Derived rates printed by format_report: name -> [counter, timer].
+        self.rates = {"probes_per_sec": ["probes_sent", "scan_wall"]}
 
     # -- counters ---------------------------------------------------------
 
@@ -31,10 +53,19 @@ class PerfRegistry:
 
     # -- gauges -----------------------------------------------------------
 
+    def declare_gauge(self, name, policy="last"):
+        """Declare how the gauge ``name`` reduces across shard merges."""
+        if policy not in GAUGE_POLICIES:
+            raise ValueError("unknown gauge policy %r (want one of %s)"
+                             % (policy, ", ".join(GAUGE_POLICIES)))
+        self.gauge_policies[name] = policy
+
     def gauge(self, name, value):
-        """Set the last-value gauge ``name`` (rates, ratios, sizes) —
-        unlike counters these overwrite rather than accumulate."""
+        """Set the gauge ``name`` (rates, ratios, sizes) — unlike
+        counters these overwrite rather than accumulate."""
         self.gauges[name] = value
+        if self.gauge_policies.get(name) == "mean":
+            self._gauge_state[name] = [float(value), 1]
 
     def gauge_value(self, name, default=0.0):
         return self.gauges.get(name, default)
@@ -63,6 +94,31 @@ class PerfRegistry:
         entry = self.timers.get(name)
         return entry[0] if entry else 0.0
 
+    # -- histograms -------------------------------------------------------
+
+    def histogram(self, name):
+        """The named :class:`LogHistogram`, created on first use."""
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = LogHistogram()
+        return histogram
+
+    def observe(self, name, value):
+        """Record one latency sample (seconds) into histogram ``name``."""
+        self.histogram(name).observe(value)
+
+    def observe_many(self, name, values):
+        """Flush a batch of latency samples into histogram ``name``."""
+        if values:
+            self.histogram(name).observe_many(values)
+
+    # -- derived rates ----------------------------------------------------
+
+    def declare_rate(self, name, counter_name, timer_name):
+        """Declare a derived counter-per-timer-second rate for reports
+        (e.g. pipeline QPS from a stage counter and its stage timer)."""
+        self.rates[name] = [counter_name, timer_name]
+
     def rate(self, counter_name, timer_name):
         """Counter per second of timer, e.g. probes/sec (0.0 if untimed)."""
         elapsed = self.seconds(timer_name)
@@ -72,8 +128,14 @@ class PerfRegistry:
 
     # -- aggregation ------------------------------------------------------
 
-    def merge(self, other):
-        """Fold another registry (e.g. a shard's) into this one."""
+    def merge(self, other, rank=None):
+        """Fold another registry (e.g. a shard's) into this one.
+
+        ``rank`` is the contributing shard's index; with it, declared
+        gauges reduce order-independently (merging shard registries in
+        any completion order yields bit-identical state).  Without it,
+        undeclared gauges keep the legacy "incoming overwrites" rule.
+        """
         for name, amount in other.counters.items():
             self.count(name, amount)
         for name, (total, entries) in other.timers.items():
@@ -83,16 +145,63 @@ class PerfRegistry:
             else:
                 entry[0] += total
                 entry[1] += entries
-        self.gauges.update(other.gauges)
+        for name, histogram in other.histograms.items():
+            self.histogram(name).merge(histogram)
+        for name, policy in other.gauge_policies.items():
+            self.gauge_policies.setdefault(name, policy)
+        for name, value in other.gauges.items():
+            self._merge_gauge(name, value, other, rank)
         return self
+
+    def _merge_gauge(self, name, value, other, rank):
+        policy = self.gauge_policies.get(name)
+        if policy is None or policy == "last":
+            incoming = other._gauge_ranks.get(name, rank)
+            if policy is None and incoming is None:
+                self.gauges[name] = value        # legacy overwrite
+                return
+            if incoming is None:
+                incoming = -1
+            current = self._gauge_ranks.get(name)
+            if name not in self.gauges or current is None \
+                    or incoming >= current:
+                self.gauges[name] = value
+                self._gauge_ranks[name] = incoming
+        elif policy == "max":
+            if name not in self.gauges or value > self.gauges[name]:
+                self.gauges[name] = value
+        elif policy == "min":
+            if name not in self.gauges or value < self.gauges[name]:
+                self.gauges[name] = value
+        elif policy == "sum":
+            self.gauges[name] = self.gauges.get(name, 0) + value
+        elif policy == "mean":
+            state = self._gauge_state.get(name)
+            if state is None:
+                state = self._gauge_state[name] = (
+                    [float(self.gauges[name]), 1] if name in self.gauges
+                    else [0.0, 0])
+            incoming = other._gauge_state.get(name, [float(value), 1])
+            state[0] += incoming[0]
+            state[1] += incoming[1]
+            self.gauges[name] = state[0] / state[1] if state[1] else 0.0
 
     def snapshot(self):
         """A plain-dict view, suitable for ``json.dump``."""
         return {
             "counters": dict(self.counters),
             "gauges": dict(self.gauges),
+            "gauge_policies": dict(self.gauge_policies),
+            "gauge_ranks": dict(self._gauge_ranks),
+            "gauge_state": {name: list(state)
+                            for name, state in self._gauge_state.items()},
             "timers": {name: {"seconds": total, "entries": entries}
                        for name, (total, entries) in self.timers.items()},
+            "histograms": {name: histogram.snapshot()
+                           for name, histogram
+                           in sorted(self.histograms.items())},
+            "rates": {name: list(pair)
+                      for name, pair in self.rates.items()},
         }
 
     def restore(self, snapshot):
@@ -103,9 +212,20 @@ class PerfRegistry:
         """
         self.counters = dict(snapshot.get("counters") or {})
         self.gauges = dict(snapshot.get("gauges") or {})
+        self.gauge_policies = dict(snapshot.get("gauge_policies") or {})
+        self._gauge_ranks = dict(snapshot.get("gauge_ranks") or {})
+        self._gauge_state = {name: list(state)
+                             for name, state
+                             in (snapshot.get("gauge_state") or {}).items()}
         self.timers = {name: [entry["seconds"], entry["entries"]]
                        for name, entry
                        in (snapshot.get("timers") or {}).items()}
+        self.histograms = {name: LogHistogram.restore(data)
+                           for name, data
+                           in (snapshot.get("histograms") or {}).items()}
+        rates = snapshot.get("rates")
+        if rates is not None:
+            self.rates = {name: list(pair) for name, pair in rates.items()}
         return self
 
     def format_report(self, title="perf"):
@@ -119,12 +239,17 @@ class PerfRegistry:
             total, entries = self.timers[name]
             lines.append("  %-28s %.3fs (%d entries)"
                          % (name, total, entries))
-        probes = self.counters.get("probes_sent")
-        wall = self.seconds("scan_wall")
-        if probes and wall > 0:
-            lines.append("  %-28s %.0f" % ("probes_per_sec", probes / wall))
+        for name in sorted(self.histograms):
+            lines.append("  %-28s %s"
+                         % (name, self.histograms[name].format_summary()))
+        for name in sorted(self.rates):
+            counter_name, timer_name = self.rates[name]
+            if self.counters.get(counter_name) \
+                    and self.seconds(timer_name) > 0:
+                lines.append("  %-28s %.0f"
+                             % (name, self.rate(counter_name, timer_name)))
         return "\n".join(lines)
 
     def __repr__(self):
-        return "PerfRegistry(%d counters, %d timers)" % (
-            len(self.counters), len(self.timers))
+        return "PerfRegistry(%d counters, %d timers, %d histograms)" % (
+            len(self.counters), len(self.timers), len(self.histograms))

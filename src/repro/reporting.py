@@ -57,14 +57,24 @@ def _study_unit(checkpoint, network, perf, name, compute):
     ``study`` boundary.  The derived analyses are recomputed either way —
     they are cheap, pure functions of the restored payloads.
     """
+    tracer = getattr(network, "tracer", None)
     if checkpoint is None:
-        return compute()
+        if tracer is None:
+            return compute()
+        with tracer.span("study", phase=name):
+            return compute()
     from repro.checkpoint import capture_world_state, restore_world_state
     record = checkpoint.restore(("study", name))
     if record is not None:
         restore_world_state(network, perf, record["state"])
+        if tracer is not None:
+            tracer.emit("study", phase=name, restored=True)
         return record["payload"]
-    payload = compute()
+    if tracer is None:
+        payload = compute()
+    else:
+        with tracer.span("study", phase=name):
+            payload = compute()
     checkpoint.commit(("study", name), payload,
                       state=capture_world_state(network, perf))
     checkpoint.maybe_crash("study", (name,))

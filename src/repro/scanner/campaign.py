@@ -70,6 +70,22 @@ class ScanCampaign:
         """Advance churn, run this week's scan (plus verification scan)."""
         self.churn.step()
         week = len(self.snapshots)
+        tracer = getattr(self.network, "tracer", None)
+        if tracer is not None:
+            with tracer.span("week", week=week, verify=bool(verify)):
+                result, verification = self._scan_week(week, verify,
+                                                       checkpoint)
+        else:
+            result, verification = self._scan_week(week, verify,
+                                                   checkpoint)
+        snapshot = WeeklySnapshot(week, result, verification)
+        self.snapshots.append(snapshot)
+        if self.perf is not None:
+            self.perf.count("weeks_scanned")
+        self.network.clock.advance(WEEK)
+        return snapshot
+
+    def _scan_week(self, week, verify, checkpoint):
         scan_scope = (checkpoint.scope("week", week, "scan")
                       if checkpoint is not None else None)
         result = self.engine.scan(self.target_space, checkpoint=scan_scope)
@@ -79,12 +95,7 @@ class ScanCampaign:
                             if checkpoint is not None else None)
             verification = self.verification_engine.scan(
                 self.target_space, checkpoint=verify_scope)
-        snapshot = WeeklySnapshot(week, result, verification)
-        self.snapshots.append(snapshot)
-        if self.perf is not None:
-            self.perf.count("weeks_scanned")
-        self.network.clock.advance(WEEK)
-        return snapshot
+        return result, verification
 
     def run(self, weeks, verify_last=False, checkpoint=None):
         """Run a full campaign of ``weeks`` weekly scans.
@@ -121,6 +132,9 @@ class ScanCampaign:
                         "resume diverged at week %d: the rebuilt churn "
                         "model does not match the checkpointed one "
                         "(different seed/scale?)" % week)
+                tracer = getattr(self.network, "tracer", None)
+                if tracer is not None:
+                    tracer.emit("week", week=week, restored=True)
                 continue
             if not resume_noted:
                 resume_noted = True

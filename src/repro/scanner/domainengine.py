@@ -78,16 +78,28 @@ class DomainScanEngine:
         domains = list(domains)
         ranges = self.shard_ranges(len(resolver_ips))
         self.provenance = []
-        if len(ranges) <= 1 or not self.can_fork:
-            observations = self.scanner.scan(resolver_ips, domains)
+        tracer = getattr(getattr(self.scanner, "network", None),
+                         "tracer", None)
+        if tracer is not None:
+            with tracer.span("domain_scan_engine",
+                             resolvers=len(resolver_ips),
+                             domains=len(domains), shards=len(ranges)):
+                observations = self._scan_inner(resolver_ips, domains,
+                                                ranges, checkpoint)
         else:
-            observations = self._scan_forked(resolver_ips, domains, ranges,
-                                             checkpoint=checkpoint)
+            observations = self._scan_inner(resolver_ips, domains,
+                                            ranges, checkpoint)
         if self.perf is not None:
             self.perf.record_seconds("domain_scan_wall",
                                      time.perf_counter() - start)
             self.perf.count("domain_scans_run")
         return observations
+
+    def _scan_inner(self, resolver_ips, domains, ranges, checkpoint):
+        if len(ranges) <= 1 or not self.can_fork:
+            return self.scanner.scan(resolver_ips, domains)
+        return self._scan_forked(resolver_ips, domains, ranges,
+                                 checkpoint=checkpoint)
 
     def _scan_forked(self, resolver_ips, domains, ranges, checkpoint=None):
         scanner = self.scanner

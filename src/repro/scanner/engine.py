@@ -92,13 +92,13 @@ def _write_all(fd, data):
         view = view[os.write(fd, view):]
 
 
-def _restore_shard_record(network, perf, payload):
+def _restore_shard_record(network, perf, payload, origin=None):
     """Re-apply a checkpointed shard's side effects to a rebuilt world.
 
-    A restored shard contributed traffic/fault counter deltas and perf
-    numbers when it originally ran; replaying those (instead of
-    re-scanning) keeps a resumed run's counters identical to an
-    uninterrupted one.
+    A restored shard contributed traffic/fault counter deltas, perf
+    numbers, and trace spans/flight events when it originally ran;
+    replaying those (instead of re-scanning) keeps a resumed run's
+    counters — and its trace — identical to an uninterrupted one.
     """
     for name, delta in (payload.get("net_counters") or {}).items():
         setattr(network, name, getattr(network, name, 0) + delta)
@@ -106,14 +106,21 @@ def _restore_shard_record(network, perf, payload):
     if fault_counters is not None:
         for name, delta in (payload.get("fault_counters") or {}).items():
             fault_counters[name] = fault_counters.get(name, 0) + delta
+    tracer = getattr(network, "tracer", None)
+    if tracer is not None and payload.get("spans"):
+        tracer.absorb(payload["spans"])
+    recorder = getattr(network, "recorder", None)
+    if recorder is not None and payload.get("flight"):
+        recorder.absorb_state(payload["flight"])
     if perf is None:
         return
     wall = payload.get("wall_seconds")
     if wall is not None:
         perf.record_seconds("shard_wall", wall)
+        perf.observe("shard_wall_seconds", wall)
     shard_perf = payload.get("perf")
     if shard_perf is not None:
-        perf.merge(shard_perf)
+        perf.merge(shard_perf, rank=origin)
     for name, amount in (payload.get("perf_counters") or {}).items():
         perf.count(name, amount)
 
@@ -141,7 +148,7 @@ def _plan_checkpointed_shards(network, perf, ranges, checkpoint):
         record = checkpoint.restore(("shard", origin, start, stop))
         if record is not None:
             payload = record["payload"]
-            _restore_shard_record(network, perf, payload)
+            _restore_shard_record(network, perf, payload, origin=origin)
             restored.append((start, payload["result"]))
             restored_provenance.extend(payload.get("provenance") or [])
         else:
@@ -264,6 +271,10 @@ class ShardSupervisor:
         rescued_origins = set()
         counter_deltas = {name: 0 for name in _NET_COUNTERS}
         fault_deltas = {}
+        # Per-item observability batches (worker spans + flight events),
+        # flushed into the parent instruments in sorted item order after
+        # the run — completion order varies, the trace must not.
+        obs_items = []
 
         try:
             while pending or active:
@@ -293,7 +304,8 @@ class ShardSupervisor:
                     else:
                         self._on_success(worker.item, shard, shard_results,
                                          provenance, counter_deltas,
-                                         fault_deltas, on_item_done)
+                                         fault_deltas, obs_items,
+                                         on_item_done)
                 if heartbeat_timeout is not None:
                     for worker in list(active.values()):
                         if now - worker.last_beat > heartbeat_timeout:
@@ -344,6 +356,15 @@ class ShardSupervisor:
         # same-seed runs bit-identical.
         provenance.sort(key=lambda e: (e["start"], e["stop"],
                                        e["attempt"]))
+        if obs_items:
+            tracer = getattr(network, "tracer", None)
+            recorder = getattr(network, "recorder", None)
+            obs_items.sort(key=lambda entry: entry[0])
+            for __key, spans, flight in obs_items:
+                if tracer is not None and spans:
+                    tracer.absorb(spans)
+                if recorder is not None and flight:
+                    recorder.absorb_state(flight)
         return shard_results, provenance
 
     def _spawn(self, item, plan):
@@ -366,7 +387,8 @@ class ShardSupervisor:
                     def on_progress():
                         os.write(write_fd, _HEARTBEAT)
                 payload = pickle.dumps(
-                    self._run_shard((start, stop), on_progress),
+                    self._run_shard((start, stop), on_progress,
+                                    origin=origin, attempt=attempt),
                     protocol=pickle.HIGHEST_PROTOCOL)
                 _write_all(write_fd, _RESULT
                            + len(payload).to_bytes(4, "big") + payload)
@@ -401,7 +423,8 @@ class ShardSupervisor:
             rescues.append(item)
 
     def _on_success(self, item, shard, shard_results, provenance,
-                    counter_deltas, fault_deltas, on_item_done=None):
+                    counter_deltas, fault_deltas, obs_items,
+                    on_item_done=None):
         start, stop, origin, attempt = item
         shard_results.append((start, shard["result"], "worker"))
         status = ("ok" if attempt == 0
@@ -413,10 +436,15 @@ class ShardSupervisor:
             counter_deltas[name] += shard["net_counters"][name]
         for name, delta in shard.get("fault_counters", {}).items():
             fault_deltas[name] = fault_deltas.get(name, 0) + delta
+        spans = shard.get("spans")
+        flight = shard.get("flight")
+        if spans or flight:
+            obs_items.append(((start, stop, attempt), spans, flight))
         if self.perf is not None:
             self.perf.record_seconds("shard_wall", shard["wall_seconds"])
+            self.perf.observe("shard_wall_seconds", shard["wall_seconds"])
             if shard["perf"] is not None:
-                self.perf.merge(shard["perf"])
+                self.perf.merge(shard["perf"], rank=origin)
         if on_item_done is not None:
             on_item_done(item, {
                 "result": shard["result"],
@@ -424,6 +452,8 @@ class ShardSupervisor:
                 "fault_counters": dict(shard.get("fault_counters") or {}),
                 "perf": shard["perf"],
                 "wall_seconds": shard["wall_seconds"],
+                "spans": spans,
+                "flight": flight,
                 "provenance": [dict(entry)],
             }, entry)
 
@@ -440,7 +470,16 @@ class ShardSupervisor:
         fault_before = dict(getattr(network, "fault_counters", None) or {})
         perf_before = (dict(self.perf.counters)
                        if self.perf is not None else {})
-        result = self.run_range((start, stop), None)
+        tracer = getattr(network, "tracer", None)
+        spans_before = len(tracer.spans) if tracer is not None else 0
+        if tracer is not None:
+            # Rescues trace live into the parent's instruments (they
+            # mutate parent state directly, unlike worker shards).
+            with tracer.span("shard", origin=origin, attempt=attempt,
+                             start=start, stop=stop, mode="in-process"):
+                result = self.run_range((start, stop), None)
+        else:
+            result = self.run_range((start, stop), None)
         shard_results.append((start, result, "in-process"))
         entry = {"shard": origin, "start": start, "stop": stop,
                  "mode": "in-process", "attempt": attempt,
@@ -463,10 +502,13 @@ class ShardSupervisor:
                 name: value - perf_before.get(name, 0)
                 for name, value in perf_after.items()
                 if value - perf_before.get(name, 0)},
+            "spans": (tracer.spans[spans_before:]
+                      if tracer is not None else None),
             "provenance": [dict(entry)],
         }, entry)
 
-    def _run_shard(self, index_range, on_progress=None):
+    def _run_shard(self, index_range, on_progress=None, origin=0,
+                   attempt=0):
         """Executed inside a worker: one shard run plus bookkeeping."""
         network = self.network
         host = self.perf_host
@@ -475,10 +517,32 @@ class ShardSupervisor:
         # the inherited copy would double-count pre-fork totals).
         if host is not None and getattr(host, "perf", None) is not None:
             host.perf = PerfRegistry()
+        # Same treatment for the observability instruments: re-namespace
+        # the inherited tracer (span ids stay unique across every worker
+        # of every supervised scan in the process — the prefix carries
+        # the parent's active span id, which is unique per scan, plus
+        # origin, attempt, *and* range start, because both halves of a
+        # split shard share origin and attempt) and clear the inherited
+        # flight ring, so only shard-local spans and events ride back
+        # over the result pipe.
+        tracer = getattr(network, "tracer", None)
+        recorder = getattr(network, "recorder", None)
+        if tracer is not None:
+            tracer.rebase("%s.w%d.%d.%d:" % (tracer.active_span_id or "",
+                                             origin, attempt,
+                                             index_range[0]))
+        if recorder is not None:
+            recorder.reset()
         before = {name: getattr(network, name) for name in _NET_COUNTERS}
         fault_before = dict(getattr(network, "fault_counters", None) or {})
         shard_start = time.perf_counter()
-        result = self.run_range(index_range, on_progress)
+        if tracer is not None:
+            with tracer.span("shard", origin=origin, attempt=attempt,
+                             start=index_range[0], stop=index_range[1],
+                             mode="worker"):
+                result = self.run_range(index_range, on_progress)
+        else:
+            result = self.run_range(index_range, on_progress)
         wall = time.perf_counter() - shard_start
         fault_after = getattr(network, "fault_counters", None) or {}
         return {
@@ -492,6 +556,9 @@ class ShardSupervisor:
                 for name, value in fault_after.items()
                 if value - fault_before.get(name, 0)},
             "perf": host.perf if host is not None else None,
+            "spans": tracer.spans if tracer is not None else None,
+            "flight": (recorder.export_state()
+                       if recorder is not None else None),
         }
 
 
@@ -528,7 +595,15 @@ class ScanEngine:
         network = self.scanner.network
         fault_before = dict(getattr(network, "fault_counters", None) or {})
         ranges = target_space.shard_ranges(self.shards)
-        if len(ranges) <= 1 or not self.can_fork:
+        tracer = getattr(network, "tracer", None)
+        if tracer is not None:
+            with tracer.span("scan", shards=len(ranges)):
+                if len(ranges) <= 1 or not self.can_fork:
+                    result = self.scanner.scan(target_space)
+                else:
+                    result = self._scan_forked(target_space, ranges,
+                                               checkpoint=checkpoint)
+        elif len(ranges) <= 1 or not self.can_fork:
             result = self.scanner.scan(target_space)
         else:
             result = self._scan_forked(target_space, ranges,

@@ -407,6 +407,9 @@ class Ipv4Scanner:
         state = first = lfsr.state
         probes_sent = 0
         responses_seen = 0
+        # Response round trips, batched into the perf histogram in one
+        # flush (appends happen only on the rare answered-probe path).
+        rtts = [] if self.perf is not None else None
         while True:
             index = state - 1
             if index < total and start <= index < stop:
@@ -440,6 +443,8 @@ class Ipv4Scanner:
                         if (raw[0] << 8) | raw[1] != txid:
                             continue
                         responses_seen += 1
+                        if rtts is not None:
+                            rtts.append(response.latency)
                         record(target_ip, raw[3] & 0x0F,
                                response.packet.src_ip)
             # Inlined Fibonacci LFSR step (== LFSR.step).
@@ -454,6 +459,7 @@ class Ipv4Scanner:
             self.perf.count("probes_sent", probes_sent)
             self.perf.count("responses_seen", responses_seen)
             self.perf.count("parse_calls_avoided", responses_seen)
+            self.perf.observe_many("probe_rtt_seconds", rtts)
         return result
 
     def _scan_robust(self, target_space, index_range, on_progress):
@@ -494,6 +500,7 @@ class Ipv4Scanner:
         retransmissions = 0
         late_responses = 0
         responses_seen = 0
+        rtts = [] if self.perf is not None else None
         while True:
             index = state - 1
             if index < total and start <= index < stop:
@@ -541,6 +548,8 @@ class Ipv4Scanner:
                                 continue
                             answered = True
                             responses_seen += 1
+                            if rtts is not None:
+                                rtts.append(response.latency)
                             result.record(target_ip, raw[3] & 0x0F,
                                           response.packet.src_ip)
                         if answered:
@@ -560,6 +569,7 @@ class Ipv4Scanner:
             self.perf.count("probe_retransmissions", retransmissions)
             if late_responses:
                 self.perf.count("probe_responses_late", late_responses)
+            self.perf.observe_many("probe_rtt_seconds", rtts)
         return result
 
     def scan_addresses(self, addresses):

@@ -1,0 +1,172 @@
+"""Tests for JSONL trace export, validation, and report rendering."""
+
+import pytest
+
+from repro.netsim.clock import SimClock
+from repro.obs import (FlightRecorder, LogHistogram, TraceSchemaError,
+                       Tracer, export_trace, read_trace, trace_records,
+                       validate_trace)
+from repro.obs.report import (critical_path, drop_breakdown,
+                              render_trace_report, stage_summary)
+from repro.perf import PerfRegistry
+
+
+def build_trace():
+    clock = SimClock()
+    tracer = Tracer(clock=clock, seed=7)
+    recorder = FlightRecorder()
+    with tracer.span("scan", shards=2):
+        with tracer.span("shard", origin=0):
+            recorder.record(clock.now, "sent", "198.18.0.1", 42)
+            recorder.record(clock.now, "answered", "198.18.0.1", 42,
+                            latency=0.05)
+            clock.advance(30.0)
+        with tracer.span("shard", origin=1):
+            recorder.record(clock.now, "lost", "198.18.0.1", 43,
+                            cause="fault:injected_loss")
+            clock.advance(10.0)
+    perf = PerfRegistry()
+    perf.observe_many("probe_rtt_seconds", [0.05, 0.06, 0.2])
+    return tracer, recorder, perf
+
+
+class TestExport:
+    def test_round_trip_and_validation(self, tmp_path):
+        tracer, recorder, perf = build_trace()
+        path = str(tmp_path / "trace.jsonl")
+        spans, events = export_trace(path, tracer=tracer,
+                                     recorder=recorder, perf=perf,
+                                     meta={"command": "scan"})
+        assert (spans, events) == (3, 3)
+        records = read_trace(path)
+        summary = validate_trace(records)
+        assert summary == {"spans": 3, "flight_events": 3, "losses": 1,
+                           "losses_attributed": 1}
+        meta = records[0]
+        assert meta["type"] == "meta"
+        assert meta["command"] == "scan"
+        assert meta["drop_causes"] == {"fault:injected_loss": 1}
+        assert all(r["trace_id"] == tracer.trace_id for r in records)
+
+    def test_histograms_ride_along(self, tmp_path):
+        tracer, recorder, perf = build_trace()
+        path = str(tmp_path / "trace.jsonl")
+        export_trace(path, tracer=tracer, recorder=recorder, perf=perf)
+        hists = [r for r in read_trace(path) if r["type"] == "hist"]
+        assert [h["name"] for h in hists] == ["probe_rtt_seconds"]
+        restored = LogHistogram.restore(hists[0]["snapshot"])
+        assert restored.count == 3
+
+
+class TestValidation:
+    def meta(self, **extra):
+        head = {"type": "meta", "schema_version": 1, "trace_id": "t"}
+        head.update(extra)
+        return head
+
+    def span(self, span_id, parent_id=None, stage="scan"):
+        return {"type": "span", "span_id": span_id,
+                "parent_id": parent_id, "stage": stage, "attrs": {},
+                "wall_start": 0.0, "wall_seconds": 1.0}
+
+    def test_meta_must_come_first(self):
+        with pytest.raises(TraceSchemaError, match="meta line"):
+            validate_trace([self.span("s1"), self.meta()])
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(TraceSchemaError, match="empty"):
+            validate_trace([])
+
+    def test_unknown_schema_version_rejected(self):
+        with pytest.raises(TraceSchemaError, match="schema version"):
+            validate_trace([self.meta(schema_version=99)])
+
+    def test_loss_without_cause_rejected(self):
+        bad = {"type": "flight", "t": 0.0, "event": "lost",
+               "src": "a", "dst": "b", "cause": None}
+        with pytest.raises(TraceSchemaError, match="no drop cause"):
+            validate_trace([self.meta(), bad])
+
+    def test_response_loss_also_requires_cause(self):
+        bad = {"type": "flight", "t": 0.0, "event": "response_lost",
+               "src": "a", "dst": "b"}
+        with pytest.raises(TraceSchemaError, match="no drop cause"):
+            validate_trace([self.meta(), bad])
+
+    def test_duplicate_span_ids_rejected(self):
+        with pytest.raises(TraceSchemaError, match="duplicate span id"):
+            validate_trace([self.meta(), self.span("s1"),
+                            self.span("s1")])
+
+    def test_unresolvable_parent_rejected(self):
+        with pytest.raises(TraceSchemaError, match="unknown parent"):
+            validate_trace([self.meta(),
+                            self.span("s2", parent_id="ghost")])
+
+    def test_missing_span_field_rejected(self):
+        broken = self.span("s1")
+        del broken["wall_start"]
+        with pytest.raises(TraceSchemaError, match="wall_start"):
+            validate_trace([self.meta(), broken])
+
+    def test_unknown_record_type_rejected(self):
+        with pytest.raises(TraceSchemaError, match="unknown type"):
+            validate_trace([self.meta(), {"type": "mystery"}])
+
+
+class TestReport:
+    def records(self):
+        tracer, recorder, perf = build_trace()
+        return list(trace_records(tracer, recorder, perf,
+                                  meta={"command": "scan"}))
+
+    def test_stage_summary_aggregates_by_stage(self):
+        stages = {e["stage"]: e for e in stage_summary(self.records())}
+        assert stages["shard"]["count"] == 2
+        assert stages["scan"]["count"] == 1
+        assert stages["shard"]["sim_seconds"] == 40.0
+
+    def test_critical_path_walks_root_to_leaf(self):
+        path = critical_path(self.records())
+        assert [span["stage"] for span in path] == ["scan", "shard"]
+
+    def test_critical_path_picks_the_expensive_chain(self):
+        meta = {"type": "meta", "schema_version": 1, "trace_id": "t"}
+        spans = [
+            {"type": "span", "span_id": "s1", "parent_id": None,
+             "stage": "scan", "attrs": {}, "wall_start": 0.0,
+             "wall_seconds": 5.0},
+            {"type": "span", "span_id": "s2", "parent_id": "s1",
+             "stage": "shard", "attrs": {}, "wall_start": 0.0,
+             "wall_seconds": 1.0},
+            {"type": "span", "span_id": "s3", "parent_id": "s1",
+             "stage": "shard", "attrs": {}, "wall_start": 1.0,
+             "wall_seconds": 4.0},
+        ]
+        path = critical_path([meta] + spans)
+        assert [span["span_id"] for span in path] == ["s1", "s3"]
+
+    def test_critical_path_of_absorbed_fragment(self):
+        # Every span has a parent (a worker batch whose root was
+        # re-parented to an id missing from this export).
+        spans = [
+            {"type": "span", "span_id": "w1", "parent_id": "gone",
+             "stage": "shard", "attrs": {}, "wall_start": 0.0,
+             "wall_seconds": 2.0},
+        ]
+        path = critical_path(spans)
+        assert [span["span_id"] for span in path] == ["w1"]
+
+    def test_drop_breakdown_prefers_exact_meta_tallies(self):
+        records = self.records()
+        assert drop_breakdown(records) == {"fault:injected_loss": 1}
+        # Without the meta line it falls back to counting flight events.
+        assert drop_breakdown(records[1:]) == {"fault:injected_loss": 1}
+
+    def test_render_mentions_every_section(self):
+        report = render_trace_report(self.records())
+        assert "timeline" in report
+        assert "critical path" in report
+        assert "fault:injected_loss" in report
+        assert "probe_rtt_seconds" in report
+        assert "command: scan" in report

@@ -1,0 +1,94 @@
+"""Tests for the packet flight recorder (repro.obs.flight)."""
+
+from repro.obs import FlightRecorder
+from repro.obs.flight import FAULT_CAUSE_PREFIX
+
+
+def lost(recorder, cause, n=1, t=0.0):
+    for __ in range(n):
+        recorder.record(t, "lost", "198.18.0.1", 42, cause=cause)
+
+
+class TestRecording:
+    def test_events_and_tallies(self):
+        recorder = FlightRecorder()
+        recorder.record(1.0, "sent", "198.18.0.1", 42)
+        recorder.record(1.1, "answered", "198.18.0.1", 42, latency=0.1)
+        lost(recorder, "baseline_loss")
+        assert len(recorder.events) == 3
+        assert recorder.event_counts == {"sent": 1, "answered": 1,
+                                         "lost": 1}
+        assert recorder.drop_breakdown() == {"baseline_loss": 1}
+
+    def test_ring_bounds_memory_but_tallies_stay_exact(self):
+        recorder = FlightRecorder(capacity=4)
+        lost(recorder, "baseline_loss", n=10)
+        assert len(recorder.events) == 4
+        assert recorder.dropped_events == 6
+        assert recorder.cause_counts["baseline_loss"] == 10
+        assert recorder.event_counts["lost"] == 10
+
+    def test_reset_clears_everything(self):
+        recorder = FlightRecorder(capacity=4)
+        lost(recorder, "baseline_loss", n=6)
+        recorder.reset()
+        assert len(recorder.events) == 0
+        assert recorder.cause_counts == {}
+        assert recorder.event_counts == {}
+        assert recorder.dropped_events == 0
+
+
+class TestTransport:
+    def test_export_absorb_state_round_trip(self):
+        worker = FlightRecorder()
+        worker.record(1.0, "sent", "198.18.0.1", 42)
+        lost(worker, FAULT_CAUSE_PREFIX + "injected_loss", n=2)
+        parent = FlightRecorder()
+        parent.record(0.5, "sent", "198.18.0.9", 7)
+        parent.absorb_state(worker.export_state())
+        assert len(parent.events) == 4
+        assert parent.event_counts == {"sent": 2, "lost": 2}
+        assert parent.drop_breakdown() == {"fault:injected_loss": 2}
+
+    def test_absorbed_tallies_survive_ring_eviction(self):
+        # The worker's ring already evicted events; the parent must add
+        # the worker's *exact* tallies, not recount the surviving ring.
+        worker = FlightRecorder(capacity=2)
+        lost(worker, "baseline_loss", n=5)
+        parent = FlightRecorder(capacity=2)
+        parent.absorb_state(worker.export_state())
+        assert len(parent.events) == 2
+        assert parent.cause_counts["baseline_loss"] == 5
+        assert parent.dropped_events == 3
+
+    def test_absorb_state_tolerates_json_round_tripped_events(self):
+        import json
+        worker = FlightRecorder()
+        lost(worker, "baseline_loss")
+        state = json.loads(json.dumps(worker.export_state()))
+        parent = FlightRecorder()
+        parent.absorb_state(state)
+        assert parent.export_events() == worker.export_events()
+
+    def test_absorb_plain_event_list_recounts(self):
+        worker = FlightRecorder()
+        lost(worker, "baseline_loss", n=3)
+        parent = FlightRecorder()
+        parent.absorb(worker.export_events())
+        assert parent.cause_counts == {"baseline_loss": 3}
+
+
+class TestExportDict:
+    def test_integer_destination_is_normalised(self):
+        record = FlightRecorder.event_dict(
+            (1.5, "lost", "198.18.0.1", (198 << 24) | (18 << 16) | 7,
+             "baseline_loss", None))
+        assert record["type"] == "flight"
+        assert record["dst"] == "198.18.0.7"
+        assert record["cause"] == "baseline_loss"
+
+    def test_string_destination_passes_through(self):
+        record = FlightRecorder.event_dict(
+            (1.5, "answered", "198.18.0.1", "10.0.0.1", None, 0.25))
+        assert record["dst"] == "10.0.0.1"
+        assert record["latency"] == 0.25

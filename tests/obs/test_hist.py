@@ -1,0 +1,116 @@
+"""Tests for the log-bucketed histogram (repro.obs.hist)."""
+
+import itertools
+import json
+
+from repro.obs.hist import LogHistogram, bucket_bounds, bucket_index
+
+
+class TestBucketing:
+    def test_value_falls_inside_its_bucket_bounds(self):
+        for value in (1e-6, 0.0004, 0.02, 0.5, 1.0, 3.7, 1024.0):
+            low, high = bucket_bounds(bucket_index(value))
+            assert low <= value < high, value
+
+    def test_nonpositive_values_share_the_underflow_bucket(self):
+        assert bucket_index(0.0) == bucket_index(-3.0)
+        assert bucket_bounds(bucket_index(0.0)) == (0.0, 0.0)
+
+    def test_resolution_is_within_one_octave_eighth(self):
+        # Adjacent bucket bounds are ~9% apart: the relative error of
+        # a midpoint estimate stays below one sub-bucket's width.
+        low, high = bucket_bounds(bucket_index(0.123))
+        assert high / low <= 1.0 + 1.0 / 8 + 1e-9
+
+    def test_bucketing_is_deterministic(self):
+        assert bucket_index(0.25) == bucket_index(0.25)
+        # Exact powers of two land at the base of their octave.
+        assert bucket_bounds(bucket_index(0.5))[0] == 0.5
+        assert bucket_bounds(bucket_index(1.0))[0] == 1.0
+
+
+class TestStatistics:
+    def test_count_mean_min_max(self):
+        histogram = LogHistogram()
+        histogram.observe_many([0.1, 0.2, 0.3])
+        assert histogram.count == 3
+        assert histogram.min == 0.1
+        assert histogram.max == 0.3
+        assert abs(histogram.mean - 0.2) < 1e-9
+
+    def test_percentiles_are_clamped_to_observed_range(self):
+        histogram = LogHistogram()
+        histogram.observe_many([0.010, 0.011, 0.012, 5.0])
+        assert histogram.percentile(50) >= 0.010
+        assert histogram.percentile(99) <= 5.0
+        assert histogram.percentile(100) == 5.0
+
+    def test_percentile_accuracy_within_bucket_resolution(self):
+        histogram = LogHistogram()
+        values = [0.001 * (i + 1) for i in range(1000)]
+        histogram.observe_many(values)
+        for q in (50, 90, 99):
+            exact = values[int(len(values) * q / 100) - 1]
+            assert abs(histogram.percentile(q) - exact) / exact < 0.10
+
+    def test_empty_histogram(self):
+        histogram = LogHistogram()
+        assert histogram.percentile(50) == 0.0
+        assert histogram.mean == 0.0
+        assert histogram.format_summary() == "empty"
+
+
+class TestMerge:
+    def test_merge_is_exact_and_order_independent(self):
+        batches = [[0.001, 0.02, 0.02], [0.5, 0.0007], [3.0], []]
+        snapshots = []
+        for order in itertools.permutations(range(len(batches))):
+            merged = LogHistogram()
+            for index in order:
+                shard = LogHistogram()
+                shard.observe_many(batches[index])
+                merged.merge(shard)
+            snapshots.append(merged.snapshot())
+        assert all(snapshot == snapshots[0] for snapshot in snapshots)
+
+    def test_merge_equals_direct_observation(self):
+        values = [0.004, 0.004, 0.1, 2.5, 0.00009]
+        direct = LogHistogram()
+        direct.observe_many(values)
+        left, right = LogHistogram(), LogHistogram()
+        left.observe_many(values[:2])
+        right.observe_many(values[2:])
+        assert left.merge(right).snapshot() == direct.snapshot()
+
+    def test_merge_into_empty(self):
+        shard = LogHistogram()
+        shard.observe(0.25)
+        merged = LogHistogram().merge(shard)
+        assert merged.snapshot() == shard.snapshot()
+
+
+class TestSnapshotRestore:
+    def test_round_trip_is_bit_identical_through_json(self):
+        histogram = LogHistogram()
+        histogram.observe_many([0.001, 0.05, 0.05, 1.75])
+        snapshot = histogram.snapshot()
+        assert json.loads(json.dumps(snapshot)) == snapshot
+        restored = LogHistogram.restore(snapshot)
+        assert restored.snapshot() == snapshot
+        assert restored.percentile(50) == histogram.percentile(50)
+
+    def test_restored_histogram_keeps_merging_exactly(self):
+        first, second = LogHistogram(), LogHistogram()
+        first.observe_many([0.1, 0.2])
+        second.observe_many([0.4])
+        direct = LogHistogram()
+        direct.observe_many([0.1, 0.2, 0.4])
+        restored = LogHistogram.restore(first.snapshot())
+        assert restored.merge(second).snapshot() == direct.snapshot()
+
+    def test_format_summary_mentions_percentiles(self):
+        histogram = LogHistogram()
+        histogram.observe_many([0.010] * 99 + [1.0])
+        summary = histogram.format_summary()
+        assert "n=100" in summary
+        assert "p50=" in summary and "p99=" in summary

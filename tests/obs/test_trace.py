@@ -1,0 +1,124 @@
+"""Tests for the span tracer (repro.obs.trace)."""
+
+import pytest
+
+from repro.netsim.clock import SimClock
+from repro.obs import Tracer
+
+
+class TestSpans:
+    def test_nested_spans_record_parentage(self):
+        tracer = Tracer(seed=7)
+        with tracer.span("scan", shards=2) as outer:
+            with tracer.span("shard", start=0) as inner:
+                assert tracer.active_span_id == inner["span_id"]
+            assert tracer.active_span_id == outer["span_id"]
+        assert tracer.active_span_id is None
+        shard, scan = tracer.spans          # innermost finishes first
+        assert shard["stage"] == "shard"
+        assert shard["parent_id"] == scan["span_id"]
+        assert scan["parent_id"] is None
+        assert scan["attrs"] == {"shards": 2}
+
+    def test_span_ids_are_sequential_and_seeded_trace_id_is_stable(self):
+        first, second = Tracer(seed=7), Tracer(seed=7)
+        assert first.trace_id == second.trace_id
+        with first.span("a"):
+            pass
+        with first.span("b"):
+            pass
+        assert [s["span_id"] for s in first.spans] == ["s1", "s2"]
+
+    def test_sim_clock_durations(self):
+        clock = SimClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("scan"):
+            clock.advance(12.5)
+        span = tracer.spans[-1]
+        assert span["sim_seconds"] == 12.5
+        assert span["wall_seconds"] >= 0.0
+
+    def test_exception_marks_span_error_and_pops_stack(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("scan"):
+                raise RuntimeError("boom")
+        assert tracer.spans[-1]["status"] == "error"
+        assert tracer.active_span_id is None
+
+    def test_emit_records_instant_span(self):
+        tracer = Tracer()
+        with tracer.span("scan") as scan:
+            emitted = tracer.emit("week", week=3, restored=True)
+        assert emitted["attrs"] == {"week": 3, "restored": True}
+        assert emitted["parent_id"] == scan["span_id"]
+        assert emitted["wall_seconds"] is not None
+
+
+class TestForkTransport:
+    def test_rebase_keeps_stack_but_renames_namespace(self):
+        tracer = Tracer(seed=7)
+        with tracer.span("scan") as scan:
+            tracer.rebase("w0.0.0:")
+            assert tracer.spans == []
+            with tracer.span("shard"):
+                pass
+            shard = tracer.spans[-1]
+            assert shard["span_id"] == "w0.0.0:1"
+            # Inherited stack: the worker's root still parents under
+            # the span that was open at fork time.
+            assert shard["parent_id"] == scan["span_id"]
+
+    def test_absorb_reparents_dangling_roots(self):
+        parent = Tracer(seed=7)
+        with parent.span("scan") as scan:
+            worker = [
+                {"span_id": "w1:1", "parent_id": "gone", "stage": "shard",
+                 "attrs": {}, "wall_start": 0.0, "wall_seconds": 1.0,
+                 "sim_start": None, "sim_seconds": None, "status": "ok"},
+                {"span_id": "w1:2", "parent_id": "w1:1", "stage": "sub",
+                 "attrs": {}, "wall_start": 0.1, "wall_seconds": 0.5,
+                 "sim_start": None, "sim_seconds": None, "status": "ok"},
+            ]
+            parent.absorb(worker)
+        by_id = {s["span_id"]: s for s in parent.spans}
+        assert by_id["w1:1"]["parent_id"] == scan["span_id"]
+        # Intact internal parentage is preserved untouched.
+        assert by_id["w1:2"]["parent_id"] == "w1:1"
+
+    def test_absorb_empty_batch_is_a_noop(self):
+        tracer = Tracer()
+        tracer.absorb([])
+        assert tracer.spans == []
+
+
+class TestCheckpointContext:
+    def test_adopt_continues_trace_id_and_sequence(self):
+        original = Tracer(seed=7)
+        with original.span("week"):
+            pass
+        context = original.context()
+        resumed = Tracer(seed=99)
+        assert resumed.trace_id != original.trace_id
+        resumed.adopt(context)
+        assert resumed.trace_id == original.trace_id
+        assert resumed.seq == context["seq"]
+        with resumed.span("week"):
+            pass
+        # No span-id collision with the pre-crash process.
+        assert resumed.spans[-1]["span_id"] not in \
+            {s["span_id"] for s in original.spans}
+
+    def test_adopt_never_rewinds_sequence(self):
+        tracer = Tracer(seed=7)
+        for __ in range(5):
+            with tracer.span("week"):
+                pass
+        tracer.adopt({"trace_id": tracer.trace_id, "seq": 2})
+        assert tracer.seq == 5
+
+    def test_adopt_tolerates_missing_context(self):
+        tracer = Tracer(seed=7)
+        tracer.adopt(None)
+        tracer.adopt({})
+        assert tracer.seq == 0
