@@ -48,6 +48,7 @@ def _measure_legacy(scale, seed, repeats):
     elapsed, result = min(samples, key=lambda item: item[0])
     return {
         "probes_sent": result.probes_sent,
+        "repeats": repeats,
         "seconds": round(elapsed, 4),
         "probes_per_sec": round(result.probes_sent / elapsed, 1),
         "samples_probes_per_sec": [
@@ -58,7 +59,13 @@ def _measure_legacy(scale, seed, repeats):
 
 
 def _measure_engine(scale, seed, shards, repeats):
-    """Time the engine (sequential when ``shards == 1``) on week 1."""
+    """Time the engine (sequential when ``shards == 1``) on week 1.
+
+    Best-of-``repeats`` like :func:`_measure_legacy` — every measured
+    configuration gets the same sampling treatment, so the reported
+    sharded-vs-fast ratio compares two min-time estimates rather than a
+    min against a single (noise-inflated) sample.
+    """
     samples = []
     for __ in range(repeats):
         scenario = _build(scale, seed)
@@ -71,6 +78,7 @@ def _measure_engine(scale, seed, shards, repeats):
     stats = {
         "shards": shards,
         "probes_sent": result.probes_sent,
+        "repeats": repeats,
         "seconds": round(elapsed, 4),
         "probes_per_sec": round(result.probes_sent / elapsed, 1),
         "samples_probes_per_sec": [
@@ -179,6 +187,8 @@ def main(argv=None):
                         help="smaller world (CI smoke run)")
     parser.add_argument("--repeats", type=int, default=3,
                         help="repetitions per variant (fastest wins)")
+    parser.add_argument("--min-speedup", type=float, default=10.0,
+                        help="fail below this fast-vs-legacy ratio")
     parser.add_argument("--out", default="BENCH_scan.json")
     args = parser.parse_args(argv)
     scale = 60000 if args.quick else args.scale
@@ -195,7 +205,7 @@ def main(argv=None):
           file=sys.stderr)
     sharded, sharded_result = _measure_engine(scale, args.seed,
                                               shards=args.check_shards,
-                                              repeats=1)
+                                              repeats=repeats)
     print("  sharded:   %8.0f probes/sec (%d shards)"
           % (sharded["probes_per_sec"], args.check_shards), file=sys.stderr)
 
@@ -231,6 +241,8 @@ def main(argv=None):
         "benchmark": "scan_engine_throughput",
         "scale": scale,
         "seed": args.seed,
+        "repeats": repeats,
+        "min_speedup": args.min_speedup,
         "legacy": legacy,
         "fast": fast,
         "sharded": sharded,
@@ -263,9 +275,9 @@ def main(argv=None):
         print("FAIL: sharded result differs from sequential",
               file=sys.stderr)
         return 1
-    if speedup < 2.0:
-        print("FAIL: fast path below 2x the seed implementation "
-              "(%.2fx)" % speedup, file=sys.stderr)
+    if speedup < args.min_speedup:
+        print("FAIL: fast path below %.1fx the seed implementation "
+              "(%.2fx)" % (args.min_speedup, speedup), file=sys.stderr)
         return 1
     if tracing["tracing_off_overhead_pct"] >= 2.0:
         print("FAIL: disabled tracing costs %.2f%% against the fast "

@@ -45,6 +45,11 @@ def _add_common(parser):
                         help="base per-probe response timeout; grows "
                              "with backoff, floored at the target's "
                              "round-trip estimate")
+    parser.add_argument("--probe-batch", type=int, default=4096,
+                        metavar="N",
+                        help="targets per columnar scan batch (bulk "
+                             "triage granularity; results are "
+                             "batch-size independent)")
 
 
 def _add_trace(parser):
@@ -166,7 +171,9 @@ def _scan(scenario, args=None, perf=None):
         verify=False, shards=shards, perf=perf,
         retries=getattr(args, "retries", 0) if args is not None else 0,
         probe_timeout=(getattr(args, "probe_timeout", None)
-                       if args is not None else None))
+                       if args is not None else None),
+        probe_batch=(getattr(args, "probe_batch", 4096)
+                     if args is not None else 4096))
     return campaign.run_week()
 
 
@@ -207,7 +214,8 @@ def cmd_campaign(args):
     obs = _install_obs(args, scenario)
     campaign = scenario.new_campaign(verify=False, shards=args.shards,
                                      perf=perf, retries=args.retries,
-                                     probe_timeout=args.probe_timeout)
+                                     probe_timeout=args.probe_timeout,
+                                     probe_batch=args.probe_batch)
     try:
         campaign.run(args.weeks, checkpoint=checkpoint)
     except InjectedCrash as crash:

@@ -140,6 +140,14 @@ class MemoizedDistance:
     ``evaluations`` counts true underlying calls, ``hits`` the pairs
     answered from the memo; both are mirrored into ``perf`` when a
     registry is supplied (``distance_evals`` / ``distance_cache_hits``).
+    ``avoided`` accumulates pairs a caller-side layer answered without
+    consulting the memo at all (the clustering stage deduplicates
+    identical bodies *before* building its distance matrix, and
+    ``hierarchical_cluster`` asks for each remaining pair exactly once)
+    — credited via :meth:`credit_avoided` so :meth:`hit_rate` reports
+    the fraction of logical pair evaluations that skipped the
+    underlying distance, not just the memo's own (structurally ~zero)
+    hit share.
     """
 
     def __init__(self, distance, perf=None):
@@ -148,6 +156,7 @@ class MemoizedDistance:
         self._memo = {}     # (id, id) -> (value, profile, profile)
         self.evaluations = 0
         self.hits = 0
+        self.avoided = 0
 
     def __call__(self, profile_a, profile_b):
         key = ((id(profile_a), id(profile_b))
@@ -166,9 +175,15 @@ class MemoizedDistance:
         self._memo[key] = (value, profile_a, profile_b)
         return value
 
+    def credit_avoided(self, pairs):
+        """Credit ``pairs`` pair-evaluations short-circuited upstream."""
+        if pairs > 0:
+            self.avoided += pairs
+
     def hit_rate(self):
-        total = self.evaluations + self.hits
-        return self.hits / total if total else 0.0
+        saved = self.hits + self.avoided
+        total = self.evaluations + saved
+        return saved / total if total else 0.0
 
 
 class FeatureCache:

@@ -358,9 +358,16 @@ class ManipulationPipeline:
                 # distinct bodies.
                 total = len(keyed)
                 unique = len({key for key, __ in keyed})
-                self.perf.count(
-                    "pipeline_distance_evals_avoided",
-                    (total * (total - 1) - unique * (unique - 1)) // 2)
+                avoided = (total * (total - 1)
+                           - unique * (unique - 1)) // 2
+                self.perf.count("pipeline_distance_evals_avoided",
+                                avoided)
+                # Fold the short-circuited pairs into the memo's stats:
+                # hierarchical_cluster asks for each deduplicated pair
+                # exactly once, so without this credit the hit-rate
+                # gauge reads 0.0 while thousands of pair evaluations
+                # were in fact avoided.
+                self.distance.credit_avoided(avoided)
             return {"clusters": clusters, "dendrogram": dendrogram}
 
         def apply_clustering(payload):

@@ -3,7 +3,7 @@
 import struct
 
 from repro.dnswire import constants
-from repro.dnswire.name import NameCompressor, decode_name
+from repro.dnswire.name import NameCompressor, decode_name, encode_name
 from repro.dnswire.records import ResourceRecord
 
 HEADER_STRUCT = struct.Struct("!HHHHHH")
@@ -85,7 +85,6 @@ class Question:
         self.qclass = qclass
 
     def to_wire(self, compressor=None, offset=0):
-        from repro.dnswire.name import encode_name
         if compressor is not None:
             name_wire = compressor.encode(self.name, offset)
         else:

@@ -103,19 +103,35 @@ class NameCompressor:
         Uses a compression pointer when a suffix of the name has already
         been written at a pointer-reachable offset (< 0x4000).
         """
+        offsets = self._offsets
+        whole = normalize_name(name)
+        known = offsets.get(whole)
+        if known is not None:
+            # Whole-name hit: the dominant case for answer records
+            # echoing the question name — a bare two-byte pointer,
+            # no label splitting at all.  Only reachable offsets are
+            # ever stored, so no < 0x4000 re-check is needed.
+            return bytes((_POINTER_MASK | (known >> 8), known & 0xFF))
         labels = split_labels(name)
+        # Normalised suffixes built once, right-to-left — the original
+        # per-position join/normalize repeated tail work per label.
+        suffixes = [whole] * len(labels)
+        tail = ""
+        for i in range(len(labels) - 1, 0, -1):
+            tail = labels[i].lower() + ("." + tail if tail else tail)
+            suffixes[i] = tail
         out = bytearray()
-        for i in range(len(labels)):
-            suffix = normalize_name(".".join(labels[i:]))
-            known = self._offsets.get(suffix)
-            if known is not None and known < 0x4000:
-                out.append(_POINTER_MASK | (known >> 8))
-                out.append(known & 0xFF)
-                return bytes(out)
+        for i, label in enumerate(labels):
+            if i:
+                known = offsets.get(suffixes[i])
+                if known is not None:
+                    out.append(_POINTER_MASK | (known >> 8))
+                    out.append(known & 0xFF)
+                    return bytes(out)
             offset_here = current_offset + len(out)
             if offset_here < 0x4000:
-                self._offsets[suffix] = offset_here
-            raw = labels[i].encode("ascii")
+                offsets[suffixes[i]] = offset_here
+            raw = label.encode("ascii")
             if len(raw) > MAX_LABEL_LENGTH:
                 raise NameError_("label too long in %r" % name)
             out.append(len(raw))

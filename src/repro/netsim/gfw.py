@@ -87,6 +87,31 @@ class GreatFirewall(Middlebox):
             return PATH_IGNORE
         return PATH_INSPECT
 
+    def scan_interest(self, src_ip, dst_port, network, qname_suffix=None):
+        """Outside sources probing port 53 interest exactly the watched
+        prefixes; a source *inside* them makes the interesting region
+        "everywhere outside", which is not enumerable — return ``None``
+        so such scans take the per-packet path.
+
+        When the sweep promises a ``qname_suffix``, injection can only
+        trigger if some censored entry is reachable under it — either
+        the suffix itself (or a parent) is censored, or a censored name
+        is a strict subdomain of the suffix that a probe's variable
+        labels could spell out.  A clean measurement domain rules both
+        out, making this box provably inert for the whole sweep.
+        """
+        if dst_port != 53 or not self.censored:
+            return []
+        if qname_suffix is not None:
+            suffix = normalize_name(qname_suffix)
+            tail = "." + suffix
+            if not self.censors_name(suffix) and not any(
+                    name.endswith(tail) for name in self.censored):
+                return []
+        if self._inside(src_ip):
+            return None
+        return self._prefix_masks
+
     def _crosses_boundary(self, packet):
         key = (packet.src_ip, packet.dst_ip)
         cached = self._boundary_cache.get(key)

@@ -47,6 +47,23 @@ class Middlebox:
         """Return a list of :class:`UdpResponse` to inject for this query."""
         return []
 
+    def scan_interest(self, src_ip, dst_port, network, qname_suffix=None):
+        """Destinations this box may affect for ``(src_ip, dst_port)`` at
+        the network's current clock, as ``(base, mask)`` ranges.
+
+        ``qname_suffix``, when given, promises every probe in the sweep
+        queries a name under that suffix — payload-inspecting boxes may
+        use it to prove themselves inert.  ``[]`` means "no
+        destination" (the box is inert for this scan source right now);
+        ``None`` means "cannot enumerate" and forces the scanner back
+        onto the per-packet path for every probe.  The batched scan
+        sweep uses this once per scan to split the target space into a
+        bulk-settled cold region and a fully-simulated hot region, so
+        an over-wide answer costs only speed — an under-wide one would
+        change results, hence the conservative default.
+        """
+        return None
+
 
 class ScannerBlocker(Middlebox):
     """Blocks all traffic from specific source addresses into a set of
@@ -84,6 +101,14 @@ class ScannerBlocker(Middlebox):
             return False
         return (packet.src_ip in self.blocked_sources
                 and self._protects(packet.dst_ip))
+
+    def scan_interest(self, src_ip, dst_port, network, qname_suffix=None):
+        """Mirror of :meth:`path_verdict` over a whole scan: inert unless
+        active and the source is blocked, else the protected ranges."""
+        if (network.clock.now < self.active_after
+                or src_ip not in self.blocked_sources):
+            return []
+        return self._protect_masks
 
 
 class DnsIngressFilter(Middlebox):
@@ -123,3 +148,12 @@ class DnsIngressFilter(Middlebox):
         return (packet.dst_port == self.port
                 and self._inside(packet.dst_ip)
                 and not self._inside(packet.src_ip))
+
+    def scan_interest(self, src_ip, dst_port, network, qname_suffix=None):
+        """Inert unless filtering this port, active, and the scan source
+        sits outside the filtered prefixes; else the filtered ranges."""
+        if (dst_port != self.port
+                or network.clock.now < self.active_after
+                or self._inside(src_ip)):
+            return []
+        return self._inside_masks

@@ -8,6 +8,7 @@ lower latency than the genuine ones, reproducing the racing behaviour the
 paper observed (§4.2).
 """
 
+from array import array
 from operator import attrgetter
 
 from repro.netsim.address import ip_to_int
@@ -46,6 +47,13 @@ _SALT_TCP_LOSS = 0x54
 _SALT_FAULT_QUERY = 0x55
 _SALT_FAULT_TRUNC = 0x56
 _SALT_FAULT_TCP = 0x57
+
+# Bulk-scan support: the mixed occurrence index of a flow's *first* draw
+# (occurrence 0 → _mix64(1)), and a small cache of whole-column loss
+# selectors.  Loss fates are pure functions of (seed, loss rate, flow),
+# so selectors survive scenario rebuilds and repeat scans for free.
+_MIX_FIRST_OCCURRENCE = _mix64(1)
+_LOSS_SELECTOR_CACHE = {}
 
 
 class UdpPacket:
@@ -163,6 +171,15 @@ class Network:
         # loop to plain calls with no attribute lookups.
         self._path_checks = []
         self._nodes = {}
+        # Integer-keyed mirror of the registry.  The batched scan sweep
+        # triages a whole batch of numeric targets against this (one C
+        # set/dict operation per batch) without ever materialising the
+        # dotted-quad text of addresses that host nothing.
+        self._nodes_by_int = {}
+        # Registry generation counter + memoised content signature (see
+        # :meth:`nodes_signature`); any mutation invalidates the memo.
+        self._nodes_version = 0
+        self._nodes_sig = None
         self._seed = seed
         # Per-flow occurrence counters for packet-fate decisions; repeated
         # sends over the same 4-tuple get fresh draws (so loss statistics
@@ -197,16 +214,38 @@ class Network:
     def register(self, node):
         """Attach a node at its IP; replaces any previous occupant."""
         self._nodes[node.ip] = node
+        self._nodes_by_int[ip_to_int(node.ip)] = node
+        self._nodes_version += 1
 
     def unregister(self, ip):
         self._nodes.pop(ip, None)
+        self._nodes_by_int.pop(ip_to_int(ip), None)
+        self._nodes_version += 1
 
     def rebind(self, node, new_ip):
         """Move a node to a new address (DHCP churn)."""
         if self._nodes.get(node.ip) is node:
             del self._nodes[node.ip]
+            self._nodes_by_int.pop(ip_to_int(node.ip), None)
         node.ip = new_ip
         self._nodes[new_ip] = node
+        self._nodes_by_int[ip_to_int(new_ip)] = node
+        self._nodes_version += 1
+
+    def nodes_signature(self):
+        """Exact content signature of the occupied address set.
+
+        The bytes of the sorted integer registry keys: equal signatures
+        imply the same set of live addresses, across *different* network
+        instances (scenario rebuilds, bench repeats).  Sweep-plan memos
+        key on it, so the signature is content- not identity-based;
+        it is recomputed only after registry mutations.
+        """
+        if self._nodes_sig is None \
+                or self._nodes_sig[0] != self._nodes_version:
+            signature = array("Q", sorted(self._nodes_by_int)).tobytes()
+            self._nodes_sig = (self._nodes_version, signature)
+        return self._nodes_sig[1]
 
     def node_at(self, ip):
         return self._nodes.get(ip)
@@ -331,6 +370,134 @@ class Network:
         draw = _mix64(self._seed_high ^ key ^ mixed)
         return draw < rate * (_M64 + 1)
 
+    # -- batched scan sweep ------------------------------------------------
+    #
+    # The bulk scan path (:meth:`repro.scanner.ipv4scan.Ipv4Scanner.scan`)
+    # replaces one :meth:`send_probe` call per target with whole-batch
+    # triage: targets that host no node and interest no middlebox are
+    # settled with integer set/array operations, and only the rare
+    # interesting target pays the full wire path.  The three hooks below
+    # are what make that replication *exact*: the same registry, the same
+    # interest classification the per-packet verdicts use, and the same
+    # flow-keyed loss draw bit for bit.
+
+    def scan_interest(self, src_ip, dst_port, qname_suffix=None):
+        """Destinations any middlebox may affect for ``(src_ip, dst_port)``
+        at the current clock, as a list of ``(base, mask)`` ranges.
+
+        ``qname_suffix`` tells payload-inspecting boxes what every probe
+        in the sweep queries under (the scanner's measurement domain),
+        letting an injector that only reacts to censored names rule
+        itself out.  Returns ``None`` when any middlebox cannot
+        enumerate its interest (duck-typed doubles, source-inside-
+        injector paths) — the scanner then routes every probe through
+        :meth:`send_probe`, which consults the per-packet verdicts as
+        before.  Verdicts are pure functions of the addressing tuple
+        and the clock, and the simulated clock never advances inside
+        one scan, so ranges gathered at scan start stay valid for the
+        whole sweep.
+        """
+        ranges = []
+        for box in self.middleboxes:
+            probe = getattr(box, "scan_interest", None)
+            if probe is None:
+                return None
+            box_ranges = probe(src_ip, dst_port, self,
+                               qname_suffix=qname_suffix)
+            if box_ranges is None:
+                return None
+            ranges.extend(box_ranges)
+        return ranges
+
+    def scan_path_checks(self, src_ip, dst_port, qname_suffix=None):
+        """The subset of per-packet path checks a sweep's probes need.
+
+        A middlebox whose :meth:`~repro.netsim.middlebox.Middlebox.
+        scan_interest` answers ``[]`` has promised it affects *no*
+        destination for this (source, port, qname suffix) at the
+        current clock — its verdict/inspect calls on the sweep's own
+        probes are pure overhead, so they are pruned.  Boxes answering
+        ranges or ``None`` are kept.  The pruned list applies ONLY to
+        the scanner-sourced probe sends (via ``send_probe``'s
+        ``_checks``); any nested traffic a probed node generates (a
+        forwarder relaying upstream) still runs the full check list,
+        because the sweep promise covers only the scanner's packets.
+        """
+        checks = []
+        for box, check in self._path_checks:
+            probe = getattr(box, "scan_interest", None)
+            if probe is None or probe(src_ip, dst_port, self,
+                                      qname_suffix=qname_suffix) != []:
+                checks.append((box, check))
+        return checks
+
+    def begin_flow_epoch(self):
+        """Reset stale per-flow occurrence counters; ``True`` when the
+        epoch starts clean (no same-epoch flow has been drawn yet).
+
+        The bulk loss selector below is valid only for *first* draws of
+        each flow; a dirty epoch (an earlier same-clock scan already
+        drew fates) sends the scanner down the per-probe path instead.
+        """
+        if self.clock.now != self._flow_epoch:
+            self._flow_counts.clear()
+            self._flow_epoch = self.clock.now
+        return not self._flow_counts
+
+    def query_loss_selector(self, src_ip, src_port, dst_port, values):
+        """First-occurrence query-loss fates for a whole target column.
+
+        Returns a ``bytearray`` aligned with ``values`` (1 = the first
+        probe of that flow this epoch is lost), bit-identical to the
+        draw :meth:`send_probe` computes, because it *is* the same pure
+        hash of (seed, salt, flow) — evaluated once per (scanner,
+        space) and memoised: the draw depends on neither the clock nor
+        any mutable state, so weekly re-scans of the same space reuse
+        the column for free.
+        """
+        if self.loss_rate <= 0:
+            return None
+        flow_const = _SALT_QUERY_LOSS ^ (
+            ip_to_int(src_ip) * 0x9E3779B1
+            ^ src_port << 17 ^ dst_port << 1)
+        scaled_rate = self.loss_rate * (_M64 + 1)
+        cache_key = (self._seed_high, self.loss_rate, flow_const,
+                     values.tobytes())
+        cached = _LOSS_SELECTOR_CACHE.get(cache_key)
+        if cached is not None:
+            return cached
+        seed_high = self._seed_high
+        mixed_first = _MIX_FIRST_OCCURRENCE
+        selector = bytearray(len(values))
+        for position, value in enumerate(values):
+            # splitmix64 finaliser, inlined (== _mix64); the key matches
+            # send_probe's query-loss key for occurrence 0 exactly.
+            draw = (seed_high ^ flow_const ^ value * 0x85EBCA77
+                    ^ mixed_first) & _M64
+            draw ^= draw >> 30
+            draw = (draw * 0xBF58476D1CE4E5B9) & _M64
+            draw ^= draw >> 27
+            draw = (draw * 0x94D049BB133111EB) & _M64
+            draw ^= draw >> 31
+            if draw < scaled_rate:
+                selector[position] = 1
+        if len(_LOSS_SELECTOR_CACHE) >= 8:
+            _LOSS_SELECTOR_CACHE.pop(next(iter(_LOSS_SELECTOR_CACHE)))
+        _LOSS_SELECTOR_CACHE[cache_key] = selector
+        return selector
+
+    def scan_flow_key(self, src_ip, src_port, dst_port, value):
+        """The query-loss occurrence key of one probe flow (see
+        :meth:`send_probe`) — lets the scanner charge retro-draws."""
+        return _SALT_QUERY_LOSS ^ (
+            ip_to_int(src_ip) * 0x9E3779B1 ^ value * 0x85EBCA77
+            ^ src_port << 17 ^ dst_port << 1)
+
+    def absorb_probe_sweep(self, sent, lost):
+        """Fold a bulk-settled batch into the traffic counters."""
+        self.udp_queries_sent += sent
+        self.udp_queries_lost += lost
+
     # -- UDP --------------------------------------------------------------
 
     def send_udp(self, packet):
@@ -343,7 +510,7 @@ class Network:
                                packet.payload, _packet=packet)
 
     def send_probe(self, src_ip, src_port, dst_ip, dst_port, dst_int,
-                   payload, _packet=None):
+                   payload, _packet=None, _checks=None):
         """Wire-level delivery fast path: :meth:`send_udp` semantics with
         the addressing passed as scalars (``dst_int`` must equal
         ``ip_to_int(dst_ip)``).
@@ -352,7 +519,9 @@ class Network:
         it — a PATH_INSPECT middlebox or a node at the destination.  For
         the overwhelmingly common scan case (a probe to an address that
         hosts nothing and concerns no middlebox) no packet object is
-        built at all.
+        built at all.  ``_checks`` substitutes a pre-filtered path-check
+        list (see :meth:`scan_path_checks`) for this one send; nested
+        sends triggered by the destination node are unaffected.
         """
         self.udp_queries_sent += 1
         # Flight recorder: event kinds/causes per repro.obs.flight.  One
@@ -367,7 +536,8 @@ class Network:
         packet = _packet
         dropped = False
         responses = None
-        for box, check in self._path_checks:
+        for box, check in (self._path_checks if _checks is None
+                           else _checks):
             if check is not None:
                 verdict = check(src_ip, dst_int, dst_port, self)
                 if verdict == PATH_DROP:

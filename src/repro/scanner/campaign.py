@@ -43,7 +43,8 @@ class ScanCampaign:
     def __init__(self, network, churn_model, target_space, source_ip,
                  measurement_domain, blacklist=None,
                  verification_source_ip=None, shards=1, perf=None,
-                 retries=0, probe_timeout=None, heartbeat_timeout=None):
+                 retries=0, probe_timeout=None, heartbeat_timeout=None,
+                 probe_batch=4096):
         self.network = network
         self.churn = churn_model
         self.target_space = target_space
@@ -51,7 +52,8 @@ class ScanCampaign:
         self.scanner = Ipv4Scanner(network, source_ip, measurement_domain,
                                    blacklist=blacklist, perf=perf,
                                    retries=retries,
-                                   probe_timeout=probe_timeout)
+                                   probe_timeout=probe_timeout,
+                                   probe_batch=probe_batch)
         self.engine = ScanEngine(self.scanner, shards=shards, perf=perf,
                                  heartbeat_timeout=heartbeat_timeout)
         self.verification_scanner = None
@@ -60,7 +62,8 @@ class ScanCampaign:
             self.verification_scanner = Ipv4Scanner(
                 network, verification_source_ip, measurement_domain,
                 blacklist=blacklist, source_port=31338, perf=perf,
-                retries=retries, probe_timeout=probe_timeout)
+                retries=retries, probe_timeout=probe_timeout,
+                probe_batch=probe_batch)
             self.verification_engine = ScanEngine(
                 self.verification_scanner, shards=shards, perf=perf,
                 heartbeat_timeout=heartbeat_timeout)

@@ -14,12 +14,80 @@ some resolvers rewrite the destination port of their response — the same
 9 bits in the 0x20 case pattern of the query name.
 """
 
-from repro.dnswire.name import apply_0x20, normalize_name, recover_0x20_bits
+from repro.dnswire.name import (
+    apply_0x20,
+    encode_name,
+    normalize_name,
+    recover_0x20_bits,
+)
 from repro.netsim.address import int_to_ip, ip_to_int
 
 PORT_BITS = 9
 TXID_BITS = 16
 MAX_RESOLVER_ID = (1 << (PORT_BITS + TXID_BITS)) - 1
+
+# Wire constants of the one query shape every IPv4-scan probe shares:
+# header flags/counts for a 1-question rd=1 query (bytes 2..11), and the
+# QTYPE=A / QCLASS=IN question tail.
+_QUERY_HEADER_TAIL = b"\x01\x00\x00\x01\x00\x00\x00\x00\x00\x00"
+_QUESTION_TAIL = b"\x00\x01\x00\x01"
+
+
+class ProbeBatchEncoder:
+    """Preallocated-buffer encoder for IPv4-scan probe payloads.
+
+    Every probe's wire image differs from its neighbours only in three
+    windows — the 2-byte txid, the ``r<hex>`` cache-busting label (2–7
+    bytes, so six distinct frame lengths), and the 8-hex-char target —
+    everything else is a pure function of the measurement domain.  The
+    encoder keeps one mutable template per frame length, pre-filled
+    with all the constant bytes, and :meth:`encode` just writes the
+    three windows and snapshots the frame (a single C ``memcpy``).
+    Compared to joining seven fragments per probe, nothing is
+    re-derived and no intermediate tuples or fragments are allocated.
+
+    Output is byte-identical to ``Message.query(...).to_wire()`` for
+    the equivalent query (pinned by tests).
+    """
+
+    _LABEL_OFFSET = 13  # txid(2) + header tail(10) + length byte(1)
+
+    def __init__(self, measurement_domain):
+        self.measurement_domain = measurement_domain
+        suffix_wire = encode_name(measurement_domain)
+        self._pool = {}
+        for label_len in range(2, 8):  # "r0" .. "rffffff"
+            frame = bytearray()
+            frame += b"\x00\x00"                  # txid window
+            frame += _QUERY_HEADER_TAIL
+            frame.append(label_len)
+            frame += b"\x00" * label_len          # label window
+            frame.append(8)
+            frame += b"\x00" * 8                  # hex-target window
+            frame += suffix_wire + _QUESTION_TAIL
+            hex_offset = self._LABEL_OFFSET + label_len + 1
+            self._pool[label_len] = (frame, hex_offset)
+
+    def encode(self, key, value):
+        """Encode the probe for one (probe key, target int) pair.
+
+        Returns ``(txid, payload_bytes)``; the txid and label are the
+        probe-key windows the scanner derives from its splitmix64 probe
+        identity, ``value`` is the 32-bit target address.
+        """
+        label = b"r%x" % (key >> 16 & 0xFFFFFF)
+        frame, hex_offset = self._pool[len(label)]
+        txid = key & 0xFFFF
+        frame[0] = txid >> 8
+        frame[1] = txid & 0xFF
+        frame[self._LABEL_OFFSET:hex_offset - 1] = label
+        frame[hex_offset:hex_offset + 8] = b"%08x" % value
+        return txid, bytes(frame)
+
+    def encode_batch(self, keys, values):
+        """Encode a whole batch; returns a list of (txid, payload)."""
+        encode = self.encode
+        return [encode(key, value) for key, value in zip(keys, values)]
 
 
 def encode_target_qname(target_ip, measurement_domain, probe_id=0):

@@ -9,21 +9,36 @@ by the encoded name, so hosts answering from a different source address
 
 Hot-path design (the "wire-level fast paths" of the sharded engine):
 
+* the scan hot loop is *batched and columnar* (see DESIGN.md, "Columnar
+  scan core"): targets come out of the LFSR permutation in fixed-size
+  batches (:class:`repro.scanner.lfsr.TargetBatchIterator`), and each
+  batch is triaged in bulk — targets that host no node and interest no
+  middlebox (~97% of the space) are settled with C-level set/array
+  operations against precomputed columns (addresses, filter mask, loss
+  fates, hotness), while the rare "hot" target pays the full per-packet
+  wire path, preserving exact per-probe semantics;
 * responses are triaged with :func:`repro.dnswire.message.peek_header`
   — txid/qr/rcode read straight off the fixed 12-byte header, no
   :class:`~repro.dnswire.message.Message` construction;
-* query payloads come from a pre-encoded template (header flags, suffix
-  wire, and QTYPE/QCLASS tail are built once per scanner);
+* query payloads come from a preallocated buffer pool
+  (:class:`repro.scanner.encoding.ProbeBatchEncoder`): per probe only
+  the txid, cache-busting label, and hex target are written;
 * reserved/blacklist membership is precomputed per target prefix, so
   prefixes that cannot intersect an excluded range skip the per-address
   checks entirely;
 * probe identity (txid + cache-busting label) is a pure hash of
   (scanner, scan epoch, target address) rather than a sequential
   counter, so any index subset of the target space — a shard — sends
-  byte-identical probes to what a sequential full scan would send.
+  byte-identical probes to what a sequential full scan would send;
+* :class:`ScanResult` stores observations as parallel integer columns
+  and exposes the historical set API as lazy views, so shard result
+  frames and checkpoint snapshots ship raw buffers, not per-IP
+  containers.
 """
 
 import bisect
+from array import array
+from itertools import compress
 
 from repro.dnswire.constants import (
     RCODE_NOERROR,
@@ -38,7 +53,8 @@ from repro.netsim.address import (
     ip_to_int,
     is_reserved,
 )
-from repro.scanner.lfsr import LFSR
+from repro.scanner.encoding import ProbeBatchEncoder
+from repro.scanner.lfsr import LFSR, TargetBatchIterator, permutation
 
 # Fixed header flags + section counts of a standard 1-question query
 # (rd=1, qdcount=1), i.e. bytes 2..11 of every probe we send.
@@ -96,6 +112,14 @@ class ScanTargetSpace:
     def ip_at(self, index):
         return int_to_ip(self.int_at(index))
 
+    def index_of(self, value):
+        """Index of the 32-bit address ``value``, or ``None`` if the
+        space does not cover it."""
+        for slot, prefix in enumerate(self.prefixes):
+            if (value & prefix.mask) == prefix.base:
+                return self._cumulative[slot] + (value - prefix.base)
+        return None
+
     def shard_ranges(self, shards):
         """Split ``[0, len(self))`` into ``shards`` contiguous ranges.
 
@@ -121,8 +145,123 @@ class ScanTargetSpace:
         return self.total
 
 
+# ---------------------------------------------------------------------------
+# Columnar sweep support: precomputed per-space columns, memoised at
+# module level.  Every column is a pure function of its key (the
+# space's prefix layout, plus the filter for the allow mask), so the
+# memos survive scenario rebuilds — weekly campaign scans, bench
+# repeats, and forked shard workers (which inherit warm caches through
+# copy-on-write) all reuse them for free.
+# ---------------------------------------------------------------------------
+
+_COLUMN_CACHE = {}
+_ALLOWED_CACHE = {}
+# Sweep plans: the entire cold settlement of one batched sweep — per
+# batch, its size, the states needing the full wire path, and the
+# bulk-settled loss count — memoised on everything it is a pure
+# function of (space layout, filter, walk parameters, the network's
+# live-address signature, middlebox interest, and the loss-draw
+# parameters).  Weekly re-scans recompute it only when churn actually
+# moved a node; bench repeats and shard workers reuse it outright.
+_SWEEP_PLAN_CACHE = {}
+_CACHE_ENTRIES = 8
+
+
+def _space_signature(target_space):
+    """Value-identity of a target space: its exact prefix layout."""
+    return tuple((prefix.base, prefix.mask)
+                 for prefix in target_space.prefixes)
+
+
+def _evict(cache):
+    if len(cache) >= _CACHE_ENTRIES:
+        cache.pop(next(iter(cache)))
+
+
+def _address_columns(target_space):
+    """``(addresses, state_addresses, is_sorted)`` for a space.
+
+    ``addresses`` is the dense index-order address column (an
+    ``array('I')``, built per prefix from C-level ``range`` extends —
+    never via per-index ``int_at``).  ``state_addresses`` is the same
+    column shifted one slot right, so an LFSR *state* (which maps to
+    index ``state - 1``) subscripts it directly — batch loops never
+    compute ``state - 1`` in Python.  ``is_sorted`` reports whether the
+    column is globally ascending, which lets CIDR interest ranges be
+    painted with two bisects instead of a per-address pass.
+    """
+    signature = _space_signature(target_space)
+    cached = _COLUMN_CACHE.get(signature)
+    if cached is not None:
+        return cached
+    addresses = array("I")
+    for prefix in target_space.prefixes:
+        addresses.extend(range(prefix.base,
+                               prefix.base + prefix.num_addresses))
+    state_addresses = array("I", (0,))
+    state_addresses.extend(addresses)
+    is_sorted = all(
+        left.base + left.num_addresses <= right.base
+        for left, right in zip(target_space.prefixes,
+                               target_space.prefixes[1:]))
+    columns = (addresses, state_addresses, is_sorted)
+    _evict(_COLUMN_CACHE)
+    _COLUMN_CACHE[signature] = columns
+    return columns
+
+
+def _allowed_column(target_space, target_filter):
+    """Index-aligned allow mask: 1 where the filter admits the address.
+
+    Equivalent to :meth:`TargetFilter.allows_slot` over every index —
+    clean prefixes are painted with one slice store, only the rare
+    dirty prefix walks its addresses.
+    """
+    blacklist = target_filter.blacklist
+    key = (_space_signature(target_space), target_filter.signature())
+    cached = _ALLOWED_CACHE.get(key)
+    if cached is not None:
+        return cached
+    allowed = bytearray(target_space.total)
+    for slot, prefix in enumerate(target_space.prefixes):
+        start = target_space._cumulative[slot]
+        count = prefix.num_addresses
+        if target_filter.clean[slot]:
+            allowed[start:start + count] = b"\x01" * count
+        else:
+            base = prefix.base
+            for offset in range(count):
+                value = base + offset
+                if is_reserved(value):
+                    continue
+                if blacklist is not None and value in blacklist:
+                    continue
+                allowed[start + offset] = 1
+    for value in target_filter.blacklist_addresses:
+        index = target_space.index_of(value)
+        if index is not None:
+            allowed[index] = 0
+    _evict(_ALLOWED_CACHE)
+    _ALLOWED_CACHE[key] = allowed
+    return allowed
+
+
 class ScanResult:
-    """Outcome of one Internet-wide scan.
+    """Outcome of one Internet-wide scan, stored columnar.
+
+    Observations live in three parallel columns — ``_targets``
+    (``array('I')``, 32-bit target address), ``_rcodes`` (``array('B')``)
+    and ``_flags`` (``array('B')``, bit 0 = the reply's source address
+    differed from the target) — one row per accepted response.  The
+    historical set-based API (``responders``, ``by_rcode``,
+    ``divergent_sources``, the rcode properties) is preserved as lazy
+    views, built once on first access and cached until the next
+    mutation, so ``analysis/``, ``reporting``, and the pipeline read
+    exactly what they always read.  Merging concatenates columns
+    (C-level ``array.extend``); pickling — shard result frames and
+    checkpoint snapshots — ships the raw column buffers in canonical
+    (target, rcode, flags) sort order, making serialized bytes
+    independent of probe completion order and of set-hash iteration.
 
     ``retransmissions`` counts retry datagrams beyond the first probe of
     each target (zero on the default single-probe path).  ``provenance``
@@ -131,31 +270,74 @@ class ScanResult:
     in-process) on the way to this merged result.
     """
 
+    FLAG_DIVERGENT = 1
+
     def __init__(self, timestamp):
         self.timestamp = timestamp
-        self.by_rcode = {}            # rcode -> set of target IPs
-        self.responders = set()       # all target IPs that answered
-        self.divergent_sources = set()  # targets whose reply src differed
         self.probes_sent = 0
         self.retransmissions = 0
         self.provenance = []
+        self._targets = array("I")
+        self._rcodes = array("B")
+        self._flags = array("B")
+        self._views = None
+
+    # -- recording ---------------------------------------------------------
 
     def record(self, target_ip, rcode, source_ip):
-        self.responders.add(target_ip)
-        self.by_rcode.setdefault(rcode, set()).add(target_ip)
-        if source_ip != target_ip:
-            self.divergent_sources.add(target_ip)
+        self.record_value(ip_to_int(target_ip), rcode,
+                          source_ip != target_ip)
+
+    def record_value(self, value, rcode, divergent):
+        """Columnar recording: the target as a 32-bit int, the response
+        rcode, and whether the reply source diverged from the target."""
+        self._targets.append(value)
+        self._rcodes.append(rcode & 0x0F)
+        self._flags.append(self.FLAG_DIVERGENT if divergent else 0)
+        self._views = None
 
     def merge(self, other):
         """Fold another (disjoint shard's) result into this one."""
         self.probes_sent += other.probes_sent
         self.retransmissions += other.retransmissions
         self.provenance.extend(other.provenance)
-        self.responders |= other.responders
-        self.divergent_sources |= other.divergent_sources
-        for rcode, targets in other.by_rcode.items():
-            self.by_rcode.setdefault(rcode, set()).update(targets)
+        self._targets.extend(other._targets)
+        self._rcodes.extend(other._rcodes)
+        self._flags.extend(other._flags)
+        self._views = None
         return self
+
+    # -- set views ---------------------------------------------------------
+
+    def _view(self, which):
+        views = self._views
+        if views is None:
+            targets = self._targets
+            ips = list(map(int_to_ip, targets))
+            by_rcode = {}
+            for ip, rcode in zip(ips, self._rcodes):
+                bucket = by_rcode.get(rcode)
+                if bucket is None:
+                    bucket = by_rcode[rcode] = set()
+                bucket.add(ip)
+            divergent = set(compress(ips, self._flags))
+            views = self._views = (set(ips), by_rcode, divergent)
+        return views[which]
+
+    @property
+    def responders(self):
+        """All target IPs that answered (lazy set view)."""
+        return self._view(0)
+
+    @property
+    def by_rcode(self):
+        """rcode -> set of target IPs (lazy dict-of-sets view)."""
+        return self._view(1)
+
+    @property
+    def divergent_sources(self):
+        """Targets whose reply came from a different source address."""
+        return self._view(2)
 
     @property
     def degraded_shards(self):
@@ -183,6 +365,42 @@ class ScanResult:
             "refused": len(self.refused),
             "servfail": len(self.servfail),
         }
+
+    # -- serialization -----------------------------------------------------
+    #
+    # Shard workers pickle results back to the supervisor and the
+    # checkpoint store pickles them into snapshots; both therefore ship
+    # the raw column buffers (a few bytes per responder) instead of
+    # per-IP string containers, and both get canonical bytes: rows are
+    # emitted sorted, so any completion order serializes identically.
+
+    def __getstate__(self):
+        rows = sorted(zip(self._targets, self._rcodes, self._flags))
+        targets = array("I", (row[0] for row in rows))
+        rcodes = array("B", (row[1] for row in rows))
+        flags = array("B", (row[2] for row in rows))
+        return {
+            "timestamp": self.timestamp,
+            "probes_sent": self.probes_sent,
+            "retransmissions": self.retransmissions,
+            "provenance": self.provenance,
+            "targets": targets.tobytes(),
+            "rcodes": rcodes.tobytes(),
+            "flags": flags.tobytes(),
+        }
+
+    def __setstate__(self, state):
+        self.timestamp = state["timestamp"]
+        self.probes_sent = state["probes_sent"]
+        self.retransmissions = state["retransmissions"]
+        self.provenance = state["provenance"]
+        self._targets = array("I")
+        self._targets.frombytes(state["targets"])
+        self._rcodes = array("B")
+        self._rcodes.frombytes(state["rcodes"])
+        self._flags = array("B")
+        self._flags.frombytes(state["flags"])
+        self._views = None
 
     def __repr__(self):
         return "ScanResult(t=%.0f, %d responders)" % (
@@ -252,6 +470,15 @@ class TargetFilter:
             return False
         return True
 
+    def signature(self):
+        """Value-identity of the filter (the blacklist's exact content),
+        used to key the allow-mask and sweep-plan memos."""
+        if self.blacklist is None:
+            return None
+        return (tuple((net.base, net.mask)
+                      for net in self.blacklist.networks),
+                tuple(sorted(self.blacklist_addresses)))
+
 
 class Ipv4Scanner:
     """Sends one DNS A probe per target address and aggregates responses.
@@ -272,7 +499,7 @@ class Ipv4Scanner:
     def __init__(self, network, source_ip, measurement_domain,
                  blacklist=None, source_port=31337, lfsr_seed=0xACE1,
                  perf=None, retries=0, probe_timeout=None, backoff=2.0,
-                 timeout_margin=1.25):
+                 timeout_margin=1.25, probe_batch=4096):
         self.network = network
         self.source_ip = source_ip
         self.measurement_domain = measurement_domain
@@ -282,10 +509,14 @@ class Ipv4Scanner:
         self.perf = perf
         if retries < 0:
             raise ValueError("retries must be >= 0")
+        if probe_batch < 1:
+            raise ValueError("probe batch size must be >= 1")
         self.retries = retries
         self.probe_timeout = probe_timeout
         self.backoff = backoff
         self.timeout_margin = timeout_margin
+        self.probe_batch = probe_batch
+        self._encoder = ProbeBatchEncoder(measurement_domain)
         self._suffix_wire = encode_name(measurement_domain)
         # Pre-encoded query template: everything after the txid plus
         # everything after the variable qname labels.
@@ -363,14 +594,20 @@ class Ipv4Scanner:
         """Scan every allowed address in the target space once.
 
         ``index_range`` restricts the walk to a contiguous ``(start,
-        stop)`` index shard; the full LFSR permutation is still walked
-        (integer ops only), so probe order within the shard — and every
-        probe's bytes — match the sequential scan exactly.
+        stop)`` index shard; the full LFSR permutation is still walked,
+        so probe order within the shard — and every probe's bytes —
+        match the sequential scan exactly.
 
-        ``on_progress`` (no arguments) is invoked every 1024 probes —
-        the engine's worker heartbeat.  When retries or a probe timeout
-        are configured the scan takes the robust per-target path;
-        otherwise the single-probe fast loop below runs unchanged.
+        ``on_progress`` (no arguments) is invoked once per ~1024 probes
+        — the engine's worker heartbeat.  When retries or a probe
+        timeout are configured the scan takes the robust per-target
+        path; otherwise targets stream out of the LFSR permutation in
+        :attr:`probe_batch`-sized batches and each batch is either
+        bulk-settled (see :meth:`_scan_batched`) or walked per-probe
+        (:meth:`_scan_per_probe` — the exact wire path, used whenever
+        bulk short-cuts cannot be proven safe: fault injection or a
+        flight recorder active, a middlebox that cannot enumerate its
+        interest, or a flow epoch that has already drawn packet fates).
         """
         if self.retries > 0 or self.probe_timeout is not None:
             return self._scan_robust(target_space, index_range,
@@ -382,78 +619,243 @@ class Ipv4Scanner:
         start, stop = index_range if index_range is not None else (0, total)
         epoch = self._scan_epoch()
         order = LFSR.order_for(total)
-        lfsr = LFSR(order, seed=(self.lfsr_seed % ((1 << order) - 1)) or 1)
+        period = (1 << order) - 1
+        walk = permutation(order, seed=(self.lfsr_seed % period) or 1)
         target_filter = TargetFilter(target_space, self.blacklist)
-        # The loop below is the engine's single-core fast path: the LFSR
-        # step, probe-key mix, payload template fill, and response header
-        # peek are all inlined (no per-probe function calls beyond the
-        # network send itself).  ``probe()``/``_probe_fast`` remain the
-        # readable reference implementation of one probe; the determinism
-        # test comparing sharded vs sequential scans pins both paths.
-        cumulative = target_space._cumulative
-        prefixes = target_space.prefixes
-        bisect_right = bisect.bisect_right
-        allows_slot = target_filter.allows_slot
-        all_clean = target_filter.all_clean
+        addresses, state_addresses, addresses_sorted = \
+            _address_columns(target_space)
+        # One selector folds every per-state predicate — in-range,
+        # in-shard, reserved/blacklist — into a single subscript, so
+        # batch extraction is pure C (see TargetBatchIterator).
+        allowed = _allowed_column(target_space, target_filter)
+        selector = bytearray(period + 1)
+        selector[start + 1:stop + 1] = allowed[start:stop]
+        batches = TargetBatchIterator(walk, selector,
+                                      batch_size=self.probe_batch)
+        network = self.network
+        begin_epoch = getattr(network, "begin_flow_epoch", None)
+        bulk_ok = (begin_epoch is not None
+                   and getattr(network, "recorder", None) is None
+                   and getattr(network, "faults", None) is None
+                   and begin_epoch())
+        interest = None
+        if bulk_ok:
+            interest = network.scan_interest(
+                self.source_ip, 53,
+                qname_suffix=self.measurement_domain)
+        if bulk_ok and interest is not None:
+            plan_key = None
+            nodes_signature = getattr(network, "nodes_signature", None)
+            if nodes_signature is not None:
+                # Everything the cold settlement is a function of; an
+                # unkeyable network double just skips the memo.
+                plan_key = (
+                    _space_signature(target_space),
+                    target_filter.signature(),
+                    self.lfsr_seed, start, stop, self.probe_batch,
+                    nodes_signature(), tuple(interest),
+                    getattr(network, "_seed_high", None),
+                    network.loss_rate, self.source_ip, self.source_port)
+            return self._scan_batched(result, batches, addresses,
+                                      state_addresses, addresses_sorted,
+                                      interest, epoch, on_progress,
+                                      plan_key=plan_key)
+        return self._scan_per_probe(result, batches, state_addresses,
+                                    epoch, on_progress)
+
+    def _hot_column(self, addresses, addresses_sorted, interest):
+        """State-aligned hotness mask: 1 where a probe must take the
+        full wire path — the address hosts a node, or some middlebox
+        declared interest in it.  Everything else ("cold") provably has
+        no observable effect beyond the sent/lost counters and can be
+        settled in bulk.
+        """
+        live = self.network._nodes_by_int
+        hot = bytearray(map(live.__contains__, addresses))
+        for base, mask in interest:
+            last = base | (~mask & 0xFFFFFFFF)
+            if addresses_sorted:
+                lo = bisect.bisect_left(addresses, base)
+                hi = bisect.bisect_right(addresses, last)
+                if hi > lo:
+                    hot[lo:hi] = b"\x01" * (hi - lo)
+            else:
+                for position, value in enumerate(addresses):
+                    if value & mask == base:
+                        hot[position] = 1
+        column = bytearray(1)
+        column.extend(hot)
+        return column
+
+    def _build_sweep_plan(self, batches, addresses, state_addresses,
+                          addresses_sorted, interest):
+        """The cold settlement of a sweep: per batch, ``(size,
+        hot_states, lost)`` — the states needing the full wire path and
+        the bulk-settled first-occurrence loss count for the rest.
+        """
+        network = self.network
+        state_loss = None
+        loss_selector = network.query_loss_selector(
+            self.source_ip, self.source_port, 53, addresses)
+        if loss_selector is not None:
+            state_loss = bytearray(1)
+            state_loss.extend(loss_selector)
+        state_hot = self._hot_column(addresses, addresses_sorted, interest)
+        hot_of = state_hot.__getitem__
+        loss_of = state_loss.__getitem__ if state_loss is not None else None
+        plan = []
+        for batch in batches:
+            hot_states = list(compress(batch, map(hot_of, batch)))
+            lost = sum(map(loss_of, batch)) if loss_of is not None else 0
+            if hot_states and loss_of is not None:
+                # Hot probes draw their own fate inside send_probe;
+                # their column bits must not be double-counted.
+                lost -= sum(map(loss_of, hot_states))
+            plan.append((len(batch), hot_states, lost))
+        return plan
+
+    def _scan_batched(self, result, batches, addresses, state_addresses,
+                      addresses_sorted, interest, epoch, on_progress,
+                      plan_key=None):
+        """Bulk sweep: settle cold targets per batch with C-level
+        column operations, full wire path for hot ones.
+
+        A cold probe's only observable effects in ``send_probe`` are
+        one ``udp_queries_sent`` increment and a first-occurrence
+        query-loss draw (no node, no interested middlebox, no faults,
+        no recorder — all established by the caller), so a whole
+        batch's worth collapses to ``len(batch)`` sends plus a sum over
+        the precomputed loss column; fates stay bit-identical because
+        the column is the same pure flow hash ``send_probe`` draws.
+        The settlement itself (:meth:`_build_sweep_plan`) is memoised
+        under ``plan_key``, so re-scans against an unchanged world only
+        ever pay for the hot probes.
+        """
+        network = self.network
+        plan = _SWEEP_PLAN_CACHE.get(plan_key) if plan_key is not None \
+            else None
+        if plan is None:
+            plan = self._build_sweep_plan(batches, addresses,
+                                          state_addresses,
+                                          addresses_sorted, interest)
+            if plan_key is not None:
+                _evict(_SWEEP_PLAN_CACHE)
+                _SWEEP_PLAN_CACHE[plan_key] = plan
+        # Inert middleboxes (scan_interest == []) are pruned from the
+        # hot probes' path checks; network doubles without the hook
+        # keep the stock send_probe signature.
+        sweep_checks = None
+        path_checks = getattr(network, "scan_path_checks", None)
+        if path_checks is not None:
+            sweep_checks = path_checks(
+                self.source_ip, 53, qname_suffix=self.measurement_domain)
         seed_epoch = self._identity ^ (epoch << 32)
-        template_head = self._template_head
-        template_tail = self._template_tail
+        encode = self._encoder.encode
+        send_probe = network.send_probe
+        source_ip = self.source_ip
+        source_port = self.source_port
+        addr_of = state_addresses.__getitem__
+        record_value = result.record_value
+        probes_sent = 0
+        bulk_sent = 0
+        bulk_lost = 0
+        responses_seen = 0
+        rtts = [] if self.perf is not None else None
+        heartbeat_due = 0
+        for size, hot_states, lost in plan:
+            for state in hot_states:
+                value = addr_of(state)
+                # splitmix64 finaliser, inlined (== _mix64).
+                key = (seed_epoch ^ value) & _M64
+                key ^= key >> 30
+                key = (key * 0xBF58476D1CE4E5B9) & _M64
+                key ^= key >> 27
+                key = (key * 0x94D049BB133111EB) & _M64
+                key ^= key >> 31
+                txid, payload = encode(key, value)
+                target_ip = int_to_ip(value)
+                if sweep_checks is None:
+                    responses = send_probe(source_ip, source_port,
+                                           target_ip, 53, value, payload)
+                else:
+                    responses = send_probe(source_ip, source_port,
+                                           target_ip, 53, value, payload,
+                                           _checks=sweep_checks)
+                for response in responses:
+                    raw = response.packet.payload
+                    # Inlined peek_header + qr/txid triage.
+                    if len(raw) < 12 or not raw[2] & 0x80:
+                        continue
+                    if (raw[0] << 8) | raw[1] != txid:
+                        continue
+                    responses_seen += 1
+                    if rtts is not None:
+                        rtts.append(response.latency)
+                    record_value(value, raw[3] & 0x0F,
+                                 response.packet.src_ip != target_ip)
+            probes_sent += size
+            bulk_sent += size - len(hot_states)
+            bulk_lost += lost
+            if on_progress is not None:
+                heartbeat_due += size
+                while heartbeat_due >= 1024:
+                    on_progress()
+                    heartbeat_due -= 1024
+        network.absorb_probe_sweep(bulk_sent, bulk_lost)
+        result.probes_sent = probes_sent
+        if self.perf is not None:
+            self.perf.count("probes_sent", probes_sent)
+            self.perf.count("probes_bulk_settled", bulk_sent)
+            self.perf.count("responses_seen", responses_seen)
+            self.perf.count("parse_calls_avoided", responses_seen)
+            self.perf.observe_many("probe_rtt_seconds", rtts)
+        return result
+
+    def _scan_per_probe(self, result, batches, state_addresses, epoch,
+                        on_progress):
+        """Per-probe sweep over the batched target stream: every target
+        takes the full ``send_probe`` wire path (the reference
+        semantics), with target generation and filtering still done in
+        C-level batches.
+        """
+        seed_epoch = self._identity ^ (epoch << 32)
+        encode = self._encoder.encode
         send_probe = self.network.send_probe
         source_ip = self.source_ip
         source_port = self.source_port
-        label_len = _LABEL_LEN
-        record = result.record
-        taps = lfsr.taps
-        state = first = lfsr.state
+        addr_of = state_addresses.__getitem__
+        record_value = result.record_value
         probes_sent = 0
         responses_seen = 0
-        # Response round trips, batched into the perf histogram in one
-        # flush (appends happen only on the rare answered-probe path).
         rtts = [] if self.perf is not None else None
-        while True:
-            index = state - 1
-            if index < total and start <= index < stop:
-                slot = bisect_right(cumulative, index) - 1
-                value = prefixes[slot].base + (index - cumulative[slot])
-                if all_clean or allows_slot(slot, value):
-                    probes_sent += 1
-                    if on_progress is not None and not probes_sent & 1023:
-                        on_progress()
-                    # splitmix64 finaliser, inlined (== _mix64).
-                    key = (seed_epoch ^ value) & _M64
-                    key ^= key >> 30
-                    key = (key * 0xBF58476D1CE4E5B9) & _M64
-                    key ^= key >> 27
-                    key = (key * 0x94D049BB133111EB) & _M64
-                    key ^= key >> 31
-                    txid = key & 0xFFFF
-                    prefix_label = b"r%x" % ((key >> 16) & 0xFFFFFF)
-                    payload = b"".join((
-                        txid.to_bytes(2, "big"), template_head,
-                        label_len[len(prefix_label)], prefix_label,
-                        b"\x08", b"%08x" % value, template_tail))
-                    target_ip = int_to_ip(value)
-                    responses = send_probe(source_ip, source_port,
-                                           target_ip, 53, value, payload)
-                    for response in responses:
-                        raw = response.packet.payload
-                        # Inlined peek_header + qr/txid triage.
-                        if len(raw) < 12 or not raw[2] & 0x80:
-                            continue
-                        if (raw[0] << 8) | raw[1] != txid:
-                            continue
-                        responses_seen += 1
-                        if rtts is not None:
-                            rtts.append(response.latency)
-                        record(target_ip, raw[3] & 0x0F,
-                               response.packet.src_ip)
-            # Inlined Fibonacci LFSR step (== LFSR.step).
-            lsb = state & 1
-            state >>= 1
-            if lsb:
-                state ^= taps
-            if state == first:
-                break
+        for batch in batches:
+            for state in batch:
+                value = addr_of(state)
+                probes_sent += 1
+                if on_progress is not None and not probes_sent & 1023:
+                    on_progress()
+                # splitmix64 finaliser, inlined (== _mix64).
+                key = (seed_epoch ^ value) & _M64
+                key ^= key >> 30
+                key = (key * 0xBF58476D1CE4E5B9) & _M64
+                key ^= key >> 27
+                key = (key * 0x94D049BB133111EB) & _M64
+                key ^= key >> 31
+                txid, payload = encode(key, value)
+                target_ip = int_to_ip(value)
+                for response in send_probe(source_ip, source_port,
+                                           target_ip, 53, value, payload):
+                    raw = response.packet.payload
+                    # Inlined peek_header + qr/txid triage.
+                    if len(raw) < 12 or not raw[2] & 0x80:
+                        continue
+                    if (raw[0] << 8) | raw[1] != txid:
+                        continue
+                    responses_seen += 1
+                    if rtts is not None:
+                        rtts.append(response.latency)
+                    record_value(value, raw[3] & 0x0F,
+                                 response.packet.src_ip != target_ip)
         result.probes_sent = probes_sent
         if self.perf is not None:
             self.perf.count("probes_sent", probes_sent)

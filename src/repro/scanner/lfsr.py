@@ -6,7 +6,18 @@ networks see only a thin trickle of probes at any moment.  A maximal-length
 LFSR of order *n* visits every value in [1, 2^n - 1] exactly once in a
 pseudo-random order; the scanner picks the smallest order covering its
 target space and skips out-of-range states.
+
+The batched scan pipeline consumes the register through
+:func:`permutation` (the full period materialised once into an
+``array('I')`` and memoised — the walk is a pure function of ``(order,
+seed, taps)``, so weekly re-scans and bench repeats pay nothing) and
+:class:`TargetBatchIterator` (fixed-size batches of selected states,
+extracted with C-level ``compress``/``islice`` instead of a per-state
+Python loop).
 """
+
+from array import array
+from itertools import compress, islice
 
 # Maximal-length Fibonacci LFSR tap masks (taps as a bitmask of the
 # polynomial, excluding the x^n term), one per register width.
@@ -92,3 +103,60 @@ class LFSR:
         while (1 << order) - 1 < count:
             order += 1
         return order
+
+
+# The permutation memo: (order, seed, taps) -> array('I') of the full
+# period.  Periods above the cap (16 MiB of states) are still built on
+# demand but not retained.
+_PERMUTATION_CACHE = {}
+_PERMUTATION_CACHE_MAX_PERIOD = 1 << 22
+_PERMUTATION_CACHE_ENTRIES = 8
+
+
+def permutation(order, seed=1, taps=None):
+    """The full LFSR walk as a reusable ``array('I')`` of states.
+
+    Element ``i`` is the register state after ``i`` steps from ``seed``
+    (element 0 is the seed itself): exactly the visit order
+    :meth:`LFSR.sequence` yields, in random-access, C-iterable form.
+    """
+    lfsr = LFSR(order, seed=seed, taps=taps)
+    key = (order, lfsr.seed, lfsr.taps)
+    cached = _PERMUTATION_CACHE.get(key)
+    if cached is not None:
+        return cached
+    walk = array("I", lfsr.sequence())
+    if lfsr.period <= _PERMUTATION_CACHE_MAX_PERIOD:
+        if len(_PERMUTATION_CACHE) >= _PERMUTATION_CACHE_ENTRIES:
+            _PERMUTATION_CACHE.pop(next(iter(_PERMUTATION_CACHE)))
+        _PERMUTATION_CACHE[key] = walk
+    return walk
+
+
+class TargetBatchIterator:
+    """Fixed-size batches of permuted LFSR states passing a selector.
+
+    ``selector`` is an integer-indexable mask (a ``bytearray`` of
+    length ``period + 1``, indexed by state value) folding every
+    per-state predicate — in-range, in-shard, not filtered — into one
+    subscript.  Extraction runs entirely in C: ``compress`` pairs the
+    permutation with ``map(selector.__getitem__, ...)`` and ``islice``
+    chops the survivors into lists of at most ``batch_size`` states, in
+    exact permutation order.  Iterating is single-shot (the underlying
+    stream is consumed).
+    """
+
+    def __init__(self, walk, selector, batch_size=4096):
+        if batch_size < 1:
+            raise ValueError("batch size must be >= 1")
+        self.batch_size = batch_size
+        self._stream = compress(walk, map(selector.__getitem__, walk))
+
+    def __iter__(self):
+        stream = self._stream
+        size = self.batch_size
+        while True:
+            batch = list(islice(stream, size))
+            if not batch:
+                return
+            yield batch

@@ -245,7 +245,8 @@ class Scenario:
         return ScanTargetSpace(self.resolver_prefixes)
 
     def new_campaign(self, verify=True, shards=1, perf=None, retries=0,
-                     probe_timeout=None, heartbeat_timeout=None):
+                     probe_timeout=None, heartbeat_timeout=None,
+                     probe_batch=4096):
         return ScanCampaign(
             self.network, self.churn, self.target_space(),
             self.scanner_ip, MEASUREMENT_DOMAIN, blacklist=self.blacklist,
@@ -253,7 +254,8 @@ class Scenario:
                                     if verify else None),
             shards=shards, perf=perf, retries=retries,
             probe_timeout=probe_timeout,
-            heartbeat_timeout=heartbeat_timeout)
+            heartbeat_timeout=heartbeat_timeout,
+            probe_batch=probe_batch)
 
     def new_pipeline(self, **kwargs):
         return ManipulationPipeline(

@@ -207,6 +207,28 @@ class TestMemoizedDistance:
         assert perf.counter("distance_evals") == 1
         assert perf.counter("distance_cache_hits") == 1
 
+    def test_avoided_pairs_counted_in_hit_rate(self):
+        # The clustering stage deduplicates identical bodies before it
+        # builds a distance matrix and then asks for each surviving
+        # pair exactly once: the memo itself sees zero repeats.  The
+        # dedup credit is what keeps the gauge honest (the regression
+        # was a hit rate of 0.0 alongside thousands of avoided pairs).
+        memo, calls = self.make()
+        a, b = 1.0, 3.0
+        memo(a, b)
+        assert memo.hit_rate() == 0.0
+        memo.credit_avoided(3)
+        assert memo.avoided == 3
+        assert memo.hit_rate() == pytest.approx(3 / 4)
+        assert len(calls) == 1
+
+    def test_credit_avoided_ignores_nonpositive(self):
+        memo, __ = self.make()
+        memo.credit_avoided(0)
+        memo.credit_avoided(-5)
+        assert memo.avoided == 0
+        assert memo.hit_rate() == 0.0
+
 
 class TestFeatureCache:
     def test_one_profile_per_body(self):

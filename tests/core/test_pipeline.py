@@ -89,7 +89,24 @@ class TestPipeline:
         assert labels[("normal.example", world.error_ip,
                        misdirect)][0] == LABEL_HTTP_ERROR
 
-    def test_honest_resolver_fully_filtered(self, world):
+    def test_distance_hit_rate_gauge_credits_dedup(self, world):
+        from repro.perf import PerfRegistry
+        perf = PerfRegistry()
+        world.pipeline.perf = perf
+        world.pipeline.distance.perf = perf
+        world.pipeline.features.perf = perf
+        world.pipeline.run(list(world.resolver_ips.values()),
+                           world.catalog)
+        avoided = perf.counter("pipeline_distance_evals_avoided")
+        gauge = perf.gauge_value("pipeline_distance_cache_hit_rate")
+        assert gauge == pytest.approx(
+            world.pipeline.distance.hit_rate())
+        # Duplicate capture bodies exist in this world (the proxy and
+        # the honest path both fetch the genuine pages), so pairs were
+        # avoided — and the gauge must reflect them instead of the
+        # regression's 0.0-despite-avoided-work reading.
+        assert avoided > 0
+        assert gauge > 0.0
         report = world.pipeline.run(list(world.resolver_ips.values()),
                                     world.catalog)
         honest = world.resolver_ips["honest"]

@@ -1,9 +1,16 @@
-"""Tests for the LFSR scan-order permutation."""
+"""Tests for the LFSR scan-order permutation and batch plumbing."""
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.scanner.lfsr import LFSR, MAXIMAL_TAPS
+from repro.inetmodel import PrefixAllocator
+from repro.scanner.ipv4scan import ScanTargetSpace, retry_schedule
+from repro.scanner.lfsr import (
+    LFSR,
+    MAXIMAL_TAPS,
+    TargetBatchIterator,
+    permutation,
+)
 
 
 class TestMaximality:
@@ -61,3 +68,115 @@ class TestApi:
     def test_permutation_not_sequential(self):
         values = list(LFSR(10, seed=1).sequence())[:50]
         assert values != sorted(values)
+
+
+class TestPermutation:
+    def test_matches_sequence(self):
+        walk = permutation(10, seed=77)
+        assert list(walk) == list(LFSR(10, seed=77).sequence())
+
+    def test_full_period_every_state_once(self):
+        walk = permutation(9, seed=5)
+        assert len(walk) == (1 << 9) - 1
+        assert set(walk) == set(range(1, 1 << 9))
+
+    def test_memoised_same_object(self):
+        first = permutation(8, seed=3)
+        second = permutation(8, seed=3)
+        assert first is second
+
+    def test_distinct_keys_distinct_walks(self):
+        assert list(permutation(8, seed=3)) != list(
+            permutation(8, seed=4))
+
+    def test_seed_normalised_like_lfsr(self):
+        # LFSR masks the seed to the register width; the memo key must
+        # see the normalised seed or equal walks would cache twice.
+        wide = permutation(4, seed=0x13)
+        narrow = permutation(4, seed=0x3)
+        assert wide is narrow
+
+
+class TestTargetBatchIterator:
+    def walk(self, order=8, seed=1):
+        return permutation(order, seed=seed)
+
+    def selector_all(self, order=8):
+        return bytearray(b"\x01") * (1 << order)
+
+    def test_batches_cover_selected_states_in_order(self):
+        walk = self.walk()
+        selector = bytearray(1 << 8)
+        for state in range(1, 1 << 8):
+            selector[state] = state % 3 == 0
+        batches = list(TargetBatchIterator(walk, selector, batch_size=7))
+        flattened = [state for batch in batches for state in batch]
+        assert flattened == [s for s in walk if s % 3 == 0]
+        assert all(len(batch) == 7 for batch in batches[:-1])
+        assert 1 <= len(batches[-1]) <= 7
+
+    def test_empty_selector_yields_nothing(self):
+        batches = TargetBatchIterator(self.walk(), bytearray(1 << 8),
+                                      batch_size=16)
+        assert list(batches) == []
+
+    def test_single_shot(self):
+        batches = TargetBatchIterator(self.walk(),
+                                      bytearray(b"\x01" * (1 << 8)),
+                                      batch_size=64)
+        first = [state for batch in batches for state in batch]
+        assert len(first) == (1 << 8) - 1
+        assert list(batches) == []
+
+    def test_batch_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TargetBatchIterator(self.walk(), bytearray(1 << 8),
+                                batch_size=0)
+
+
+class TestShardRangesPartition:
+    def space(self, lengths):
+        allocator = PrefixAllocator()
+        return ScanTargetSpace([allocator.allocate(length)
+                                for length in lengths])
+
+    @given(st.integers(min_value=1, max_value=40),
+           st.lists(st.integers(min_value=22, max_value=28), min_size=1,
+                    max_size=4))
+    @settings(max_examples=40, deadline=None)
+    def test_partition_invariants(self, shards, lengths):
+        space = self.space(lengths)
+        ranges = space.shard_ranges(shards)
+        # Contiguous, ordered, disjoint, and jointly exhaustive.
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == len(space)
+        for (__, stop), (start, __unused) in zip(ranges, ranges[1:]):
+            assert start == stop
+        assert all(start < stop for start, stop in ranges)
+        assert len(ranges) == min(shards, len(space))
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ValueError):
+            self.space([24]).shard_ranges(0)
+
+
+class TestRetrySchedule:
+    def test_no_retries_single_attempt(self):
+        assert retry_schedule(1.5, 0) == [1.5]
+
+    def test_none_timeout_stays_none_across_attempts(self):
+        assert retry_schedule(None, 3) == [None, None, None, None]
+
+    def test_backoff_growth(self):
+        assert retry_schedule(0.5, 2, backoff=3.0) == [0.5, 1.5, 4.5]
+
+    def test_rtt_floor_dominates_small_timeouts(self):
+        # A target whose round trip exceeds the configured timeout must
+        # still get a chance to answer: the floor wins every attempt it
+        # dominates, then exponential growth takes over.
+        assert retry_schedule(0.1, 3, backoff=2.0, rtt_floor=0.45) == \
+            [0.45, 0.45, 0.45, 0.8]
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError):
+            retry_schedule(1.0, -1)
