@@ -1,0 +1,196 @@
+"""Arms-race benchmark: coverage frontier under a hostile population.
+
+Builds three identical worlds armed with the canonical hostile
+population (:func:`repro.netsim.defense.install_hostile_population`) and
+scans each a different way:
+
+* **passive baseline** — no defenses installed: the coverage ceiling;
+* **naive** — defenses up, no pacing: what an oblivious scanner loses;
+* **adaptive** — defenses up, AIMD pacing: must recover at least
+  ``COVERAGE_GATE`` of the baseline while naive stays demonstrably
+  worse (lower coverage, or equal coverage at higher probe volume).
+
+Two further checks ride along: a 4-shard adaptive run must be
+bit-identical to the sequential one (the pacing plan is shard-invariant
+by construction), and a flight-recorder run must attribute every lost
+probe to a ``defense:*`` or ``fault:*`` cause.
+
+Writes ``BENCH_arms_race.json``; exits 1 when a gate fails.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.perf.bench_arms_race
+    PYTHONPATH=src python -m benchmarks.perf.bench_arms_race --quick
+"""
+
+import argparse
+import json
+import sys
+import time
+
+from repro.netsim.defense import install_hostile_population
+from repro.obs import Observability
+from repro.perf import PerfRegistry
+from repro.scenario import ScenarioConfig, build_scenario
+
+COVERAGE_GATE = 0.95
+
+
+def _build(scale, seed, hostile):
+    scenario = build_scenario(ScenarioConfig(scale=scale, seed=seed,
+                                             loss_rate=0.0))
+    if hostile:
+        install_hostile_population(scenario.network,
+                                   scenario.target_space().prefixes,
+                                   seed=seed)
+    return scenario
+
+
+def _measure(scale, seed, hostile, pacing, shards=1, observe=False):
+    scenario = _build(scale, seed, hostile)
+    obs = None
+    if observe:
+        obs = Observability(clock=scenario.network.clock, seed=seed)
+        obs.install(scenario.network)
+    perf = PerfRegistry()
+    campaign = scenario.new_campaign(verify=False, shards=shards,
+                                     perf=perf, pacing=pacing)
+    start = time.perf_counter()
+    result = campaign.run_week().result
+    elapsed = time.perf_counter() - start
+    return {
+        "scenario": scenario,
+        "recorder": scenario.network.recorder,
+        "result": result,
+        "responders": len(result.responders),
+        "probes_sent": result.probes_sent,
+        "suppressed": result.suppressed_targets,
+        "seconds": round(elapsed, 4),
+        "fault_counters": dict(sorted(
+            scenario.network.fault_counters.items())),
+        "pacing_signals": perf.counter("pacing_defense_signals"),
+    }
+
+
+def _fingerprint(run):
+    result = run["result"]
+    return (result.counts(), sorted(result.responders),
+            sorted(result.divergent_sources), result.probes_sent,
+            sorted(result.suppressed.items()), result.degraded_shards,
+            run["fault_counters"])
+
+
+def _public(run):
+    return {key: value for key, value in run.items()
+            if key not in ("scenario", "result", "recorder")}
+
+
+def check(condition, message):
+    if not condition:
+        print("FAIL: %s" % message, file=sys.stderr)
+        return 1
+    print("ok: %s" % message, file=sys.stderr)
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--scale", type=int, default=20000)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller world (CI smoke)")
+    parser.add_argument("--out", default="BENCH_arms_race.json")
+    args = parser.parse_args(argv)
+    scale = 60000 if args.quick else args.scale
+
+    failures = 0
+    print("arms race @ scale 1:%d seed %d" % (scale, args.seed),
+          file=sys.stderr)
+
+    print("baseline (no defenses)...", file=sys.stderr)
+    baseline = _measure(scale, args.seed, hostile=False, pacing=None)
+    print("naive under defense (no pacing)...", file=sys.stderr)
+    naive = _measure(scale, args.seed, hostile=True, pacing=None)
+    print("adaptive under defense...", file=sys.stderr)
+    adaptive = _measure(scale, args.seed, hostile=True, pacing="adaptive")
+
+    ceiling = baseline["responders"]
+    adaptive_cov = adaptive["responders"] / ceiling if ceiling else 0.0
+    naive_cov = naive["responders"] / ceiling if ceiling else 0.0
+
+    failures += check(ceiling > 0, "baseline found %d responders"
+                      % ceiling)
+    failures += check(
+        adaptive_cov >= COVERAGE_GATE,
+        "adaptive recovers %.1f%% of baseline coverage (gate %.0f%%)"
+        % (100 * adaptive_cov, 100 * COVERAGE_GATE))
+    naive_worse = (naive["responders"] < adaptive["responders"]
+                   or naive["probes_sent"] > adaptive["probes_sent"])
+    failures += check(
+        naive_worse,
+        "naive demonstrably worse: %.1f%% coverage @ %d probes vs "
+        "adaptive %.1f%% @ %d"
+        % (100 * naive_cov, naive["probes_sent"],
+           100 * adaptive_cov, adaptive["probes_sent"]))
+    failures += check(
+        adaptive["suppressed"] > 0,
+        "graceful degradation recorded (%d suppressed targets)"
+        % adaptive["suppressed"])
+    failures += check(
+        any(key.startswith("defense:")
+            for key in naive["fault_counters"]),
+        "defenses fired against the naive scanner: %s"
+        % sorted(naive["fault_counters"]))
+
+    print("sharded adaptive (4 shards)...", file=sys.stderr)
+    sharded = _measure(scale, args.seed, hostile=True, pacing="adaptive",
+                       shards=4)
+    failures += check(_fingerprint(sharded) == _fingerprint(adaptive),
+                      "4-shard adaptive bit-identical to sequential")
+
+    print("attribution run (flight recorder)...", file=sys.stderr)
+    attributed = _measure(scale, args.seed, hostile=True,
+                          pacing="adaptive", observe=True)
+    recorder = attributed["recorder"]
+    unattributed = [cause for cause in recorder.cause_counts
+                    if not (cause.startswith("defense:")
+                            or cause.startswith("fault:"))]
+    losses = sum(recorder.event_counts.get(kind, 0)
+                 for kind in ("lost", "response_lost"))
+    caused = sum(recorder.cause_counts.values()) - \
+        recorder.event_counts.get("suppressed", 0)
+    failures += check(
+        not unattributed and losses == caused,
+        "every lost probe attributed (%d losses, causes: %s)"
+        % (losses, sorted(recorder.cause_counts)))
+
+    report = {
+        "scale": scale,
+        "seed": args.seed,
+        "coverage_gate": COVERAGE_GATE,
+        "baseline": _public(baseline),
+        "naive": _public(naive),
+        "adaptive": _public(adaptive),
+        "sharded_adaptive": _public(sharded),
+        "adaptive_coverage": round(adaptive_cov, 4),
+        "naive_coverage": round(naive_cov, 4),
+        "sharded_identical": _fingerprint(sharded) == \
+            _fingerprint(adaptive),
+        "losses_attributed": losses,
+        "passed": failures == 0,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("wrote %s" % args.out, file=sys.stderr)
+
+    if failures:
+        print("%d arms-race gate(s) failed" % failures, file=sys.stderr)
+        return 1
+    print("arms race passed: adaptive %.1f%% vs naive %.1f%% coverage"
+          % (100 * adaptive_cov, 100 * naive_cov), file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -56,6 +56,25 @@ def check(condition, message):
     return 0
 
 
+def hostile_scan():
+    """A sharded adaptive scan of a fresh world behind the default
+    hostile defensive population (no injected faults: the defenses are
+    the chaos)."""
+    from repro.netsim.defense import install_hostile_population
+    scenario = build_scenario(ScenarioConfig(scale=SCALE, seed=SEED))
+    install_hostile_population(scenario.network,
+                               scenario.target_space().prefixes,
+                               seed=SEED)
+    campaign = scenario.new_campaign(verify=False, shards=SHARDS,
+                                     pacing="adaptive")
+    result = campaign.run_week().result
+    return scenario, result
+
+
+def hostile_fingerprint(result):
+    return fingerprint(result) + (sorted(result.suppressed.items()),)
+
+
 def main():
     failures = 0
     print("chaos scan 1/2 (scale 1:%d, seed %d, %d shards, %r)..."
@@ -95,6 +114,31 @@ def main():
     __, second, __unused = chaos_scan()
     failures += check(fingerprint(first) == fingerprint(second),
                       "degraded run bit-identical across reruns")
+
+    print("hostile population (defenses up, adaptive pacing)...",
+          file=sys.stderr)
+    hostile_scenario, hostile = hostile_scan()
+    defense_counters = {key: count for key, count
+                        in hostile_scenario.network.fault_counters.items()
+                        if key.startswith("defense:")}
+    failures += check(sum(defense_counters.values()) > 0,
+                      "defensive middleboxes fired: %s"
+                      % sorted(defense_counters.items()))
+    failures += check(hostile.suppressed_targets > 0,
+                      "pacing suppressions recorded (%d targets)"
+                      % hostile.suppressed_targets)
+    failures += check(
+        all(entry["cause"].startswith("defense:")
+            for entry in hostile.degraded_shards
+            if entry["status"] == "suppressed"),
+        "suppressed provenance carries defense:* causes")
+    failures += check(hostile.responders,
+                      "adaptive scan still found %d responders"
+                      % len(hostile.responders))
+    __, hostile_again = hostile_scan()
+    failures += check(
+        hostile_fingerprint(hostile) == hostile_fingerprint(hostile_again),
+        "hostile-population run bit-identical across reruns")
 
     print("pipeline under faults...", file=sys.stderr)
     from repro.datasets import DOMAIN_SETS

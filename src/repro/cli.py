@@ -50,6 +50,19 @@ def _add_common(parser):
                         help="targets per columnar scan batch (bulk "
                              "triage granularity; results are "
                              "batch-size independent)")
+    parser.add_argument("--backoff", type=float, default=2.0,
+                        metavar="FACTOR",
+                        help="retransmission timeout growth factor "
+                             "(each retry waits FACTOR times longer)")
+    parser.add_argument("--pacing", choices=("off", "adaptive"),
+                        default="off",
+                        help="probe-rate controller: 'adaptive' runs an "
+                             "AIMD rate per /16 window with a circuit "
+                             "breaker against defensive middleboxes")
+    parser.add_argument("--max-pps", type=float, default=None,
+                        metavar="PPS",
+                        help="declared probe-rate ceiling; also the "
+                             "adaptive controller's upper bound")
 
 
 def _add_trace(parser):
@@ -165,6 +178,15 @@ def _report_perf(args, perf):
               file=sys.stderr)
 
 
+def _pacing_arg(args):
+    """The --pacing/--max-pps pair as new_campaign keyword values."""
+    if args is None:
+        return {"pacing": None, "max_pps": None}
+    pacing = getattr(args, "pacing", "off")
+    return {"pacing": None if pacing in (None, "off") else pacing,
+            "max_pps": getattr(args, "max_pps", None)}
+
+
 def _scan(scenario, args=None, perf=None):
     shards = getattr(args, "shards", 1) if args is not None else 1
     campaign = scenario.new_campaign(
@@ -172,8 +194,11 @@ def _scan(scenario, args=None, perf=None):
         retries=getattr(args, "retries", 0) if args is not None else 0,
         probe_timeout=(getattr(args, "probe_timeout", None)
                        if args is not None else None),
+        backoff=(getattr(args, "backoff", 2.0)
+                 if args is not None else 2.0),
         probe_batch=(getattr(args, "probe_batch", 4096)
-                     if args is not None else 4096))
+                     if args is not None else 4096),
+        **_pacing_arg(args))
     return campaign.run_week()
 
 
@@ -194,6 +219,9 @@ def cmd_scan(args):
     degraded = snapshot.result.degraded_shards
     if degraded:
         print("degraded shards:  %d" % len(degraded))
+    if snapshot.result.suppressed:
+        print("suppressed:       %d targets (pacing gave windows up)"
+              % snapshot.result.suppressed_targets)
     _report_perf(args, perf)
     _export_trace(args, obs, perf)
     return 0
@@ -215,7 +243,9 @@ def cmd_campaign(args):
     campaign = scenario.new_campaign(verify=False, shards=args.shards,
                                      perf=perf, retries=args.retries,
                                      probe_timeout=args.probe_timeout,
-                                     probe_batch=args.probe_batch)
+                                     backoff=args.backoff,
+                                     probe_batch=args.probe_batch,
+                                     **_pacing_arg(args))
     try:
         campaign.run(args.weeks, checkpoint=checkpoint)
     except InjectedCrash as crash:
@@ -345,8 +375,9 @@ def cmd_fullstudy(args):
         results = run_full_study(
             scenario, weeks=args.weeks, snoop_sample=args.snoop_sample,
             pipeline_shards=args.pipeline_shards, shards=args.shards,
-            checkpoint=checkpoint, perf=perf,
-            progress=lambda message: print(message, file=sys.stderr))
+            checkpoint=checkpoint, perf=perf, backoff=args.backoff,
+            progress=lambda message: print(message, file=sys.stderr),
+            **_pacing_arg(args))
     except InjectedCrash as crash:
         _export_trace(args, obs, perf)
         return _finish_checkpoint(checkpoint, crashed=crash)

@@ -25,8 +25,17 @@ from repro.netsim.middlebox import (
     Middlebox,
     ScannerBlocker,
 )
+from repro.netsim.defense import (
+    DefenseMiddlebox,
+    ReactiveBlocklister,
+    Tarpit,
+    TokenBucketRateLimiter,
+    default_hostile_population,
+    install_hostile_population,
+)
 
 __all__ = [
+    "DefenseMiddlebox",
     "DnsIngressFilter",
     "GreatFirewall",
     "Ipv4Network",
@@ -34,10 +43,15 @@ __all__ = [
     "Network",
     "Node",
     "RESERVED_NETWORKS",
+    "ReactiveBlocklister",
     "ScannerBlocker",
     "SimClock",
+    "Tarpit",
+    "TokenBucketRateLimiter",
     "UdpPacket",
     "UdpResponse",
+    "default_hostile_population",
+    "install_hostile_population",
     "int_to_ip",
     "ip_to_int",
     "is_private",

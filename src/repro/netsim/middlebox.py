@@ -21,6 +21,13 @@ PATH_INSPECT = "inspect"  # must see each packet (payload-dependent)
 class Middlebox:
     """Base middlebox: sees every packet, may drop or inject."""
 
+    # Flight-recorder attribution for drops this box causes: when a
+    # box's verdict (or drops_query/drops_response) kills a packet, the
+    # network records this cause string against the loss event.  None
+    # falls back to the generic "middlebox_drop"; defensive boxes
+    # (:mod:`repro.netsim.defense`) set ``defense:*`` causes.
+    drop_cause = None
+
     def path_verdict(self, src_ip, dst_int, dst_port, network):
         """Classify this box's effect on a path (see PATH_* above).
 

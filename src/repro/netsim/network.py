@@ -208,6 +208,12 @@ class Network:
         # gates intact with tracing off.
         self.tracer = None
         self.recorder = None
+        # Declared probe rate (probes/sec bucket, int) of the scan
+        # currently sending, or None for unpaced/background traffic.
+        # Defensive middleboxes (:mod:`repro.netsim.defense`) key their
+        # verdicts on it; the scanner publishes it before each probe so
+        # defense fates stay pure functions, reproducible shard-side.
+        self.scan_rate_bucket = None
 
     # -- registry ---------------------------------------------------------
 
@@ -535,12 +541,18 @@ class Network:
         # ever touches the packet.
         packet = _packet
         dropped = False
+        drop_cause = None
         responses = None
         for box, check in (self._path_checks if _checks is None
                            else _checks):
             if check is not None:
                 verdict = check(src_ip, dst_int, dst_port, self)
                 if verdict == PATH_DROP:
+                    # First dropping box wins attribution: defensive
+                    # boxes expose a ``defense:*`` drop_cause; plain
+                    # boxes fall back to the generic cause below.
+                    if recorder is not None and not dropped:
+                        drop_cause = getattr(box, "drop_cause", None)
                     dropped = True
                     continue
                 if verdict != PATH_INSPECT:
@@ -555,12 +567,14 @@ class Network:
                 else:
                     responses.extend(injected)
             if box.drops_query(packet, self):
+                if recorder is not None and not dropped:
+                    drop_cause = getattr(box, "drop_cause", None)
                 dropped = True
         loss_rate = self.loss_rate
         delivered = not dropped
         if dropped and recorder is not None:
             recorder.record(self.clock.now, "lost", src_ip, dst_int,
-                            "middlebox_drop")
+                            drop_cause or "middlebox_drop")
         if delivered and loss_rate > 0:
             # Query-loss fate, inlined (bit-identical to _packet_fate
             # with _SALT_QUERY_LOSS): one draw per probe is the single
@@ -626,14 +640,20 @@ class Network:
                                             "response_lost", src_ip,
                                             dst_int, "response_loss")
                         continue
-                    if self._response_droppers and any(
-                            box.drops_response(packet, reply, self)
-                            for box in self._response_droppers):
-                        if recorder is not None:
-                            recorder.record(self.clock.now,
-                                            "response_lost", src_ip,
-                                            dst_int, "middlebox_drop")
-                        continue
+                    if self._response_droppers:
+                        dropper = None
+                        for box in self._response_droppers:
+                            if box.drops_response(packet, reply, self):
+                                dropper = box
+                                break
+                        if dropper is not None:
+                            if recorder is not None:
+                                recorder.record(
+                                    self.clock.now, "response_lost",
+                                    src_ip, dst_int,
+                                    getattr(dropper, "drop_cause", None)
+                                    or "middlebox_drop")
+                            continue
                     if self.corruption_rate > 0 and self._packet_fate(
                             _SALT_CORRUPTION, self.corruption_rate, reply):
                         reply = UdpPacket(

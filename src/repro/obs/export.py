@@ -22,6 +22,10 @@ SCHEMA_VERSION = 1
 _SPAN_FIELDS = ("span_id", "stage", "attrs", "wall_start", "wall_seconds")
 _FLIGHT_FIELDS = ("t", "event", "src", "dst")
 _LOSS_EVENTS = ("lost", "response_lost")
+# Events that must carry a cause: losses, plus pacing suppressions
+# (coverage deliberately skipped — always attributed, never counted as
+# a wire loss).
+_CAUSED_EVENTS = ("lost", "response_lost", "suppressed")
 
 
 class TraceSchemaError(ValueError):
@@ -134,10 +138,12 @@ def validate_trace(records):
         elif kind == "flight":
             _require(record, index, _FLIGHT_FIELDS)
             flights += 1
-            if record["event"] in _LOSS_EVENTS:
-                losses += 1
+            if record["event"] in _CAUSED_EVENTS:
+                if record["event"] in _LOSS_EVENTS:
+                    losses += 1
                 if record.get("cause"):
-                    attributed += 1
+                    if record["event"] in _LOSS_EVENTS:
+                        attributed += 1
                 else:
                     raise TraceSchemaError(
                         "record %d: %s event carries no drop cause"

@@ -29,12 +29,17 @@ LOST = "lost"                 # query never reached the destination
 RESPONSE_LOST = "response_lost"   # answered, but the reply was dropped
 CORRUPTED = "corrupted"       # delivered with a damaged payload
 TRUNCATED = "truncated"       # delivered truncated below parseability
+SUPPRESSED = "suppressed"     # never sent: pacing gave the window up
 
-EVENT_KINDS = (SENT, ANSWERED, LOST, RESPONSE_LOST, CORRUPTED, TRUNCATED)
+EVENT_KINDS = (SENT, ANSWERED, LOST, RESPONSE_LOST, CORRUPTED,
+               TRUNCATED, SUPPRESSED)
 
 # Drop causes are free-form strings; fault-rule attributions carry this
 # prefix so "100% of injected losses are attributed" is checkable.
 FAULT_CAUSE_PREFIX = "fault:"
+# Defensive-middlebox attributions (rate limiters, blocklisters,
+# tarpits — see repro.netsim.defense) carry this prefix.
+DEFENSE_CAUSE_PREFIX = "defense:"
 
 DEFAULT_CAPACITY = 65536
 

@@ -21,6 +21,7 @@ from repro.scanner.ipv4scan import (
     ScanTargetSpace,
     merge_scan_results,
 )
+from repro.scanner.pacing import PacingConfig, PacingPlan, normalize_pacing
 from repro.scanner.engine import ScanEngine, ShardSupervisor
 from repro.scanner.domainengine import DomainScanEngine
 from repro.scanner.campaign import CampaignError, ScanCampaign, WeeklySnapshot
@@ -46,6 +47,8 @@ __all__ = [
     "Ipv4Scanner",
     "LFSR",
     "MAXIMAL_TAPS",
+    "PacingConfig",
+    "PacingPlan",
     "ResolverIdCodec",
     "ScanCampaign",
     "ScanEngine",
@@ -57,4 +60,5 @@ __all__ = [
     "decode_target_ip",
     "encode_target_qname",
     "merge_scan_results",
+    "normalize_pacing",
 ]

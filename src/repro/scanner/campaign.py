@@ -43,8 +43,9 @@ class ScanCampaign:
     def __init__(self, network, churn_model, target_space, source_ip,
                  measurement_domain, blacklist=None,
                  verification_source_ip=None, shards=1, perf=None,
-                 retries=0, probe_timeout=None, heartbeat_timeout=None,
-                 probe_batch=4096):
+                 retries=0, probe_timeout=None, backoff=2.0,
+                 heartbeat_timeout=None, probe_batch=4096, pacing=None,
+                 max_pps=None):
         self.network = network
         self.churn = churn_model
         self.target_space = target_space
@@ -53,7 +54,9 @@ class ScanCampaign:
                                    blacklist=blacklist, perf=perf,
                                    retries=retries,
                                    probe_timeout=probe_timeout,
-                                   probe_batch=probe_batch)
+                                   backoff=backoff,
+                                   probe_batch=probe_batch,
+                                   pacing=pacing, max_pps=max_pps)
         self.engine = ScanEngine(self.scanner, shards=shards, perf=perf,
                                  heartbeat_timeout=heartbeat_timeout)
         self.verification_scanner = None
@@ -63,7 +66,8 @@ class ScanCampaign:
                 network, verification_source_ip, measurement_domain,
                 blacklist=blacklist, source_port=31338, perf=perf,
                 retries=retries, probe_timeout=probe_timeout,
-                probe_batch=probe_batch)
+                backoff=backoff, probe_batch=probe_batch,
+                pacing=pacing, max_pps=max_pps)
             self.verification_engine = ScanEngine(
                 self.verification_scanner, shards=shards, perf=perf,
                 heartbeat_timeout=heartbeat_timeout)

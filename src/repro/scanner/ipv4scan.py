@@ -55,6 +55,11 @@ from repro.netsim.address import (
 )
 from repro.scanner.encoding import ProbeBatchEncoder
 from repro.scanner.lfsr import LFSR, TargetBatchIterator, permutation
+from repro.scanner.pacing import (
+    build_pacing_plan,
+    defense_plane,
+    normalize_pacing,
+)
 
 # Fixed header flags + section counts of a standard 1-question query
 # (rd=1, qdcount=1), i.e. bytes 2..11 of every probe we send.
@@ -164,6 +169,12 @@ _ALLOWED_CACHE = {}
 # parameters).  Weekly re-scans recompute it only when churn actually
 # moved a node; bench repeats and shard workers reuse it outright.
 _SWEEP_PLAN_CACHE = {}
+# Pacing plans (see repro.scanner.pacing): the full AIMD recurrence
+# over every defended target, pure in (space, filter, walk, defense
+# configuration, controller config, scanner identity, clock) — shard
+# workers and weekly re-scans against an unchanged defense plane reuse
+# it outright.
+_PACING_PLAN_CACHE = {}
 _CACHE_ENTRIES = 8
 
 
@@ -268,6 +279,14 @@ class ScanResult:
     is filled by the sharded engine: one entry per completed work item,
     recording which shards degraded (worker retried, split, or rescued
     in-process) on the way to this merged result.
+
+    ``suppressed`` maps ``(window_base, defense cause)`` to the number
+    of targets the adaptive pacing controller skipped there (graceful
+    degradation under hostile defenses): coverage deliberately not
+    attempted, recorded instead of silently lost.  It is a dedicated
+    mergeable structure — not provenance entries — because the forked
+    engine replaces result provenance wholesale with its own
+    work-item log; :attr:`degraded_shards` surfaces both.
     """
 
     FLAG_DIVERGENT = 1
@@ -277,6 +296,7 @@ class ScanResult:
         self.probes_sent = 0
         self.retransmissions = 0
         self.provenance = []
+        self.suppressed = {}
         self._targets = array("I")
         self._rcodes = array("B")
         self._flags = array("B")
@@ -287,6 +307,11 @@ class ScanResult:
     def record(self, target_ip, rcode, source_ip):
         self.record_value(ip_to_int(target_ip), rcode,
                           source_ip != target_ip)
+
+    def record_suppressed(self, window_base, cause, count=1):
+        """Count targets skipped under ``cause`` in one /16-style window."""
+        key = (window_base, cause)
+        self.suppressed[key] = self.suppressed.get(key, 0) + count
 
     def record_value(self, value, rcode, divergent):
         """Columnar recording: the target as a 32-bit int, the response
@@ -301,6 +326,8 @@ class ScanResult:
         self.probes_sent += other.probes_sent
         self.retransmissions += other.retransmissions
         self.provenance.extend(other.provenance)
+        for key, count in other.suppressed.items():
+            self.suppressed[key] = self.suppressed.get(key, 0) + count
         self._targets.extend(other._targets)
         self._rcodes.extend(other._rcodes)
         self._flags.extend(other._flags)
@@ -341,9 +368,22 @@ class ScanResult:
 
     @property
     def degraded_shards(self):
-        """Provenance entries that did not complete on a first try."""
-        return [entry for entry in self.provenance
-                if entry.get("status") != "ok"]
+        """Provenance entries that did not complete on a first try,
+        plus one synthesized ``status: "suppressed"`` entry per
+        (window, cause) the pacing controller gave up on — every loss
+        of coverage in one place."""
+        degraded = [entry for entry in self.provenance
+                    if entry.get("status") != "ok"]
+        for (window, cause), count in sorted(self.suppressed.items()):
+            degraded.append({"status": "suppressed",
+                             "window": int_to_ip(window),
+                             "cause": cause, "targets": count})
+        return degraded
+
+    @property
+    def suppressed_targets(self):
+        """Total targets skipped under defensive suppression."""
+        return sum(self.suppressed.values())
 
     @property
     def noerror(self):
@@ -379,7 +419,7 @@ class ScanResult:
         targets = array("I", (row[0] for row in rows))
         rcodes = array("B", (row[1] for row in rows))
         flags = array("B", (row[2] for row in rows))
-        return {
+        state = {
             "timestamp": self.timestamp,
             "probes_sent": self.probes_sent,
             "retransmissions": self.retransmissions,
@@ -388,12 +428,21 @@ class ScanResult:
             "rcodes": rcodes.tobytes(),
             "flags": flags.tobytes(),
         }
+        if self.suppressed:
+            # Canonical (sorted) and omitted when empty, so pickles of
+            # suppression-free results keep their historical bytes.
+            state["suppressed"] = tuple(sorted(
+                (window, cause, count)
+                for (window, cause), count in self.suppressed.items()))
+        return state
 
     def __setstate__(self, state):
         self.timestamp = state["timestamp"]
         self.probes_sent = state["probes_sent"]
         self.retransmissions = state["retransmissions"]
         self.provenance = state["provenance"]
+        self.suppressed = {(window, cause): count for window, cause, count
+                           in state.get("suppressed", ())}
         self._targets = array("I")
         self._targets.frombytes(state["targets"])
         self._rcodes = array("B")
@@ -416,11 +465,20 @@ def retry_schedule(probe_timeout, retries, backoff=2.0, rtt_floor=0.0):
     faster than its own path latency.  ``None`` entries mean "wait
     indefinitely" (no timeout configured): responses are never discarded
     as late, and a retry happens only when nothing answered at all.
+
+    When the floor dominates even the *last* backed-off attempt, a
+    per-attempt ``max()`` would flatten the whole schedule to
+    ``[rtt_floor] * n`` — silently defeating exponential backoff for
+    far targets with small base timeouts.  That edge re-anchors the
+    exponent at the floor instead, so attempt spacing keeps widening.
     """
     if retries < 0:
         raise ValueError("retries must be >= 0")
     if probe_timeout is None:
         return [None] * (retries + 1)
+    if retries and probe_timeout * backoff ** retries <= rtt_floor:
+        return [rtt_floor * backoff ** attempt
+                for attempt in range(retries + 1)]
     return [max(probe_timeout * backoff ** attempt, rtt_floor)
             for attempt in range(retries + 1)]
 
@@ -490,6 +548,14 @@ class Ipv4Scanner:
     (adaptive per-target timeout).  The defaults (``retries=0``,
     ``probe_timeout=None``) keep the single-probe fast path — and the
     existing determinism gates — bit-identical to before.
+
+    ``pacing``/``max_pps`` configure the arms-race side (see
+    :mod:`repro.scanner.pacing`): ``pacing="adaptive"`` precomputes an
+    AIMD pacing plan against the network's defense plane and declares a
+    per-probe rate bucket while scanning; ``max_pps`` caps the declared
+    rate (and, with pacing off, is declared as the scan's constant
+    rate).  Both default off: scans against defense-free networks are
+    bit-identical to before.
     """
 
     # The engine checks this before passing its heartbeat callback
@@ -499,7 +565,8 @@ class Ipv4Scanner:
     def __init__(self, network, source_ip, measurement_domain,
                  blacklist=None, source_port=31337, lfsr_seed=0xACE1,
                  perf=None, retries=0, probe_timeout=None, backoff=2.0,
-                 timeout_margin=1.25, probe_batch=4096):
+                 timeout_margin=1.25, probe_batch=4096, pacing=None,
+                 max_pps=None):
         self.network = network
         self.source_ip = source_ip
         self.measurement_domain = measurement_domain
@@ -516,6 +583,8 @@ class Ipv4Scanner:
         self.backoff = backoff
         self.timeout_margin = timeout_margin
         self.probe_batch = probe_batch
+        self.pacing = normalize_pacing(pacing, max_pps)
+        self.max_pps = max_pps
         self._encoder = ProbeBatchEncoder(measurement_domain)
         self._suffix_wire = encode_name(measurement_domain)
         # Pre-encoded query template: everything after the txid plus
@@ -643,25 +712,124 @@ class Ipv4Scanner:
             interest = network.scan_interest(
                 self.source_ip, 53,
                 qname_suffix=self.measurement_domain)
-        if bulk_ok and interest is not None:
-            plan_key = None
-            nodes_signature = getattr(network, "nodes_signature", None)
-            if nodes_signature is not None:
-                # Everything the cold settlement is a function of; an
-                # unkeyable network double just skips the memo.
-                plan_key = (
-                    _space_signature(target_space),
-                    target_filter.signature(),
-                    self.lfsr_seed, start, stop, self.probe_batch,
-                    nodes_signature(), tuple(interest),
-                    getattr(network, "_seed_high", None),
-                    network.loss_rate, self.source_ip, self.source_port)
-            return self._scan_batched(result, batches, addresses,
-                                      state_addresses, addresses_sorted,
-                                      interest, epoch, on_progress,
-                                      plan_key=plan_key)
-        return self._scan_per_probe(result, batches, state_addresses,
-                                    epoch, on_progress)
+        pacing = self._pacing_plan(target_space, target_filter)
+        base_bucket = int(self.max_pps) if self.max_pps is not None \
+            else None
+        paced = pacing is not None or base_bucket is not None
+        if paced:
+            # Declare the scan's rate to the defense plane; per-target
+            # buckets override it probe by probe under adaptive pacing.
+            network.scan_rate_bucket = base_bucket
+        try:
+            if bulk_ok and interest is not None:
+                plan_key = None
+                nodes_signature = getattr(network, "nodes_signature", None)
+                if nodes_signature is not None:
+                    # Everything the cold settlement is a function of; an
+                    # unkeyable network double just skips the memo.
+                    plan_key = (
+                        _space_signature(target_space),
+                        target_filter.signature(),
+                        self.lfsr_seed, start, stop, self.probe_batch,
+                        nodes_signature(), tuple(interest),
+                        getattr(network, "_seed_high", None),
+                        network.loss_rate, self.source_ip,
+                        self.source_port)
+                result = self._scan_batched(result, batches, addresses,
+                                            state_addresses,
+                                            addresses_sorted, interest,
+                                            epoch, on_progress,
+                                            plan_key=plan_key,
+                                            pacing=pacing,
+                                            base_bucket=base_bucket)
+            else:
+                result = self._scan_per_probe(result, batches,
+                                              state_addresses, epoch,
+                                              on_progress, pacing=pacing,
+                                              base_bucket=base_bucket)
+        finally:
+            if paced:
+                network.scan_rate_bucket = None
+        self._record_pacing_perf(pacing, index_range, total)
+        return result
+
+    def _pacing_plan(self, target_space, target_filter):
+        """The (memoised) adaptive pacing plan for this scan, or
+        ``None`` when pacing is off or no defense plane is armed.
+
+        Built over the *full* allowed space — never a shard slice — so
+        every forked worker replays the identical AIMD recurrence; see
+        :mod:`repro.scanner.pacing`.
+        """
+        config = self.pacing
+        if config is None:
+            return None
+        network = self.network
+        plane = defense_plane(network, self.source_ip)
+        if not plane:
+            return None
+        total = len(target_space)
+        order = LFSR.order_for(total)
+        period = (1 << order) - 1
+        plan_key = None
+        signatures = [getattr(box, "signature", None)
+                      for box, __ in plane]
+        if all(signatures):
+            plan_key = (_space_signature(target_space),
+                        target_filter.signature(), self.lfsr_seed,
+                        self.source_ip, self.source_port,
+                        network.clock.now,
+                        tuple(sig() for sig in signatures),
+                        config.signature())
+            plan = _PACING_PLAN_CACHE.get(plan_key)
+            if plan is not None:
+                return plan
+        walk = permutation(order, seed=(self.lfsr_seed % period) or 1)
+        addresses, state_addresses, addresses_sorted = \
+            _address_columns(target_space)
+        allowed = _allowed_column(target_space, target_filter)
+        defended = bytearray(total)
+        for __, ranges in plane:
+            for base, mask in ranges:
+                last = base | (~mask & 0xFFFFFFFF)
+                if addresses_sorted:
+                    lo = bisect.bisect_left(addresses, base)
+                    hi = bisect.bisect_right(addresses, last)
+                    if hi > lo:
+                        defended[lo:hi] = b"\x01" * (hi - lo)
+                else:
+                    for position, value in enumerate(addresses):
+                        if value & mask == base:
+                            defended[position] = 1
+        selector = bytearray(period + 1)
+        if total:
+            selector[1:total + 1] = (
+                int.from_bytes(bytes(allowed), "big")
+                & int.from_bytes(bytes(defended), "big")
+            ).to_bytes(total, "big")
+        plan = build_pacing_plan(plane, ip_to_int(self.source_ip),
+                                 self._identity, walk, selector,
+                                 state_addresses, config)
+        if plan_key is not None:
+            _evict(_PACING_PLAN_CACHE)
+            _PACING_PLAN_CACHE[plan_key] = plan
+        return plan
+
+    def _record_pacing_perf(self, pacing, index_range, total):
+        """Plan-level pacing observability (window-rate histogram,
+        signal counters).  Recorded only by a full-space scan: the plan
+        is global, so per-shard workers re-deriving it must not tally
+        it once per shard into the merged registry."""
+        if pacing is None or self.perf is None:
+            return
+        if index_range is not None and index_range != (0, total):
+            return
+        self.perf.observe_many("pacing_window_pps", pacing.window_rates())
+        self.perf.count("pacing_defense_signals", pacing.signals)
+        if pacing.suppressed_count:
+            self.perf.count("pacing_suppressed_planned",
+                            pacing.suppressed_count)
+        self.perf.gauge("pacing_windows", float(len(pacing.windows)))
 
     def _hot_column(self, addresses, addresses_sorted, interest):
         """State-aligned hotness mask: 1 where a probe must take the
@@ -716,7 +884,7 @@ class Ipv4Scanner:
 
     def _scan_batched(self, result, batches, addresses, state_addresses,
                       addresses_sorted, interest, epoch, on_progress,
-                      plan_key=None):
+                      plan_key=None, pacing=None, base_bucket=None):
         """Bulk sweep: settle cold targets per batch with C-level
         column operations, full wire path for hot ones.
 
@@ -759,12 +927,28 @@ class Ipv4Scanner:
         probes_sent = 0
         bulk_sent = 0
         bulk_lost = 0
+        suppressed = 0
         responses_seen = 0
         rtts = [] if self.perf is not None else None
         heartbeat_due = 0
+        # Pacing: defended targets are hot by construction (their boxes
+        # declare scan_interest), so the plan's per-target decisions are
+        # consulted only here — the cold bulk settlement is untouched.
+        paced_causes = pacing.suppressed if pacing is not None else None
+        paced_rates = pacing.rates.get if pacing is not None else None
+        window_mask = pacing.window_mask if pacing is not None else 0
+        record_suppressed = result.record_suppressed
         for size, hot_states, lost in plan:
             for state in hot_states:
                 value = addr_of(state)
+                if paced_causes is not None:
+                    cause = paced_causes.get(value)
+                    if cause is not None:
+                        suppressed += 1
+                        record_suppressed(value & window_mask, cause)
+                        continue
+                    network.scan_rate_bucket = paced_rates(value,
+                                                           base_bucket)
                 # splitmix64 finaliser, inlined (== _mix64).
                 key = (seed_epoch ^ value) & _M64
                 key ^= key >> 30
@@ -802,35 +986,56 @@ class Ipv4Scanner:
                     on_progress()
                     heartbeat_due -= 1024
         network.absorb_probe_sweep(bulk_sent, bulk_lost)
-        result.probes_sent = probes_sent
+        result.probes_sent = probes_sent - suppressed
         if self.perf is not None:
-            self.perf.count("probes_sent", probes_sent)
+            self.perf.count("probes_sent", probes_sent - suppressed)
             self.perf.count("probes_bulk_settled", bulk_sent)
             self.perf.count("responses_seen", responses_seen)
             self.perf.count("parse_calls_avoided", responses_seen)
+            if suppressed:
+                self.perf.count("pacing_suppressed_targets", suppressed)
             self.perf.observe_many("probe_rtt_seconds", rtts)
         return result
 
     def _scan_per_probe(self, result, batches, state_addresses, epoch,
-                        on_progress):
+                        on_progress, pacing=None, base_bucket=None):
         """Per-probe sweep over the batched target stream: every target
         takes the full ``send_probe`` wire path (the reference
         semantics), with target generation and filtering still done in
         C-level batches.
         """
+        network = self.network
         seed_epoch = self._identity ^ (epoch << 32)
         encode = self._encoder.encode
-        send_probe = self.network.send_probe
+        send_probe = network.send_probe
         source_ip = self.source_ip
         source_port = self.source_port
         addr_of = state_addresses.__getitem__
         record_value = result.record_value
         probes_sent = 0
+        suppressed = 0
         responses_seen = 0
         rtts = [] if self.perf is not None else None
+        paced_causes = pacing.suppressed if pacing is not None else None
+        paced_rates = pacing.rates.get if pacing is not None else None
+        window_mask = pacing.window_mask if pacing is not None else 0
+        record_suppressed = result.record_suppressed
+        recorder = getattr(network, "recorder", None)
         for batch in batches:
             for state in batch:
                 value = addr_of(state)
+                if paced_causes is not None:
+                    cause = paced_causes.get(value)
+                    if cause is not None:
+                        suppressed += 1
+                        record_suppressed(value & window_mask, cause)
+                        if recorder is not None:
+                            recorder.record(network.clock.now,
+                                            "suppressed", source_ip,
+                                            value, cause)
+                        continue
+                    network.scan_rate_bucket = paced_rates(value,
+                                                           base_bucket)
                 probes_sent += 1
                 if on_progress is not None and not probes_sent & 1023:
                     on_progress()
@@ -861,6 +1066,8 @@ class Ipv4Scanner:
             self.perf.count("probes_sent", probes_sent)
             self.perf.count("responses_seen", responses_seen)
             self.perf.count("parse_calls_avoided", responses_seen)
+            if suppressed:
+                self.perf.count("pacing_suppressed_targets", suppressed)
             self.perf.observe_many("probe_rtt_seconds", rtts)
         return result
 
@@ -893,8 +1100,27 @@ class Ipv4Scanner:
         attempts = self.retries + 1
         base_schedule = retry_schedule(self.probe_timeout, self.retries,
                                        self.backoff)
+        # Floor-anchored escape (mirrors retry_schedule): when a
+        # target's rtt floor dominates even the last backed-off base
+        # timeout, re-anchor the exponent at the floor so the schedule
+        # never silently flattens.
+        last_base = base_schedule[-1]
+        backoff_steps = [self.backoff ** attempt
+                         for attempt in range(attempts)]
+        flat_escapes = 0
         latency_between = self.network.latency_between
         margin = self.timeout_margin
+        network = self.network
+        pacing = self._pacing_plan(target_space, target_filter)
+        base_bucket = int(self.max_pps) if self.max_pps is not None \
+            else None
+        paced = pacing is not None or base_bucket is not None
+        paced_causes = pacing.suppressed if pacing is not None else None
+        paced_rates = pacing.rates.get if pacing is not None else None
+        window_mask = pacing.window_mask if pacing is not None else 0
+        recorder = getattr(network, "recorder", None)
+        record_suppressed = result.record_suppressed
+        suppressed = 0
         taps = lfsr.taps
         state = first = lfsr.state
         probes_sent = 0
@@ -903,65 +1129,94 @@ class Ipv4Scanner:
         late_responses = 0
         responses_seen = 0
         rtts = [] if self.perf is not None else None
-        while True:
-            index = state - 1
-            if index < total and start <= index < stop:
-                slot = bisect_right(cumulative, index) - 1
-                value = prefixes[slot].base + (index - cumulative[slot])
-                if all_clean or allows_slot(slot, value):
-                    targets_probed += 1
-                    if on_progress is not None and \
-                            not targets_probed & 1023:
-                        on_progress()
-                    key = _mix64(seed_epoch ^ value)
-                    txid = key & 0xFFFF
-                    prefix_label = b"r%x" % ((key >> 16) & 0xFFFFFF)
-                    payload = b"".join((
-                        txid.to_bytes(2, "big"), self._template_head,
-                        _LABEL_LEN[len(prefix_label)], prefix_label,
-                        b"\x08", b"%08x" % value, self._template_tail))
-                    target_ip = int_to_ip(value)
-                    # Adaptive floor: never time a target out faster
-                    # than its own deterministic round trip.
-                    rtt_floor = None
-                    for attempt in range(attempts):
-                        timeout = base_schedule[attempt]
-                        if timeout is not None:
-                            if rtt_floor is None:
-                                rtt_floor = 2 * latency_between(
-                                    self.source_ip, target_ip) * margin
-                            if timeout < rtt_floor:
-                                timeout = rtt_floor
-                        probes_sent += 1
-                        if attempt:
-                            retransmissions += 1
-                        answered = False
-                        for response in self.network.send_probe(
-                                self.source_ip, self.source_port,
-                                target_ip, 53, value, payload):
-                            raw = response.packet.payload
-                            if len(raw) < 12 or not raw[2] & 0x80:
-                                continue
-                            if (raw[0] << 8) | raw[1] != txid:
-                                continue
-                            if timeout is not None and \
-                                    response.latency > timeout:
-                                late_responses += 1
-                                continue
-                            answered = True
-                            responses_seen += 1
-                            if rtts is not None:
-                                rtts.append(response.latency)
-                            result.record(target_ip, raw[3] & 0x0F,
-                                          response.packet.src_ip)
-                        if answered:
-                            break
-            lsb = state & 1
-            state >>= 1
-            if lsb:
-                state ^= taps
-            if state == first:
-                break
+        if paced:
+            network.scan_rate_bucket = base_bucket
+        try:
+            while True:
+                index = state - 1
+                if index < total and start <= index < stop:
+                    slot = bisect_right(cumulative, index) - 1
+                    value = prefixes[slot].base + (index - cumulative[slot])
+                    allowed_here = all_clean or allows_slot(slot, value)
+                    cause = (paced_causes.get(value)
+                             if allowed_here and paced_causes is not None
+                             else None)
+                    if cause is not None:
+                        suppressed += 1
+                        record_suppressed(value & window_mask, cause)
+                        if recorder is not None:
+                            recorder.record(network.clock.now,
+                                            "suppressed", self.source_ip,
+                                            value, cause)
+                    elif allowed_here:
+                        targets_probed += 1
+                        if on_progress is not None and \
+                                not targets_probed & 1023:
+                            on_progress()
+                        if paced_rates is not None:
+                            network.scan_rate_bucket = paced_rates(
+                                value, base_bucket)
+                        key = _mix64(seed_epoch ^ value)
+                        txid = key & 0xFFFF
+                        prefix_label = b"r%x" % ((key >> 16) & 0xFFFFFF)
+                        payload = b"".join((
+                            txid.to_bytes(2, "big"), self._template_head,
+                            _LABEL_LEN[len(prefix_label)], prefix_label,
+                            b"\x08", b"%08x" % value, self._template_tail))
+                        target_ip = int_to_ip(value)
+                        # Adaptive floor: never time a target out faster
+                        # than its own deterministic round trip.
+                        rtt_floor = None
+                        floor_anchored = False
+                        for attempt in range(attempts):
+                            timeout = base_schedule[attempt]
+                            if timeout is not None:
+                                if rtt_floor is None:
+                                    rtt_floor = 2 * latency_between(
+                                        self.source_ip, target_ip) * margin
+                                    floor_anchored = (
+                                        attempts > 1
+                                        and last_base <= rtt_floor)
+                                    if floor_anchored:
+                                        flat_escapes += 1
+                                if floor_anchored:
+                                    timeout = rtt_floor * \
+                                        backoff_steps[attempt]
+                                elif timeout < rtt_floor:
+                                    timeout = rtt_floor
+                            probes_sent += 1
+                            if attempt:
+                                retransmissions += 1
+                            answered = False
+                            for response in network.send_probe(
+                                    self.source_ip, self.source_port,
+                                    target_ip, 53, value, payload):
+                                raw = response.packet.payload
+                                if len(raw) < 12 or not raw[2] & 0x80:
+                                    continue
+                                if (raw[0] << 8) | raw[1] != txid:
+                                    continue
+                                if timeout is not None and \
+                                        response.latency > timeout:
+                                    late_responses += 1
+                                    continue
+                                answered = True
+                                responses_seen += 1
+                                if rtts is not None:
+                                    rtts.append(response.latency)
+                                result.record(target_ip, raw[3] & 0x0F,
+                                              response.packet.src_ip)
+                            if answered:
+                                break
+                lsb = state & 1
+                state >>= 1
+                if lsb:
+                    state ^= taps
+                if state == first:
+                    break
+        finally:
+            if paced:
+                network.scan_rate_bucket = None
         result.probes_sent = probes_sent
         result.retransmissions = retransmissions
         if self.perf is not None:
@@ -971,7 +1226,12 @@ class Ipv4Scanner:
             self.perf.count("probe_retransmissions", retransmissions)
             if late_responses:
                 self.perf.count("probe_responses_late", late_responses)
+            if suppressed:
+                self.perf.count("pacing_suppressed_targets", suppressed)
+            if flat_escapes:
+                self.perf.count("rtt_floor_flat_schedules", flat_escapes)
             self.perf.observe_many("probe_rtt_seconds", rtts)
+        self._record_pacing_perf(pacing, index_range, total)
         return result
 
     def scan_addresses(self, addresses):

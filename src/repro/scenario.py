@@ -245,17 +245,18 @@ class Scenario:
         return ScanTargetSpace(self.resolver_prefixes)
 
     def new_campaign(self, verify=True, shards=1, perf=None, retries=0,
-                     probe_timeout=None, heartbeat_timeout=None,
-                     probe_batch=4096):
+                     probe_timeout=None, backoff=2.0,
+                     heartbeat_timeout=None, probe_batch=4096,
+                     pacing=None, max_pps=None):
         return ScanCampaign(
             self.network, self.churn, self.target_space(),
             self.scanner_ip, MEASUREMENT_DOMAIN, blacklist=self.blacklist,
             verification_source_ip=(self.verification_scanner_ip
                                     if verify else None),
             shards=shards, perf=perf, retries=retries,
-            probe_timeout=probe_timeout,
+            probe_timeout=probe_timeout, backoff=backoff,
             heartbeat_timeout=heartbeat_timeout,
-            probe_batch=probe_batch)
+            probe_batch=probe_batch, pacing=pacing, max_pps=max_pps)
 
     def new_pipeline(self, **kwargs):
         return ManipulationPipeline(

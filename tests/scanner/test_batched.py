@@ -11,6 +11,8 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.dnswire import Message
+from repro.netsim.defense import (ReactiveBlocklister, Tarpit,
+                                  TokenBucketRateLimiter)
 from repro.netsim.gfw import GreatFirewall
 from repro.netsim.middlebox import DnsIngressFilter, ScannerBlocker
 from repro.resolvers import ResolverNode
@@ -141,6 +143,107 @@ class TestBatchedEquivalence:
         result = make_scanner(world).scan(world.space)
         assert world.pool.address_at(1) in result.responders
         assert gfw.injection_count == 0
+
+
+def defense_snapshot(world, result):
+    """Everything a defense-equivalence class must hold bit-identical."""
+    return (snapshot(result), sorted(result.suppressed.items()),
+            result.degraded_shards,
+            dict(sorted(world.network.fault_counters.items())))
+
+
+DEFENSES = [
+    ("rate_limiter",
+     lambda pool: TokenBucketRateLimiter([pool], sustainable_pps=150.0,
+                                         seed=3)),
+    ("blocklister",
+     lambda pool: ReactiveBlocklister([pool], warn_pps=120.0,
+                                      ban_pps=200.0, seed=3)),
+    ("hard_blocklister",
+     lambda pool: ReactiveBlocklister([pool], warn_pps=0.0, ban_pps=0.0,
+                                      seed=3)),
+    ("tarpit", lambda pool: Tarpit([pool], trigger_pps=140.0, seed=3)),
+]
+
+
+class TestDefenseEquivalence:
+    """Batched vs per-probe vs sharded — bit-identical under defense.
+
+    Defense verdicts are pure in (seed, src, dst, declared rate) and the
+    pacing plan replays them in global LFSR order, so neither the bulk
+    sweep nor shard forking may change a single fate.
+    """
+
+    @pytest.mark.parametrize("name,make_box", DEFENSES,
+                             ids=[name for name, __ in DEFENSES])
+    @pytest.mark.parametrize("pacing", [None, "adaptive"],
+                             ids=["naive", "adaptive"])
+    def test_batched_matches_per_probe(self, monkeypatch, name,
+                                       make_box, pacing):
+        fast_world = build_world()
+        fast_world.network.add_middlebox(make_box(fast_world.pool))
+        batched = make_scanner(fast_world, pacing=pacing).scan(
+            fast_world.space)
+
+        ref_world = build_world()
+        ref_world.network.add_middlebox(make_box(ref_world.pool))
+        force_per_probe(ref_world, monkeypatch)
+        reference = make_scanner(ref_world, pacing=pacing).scan(
+            ref_world.space)
+
+        assert defense_snapshot(fast_world, batched) == \
+            defense_snapshot(ref_world, reference)
+
+    @pytest.mark.parametrize("shards", [1, 4])
+    @pytest.mark.parametrize("pacing", [None, "adaptive"],
+                             ids=["naive", "adaptive"])
+    def test_sharded_matches_sequential(self, shards, pacing):
+        from repro.scanner import ScanEngine
+
+        seq_world = build_world()
+        seq_world.network.add_middlebox(ReactiveBlocklister(
+            [seq_world.pool], warn_pps=120.0, ban_pps=200.0, seed=3))
+        sequential = make_scanner(seq_world, pacing=pacing).scan(
+            seq_world.space)
+
+        shard_world = build_world()
+        shard_world.network.add_middlebox(ReactiveBlocklister(
+            [shard_world.pool], warn_pps=120.0, ban_pps=200.0, seed=3))
+        engine = ScanEngine(make_scanner(shard_world, pacing=pacing),
+                            shards=shards)
+        sharded = engine.scan(shard_world.space)
+
+        assert defense_snapshot(seq_world, sequential) == \
+            defense_snapshot(shard_world, sharded)
+
+    def test_suppression_is_recorded_not_silent(self):
+        world = build_world()
+        world.network.add_middlebox(ReactiveBlocklister(
+            [world.pool], warn_pps=0.0, ban_pps=0.0, seed=3))
+        result = make_scanner(world, pacing="adaptive").scan(world.space)
+        assert result.suppressed_targets > 0
+        entries = [entry for entry in result.degraded_shards
+                   if entry["status"] == "suppressed"]
+        assert entries
+        assert sum(entry["targets"] for entry in entries) == \
+            result.suppressed_targets
+        assert all(entry["cause"].startswith("defense:")
+                   for entry in entries)
+
+    def test_suppressed_survives_pickle_roundtrip(self):
+        world = build_world()
+        world.network.add_middlebox(ReactiveBlocklister(
+            [world.pool], warn_pps=0.0, ban_pps=0.0, seed=3))
+        result = make_scanner(world, pacing="adaptive").scan(world.space)
+        clone = pickle.loads(pickle.dumps(result))
+        assert clone.suppressed == result.suppressed
+        assert clone.suppressed_targets == result.suppressed_targets
+
+    def test_plain_result_bytes_unchanged_by_suppression_field(self):
+        # A result with nothing suppressed must serialize exactly as it
+        # did before the field existed (historical checkpoint bytes).
+        result = ScanResult(10.0)
+        assert "suppressed" not in result.__getstate__()
 
 
 class TestScanPathChecks:

@@ -180,3 +180,28 @@ class TestRetrySchedule:
     def test_negative_retries_rejected(self):
         with pytest.raises(ValueError):
             retry_schedule(1.0, -1)
+
+    def test_floor_dominating_every_attempt_keeps_backoff_growing(self):
+        # Regression: when the floor exceeded even the last backed-off
+        # attempt, per-attempt max() flattened the whole schedule to
+        # [rtt_floor] * n — retries fired back-to-back with no spacing
+        # growth.  The schedule must re-anchor the exponent at the floor.
+        assert retry_schedule(0.1, 2, backoff=2.0, rtt_floor=1.0) == \
+            [1.0, 2.0, 4.0]
+        assert retry_schedule(0.01, 3, backoff=3.0, rtt_floor=0.5) == \
+            [0.5, 1.5, 4.5, 13.5]
+
+    def test_floor_equal_to_last_attempt_still_reanchors(self):
+        # Boundary: base * backoff**retries == rtt_floor is the last
+        # flat case; it must re-anchor too (strictly growing schedule).
+        assert retry_schedule(0.25, 1, backoff=2.0, rtt_floor=0.5) == \
+            [0.5, 1.0]
+
+    def test_floor_partial_domination_unchanged(self):
+        # The pre-existing partial case keeps its exact schedule: the
+        # re-anchor only triggers when the floor swallows every attempt.
+        assert retry_schedule(0.1, 3, backoff=2.0, rtt_floor=0.45) == \
+            [0.45, 0.45, 0.45, 0.8]
+
+    def test_zero_retries_never_reanchors(self):
+        assert retry_schedule(0.1, 0, backoff=2.0, rtt_floor=1.0) == [1.0]
