@@ -20,14 +20,30 @@ from repro.perf import PerfRegistry
 from repro.scenario import ScenarioConfig, build_scenario
 
 
+def _positive_int(text):
+    """Argparse type for knobs that must be strictly positive.
+
+    Rejecting at parse time turns ``--probe-batch 0`` into a one-line
+    usage error instead of a deep traceback out of the scan core.
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError("%r is not an integer" % text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            "must be a positive integer (got %d)" % value)
+    return value
+
+
 def _add_common(parser):
     parser.add_argument("--scale", type=int, default=20000,
                         help="1:N scale of the simulated Internet")
     parser.add_argument("--seed", type=int, default=7)
-    parser.add_argument("--shards", type=int, default=1,
+    parser.add_argument("--shards", type=_positive_int, default=1,
                         help="scan worker processes (fork-based)")
-    parser.add_argument("--pipeline-shards", type=int, default=1,
-                        metavar="N",
+    parser.add_argument("--pipeline-shards", type=_positive_int,
+                        default=1, metavar="N",
                         help="worker processes for the classification "
                              "pipeline's domain scan (classify/audit/"
                              "fullstudy)")
@@ -45,11 +61,27 @@ def _add_common(parser):
                         help="base per-probe response timeout; grows "
                              "with backoff, floored at the target's "
                              "round-trip estimate")
-    parser.add_argument("--probe-batch", type=int, default=4096,
+    parser.add_argument("--probe-batch", type=_positive_int, default=4096,
                         metavar="N",
                         help="targets per columnar scan batch (bulk "
                              "triage granularity; results are "
                              "batch-size independent)")
+    parser.add_argument("--stream-results", action="store_true",
+                        help="stream per-shard results as fixed-size "
+                             "chunks spilled through the snapshot store "
+                             "instead of holding whole-shard frames "
+                             "(memory bounded by chunk size; results "
+                             "are bit-identical)")
+    parser.add_argument("--lazy-population", action="store_true",
+                        help="materialize resolver nodes on first probe "
+                             "from compact per-pool specs instead of "
+                             "building every node up front (memory "
+                             "bounded by --node-cache)")
+    parser.add_argument("--node-cache", type=_positive_int, default=8192,
+                        metavar="N",
+                        help="live materialized nodes kept per worker "
+                             "under --lazy-population (LRU-evicted "
+                             "beyond this)")
     parser.add_argument("--backoff", type=float, default=2.0,
                         metavar="FACTOR",
                         help="retransmission timeout growth factor "
@@ -158,8 +190,10 @@ def _finish_checkpoint(checkpoint, crashed=None):
 def _build(args):
     print("building 1:%d world (seed %d)..." % (args.scale, args.seed),
           file=sys.stderr)
-    scenario = build_scenario(ScenarioConfig(scale=args.scale,
-                                             seed=args.seed))
+    scenario = build_scenario(ScenarioConfig(
+        scale=args.scale, seed=args.seed,
+        lazy_population=getattr(args, "lazy_population", False),
+        node_cache=getattr(args, "node_cache", 8192)))
     if getattr(args, "faults", None):
         from repro.faults import FaultPlan, parse_fault_spec
         plan = FaultPlan(parse_fault_spec(args.faults), seed=args.seed)
@@ -187,8 +221,23 @@ def _pacing_arg(args):
             "max_pps": getattr(args, "max_pps", None)}
 
 
+def _check_shards(scenario, shards):
+    """Reject shard counts the target space cannot cover.
+
+    A shard with zero targets would fork a worker for nothing; worse,
+    the error would surface as a confusing range assertion deep in the
+    engine instead of at the flag that caused it.
+    """
+    targets = len(scenario.target_space())
+    if shards > targets:
+        raise SystemExit(
+            "error: --shards %d exceeds the %d scan targets at this "
+            "scale; use at most one shard per target" % (shards, targets))
+
+
 def _scan(scenario, args=None, perf=None):
     shards = getattr(args, "shards", 1) if args is not None else 1
+    _check_shards(scenario, shards)
     campaign = scenario.new_campaign(
         verify=False, shards=shards, perf=perf,
         retries=getattr(args, "retries", 0) if args is not None else 0,
@@ -198,6 +247,8 @@ def _scan(scenario, args=None, perf=None):
                  if args is not None else 2.0),
         probe_batch=(getattr(args, "probe_batch", 4096)
                      if args is not None else 4096),
+        stream_results=(getattr(args, "stream_results", False)
+                        if args is not None else False),
         **_pacing_arg(args))
     return campaign.run_week()
 
@@ -240,11 +291,13 @@ def cmd_campaign(args):
     checkpoint = _open_checkpoint(args, scenario, perf,
                                   extra_meta={"weeks": args.weeks})
     obs = _install_obs(args, scenario)
+    _check_shards(scenario, args.shards)
     campaign = scenario.new_campaign(verify=False, shards=args.shards,
                                      perf=perf, retries=args.retries,
                                      probe_timeout=args.probe_timeout,
                                      backoff=args.backoff,
                                      probe_batch=args.probe_batch,
+                                     stream_results=args.stream_results,
                                      **_pacing_arg(args))
     try:
         campaign.run(args.weeks, checkpoint=checkpoint)
@@ -311,8 +364,9 @@ def cmd_classify(args):
     scenario = _build(args)
     perf = _perf_registry(args)
     resolvers = sorted(_scan(scenario, args, perf).result.noerror)
-    pipeline = scenario.new_pipeline(shards=args.pipeline_shards,
-                                     perf=perf)
+    pipeline = scenario.new_pipeline(
+        shards=args.pipeline_shards, perf=perf,
+        stream_observations=args.stream_results)
     report = pipeline.run(resolvers, list(DOMAIN_SETS[args.set]))
     stats = report.prefilter.stats()
     print("domain set:    %s" % args.set)
@@ -344,11 +398,13 @@ def cmd_audit(args):
     domains = (list(DOMAIN_SETS["Banking"]) + list(DOMAIN_SETS["Alexa"])
                + list(DOMAIN_SETS["Adult"]) + list(DOMAIN_SETS["Gambling"])
                + list(DOMAIN_SETS["NX"]))
-    pipeline = scenario.new_pipeline(shards=args.pipeline_shards)
+    pipeline = scenario.new_pipeline(
+        shards=args.pipeline_shards,
+        stream_observations=args.stream_results)
     report = pipeline.run([resolver_ip], domains)
     labels = Counter((l.label, l.sublabel) for l in report.labeled)
     print("resolver:   %s" % resolver_ip)
-    print("responses:  %d" % len(report.observations))
+    print("responses:  %d" % report.observation_count)
     print("suspicious: %d tuples" % len(report.prefilter.unknown))
     if not labels:
         print("verdict:    CLEAN")
@@ -371,6 +427,7 @@ def cmd_fullstudy(args):
                     "snoop_sample": args.snoop_sample,
                     "pipeline_shards": args.pipeline_shards})
     obs = _install_obs(args, scenario)
+    _check_shards(scenario, args.shards)
     try:
         results = run_full_study(
             scenario, weeks=args.weeks, snoop_sample=args.snoop_sample,

@@ -23,6 +23,11 @@ class PipelineReport:
 
     def __init__(self):
         self.observations = []
+        # Number of domain-scan observations seen.  Equals
+        # ``len(observations)`` on a resident run; on a streamed run
+        # (``stream_observations``) the list stays empty — observations
+        # flowed straight into the prefilter — and only this survives.
+        self.observation_count = 0
         self.prefilter = None
         self.http_captures = []
         self.mail_captures = []
@@ -63,7 +68,7 @@ class PipelineReport:
 
     def __repr__(self):
         return ("PipelineReport(%d observations, %d captures, %d clusters)"
-                % (len(self.observations), len(self.http_captures),
+                % (self.observation_count, len(self.http_captures),
                    len(self.clusters)))
 
 
@@ -81,9 +86,16 @@ class ManipulationPipeline:
                  known_cdn_common_names, source_ip, domain_catalog,
                  cluster_threshold=0.30, diff_threshold=0.5,
                  distance=None, perf=None, fetch_timeout=None,
-                 error_budget=None, shards=1, heartbeat_timeout=None):
+                 error_budget=None, shards=1, heartbeat_timeout=None,
+                 stream_observations=False, chunk_rows=65536):
         self.network = network
         self.perf = perf
+        # Stream domain-scan observations straight into the prefilter
+        # (bounded memory) instead of collecting the full list first.
+        # Checkpointed runs fall back to resident collection: the
+        # domain_scan stage's committed payload must carry the full
+        # observation list for resume.
+        self.stream_observations = stream_observations
         self.service = resolution_service
         self.as_registry = as_registry
         self.rdns = rdns
@@ -113,7 +125,8 @@ class ManipulationPipeline:
                                          perf=perf)
         self.domain_engine = DomainScanEngine(
             DomainScanner(network, source_ip), shards=shards, perf=perf,
-            heartbeat_timeout=heartbeat_timeout)
+            heartbeat_timeout=heartbeat_timeout,
+            stream_results=stream_observations, chunk_rows=chunk_rows)
         self.acquirer = DataAcquirer(network, source_ip,
                                      fetch_timeout=fetch_timeout,
                                      error_budget=error_budget)
@@ -247,15 +260,38 @@ class ManipulationPipeline:
         resolver_ips = list(resolver_ips)
 
         # Step 2: domain scan (sharded across workers when shards > 1).
+        # A streamed run fuses steps 2+3: observation batches flow into
+        # the prefilter as shards complete (in sequential order, so the
+        # result is bit-identical) and the full list is never resident.
+        # Checkpointed runs stay resident — the committed domain_scan
+        # payload must carry the observations a resume re-applies.
+        streaming = self.stream_observations and checkpoint is None
+        streamed_prefilter = [None]
+
         def compute_domain_scan():
             queries_before = getattr(self.scanner, "queries_sent", 0)
             observations = []
+            count = 0
             with self._stage("domain_scan"):
                 try:
                     scope = (checkpoint.scope("stage", "domain_scan")
                              if checkpoint is not None else None)
-                    observations = self.domain_engine.scan(
-                        resolver_ips, names, checkpoint=scope)
+                    if streaming:
+                        from repro.core.prefilter import PrefilterResult
+                        prefilter = PrefilterResult()
+
+                        def consume(batch):
+                            self.prefilterer.process_into(
+                                prefilter, batch, self.domain_catalog)
+
+                        count = self.domain_engine.scan(
+                            resolver_ips, names, checkpoint=scope,
+                            consume=consume)
+                        streamed_prefilter[0] = prefilter
+                    else:
+                        observations = self.domain_engine.scan(
+                            resolver_ips, names, checkpoint=scope)
+                        count = len(observations)
                 except Exception as error:
                     report.mark_degraded("domain_scan", repr(error))
             if self.perf is not None:
@@ -266,21 +302,27 @@ class ManipulationPipeline:
                     "pipeline_domain_scan_qps",
                     self.perf.rate("pipeline_domain_queries",
                                    "pipeline_domain_scan"))
-            return {"observations": observations}
+            return {"observations": observations, "count": count}
 
         def apply_domain_scan(payload):
             report.observations = payload["observations"]
+            report.observation_count = payload.get(
+                "count", len(payload["observations"]))
 
         self._unit(checkpoint, report, "domain_scan",
                    compute_domain_scan, apply_domain_scan)
 
-        # Step 3: DNS-based prefiltering.
+        # Step 3: DNS-based prefiltering (already folded in when
+        # streaming — the stage then just installs the result).
         def compute_prefilter():
             prefilter = None
             with self._stage("prefilter"):
                 try:
-                    prefilter = self.prefilterer.process(
-                        report.observations, self.domain_catalog)
+                    if streaming:
+                        prefilter = streamed_prefilter[0]
+                    else:
+                        prefilter = self.prefilterer.process(
+                            report.observations, self.domain_catalog)
                 except Exception as error:
                     report.mark_degraded("prefilter", repr(error))
             return {"prefilter": prefilter}
@@ -405,7 +447,7 @@ class ManipulationPipeline:
                     diff_clusters = []
             if self.perf is not None:
                 self.perf.count("pipeline_observations",
-                                len(report.observations))
+                                report.observation_count)
                 self.perf.count("pipeline_captures",
                                 len(report.http_captures))
                 self.perf.gauge("pipeline_distance_cache_hit_rate",

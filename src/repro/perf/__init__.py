@@ -6,6 +6,6 @@ campaigns, the classification pipeline, and the CLI ``--perf`` flag; the
 ``BENCH_scan.json`` trajectory file.
 """
 
-from repro.perf.metrics import PerfRegistry
+from repro.perf.metrics import PerfRegistry, sample_ru_maxrss_kb
 
-__all__ = ["PerfRegistry"]
+__all__ = ["PerfRegistry", "sample_ru_maxrss_kb"]

@@ -19,12 +19,31 @@ when :meth:`merge` is told the shard's index via ``rank``.  Undeclared
 gauges keep the legacy overwrite semantics.
 """
 
+import sys
 import time
 from contextlib import contextmanager
 
 from repro.obs.hist import LogHistogram
 
 GAUGE_POLICIES = ("last", "max", "min", "mean", "sum")
+
+
+def sample_ru_maxrss_kb():
+    """Peak resident set size of this process in KiB (0 if unsupported).
+
+    Backed by ``getrusage(RUSAGE_SELF).ru_maxrss`` — the kernel-tracked
+    high-water mark, so a single sample at the end of a shard captures
+    the worker's true peak without any polling thread.  Linux reports
+    KiB; macOS reports bytes and is normalised here.
+    """
+    try:
+        import resource
+    except ImportError:          # non-POSIX: no rusage, gauge stays 0
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        peak //= 1024
+    return int(peak)
 
 
 class PerfRegistry:

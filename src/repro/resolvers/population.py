@@ -10,10 +10,14 @@ manipulation behaviors supplied by the scenario (§4).
 """
 
 import random
+from array import array
+from collections import OrderedDict
 
 from repro.inetmodel.churn import LeasedHost
 from repro.inetmodel.rdns import dynamic_pool_name, static_name
+from repro.netsim.address import int_to_ip, ip_to_int
 from repro.netsim.clock import DAY, WEEK
+from repro.resolvers.behaviors import SelfIpBehavior
 from repro.resolvers.cache import CacheActivityModel
 from repro.resolvers.devices import DEVICE_CATALOG, profiles_with_tcp
 from repro.resolvers.resolver import (
@@ -99,17 +103,159 @@ class ResolverSpec:
         return self.autonomous_system.country
 
 
+# Per-node scenario-relevant facts, precomputed during the lazy dry
+# pass so scenario wiring (case-study selection, self-IP device pages)
+# never has to materialize a node just to inspect it.
+FLAG_PLAIN_NORMAL = 0x01   # normal mode, no forwarder, no behaviors
+FLAG_SELF_IP = 0x02        # carries a SelfIpBehavior
+FLAG_DEVICE_HTTP = 0x04    # device profile already serves an HTTP body
+
+# Sentinel: "_synthesize should really allocate the divergent source
+# address from the churn model" (the dry pass / eager build).  A replay
+# passes the recorded address (or None) instead, so materialization
+# never touches the shared churn RNG.
+_ALLOCATE = object()
+
+
+class _Synthesis:
+    """Everything one per-node derivation replay produces."""
+
+    __slots__ = ("node", "device", "behaviors", "forward_to", "divergent",
+                 "mode", "lease", "offline_after", "online_after")
+
+    def __init__(self, node, device, behaviors, forward_to, divergent,
+                 mode, lease, offline_after, online_after):
+        self.node = node
+        self.device = device
+        self.behaviors = behaviors
+        self.forward_to = forward_to
+        self.divergent = divergent
+        self.mode = mode
+        self.lease = lease
+        self.offline_after = offline_after
+        self.online_after = online_after
+
+
+class LazyPool:
+    """Compact per-pool substrate for lazily materialized resolvers.
+
+    Holds the spec plus four parallel arrays — the 64-bit derivation
+    seed, the original address, the divergent answer source (0 = none),
+    and the scenario flags — 17 bytes per node instead of a full
+    ``ResolverNode``/``CacheActivityModel`` object graph.  Node state is
+    a pure function of ``(seed, spec, index, ip)``: :meth:`synthesize`
+    replays exactly the draw sequence the eager builder performs, so
+    materialization order can never change outcomes.
+    """
+
+    __slots__ = ("builder", "spec", "provider_ip", "built_at",
+                 "seeds", "ips", "divergents", "flags", "pinned")
+
+    def __init__(self, builder, spec, provider_ip, built_at):
+        self.builder = builder
+        self.spec = spec
+        self.provider_ip = provider_ip
+        self.built_at = built_at
+        self.seeds = array("Q")
+        self.ips = array("I")
+        self.divergents = array("I")
+        self.flags = bytearray()
+        self.pinned = {}             # index -> permanently live node
+
+    def synthesize(self, index):
+        """Materialize node ``index`` from its stored derivation key."""
+        divergent = self.divergents[index]
+        syn = self.builder._synthesize(
+            random.Random(self.seeds[index]), self.spec, index,
+            int_to_ip(self.ips[index]), self.provider_ip, self.built_at,
+            divergent_ip=int_to_ip(divergent) if divergent else None)
+        return syn.node
+
+
+class LazyResolverNode:
+    """Network-registered stand-in for a not-yet-materialized resolver.
+
+    Keeps only the current address and its ``(pool, index)`` derivation
+    key; every service entry point materializes the real node through
+    the builder's bounded LRU and delegates.  Attribute reads fall back
+    to the materialized node too, so code that inspects resolvers stays
+    correct (at the cost of a materialization) — scan hot paths only
+    ever touch ``ip`` and the handler methods.
+    """
+
+    __slots__ = ("ip", "_pool", "_index")
+
+    # The checkpoint plane walks every registered node looking for warm
+    # DNS caches (`getattr(node, "cache", None)`).  A lazy node's cache
+    # is reconstructible-by-definition (evicted nodes drop theirs), so
+    # advertise "no cache" instead of materializing the whole world.
+    cache = None
+
+    def __init__(self, ip, pool, index):
+        self.ip = ip
+        self._pool = pool
+        self._index = index
+
+    @property
+    def service(self):
+        # Shared resolution service, reachable without materializing
+        # (checkpointing deduplicates it by identity across nodes).
+        return self._pool.builder.service
+
+    @property
+    def lazy_flags(self):
+        return self._pool.flags[self._index]
+
+    def _real(self):
+        return self._pool.builder._materialize(
+            self._pool, self._index, self)
+
+    def pin(self):
+        """Materialize permanently (exempt from LRU eviction) — for
+        nodes the scenario mutates after construction."""
+        return self._pool.builder._pin(self._pool, self._index, self)
+
+    def handle_udp(self, packet, network):
+        return self._real().handle_udp(packet, network)
+
+    def tcp_ports(self):
+        return self._real().tcp_ports()
+
+    def tcp_banner(self, port, network=None):
+        return self._real().tcp_banner(port, network)
+
+    def handle_http(self, request, network):
+        return self._real().handle_http(request, network)
+
+    def tls_certificate(self, sni, network=None):
+        return self._real().tls_certificate(sni, network)
+
+    def __getattr__(self, name):
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return getattr(self._real(), name)
+
+    def __repr__(self):
+        return "LazyResolverNode(ip=%r)" % (self.ip,)
+
+
 class PopulationBuilder:
     """Creates resolver pools and wires them into network/churn/rDNS."""
 
     def __init__(self, network, churn_model, resolution_service, rdns=None,
-                 snooping_tlds=(), seed=0):
+                 snooping_tlds=(), seed=0, lazy=False, node_cache=8192):
+        if node_cache < 1:
+            raise ValueError("node_cache must be >= 1")
         self.network = network
         self.churn = churn_model
         self.service = resolution_service
         self.rdns = rdns
         self.snooping_tlds = tuple(snooping_tlds)
         self._rng = random.Random(seed)
+        self.lazy = lazy
+        self.node_cache_limit = node_cache
+        self._node_cache = OrderedDict()   # (pool id, index) -> node
+        self.lazy_pools = []
         self.resolvers = []          # all ResolverNode objects ever built
         self.hosts = []              # matching LeasedHost objects
         self.by_country = {}
@@ -215,8 +361,77 @@ class PopulationBuilder:
         self.hosts.append(host)
         return provider
 
+    def _synthesize(self, rng, spec, index, ip, provider_ip, now,
+                    build_node=True, divergent_ip=_ALLOCATE):
+        """One node's full derivation — THE keyed-derivation function.
+
+        Node state is a pure function of the per-node RNG (seeded from a
+        single 64-bit key), the spec, the index, and the original
+        address; both the eager builder and lazy materialization run
+        this exact draw sequence, so they are bit-identical by
+        construction.  ``divergent_ip`` decouples replay from the shared
+        churn RNG: the dry pass allocates for real (``_ALLOCATE``) and
+        records the answer, replays inject the recorded address.  With
+        ``build_node=False`` every draw still happens (the stream
+        position must match), only the ``ResolverNode`` is skipped.
+        """
+        chaos_style, software = self._draw_chaos(rng)
+        device = self._draw_device(rng, spec.tcp_service_share)
+        behaviors = []
+        gfw_immune = rng.random() < spec.gfw_immune_share
+        if spec.behavior_factory is not None:
+            behaviors = spec.behavior_factory(rng, spec, index, ip) or []
+        divergent = None
+        if rng.random() < spec.divergent_source_share:
+            divergent = (self.churn.allocate_address(spec.pool_prefix)
+                         if divergent_ip is _ALLOCATE else divergent_ip)
+        forward_to = None
+        if provider_ip is not None and \
+                rng.random() < spec.forwarder_share:
+            # A plain DNS proxy: no local manipulation, answers come
+            # from (and are poisoned at) the ISP resolver.
+            forward_to = provider_ip
+            behaviors = []
+        activity = self._draw_activity(rng)
+        mode = self._draw_mode(rng, spec)
+        lease = self._draw_lease(rng, spec)
+        offline_after = None
+        if rng.random() < spec.offline_fraction:
+            offline_after = now + WEEK * rng.uniform(
+                spec.offline_start_week, spec.offline_end_week)
+        if mode == MODE_REFUSED:
+            # Closed resolvers are deliberately-operated servers: they
+            # neither churn nor vanish (Fig. 1: REFUSED stays stable).
+            lease = 1000 * WEEK
+            offline_after = None
+        online_after = None
+        if rng.random() < spec.growth_fraction:
+            online_after = now + WEEK * rng.uniform(2, 50)
+        node = None
+        if build_node:
+            node = ResolverNode(
+                ip,
+                resolution_service=self.service,
+                forward_to=forward_to,
+                behaviors=behaviors,
+                software=software,
+                chaos_style=chaos_style,
+                device=device,
+                activity=activity,
+                response_mode=mode,
+                answer_source_ip=divergent,
+                gfw_immune=gfw_immune,
+            )
+        return _Synthesis(node, device, behaviors, forward_to, divergent,
+                          mode, lease, offline_after, online_after)
+
     def build_pool(self, spec):
         """Create ``spec.count`` resolvers inside the spec's pool prefix."""
+        if self.lazy:
+            return self._build_pool_lazy(spec)
+        return self._build_pool_eager(spec)
+
+    def _build_pool_eager(self, spec):
         now = self.network.clock.now
         built = []
         # Tiny pools (scaled-down small countries) skip the provider +
@@ -229,57 +444,19 @@ class PopulationBuilder:
         for index in range(spec.count):
             rng = random.Random(self._rng.getrandbits(64))
             ip = self.churn.allocate_address(spec.pool_prefix)
-            chaos_style, software = self._draw_chaos(rng)
-            device = self._draw_device(rng, spec.tcp_service_share)
-            behaviors = []
-            gfw_immune = rng.random() < spec.gfw_immune_share
-            if spec.behavior_factory is not None:
-                behaviors = spec.behavior_factory(rng, spec, index, ip) or []
-            divergent = None
-            if rng.random() < spec.divergent_source_share:
-                divergent = self.churn.allocate_address(spec.pool_prefix)
-            forward_to = None
-            if provider is not None and \
-                    rng.random() < spec.forwarder_share:
-                # A plain DNS proxy: no local manipulation, answers come
-                # from (and are poisoned at) the ISP resolver.
-                forward_to = provider.ip
-                behaviors = []
-            node = ResolverNode(
-                ip,
-                resolution_service=self.service,
-                forward_to=forward_to,
-                behaviors=behaviors,
-                software=software,
-                chaos_style=chaos_style,
-                device=device,
-                activity=self._draw_activity(rng),
-                response_mode=self._draw_mode(rng, spec),
-                answer_source_ip=divergent,
-                gfw_immune=gfw_immune,
-            )
-            lease = self._draw_lease(rng, spec)
-            offline_after = None
-            if rng.random() < spec.offline_fraction:
-                offline_after = now + WEEK * rng.uniform(
-                    spec.offline_start_week, spec.offline_end_week)
-            if node.response_mode == MODE_REFUSED:
-                # Closed resolvers are deliberately-operated servers: they
-                # neither churn nor vanish (Fig. 1: REFUSED stays stable).
-                lease = 1000 * WEEK
-                offline_after = None
-            online_after = None
-            if rng.random() < spec.growth_fraction:
-                online_after = now + WEEK * rng.uniform(2, 50)
+            syn = self._synthesize(
+                rng, spec, index, ip,
+                provider.ip if provider is not None else None, now)
+            node = syn.node
             host = LeasedHost(node, spec.pool_prefix,
-                              lease_duration=lease,
-                              offline_after=offline_after,
+                              lease_duration=syn.lease,
+                              offline_after=syn.offline_after,
                               isp_domain=spec.isp_domain,
-                              online_after=online_after)
+                              online_after=syn.online_after)
             if host.online:
                 self.network.register(node)
                 if self.rdns is not None and rng.random() < spec.rdns_coverage:
-                    dynamic_ptr = (lease <= WEEK * 1.5
+                    dynamic_ptr = (syn.lease <= WEEK * 1.5
                                    and rng.random() < spec.dynamic_token_share)
                     name = (dynamic_pool_name(ip, spec.isp_domain)
                             if dynamic_ptr
@@ -291,6 +468,92 @@ class PopulationBuilder:
             built.append(node)
         self.by_country.setdefault(spec.country, []).extend(built)
         return built
+
+    def _build_pool_lazy(self, spec):
+        """Like :meth:`_build_pool_eager` but nodes stay virtual.
+
+        The dry pass replays every per-node draw (the shared builder and
+        churn RNG streams must advance exactly as in an eager build) and
+        keeps only the 17-byte derivation record per node.  Deliberately
+        skipped relative to eager: the per-node rDNS draws and PTR
+        registration — they are terminal on the per-node stream and
+        touch no shared RNG, so nothing downstream of the skip can
+        diverge; lazy worlds simply have no PTR records for pool
+        members (documented in DESIGN.md).
+        """
+        now = self.network.clock.now
+        built = []
+        provider = (self._build_provider(spec)
+                    if spec.forwarder_share > 0 and spec.count >= 12
+                    else None)
+        if provider is not None:
+            built.append(provider)
+        pool = LazyPool(self, spec,
+                        provider.ip if provider is not None else None, now)
+        self.lazy_pools.append(pool)
+        for index in range(spec.count):
+            seed = self._rng.getrandbits(64)
+            ip = self.churn.allocate_address(spec.pool_prefix)
+            syn = self._synthesize(random.Random(seed), spec, index, ip,
+                                   pool.provider_ip, now, build_node=False)
+            flags = 0
+            if syn.mode == MODE_NORMAL and syn.forward_to is None \
+                    and not syn.behaviors:
+                flags |= FLAG_PLAIN_NORMAL
+            if any(isinstance(behavior, SelfIpBehavior)
+                   for behavior in syn.behaviors):
+                flags |= FLAG_SELF_IP
+            if syn.device is not None and \
+                    getattr(syn.device, "http_body", None):
+                flags |= FLAG_DEVICE_HTTP
+            pool.seeds.append(seed)
+            pool.ips.append(ip_to_int(ip))
+            pool.divergents.append(
+                ip_to_int(syn.divergent) if syn.divergent else 0)
+            pool.flags.append(flags)
+            placeholder = LazyResolverNode(ip, pool, index)
+            host = LeasedHost(placeholder, spec.pool_prefix,
+                              lease_duration=syn.lease,
+                              offline_after=syn.offline_after,
+                              isp_domain=spec.isp_domain,
+                              online_after=syn.online_after)
+            if host.online:
+                self.network.register(placeholder)
+            self.churn.add(host)
+            self.resolvers.append(placeholder)
+            self.hosts.append(host)
+            built.append(placeholder)
+        self.by_country.setdefault(spec.country, []).extend(built)
+        return built
+
+    # -- lazy materialization -------------------------------------------------
+
+    def _materialize(self, pool, index, placeholder):
+        """The bounded-LRU gateway from placeholder to real node."""
+        node = pool.pinned.get(index)
+        if node is None:
+            key = (id(pool), index)
+            cache = self._node_cache
+            node = cache.get(key)
+            if node is None:
+                node = pool.synthesize(index)
+                cache[key] = node
+                if len(cache) > self.node_cache_limit:
+                    cache.popitem(last=False)
+            else:
+                cache.move_to_end(key)
+        if node.ip != placeholder.ip:
+            # Churn rebound the host since construction: the live
+            # address lives on the placeholder (the network re-keys it),
+            # the derivation always replays from the original address.
+            node.ip = placeholder.ip
+        return node
+
+    def _pin(self, pool, index, placeholder):
+        node = self._materialize(pool, index, placeholder)
+        pool.pinned[index] = node
+        self._node_cache.pop((id(pool), index), None)
+        return node
 
     def online_resolver_ips(self):
         """Addresses of all currently-online resolvers."""

@@ -45,7 +45,7 @@ class ScanCampaign:
                  verification_source_ip=None, shards=1, perf=None,
                  retries=0, probe_timeout=None, backoff=2.0,
                  heartbeat_timeout=None, probe_batch=4096, pacing=None,
-                 max_pps=None):
+                 max_pps=None, stream_results=False, chunk_rows=65536):
         self.network = network
         self.churn = churn_model
         self.target_space = target_space
@@ -58,7 +58,9 @@ class ScanCampaign:
                                    probe_batch=probe_batch,
                                    pacing=pacing, max_pps=max_pps)
         self.engine = ScanEngine(self.scanner, shards=shards, perf=perf,
-                                 heartbeat_timeout=heartbeat_timeout)
+                                 heartbeat_timeout=heartbeat_timeout,
+                                 stream_results=stream_results,
+                                 chunk_rows=chunk_rows)
         self.verification_scanner = None
         self.verification_engine = None
         if verification_source_ip is not None:
@@ -70,7 +72,8 @@ class ScanCampaign:
                 pacing=pacing, max_pps=max_pps)
             self.verification_engine = ScanEngine(
                 self.verification_scanner, shards=shards, perf=perf,
-                heartbeat_timeout=heartbeat_timeout)
+                heartbeat_timeout=heartbeat_timeout,
+                stream_results=stream_results, chunk_rows=chunk_rows)
         self.snapshots = []
 
     def run_week(self, verify=False, checkpoint=None):

@@ -29,22 +29,115 @@ from the identical pre-fork state produce identical answers).
 """
 
 import os
+import shutil
+import tempfile
 import time
 
+from repro.checkpoint.store import SnapshotStore
 from repro.scanner.engine import ShardSupervisor, _plan_checkpointed_shards
 
 
+def _absorb_observation_chunks(tail, chunks):
+    """Reassemble a streamed ``(observations, queries)`` shard result.
+
+    Chunks were flushed before the tail, in scan order, so prepending
+    them (in emission order) to the tail list reproduces the sequential
+    observation order exactly.
+    """
+    observations, queries = tail
+    merged = []
+    for chunk in chunks:
+        merged.extend(chunk)
+    merged.extend(observations)
+    return merged, queries
+
+
+class _OrderedDelivery:
+    """Re-sequences out-of-order shard completions for a consumer.
+
+    Shards complete in arbitrary order (and a recovered shard may
+    complete as several split work items), but the pipeline must see
+    observations in exact sequential resolver order.  Completed items
+    are buffered per origin shard; once an origin's items cover its
+    whole range, and every earlier origin has been delivered, its
+    observations flush to ``consume`` in range order.  At most the
+    out-of-order window is ever buffered — a fully in-order run buffers
+    nothing beyond the completing shard.
+    """
+
+    def __init__(self, ranges, consume, scanner):
+        self.ranges = [tuple(r) for r in ranges]
+        self.origin_of_start = {r[0]: i for i, r in enumerate(self.ranges)}
+        self.consume = consume
+        self.scanner = scanner
+        self.parts = {}           # origin -> [(start, observations)]
+        self.covered = {}         # origin -> indexes covered so far
+        self.complete = set()
+        self.cursor = 0
+        self.delivered = 0
+
+    def add_restored(self, start, result):
+        origin = self.origin_of_start[start]
+        observations, queries = result
+        self.scanner.queries_sent += queries
+        self.parts.setdefault(origin, []).append((start, observations))
+        self.complete.add(origin)
+        self._flush()
+
+    def add_item(self, item, result, mode):
+        start, stop, origin, __attempt = item
+        observations, queries = result
+        if mode != "in-process":
+            # In-process rescues already advanced the live counter;
+            # worker shards reconcile here.
+            self.scanner.queries_sent += queries
+        self.parts.setdefault(origin, []).append((start, observations))
+        span = self.covered.get(origin, 0) + (stop - start)
+        self.covered[origin] = span
+        origin_start, origin_stop = self.ranges[origin]
+        if span == origin_stop - origin_start:
+            self.complete.add(origin)
+        self._flush()
+
+    def _flush(self):
+        while self.cursor < len(self.ranges) and \
+                self.cursor in self.complete:
+            parts = self.parts.pop(self.cursor)
+            parts.sort(key=lambda entry: entry[0])
+            for __, observations in parts:
+                if observations:
+                    self.delivered += len(observations)
+                    self.consume(observations)
+            self.cursor += 1
+
+
 class DomainScanEngine:
-    """Runs the per-resolver domain scan, optionally sharded."""
+    """Runs the per-resolver domain scan, optionally sharded.
+
+    ``stream_results`` bounds worker memory the same way the IPv4
+    engine does: workers flush observation chunks of ``chunk_rows``
+    through the pipe, the parent spills them via a
+    :class:`SnapshotStore`, and each shard's observations are folded
+    back together on completion.  Independently, :meth:`scan` accepts a
+    ``consume`` callback that delivers observations incrementally (in
+    exact sequential order) instead of returning them as one list — the
+    classification pipeline's streaming entry point.
+    """
 
     def __init__(self, scanner, shards=1, perf=None,
-                 heartbeat_timeout=None):
+                 heartbeat_timeout=None, stream_results=False,
+                 chunk_rows=65536, spill_dir=None):
         if shards < 1:
             raise ValueError("shard count must be >= 1")
+        if chunk_rows < 1:
+            raise ValueError("chunk_rows must be >= 1")
         self.scanner = scanner
         self.shards = shards
         self.perf = perf
         self.heartbeat_timeout = heartbeat_timeout
+        self.stream_results = stream_results
+        self.chunk_rows = chunk_rows
+        self.spill_dir = spill_dir
         # Provenance of the last sharded scan (one entry per work item).
         self.provenance = []
 
@@ -65,13 +158,19 @@ class DomainScanEngine:
             start = stop
         return ranges
 
-    def scan(self, resolver_ips, domains, checkpoint=None):
+    def scan(self, resolver_ips, domains, checkpoint=None, consume=None):
         """Query every domain at every resolver; returns the flat
         observation list, identical to ``DomainScanner.scan``.
 
         ``checkpoint``, when given, is a :class:`repro.checkpoint`
         scope: completed resolver-range shards are committed as they
         merge and restored on resume instead of re-queried.
+
+        ``consume``, when given, is called with successive observation
+        batches — delivered in exact sequential (resolver-index) order
+        as shards complete — and :meth:`scan` returns the *count* of
+        observations delivered instead of a list, so the engine never
+        accumulates the full observation set.
         """
         start = time.perf_counter()
         resolver_ips = list(resolver_ips)
@@ -85,57 +184,101 @@ class DomainScanEngine:
                              resolvers=len(resolver_ips),
                              domains=len(domains), shards=len(ranges)):
                 observations = self._scan_inner(resolver_ips, domains,
-                                                ranges, checkpoint)
+                                                ranges, checkpoint,
+                                                consume)
         else:
             observations = self._scan_inner(resolver_ips, domains,
-                                            ranges, checkpoint)
+                                            ranges, checkpoint, consume)
         if self.perf is not None:
             self.perf.record_seconds("domain_scan_wall",
                                      time.perf_counter() - start)
             self.perf.count("domain_scans_run")
         return observations
 
-    def _scan_inner(self, resolver_ips, domains, ranges, checkpoint):
+    def _scan_inner(self, resolver_ips, domains, ranges, checkpoint,
+                    consume=None):
         if len(ranges) <= 1 or not self.can_fork:
-            return self.scanner.scan(resolver_ips, domains)
+            observations = self.scanner.scan(resolver_ips, domains)
+            if consume is None:
+                return observations
+            if observations:
+                consume(observations)
+            return len(observations)
         return self._scan_forked(resolver_ips, domains, ranges,
-                                 checkpoint=checkpoint)
+                                 checkpoint=checkpoint, consume=consume)
 
-    def _scan_forked(self, resolver_ips, domains, ranges, checkpoint=None):
+    def _open_spill_store(self):
+        """The chunk spill store for a streamed scan, or ``(None, None)``
+        (see :meth:`ScanEngine._open_spill_store`)."""
+        if not self.stream_results or \
+                not getattr(self.scanner, "supports_chunks", False):
+            return None, None
+        if self.spill_dir is not None:
+            return SnapshotStore(self.spill_dir, self.perf), None
+        temp = tempfile.mkdtemp(prefix="domainscan-spill-")
+        return SnapshotStore(temp, self.perf), temp
+
+    def _scan_forked(self, resolver_ips, domains, ranges, checkpoint=None,
+                     consume=None):
         scanner = self.scanner
+        chunk_rows = self.chunk_rows
 
-        def run_range(index_range, on_progress):
+        def run_range(index_range, on_progress, chunk_sink=None):
             # Returns (observations, queries delta) so the parent can
             # reconcile ``scanner.queries_sent`` for worker shards,
             # whose increments die with the forked process.
             before = scanner.queries_sent
+            kwargs = {"index_range": index_range}
             if on_progress is not None:
-                observations = scanner.scan(resolver_ips, domains,
-                                            index_range=index_range,
-                                            on_progress=on_progress)
-            else:
-                observations = scanner.scan(resolver_ips, domains,
-                                            index_range=index_range)
+                kwargs["on_progress"] = on_progress
+            if chunk_sink is not None:
+                kwargs["chunk_sink"] = chunk_sink
+                kwargs["chunk_rows"] = chunk_rows
+            observations = scanner.scan(resolver_ips, domains, **kwargs)
             return observations, scanner.queries_sent - before
 
         live_ranges, live_origins, on_item_done, restored, \
             restored_provenance = _plan_checkpointed_shards(
                 scanner.network, self.perf, ranges, checkpoint)
-        supervisor = ShardSupervisor(
-            scanner.network, run_range, perf=self.perf,
-            heartbeat_timeout=self.heartbeat_timeout,
-            supports_progress=getattr(scanner, "supports_progress", False),
-            perf_host=scanner)
-        shard_results, provenance = supervisor.run(
-            live_ranges, origins=live_origins, on_item_done=on_item_done)
-        combined = [(start, result, "restored")
-                    for start, result in restored]
-        combined.extend(shard_results)
-        combined.sort(key=lambda entry: entry[0])
+        streamer = None
+        item_hook = on_item_done
+        if consume is not None:
+            streamer = _OrderedDelivery(ranges, consume, scanner)
+            for start, result in restored:
+                streamer.add_restored(start, result)
+            restored = []               # delivered; do not re-collect
+
+            def item_hook(item, payload, entry):
+                if on_item_done is not None:
+                    on_item_done(item, payload, entry)
+                streamer.add_item(item, payload["result"], entry["mode"])
+
+        spill_store, spill_temp = self._open_spill_store()
+        try:
+            supervisor = ShardSupervisor(
+                scanner.network, run_range, perf=self.perf,
+                heartbeat_timeout=self.heartbeat_timeout,
+                supports_progress=getattr(scanner, "supports_progress",
+                                          False),
+                perf_host=scanner, chunk_store=spill_store,
+                reassemble=_absorb_observation_chunks,
+                retain_results=consume is None)
+            shard_results, provenance = supervisor.run(
+                live_ranges, origins=live_origins,
+                on_item_done=item_hook)
+        finally:
+            if spill_temp is not None:
+                shutil.rmtree(spill_temp, ignore_errors=True)
         all_provenance = restored_provenance + provenance
         all_provenance.sort(key=lambda e: (e["start"], e["stop"],
                                            e["attempt"]))
         self.provenance = all_provenance
+        if streamer is not None:
+            return streamer.delivered
+        combined = [(start, result, "restored")
+                    for start, result in restored]
+        combined.extend(shard_results)
+        combined.sort(key=lambda entry: entry[0])
         observations = []
         for __, (shard_observations, queries), mode in combined:
             observations.extend(shard_observations)

@@ -66,24 +66,41 @@ engines transparently scan in-process.
 import os
 import pickle
 import select
+import shutil
 import signal
+import tempfile
 import time
 from collections import deque
 
-from repro.perf import PerfRegistry
+from repro.checkpoint.store import SnapshotStore
+from repro.perf import PerfRegistry, sample_ru_maxrss_kb
 from repro.scanner.ipv4scan import merge_scan_results
 
 # Network traffic counters reconciled from workers back into the parent.
 _NET_COUNTERS = ("udp_queries_sent", "udp_queries_lost",
                  "udp_responses_corrupted")
 
-# Pipe protocol: workers stream _HEARTBEAT bytes while scanning, then
-# one _RESULT frame (tag + 4-byte big-endian length + pickled payload).
+# Pipe protocol: workers stream _HEARTBEAT bytes while scanning, zero
+# or more _CHUNK frames (streamed column chunks, spilled by the parent
+# as they arrive), then one _RESULT frame.  Frames are tag + 4-byte
+# big-endian length + pickled payload; heartbeats are single bytes that
+# may appear between (never inside) frames.
 _HEARTBEAT = b"\x01"
 _RESULT = b"\x02"
+_CHUNK = b"\x03"
+_HEARTBEAT_BYTE = _HEARTBEAT[0]
+_RESULT_BYTE = _RESULT[0]
+_CHUNK_BYTE = _CHUNK[0]
 
 # Exit code of a worker killed by an injected fault (worker_dies).
 _FAULT_EXIT = 23
+
+
+def _absorb_result_chunks(result, chunks):
+    """Reassemble a streamed :class:`ScanResult` from its tail + chunks."""
+    for chunk in chunks:
+        result.absorb_chunk(chunk)
+    return result
 
 
 def _write_all(fd, data):
@@ -167,42 +184,68 @@ def _plan_checkpointed_shards(network, perf, ranges, checkpoint):
 
 
 class _Worker:
-    """Parent-side state of one live worker process."""
+    """Parent-side state of one live worker process.
 
-    __slots__ = ("pid", "fd", "item", "heartbeats", "last_beat", "frame")
+    ``feed`` is an incremental frame parser, not a byte scan: chunk and
+    result payloads are arbitrary pickle bytes and may contain the tag
+    values, so frames must be walked by their length prefixes.  Complete
+    ``_CHUNK`` frames are handed to ``on_chunk`` (the supervisor's spill
+    hook) as they arrive and never buffered beyond one read, which is
+    what keeps the parent's per-worker memory O(chunk) while streaming.
+    """
 
-    def __init__(self, pid, fd, item, now):
+    __slots__ = ("pid", "fd", "item", "heartbeats", "last_beat",
+                 "buffer", "payload", "on_chunk", "chunk_keys")
+
+    def __init__(self, pid, fd, item, now, on_chunk=None):
         self.pid = pid
         self.fd = fd
         self.item = item              # (start, stop, origin, attempt)
         self.heartbeats = 0
         self.last_beat = now
-        self.frame = None             # result frame bytes, once started
+        self.buffer = bytearray()     # unparsed pipe bytes
+        self.payload = None           # _RESULT payload bytes, once seen
+        self.on_chunk = on_chunk      # callable(payload_bytes) or None
+        self.chunk_keys = []          # spill keys written for this item
 
     def feed(self, data, now):
-        """Consume pipe bytes: count heartbeats, buffer the result frame."""
+        """Consume pipe bytes: heartbeats, chunk frames, result frame."""
         self.last_beat = now
-        if self.frame is None:
-            cut = data.find(_RESULT)
-            if cut < 0:
-                self.heartbeats += data.count(_HEARTBEAT)
-                return
-            self.heartbeats += data[:cut].count(_HEARTBEAT)
-            self.frame = bytearray(data[cut:])
-        else:
-            self.frame.extend(data)
+        buffer = self.buffer
+        buffer.extend(data)
+        pos = 0
+        end = len(buffer)
+        while pos < end:
+            tag = buffer[pos]
+            if tag == _HEARTBEAT_BYTE:
+                self.heartbeats += 1
+                pos += 1
+                continue
+            if tag not in (_RESULT_BYTE, _CHUNK_BYTE):
+                # Corrupt stream (torn write); stop parsing — the frame
+                # never completes and the worker takes the death path.
+                break
+            if pos + 5 > end:
+                break                 # header not yet complete
+            need = int.from_bytes(buffer[pos + 1:pos + 5], "big")
+            if pos + 5 + need > end:
+                break                 # payload not yet complete
+            payload = bytes(buffer[pos + 5:pos + 5 + need])
+            if tag == _CHUNK_BYTE:
+                if self.on_chunk is not None:
+                    self.on_chunk(payload)
+            else:
+                self.payload = payload
+            pos += 5 + need
+        del buffer[:pos]
 
     def shard_payload(self):
-        """The unpickled result dict, or ``None`` if the frame never
-        completed (worker died mid-write)."""
-        frame = self.frame
-        if frame is None or len(frame) < 5:
-            return None
-        need = int.from_bytes(frame[1:5], "big")
-        if len(frame) < 5 + need:
+        """The unpickled result dict, or ``None`` if the result frame
+        never completed (worker died mid-write)."""
+        if self.payload is None:
             return None
         try:
-            return pickle.loads(bytes(frame[5:5 + need]))
+            return pickle.loads(self.payload)
         except Exception:
             return None
 
@@ -222,11 +265,30 @@ class ShardSupervisor:
     swapped for a fresh one inside each worker so only shard-local
     numbers ride back (merging the inherited copy-on-write registry
     would double-count pre-fork totals).
+
+    ``chunk_store`` (a :class:`repro.checkpoint.store.SnapshotStore`)
+    enables result streaming: ``run_range`` is then called with a third
+    ``chunk_sink`` argument the worker may invoke with fixed-size result
+    chunks, which ride the pipe as ``_CHUNK`` frames and are spilled to
+    the store as they arrive — so neither the worker nor the parent ever
+    holds a whole shard's rows.  When the worker's final frame lands,
+    ``reassemble(tail_result, chunks_iter)`` folds the spilled chunks
+    back into the shard result *before* it enters the success path, so
+    checkpoint commits, provenance, and merging see exactly the result a
+    non-streaming worker would have shipped.  A worker death discards
+    its spilled chunks (the retry re-emits them), and in-process rescues
+    stay resident — they never stream.
+
+    ``retain_results=False`` drops each completed item's result after
+    the ``on_item_done`` hook has seen it (``shard_results`` carries
+    ``None`` placeholders): the mode for callers that consume results
+    incrementally through the hook and must not accumulate them.
     """
 
     def __init__(self, network, run_range, perf=None,
                  heartbeat_timeout=None, supports_progress=False,
-                 perf_host=None):
+                 perf_host=None, chunk_store=None, reassemble=None,
+                 retain_results=True):
         self.network = network
         self.run_range = run_range
         self.perf = perf
@@ -234,6 +296,9 @@ class ShardSupervisor:
         self.heartbeat_timeout = (heartbeat_timeout
                                   if supports_progress else None)
         self.perf_host = perf_host
+        self.chunk_store = chunk_store
+        self.reassemble = reassemble
+        self.retain_results = retain_results
 
     def _count(self, name, amount=1):
         if self.perf is not None:
@@ -299,9 +364,13 @@ class ShardSupervisor:
                         self._count("heartbeats_seen", worker.heartbeats)
                     shard = worker.shard_payload()
                     if shard is None:
+                        self._discard_chunks(worker)
                         self._on_death(worker.item, pending, rescues,
                                        rescued_origins)
                     else:
+                        if worker.chunk_keys:
+                            shard["result"] = self._reassemble_result(
+                                shard["result"], worker.chunk_keys)
                         self._on_success(worker.item, shard, shard_results,
                                          provenance, counter_deltas,
                                          fault_deltas, obs_items,
@@ -342,6 +411,7 @@ class ShardSupervisor:
                     os.waitpid(worker.pid, 0)
                 except ChildProcessError:
                     pass
+                self._discard_chunks(worker)
             raise
 
         network = self.network
@@ -370,6 +440,7 @@ class ShardSupervisor:
     def _spawn(self, item, plan):
         """Fork one worker for a work item; returns its parent-side state."""
         start, stop, origin, attempt = item
+        streaming = self.chunk_store is not None
         read_fd, write_fd = os.pipe()
         pid = os.fork()
         if pid == 0:
@@ -386,9 +457,17 @@ class ShardSupervisor:
                 if self.supports_progress:
                     def on_progress():
                         os.write(write_fd, _HEARTBEAT)
+                chunk_sink = None
+                if streaming:
+                    def chunk_sink(chunk):
+                        data = pickle.dumps(
+                            chunk, protocol=pickle.HIGHEST_PROTOCOL)
+                        _write_all(write_fd, _CHUNK
+                                   + len(data).to_bytes(4, "big") + data)
                 payload = pickle.dumps(
                     self._run_shard((start, stop), on_progress,
-                                    origin=origin, attempt=attempt),
+                                    origin=origin, attempt=attempt,
+                                    chunk_sink=chunk_sink),
                     protocol=pickle.HIGHEST_PROTOCOL)
                 _write_all(write_fd, _RESULT
                            + len(payload).to_bytes(4, "big") + payload)
@@ -399,7 +478,47 @@ class ShardSupervisor:
                 # interpreter; only the pipe payload matters.
                 os._exit(status)
         os.close(write_fd)
-        return _Worker(pid, read_fd, item, time.monotonic())
+        worker = _Worker(pid, read_fd, item, time.monotonic())
+        if streaming:
+            store = self.chunk_store
+
+            def on_chunk(payload, worker=worker):
+                # Spill keyed by the full work-item identity: a retried
+                # or split item must never collide with stale chunks
+                # from an earlier attempt of the same range.
+                key = ("chunk", origin, attempt, start,
+                       len(worker.chunk_keys))
+                store.save(key, payload)
+                worker.chunk_keys.append(key)
+
+            worker.on_chunk = on_chunk
+        return worker
+
+    def _discard_chunks(self, worker):
+        """Drop a dead/aborted worker's spilled chunks (retries re-emit)."""
+        if self.chunk_store is None or not worker.chunk_keys:
+            return
+        for key in worker.chunk_keys:
+            self.chunk_store.discard(key)
+        worker.chunk_keys = []
+
+    def _reassemble_result(self, tail, keys):
+        """Fold spilled chunks back into a shard's tail result.
+
+        Chunks are loaded lazily in emission order and discarded as they
+        are consumed, so reassembly holds at most one chunk beyond the
+        growing result.  The reassembled result is canonically equal to
+        what a non-streaming worker would have shipped (column results
+        sort rows on serialisation, so chunk boundaries leave no trace).
+        """
+        store = self.chunk_store
+
+        def chunks():
+            for key in keys:
+                yield pickle.loads(store.load(key))
+                store.discard(key)
+
+        return self.reassemble(tail, chunks())
 
     def _on_death(self, item, pending, rescues, rescued_origins):
         """Escalating recovery: retry, then split, then in-process."""
@@ -426,7 +545,8 @@ class ShardSupervisor:
                     counter_deltas, fault_deltas, obs_items,
                     on_item_done=None):
         start, stop, origin, attempt = item
-        shard_results.append((start, shard["result"], "worker"))
+        shard_results.append((start, shard["result"]
+                              if self.retain_results else None, "worker"))
         status = ("ok" if attempt == 0
                   else "retried" if attempt == 1 else "split")
         entry = {"shard": origin, "start": start, "stop": stop,
@@ -480,7 +600,9 @@ class ShardSupervisor:
                 result = self.run_range((start, stop), None)
         else:
             result = self.run_range((start, stop), None)
-        shard_results.append((start, result, "in-process"))
+        shard_results.append((start, result
+                              if self.retain_results else None,
+                              "in-process"))
         entry = {"shard": origin, "start": start, "stop": stop,
                  "mode": "in-process", "attempt": attempt,
                  "status": "rescued"}
@@ -508,7 +630,7 @@ class ShardSupervisor:
         }, entry)
 
     def _run_shard(self, index_range, on_progress=None, origin=0,
-                   attempt=0):
+                   attempt=0, chunk_sink=None):
         """Executed inside a worker: one shard run plus bookkeeping."""
         network = self.network
         host = self.perf_host
@@ -535,15 +657,37 @@ class ShardSupervisor:
             recorder.reset()
         before = {name: getattr(network, name) for name in _NET_COUNTERS}
         fault_before = dict(getattr(network, "fault_counters", None) or {})
+        rss_before = sample_ru_maxrss_kb()
         shard_start = time.perf_counter()
+        if chunk_sink is not None:
+            def run():
+                return self.run_range(index_range, on_progress, chunk_sink)
+        else:
+            def run():
+                return self.run_range(index_range, on_progress)
         if tracer is not None:
             with tracer.span("shard", origin=origin, attempt=attempt,
                              start=index_range[0], stop=index_range[1],
                              mode="worker"):
-                result = self.run_range(index_range, on_progress)
+                result = run()
         else:
-            result = self.run_range(index_range, on_progress)
+            result = run()
         wall = time.perf_counter() - shard_start
+        worker_perf = (getattr(host, "perf", None)
+                       if host is not None else None)
+        if worker_perf is not None:
+            # Kernel high-water marks, merged with "max" policy so the
+            # parent registry reports the worst worker of the scan.  A
+            # forked child *inherits* the parent's ru_maxrss high-water
+            # mark, so the absolute peak mostly restates the pre-fork
+            # footprint (world + walk + columns, all shared
+            # copy-on-write); the growth delta is the worker's own
+            # private allocation — the number bench_scale gates on.
+            worker_perf.declare_gauge("worker_peak_rss_kb", "max")
+            worker_perf.gauge("worker_peak_rss_kb", sample_ru_maxrss_kb())
+            worker_perf.declare_gauge("worker_rss_growth_kb", "max")
+            worker_perf.gauge("worker_rss_growth_kb",
+                              max(0, sample_ru_maxrss_kb() - rss_before))
         fault_after = getattr(network, "fault_counters", None) or {}
         return {
             "result": result,
@@ -563,18 +707,34 @@ class ShardSupervisor:
 
 
 class ScanEngine:
-    """Runs Internet-wide scans, optionally sharded across processes."""
+    """Runs Internet-wide scans, optionally sharded across processes.
+
+    ``stream_results`` bounds worker memory: workers flush their result
+    columns every ``chunk_rows`` rows as pipe frames which the parent
+    spills through a :class:`SnapshotStore` (in ``spill_dir``, or a
+    private temporary directory) and folds back per shard on completion.
+    The merged result is byte-identical to a resident run — streaming
+    changes *where* rows live during the scan, never what they are.
+    Requires a scanner advertising ``supports_chunks``; silently runs
+    resident otherwise (and for in-process rescues).
+    """
 
     def __init__(self, scanner, shards=1, perf=None,
-                 heartbeat_timeout=None):
+                 heartbeat_timeout=None, stream_results=False,
+                 chunk_rows=65536, spill_dir=None):
         if shards < 1:
             raise ValueError("shard count must be >= 1")
+        if chunk_rows < 1:
+            raise ValueError("chunk_rows must be >= 1")
         self.scanner = scanner
         self.shards = shards
         self.perf = perf
         # Kill workers silent for this many wall-clock seconds (needs a
         # scanner with ``supports_progress``); ``None`` disables.
         self.heartbeat_timeout = heartbeat_timeout
+        self.stream_results = stream_results
+        self.chunk_rows = chunk_rows
+        self.spill_dir = spill_dir
         if perf is not None and scanner.perf is None:
             scanner.perf = perf
 
@@ -623,25 +783,57 @@ class ScanEngine:
 
     # -- forked path -------------------------------------------------------
 
+    def _open_spill_store(self):
+        """The chunk spill store for a streamed scan, or ``(None, None)``.
+
+        Returns ``(store, temp_dir)``; ``temp_dir`` is non-``None`` only
+        when a private directory was created and must be removed after
+        the run."""
+        if not self.stream_results or \
+                not getattr(self.scanner, "supports_chunks", False):
+            return None, None
+        if self.spill_dir is not None:
+            return SnapshotStore(self.spill_dir, self.perf), None
+        temp = tempfile.mkdtemp(prefix="scan-spill-")
+        return SnapshotStore(temp, self.perf), temp
+
     def _scan_forked(self, target_space, ranges, checkpoint=None):
         scanner = self.scanner
+        chunk_rows = self.chunk_rows
 
-        def run_range(index_range, on_progress):
+        def run_range(index_range, on_progress, chunk_sink=None):
+            kwargs = {"index_range": index_range}
             if on_progress is not None:
-                return scanner.scan(target_space, index_range=index_range,
-                                    on_progress=on_progress)
-            return scanner.scan(target_space, index_range=index_range)
+                kwargs["on_progress"] = on_progress
+            if chunk_sink is not None:
+                kwargs["chunk_sink"] = chunk_sink
+                kwargs["chunk_rows"] = chunk_rows
+            return scanner.scan(target_space, **kwargs)
 
+        prewarm = getattr(scanner, "prewarm", None)
+        if prewarm is not None:
+            # Build the memoised target columns and LFSR walk *before*
+            # forking so every worker inherits them copy-on-write
+            # instead of paying an O(targets) build per process.
+            prewarm(target_space)
         live_ranges, live_origins, on_item_done, restored, \
             restored_provenance = _plan_checkpointed_shards(
                 scanner.network, self.perf, ranges, checkpoint)
-        supervisor = ShardSupervisor(
-            scanner.network, run_range, perf=self.perf,
-            heartbeat_timeout=self.heartbeat_timeout,
-            supports_progress=getattr(scanner, "supports_progress", False),
-            perf_host=scanner)
-        shard_results, provenance = supervisor.run(
-            live_ranges, origins=live_origins, on_item_done=on_item_done)
+        spill_store, spill_temp = self._open_spill_store()
+        try:
+            supervisor = ShardSupervisor(
+                scanner.network, run_range, perf=self.perf,
+                heartbeat_timeout=self.heartbeat_timeout,
+                supports_progress=getattr(scanner, "supports_progress",
+                                          False),
+                perf_host=scanner, chunk_store=spill_store,
+                reassemble=_absorb_result_chunks)
+            shard_results, provenance = supervisor.run(
+                live_ranges, origins=live_origins,
+                on_item_done=on_item_done)
+        finally:
+            if spill_temp is not None:
+                shutil.rmtree(spill_temp, ignore_errors=True)
         combined = restored + [(start, result)
                                for start, result, __mode in shard_results]
         combined.sort(key=lambda entry: entry[0])

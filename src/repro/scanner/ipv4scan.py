@@ -334,6 +334,39 @@ class ScanResult:
         self._views = None
         return self
 
+    # -- streaming chunks --------------------------------------------------
+    #
+    # A streaming scan never holds a whole shard's columns: it detaches
+    # them as raw-buffer chunks (take_chunk) that the engine spills to
+    # disk, and the final result carries only the scalar tail plus the
+    # last partial columns.  Reassembly (absorb_chunk per spilled chunk,
+    # in any order) is exact: __getstate__ canonically row-sorts, so the
+    # reassembled result pickles byte-identically to a resident one.
+
+    def row_count(self):
+        """Rows currently resident in the columns."""
+        return len(self._targets)
+
+    def take_chunk(self):
+        """Detach the resident columns as a raw-bytes chunk, leaving
+        the scalar fields (and future rows) in place."""
+        chunk = (self._targets.tobytes(), self._rcodes.tobytes(),
+                 self._flags.tobytes())
+        self._targets = array("I")
+        self._rcodes = array("B")
+        self._flags = array("B")
+        self._views = None
+        return chunk
+
+    def absorb_chunk(self, chunk):
+        """Append a chunk produced by :meth:`take_chunk`."""
+        targets, rcodes, flags = chunk
+        self._targets.frombytes(targets)
+        self._rcodes.frombytes(rcodes)
+        self._flags.frombytes(flags)
+        self._views = None
+        return self
+
     # -- set views ---------------------------------------------------------
 
     def _view(self, which):
@@ -398,12 +431,33 @@ class ScanResult:
         return self.by_rcode.get(RCODE_SERVFAIL, set())
 
     def counts(self):
-        """Summary dict used by the magnitude analysis (Figure 1)."""
+        """Summary dict used by the magnitude analysis (Figure 1).
+
+        Computed straight off the integer columns (deduplicated in int
+        sets) unless the string views already exist — at million-host
+        scale the views cost ~50 bytes per responder in interned
+        strings, the int sets a fraction of that, transiently.
+        """
+        if self._views is not None:
+            return {
+                "all": len(self.responders),
+                "noerror": len(self.noerror),
+                "refused": len(self.refused),
+                "servfail": len(self.servfail),
+            }
+        responders = set()
+        by_rcode = {}
+        for value, rcode in zip(self._targets, self._rcodes):
+            responders.add(value)
+            bucket = by_rcode.get(rcode)
+            if bucket is None:
+                bucket = by_rcode[rcode] = set()
+            bucket.add(value)
         return {
-            "all": len(self.responders),
-            "noerror": len(self.noerror),
-            "refused": len(self.refused),
-            "servfail": len(self.servfail),
+            "all": len(responders),
+            "noerror": len(by_rcode.get(RCODE_NOERROR, ())),
+            "refused": len(by_rcode.get(RCODE_REFUSED, ())),
+            "servfail": len(by_rcode.get(RCODE_SERVFAIL, ())),
         }
 
     # -- serialization -----------------------------------------------------
@@ -561,6 +615,8 @@ class Ipv4Scanner:
     # The engine checks this before passing its heartbeat callback
     # (scanner doubles in tests may not accept ``on_progress``).
     supports_progress = True
+    # ... and this before passing a streaming chunk sink (same reason).
+    supports_chunks = True
 
     def __init__(self, network, source_ip, measurement_domain,
                  blacklist=None, source_port=31337, lfsr_seed=0xACE1,
@@ -659,7 +715,29 @@ class Ipv4Scanner:
 
     # -- scans -------------------------------------------------------------
 
-    def scan(self, target_space, index_range=None, on_progress=None):
+    def prewarm(self, target_space):
+        """Build this space's memoised scan state in the calling process.
+
+        The sharded engine calls this in the parent before forking so
+        every worker inherits the LFSR walk, the target address columns,
+        and the allowed-selector column copy-on-write.  The walk is
+        force-cached even past the usual memo cap: at a ~38M-address
+        space (order 26) it is a ~256 MB array that would otherwise be
+        rebuilt inside every forked worker.
+        """
+        total = len(target_space)
+        if total == 0:
+            return
+        order = LFSR.order_for(total)
+        period = (1 << order) - 1
+        permutation(order, seed=(self.lfsr_seed % period) or 1,
+                    force_cache=True)
+        target_filter = TargetFilter(target_space, self.blacklist)
+        _address_columns(target_space)
+        _allowed_column(target_space, target_filter)
+
+    def scan(self, target_space, index_range=None, on_progress=None,
+             chunk_sink=None, chunk_rows=65536):
         """Scan every allowed address in the target space once.
 
         ``index_range`` restricts the walk to a contiguous ``(start,
@@ -668,19 +746,28 @@ class Ipv4Scanner:
         match the sequential scan exactly.
 
         ``on_progress`` (no arguments) is invoked once per ~1024 probes
-        — the engine's worker heartbeat.  When retries or a probe
-        timeout are configured the scan takes the robust per-target
-        path; otherwise targets stream out of the LFSR permutation in
-        :attr:`probe_batch`-sized batches and each batch is either
-        bulk-settled (see :meth:`_scan_batched`) or walked per-probe
-        (:meth:`_scan_per_probe` — the exact wire path, used whenever
-        bulk short-cuts cannot be proven safe: fault injection or a
-        flight recorder active, a middlebox that cannot enumerate its
-        interest, or a flow epoch that has already drawn packet fates).
+        — the engine's worker heartbeat.  ``chunk_sink`` enables
+        streaming results: whenever the result's resident columns reach
+        ``chunk_rows`` rows they are detached (:meth:`ScanResult.
+        take_chunk`) and handed to the sink, so the scan never holds
+        more than one chunk of observations; the returned result then
+        carries only the scalar tail plus the final partial columns.
+        When retries or a probe timeout are configured the scan takes
+        the robust per-target path; otherwise targets stream out of the
+        LFSR permutation in :attr:`probe_batch`-sized batches and each
+        batch is either bulk-settled (see :meth:`_scan_batched`) or
+        walked per-probe (:meth:`_scan_per_probe` — the exact wire
+        path, used whenever bulk short-cuts cannot be proven safe:
+        fault injection or a flight recorder active, a middlebox that
+        cannot enumerate its interest, or a flow epoch that has already
+        drawn packet fates).
         """
+        if chunk_rows < 1:
+            raise ValueError("chunk_rows must be >= 1")
         if self.retries > 0 or self.probe_timeout is not None:
             return self._scan_robust(target_space, index_range,
-                                     on_progress)
+                                     on_progress, chunk_sink=chunk_sink,
+                                     chunk_rows=chunk_rows)
         result = ScanResult(self.network.clock.now)
         total = len(target_space)
         if total == 0:
@@ -741,12 +828,16 @@ class Ipv4Scanner:
                                             epoch, on_progress,
                                             plan_key=plan_key,
                                             pacing=pacing,
-                                            base_bucket=base_bucket)
+                                            base_bucket=base_bucket,
+                                            chunk_sink=chunk_sink,
+                                            chunk_rows=chunk_rows)
             else:
                 result = self._scan_per_probe(result, batches,
                                               state_addresses, epoch,
                                               on_progress, pacing=pacing,
-                                              base_bucket=base_bucket)
+                                              base_bucket=base_bucket,
+                                              chunk_sink=chunk_sink,
+                                              chunk_rows=chunk_rows)
         finally:
             if paced:
                 network.scan_rate_bucket = None
@@ -884,7 +975,8 @@ class Ipv4Scanner:
 
     def _scan_batched(self, result, batches, addresses, state_addresses,
                       addresses_sorted, interest, epoch, on_progress,
-                      plan_key=None, pacing=None, base_bucket=None):
+                      plan_key=None, pacing=None, base_bucket=None,
+                      chunk_sink=None, chunk_rows=65536):
         """Bulk sweep: settle cold targets per batch with C-level
         column operations, full wire path for hot ones.
 
@@ -980,6 +1072,9 @@ class Ipv4Scanner:
             probes_sent += size
             bulk_sent += size - len(hot_states)
             bulk_lost += lost
+            if chunk_sink is not None and \
+                    result.row_count() >= chunk_rows:
+                chunk_sink(result.take_chunk())
             if on_progress is not None:
                 heartbeat_due += size
                 while heartbeat_due >= 1024:
@@ -998,7 +1093,8 @@ class Ipv4Scanner:
         return result
 
     def _scan_per_probe(self, result, batches, state_addresses, epoch,
-                        on_progress, pacing=None, base_bucket=None):
+                        on_progress, pacing=None, base_bucket=None,
+                        chunk_sink=None, chunk_rows=65536):
         """Per-probe sweep over the batched target stream: every target
         takes the full ``send_probe`` wire path (the reference
         semantics), with target generation and filtering still done in
@@ -1061,6 +1157,9 @@ class Ipv4Scanner:
                         rtts.append(response.latency)
                     record_value(value, raw[3] & 0x0F,
                                  response.packet.src_ip != target_ip)
+            if chunk_sink is not None and \
+                    result.row_count() >= chunk_rows:
+                chunk_sink(result.take_chunk())
         result.probes_sent = probes_sent
         if self.perf is not None:
             self.perf.count("probes_sent", probes_sent)
@@ -1071,7 +1170,8 @@ class Ipv4Scanner:
             self.perf.observe_many("probe_rtt_seconds", rtts)
         return result
 
-    def _scan_robust(self, target_space, index_range, on_progress):
+    def _scan_robust(self, target_space, index_range, on_progress,
+                     chunk_sink=None, chunk_rows=65536):
         """Retry/backoff scan path (``retries > 0`` or a probe timeout).
 
         Walks the identical LFSR permutation as the fast loop, but each
@@ -1208,6 +1308,9 @@ class Ipv4Scanner:
                                               response.packet.src_ip)
                             if answered:
                                 break
+                        if chunk_sink is not None and \
+                                result.row_count() >= chunk_rows:
+                            chunk_sink(result.take_chunk())
                 lsb = state & 1
                 state >>= 1
                 if lsb:

@@ -113,12 +113,17 @@ _PERMUTATION_CACHE_MAX_PERIOD = 1 << 22
 _PERMUTATION_CACHE_ENTRIES = 8
 
 
-def permutation(order, seed=1, taps=None):
+def permutation(order, seed=1, taps=None, force_cache=False):
     """The full LFSR walk as a reusable ``array('I')`` of states.
 
     Element ``i`` is the register state after ``i`` steps from ``seed``
     (element 0 is the seed itself): exactly the visit order
     :meth:`LFSR.sequence` yields, in random-access, C-iterable form.
+
+    ``force_cache`` memoises the walk even past the size cap: the
+    sharded engine's pre-fork prewarm uses it so million-address scans
+    build their (hundreds of MB) walk once and share it copy-on-write
+    across every worker, instead of paying the build per process.
     """
     lfsr = LFSR(order, seed=seed, taps=taps)
     key = (order, lfsr.seed, lfsr.taps)
@@ -126,7 +131,7 @@ def permutation(order, seed=1, taps=None):
     if cached is not None:
         return cached
     walk = array("I", lfsr.sequence())
-    if lfsr.period <= _PERMUTATION_CACHE_MAX_PERIOD:
+    if force_cache or lfsr.period <= _PERMUTATION_CACHE_MAX_PERIOD:
         if len(_PERMUTATION_CACHE) >= _PERMUTATION_CACHE_ENTRIES:
             _PERMUTATION_CACHE.pop(next(iter(_PERMUTATION_CACHE)))
         _PERMUTATION_CACHE[key] = walk

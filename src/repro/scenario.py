@@ -66,6 +66,11 @@ from repro.resolvers import (
     SelfIpBehavior,
     StaticIpBehavior,
 )
+from repro.resolvers.population import (
+    FLAG_DEVICE_HTTP,
+    FLAG_PLAIN_NORMAL,
+    FLAG_SELF_IP,
+)
 from repro.scanner import Blacklist, ScanCampaign, ScanTargetSpace
 from repro.core.pipeline import ManipulationPipeline
 from repro.websim import (
@@ -79,7 +84,7 @@ from repro.websim import (
 from repro.websim.httpserver import ContentTransformServer, StaticPageServer
 from repro.websim.mail import banners_for_provider, provider_for_hostname
 from repro.websim import pages
-from repro.util import weighted_choice
+from repro.util import apportion, weighted_choice
 
 # ---------------------------------------------------------------------------
 # Country plan: (country, Jan-2014 resolver count in paper units, relative
@@ -194,13 +199,22 @@ class ScenarioConfig:
 
     def __init__(self, scale=2000, seed=7, loss_rate=0.002,
                  landing_ips_per_country=3, weeks=55,
-                 min_pool_count=2):
+                 min_pool_count=2, lazy_population=False,
+                 node_cache=8192):
+        if node_cache < 1:
+            raise ValueError("node_cache must be >= 1")
         self.scale = scale
         self.seed = seed
         self.loss_rate = loss_rate
         self.landing_ips_per_country = landing_ips_per_country
         self.weeks = weeks
         self.min_pool_count = min_pool_count
+        # Memory-bounded mode: resolver pools keep compact derivation
+        # records and materialize nodes on first probe through an LRU of
+        # at most ``node_cache`` live nodes (see DESIGN.md
+        # "Memory-bounded streaming").
+        self.lazy_population = lazy_population
+        self.node_cache = node_cache
 
     def scaled(self, paper_count, minimum=None):
         if minimum is None:
@@ -247,7 +261,8 @@ class Scenario:
     def new_campaign(self, verify=True, shards=1, perf=None, retries=0,
                      probe_timeout=None, backoff=2.0,
                      heartbeat_timeout=None, probe_batch=4096,
-                     pacing=None, max_pps=None):
+                     pacing=None, max_pps=None, stream_results=False,
+                     chunk_rows=65536):
         return ScanCampaign(
             self.network, self.churn, self.target_space(),
             self.scanner_ip, MEASUREMENT_DOMAIN, blacklist=self.blacklist,
@@ -256,7 +271,8 @@ class Scenario:
             shards=shards, perf=perf, retries=retries,
             probe_timeout=probe_timeout, backoff=backoff,
             heartbeat_timeout=heartbeat_timeout,
-            probe_batch=probe_batch, pacing=pacing, max_pps=max_pps)
+            probe_batch=probe_batch, pacing=pacing, max_pps=max_pps,
+            stream_results=stream_results, chunk_rows=chunk_rows)
 
     def new_pipeline(self, **kwargs):
         return ManipulationPipeline(
@@ -769,6 +785,22 @@ def _make_behavior_factory(scenario):
     return factory
 
 
+def _plain_normal(node):
+    """Case-study candidacy without materializing lazy nodes.
+
+    Lazy placeholders carry the answer as a precomputed dry-pass flag;
+    eager (and provider) nodes are inspected directly.  Both paths
+    encode the same predicate, so the candidate list is positionally
+    identical across modes (which the shared shuffle relies on).
+    """
+    flags = getattr(node, "lazy_flags", None)
+    if flags is not None:
+        return bool(flags & FLAG_PLAIN_NORMAL)
+    return (node.response_mode == "normal"
+            and node.forward_to is None
+            and not node.behaviors)
+
+
 def _assign_case_study_resolvers(scenario, rng):
     """Hand-pick small resolver groups for the §4.3 case studies, so they
     exist at every scale (their paper counts are below 1/scale)."""
@@ -780,16 +812,17 @@ def _assign_case_study_resolvers(scenario, rng):
     normal = [host.node for host in scenario.population.hosts
               if host.online and host.offline_after is None
               and host.online_after is None
-              and host.node.response_mode == "normal"
-              and host.node.forward_to is None
-              and not host.node.behaviors]
+              and _plain_normal(host.node)]
     rng.shuffle(normal)
     cursor = [0]
 
     def take(paper_count, minimum):
         count = min(len(normal) - cursor[0],
                     config.scaled(paper_count, minimum=minimum))
-        chosen = normal[cursor[0]:cursor[0] + count]
+        # Chosen nodes get a behavior inserted below: materialize lazy
+        # picks permanently so the mutation survives LRU eviction.
+        chosen = [node.pin() if hasattr(node, "pin") else node
+                  for node in normal[cursor[0]:cursor[0] + count]]
         cursor[0] += count
         return chosen
 
@@ -838,13 +871,43 @@ def _assign_case_study_resolvers(scenario, rng):
     scenario.case_study_resolvers = groups
 
 
+# Broadband pool split per country: main telco, cable, wireless (§2.3).
+BROADBAND_SPLIT_SHARES = (0.62, 0.26, 0.12)
+
+
+def split_pool_counts(count, change, min_pool_count=2):
+    """Per-AS broadband pool counts for one country.
+
+    Returns ``(pool_counts, grown_counts)``: the initial per-AS counts
+    (largest-remainder apportioned so they sum exactly to ``count``
+    before minimum floors) and the post-growth counts for growing
+    countries (apportioned from the grown total, floored at the initial
+    counts so growth never shrinks a pool).  Rounding each share
+    independently drifts from the country total on roughly a quarter of
+    all counts (a 4-host country rounds to 2+1+0 = 3 hosts); Hamilton's
+    method is exact before the minimum floors.
+    """
+    minimums = [min_pool_count] * len(BROADBAND_SPLIT_SHARES)
+    pool_counts = apportion(count, BROADBAND_SPLIT_SHARES,
+                            minimums=minimums)
+    if change > 0:
+        grown_counts = apportion(int(round(count * (1 + change))),
+                                 BROADBAND_SPLIT_SHARES,
+                                 minimums=pool_counts)
+    else:
+        grown_counts = list(pool_counts)
+    return pool_counts, grown_counts
+
+
 def _build_population(scenario, builder):
     config = scenario.config
     factory = _make_behavior_factory(scenario)
     scenario.population = PopulationBuilder(
         scenario.network, scenario.churn, scenario.service,
         rdns=scenario.rdns, snooping_tlds=SNOOPING_TLDS,
-        seed=config.seed + 2)
+        seed=config.seed + 2,
+        lazy=getattr(config, "lazy_population", False),
+        node_cache=getattr(config, "node_cache", 8192))
     rng = random.Random(config.seed + 3)
     gfw_prefixes = []
     decline_specs = []
@@ -852,18 +915,19 @@ def _build_population(scenario, builder):
     for country, paper_count, change in COUNTRY_PLAN:
         count = config.scaled(paper_count)
         # Split across a main broadband AS and up to two secondary ones.
-        splits = [(0.62, "%s Telecom" % _ISP_NAMES.get(country, country)),
-                  (0.26, "%s Cable" % country),
-                  (0.12, "%s Wireless" % country)]
+        splits = ["%s Telecom" % _ISP_NAMES.get(country, country),
+                  "%s Cable" % country,
+                  "%s Wireless" % country]
         special_as_change = None
         if country == "AR":
             # The Argentinean telco whose resolvers all but vanished.
             special_as_change = {0: -0.978, 1: -0.30, 2: -0.30}
         elif country == "KR":
             special_as_change = {0: -0.9999, 1: -0.62, 2: -0.62}
-        for index, (share, name) in enumerate(splits):
-            pool_count = max(config.min_pool_count,
-                             int(round(count * share)))
+        pool_counts, grown_counts = split_pool_counts(
+            count, change, min_pool_count=config.min_pool_count)
+        for index, name in enumerate(splits):
+            pool_count = pool_counts[index]
             prefix_length = _prefix_length_for(pool_count)
             asys, prefix = scenario.new_as(
                 name, country, AutonomousSystem.BROADBAND, prefix_length)
@@ -892,7 +956,7 @@ def _build_population(scenario, builder):
             )
             if as_change > 0:
                 # Growth hosts must be built on top of the initial count.
-                spec.count = int(round(pool_count * (1 + as_change)))
+                spec.count = grown_counts[index]
             decline_specs.append(spec)
             scenario.population.build_pool(spec)
 
@@ -976,11 +1040,21 @@ def _equip_self_ip_resolvers(scenario, rng):
     belonging to one brand of IP cameras (§4.1/§4.2).
     """
     for node in scenario.population.resolvers:
-        if not any(type(b).__name__ == "SelfIpBehavior"
-                   for b in node.behaviors):
-            continue
-        if node.device is not None and node.device.http_body:
-            continue
+        flags = getattr(node, "lazy_flags", None)
+        if flags is not None:
+            # Dry-pass flags answer both checks without materializing;
+            # the draw sequence below stays positionally identical to an
+            # eager build (one draw per qualifying node, none for
+            # skipped ones).
+            if not flags & FLAG_SELF_IP or flags & FLAG_DEVICE_HTTP:
+                continue
+            node = node.pin()
+        else:
+            if not any(type(b).__name__ == "SelfIpBehavior"
+                       for b in node.behaviors):
+                continue
+            if node.device is not None and node.device.http_body:
+                continue
         point = rng.random()
         if point < 0.55:
             node.device_page = pages.router_login("TP-LINK")

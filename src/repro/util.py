@@ -31,3 +31,35 @@ def weighted_choice(rng, weighted_items):
 def percentage(part, whole):
     """``part`` as a percentage of ``whole`` (0.0 when whole is zero)."""
     return 100.0 * part / whole if whole else 0.0
+
+
+def apportion(total, weights, minimums=None):
+    """Split integer ``total`` by ``weights`` with largest-remainder rounding.
+
+    Returns a list of non-negative integers summing to ``total`` (before
+    minimums), one per weight, using Hamilton's method: each share gets
+    the floor of its exact quota, and the leftover units go to the
+    largest fractional remainders (ties broken by position, so the split
+    is deterministic).  Independent ``int(round(...))`` per share drifts
+    from the total as quotas shrink; this never does.
+
+    ``minimums`` (optional, same length) clamps each share from below
+    *after* apportionment.  Clamping can push the sum above ``total`` —
+    the same semantics as per-pool ``min_pool_count`` floors.
+    """
+    if total < 0:
+        raise ValueError("total must be >= 0")
+    weight_sum = sum(weights)
+    if weight_sum <= 0:
+        raise ValueError("weights must sum to a positive value")
+    quotas = [total * weight / weight_sum for weight in weights]
+    counts = [int(quota) for quota in quotas]
+    leftover = total - sum(counts)
+    order = sorted(range(len(weights)),
+                   key=lambda i: (counts[i] - quotas[i], i))
+    for i in order[:leftover]:
+        counts[i] += 1
+    if minimums is not None:
+        counts = [max(minimum, count)
+                  for minimum, count in zip(minimums, counts)]
+    return counts

@@ -37,6 +37,48 @@ class TestParser:
         assert args.pipeline_shards == 4
 
 
+class TestKnobValidation:
+    """Nonsensical knob values must die at the parser (or with a clear
+    error), not as an arbitrary traceback mid-scan."""
+
+    @pytest.mark.parametrize("flag,value", [
+        ("--probe-batch", "0"),
+        ("--probe-batch", "-5"),
+        ("--probe-batch", "many"),
+        ("--node-cache", "0"),
+        ("--node-cache", "-1"),
+        ("--shards", "0"),
+        ("--shards", "-2"),
+        ("--pipeline-shards", "0"),
+    ])
+    def test_nonpositive_knobs_rejected(self, flag, value, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["scan", flag, value])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "positive integer" in err or "is not an integer" in err
+
+    def test_positive_knobs_accepted(self):
+        args = build_parser().parse_args(
+            ["scan", "--probe-batch", "128", "--node-cache", "16",
+             "--shards", "3"])
+        assert (args.probe_batch, args.node_cache, args.shards) \
+            == (128, 16, 3)
+
+    def test_streaming_flags_parse(self):
+        args = build_parser().parse_args(
+            ["scan", "--stream-results", "--lazy-population"])
+        assert args.stream_results and args.lazy_population
+
+    def test_shards_beyond_targets_rejected(self, capsys):
+        # A 1:10000000 world keeps only a couple of scan targets;
+        # thousands of shards cannot possibly each get one.
+        with pytest.raises(SystemExit) as exc:
+            main(["scan", "--scale", "10000000", "--shards", "100000"])
+        message = str(exc.value)
+        assert "exceeds" in message and "targets" in message
+
+
 SMALL = ["--scale", "120000", "--seed", "3"]
 
 

@@ -171,3 +171,42 @@ class TestBuiltWorld:
         # The verification scanner lives in a different /8 (§2.2).
         assert small_scenario.scanner_ip.split(".")[0] != \
             small_scenario.verification_scanner_ip.split(".")[0]
+
+
+class TestPoolApportionment:
+    """Per-AS broadband splits must conserve every country's hosts.
+
+    Regression for the independent-``int(round(...))`` split, which
+    drifted from the country total on ~24% of counts.  Checked at every
+    published benchmark scale, including 1:27 (the million-resolver
+    profile), where counts are large enough that a one-host drift would
+    silently change the world population.
+    """
+
+    SCALES = (2000, 200, 27)
+
+    @pytest.mark.parametrize("scale", SCALES)
+    def test_splits_conserve_country_totals(self, scale):
+        from repro.scenario import (BROADBAND_SPLIT_SHARES,
+                                    split_pool_counts)
+        from repro.util import apportion
+        config = ScenarioConfig(scale=scale)
+        for country, paper_count, change in COUNTRY_PLAN:
+            count = config.scaled(paper_count)
+            pool_counts, grown_counts = split_pool_counts(count, change)
+            raw = apportion(count, BROADBAND_SPLIT_SHARES)
+            assert sum(raw) == count, country
+            # Minimum floors may only ever add hosts, never drop them.
+            assert sum(pool_counts) >= count, country
+            assert all(n >= 2 for n in pool_counts), country
+            if all(share >= 2 for share in raw):
+                assert pool_counts == raw, country
+            # Growth never shrinks a pool, and growing countries
+            # apportion the grown total exactly (before floors).
+            assert all(g >= p for g, p in
+                       zip(grown_counts, pool_counts)), country
+            if change > 0:
+                grown_total = int(round(count * (1 + change)))
+                assert sum(apportion(grown_total,
+                                     BROADBAND_SPLIT_SHARES)) \
+                    == grown_total, country

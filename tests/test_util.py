@@ -5,7 +5,7 @@ import random
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.util import percentage, stable_hash, weighted_choice
+from repro.util import apportion, percentage, stable_hash, weighted_choice
 
 
 class TestStableHash:
@@ -53,3 +53,49 @@ class TestPercentage:
 
     def test_zero_whole(self):
         assert percentage(5, 0) == 0.0
+
+
+class TestApportion:
+    def test_sums_exactly(self):
+        assert sum(apportion(100, [0.62, 0.26, 0.12])) == 100
+
+    def test_independent_rounding_bug_case(self):
+        # int(round(...)) per share gives 2+1+0 = 3 for a 4-host
+        # country — one host silently lost.  Hamilton's method never
+        # drifts (the broadband shares drift on ~24% of all counts).
+        shares = [0.62, 0.26, 0.12]
+        assert sum(int(round(4 * share)) for share in shares) == 3
+        counts = apportion(4, shares)
+        assert counts == [3, 1, 0]
+
+    def test_largest_remainder_gets_leftover(self):
+        # Quotas 1.5 / 1.5 / 1.0: both .5 remainders beat .0, tie
+        # broken by position.
+        assert apportion(4, [1.5, 1.5, 1.0]) == [2, 1, 1]
+
+    def test_deterministic_tie_break(self):
+        assert apportion(1, [1.0, 1.0]) == [1, 0]
+        assert apportion(3, [1.0, 1.0]) == [2, 1]
+
+    def test_minimums_clamp_after_apportionment(self):
+        counts = apportion(5, [0.9, 0.05, 0.05], minimums=[2, 2, 2])
+        assert counts == [5, 2, 2]      # sum may exceed the total
+
+    def test_zero_total(self):
+        assert apportion(0, [0.62, 0.26, 0.12]) == [0, 0, 0]
+
+    def test_negative_total_rejected(self):
+        with pytest.raises(ValueError):
+            apportion(-1, [1.0])
+
+    def test_nonpositive_weights_rejected(self):
+        with pytest.raises(ValueError):
+            apportion(10, [0.0, 0.0])
+
+    @given(st.integers(min_value=0, max_value=10**6),
+           st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1,
+                    max_size=8).filter(lambda ws: sum(ws) > 0.01))
+    def test_always_sums_to_total(self, total, weights):
+        counts = apportion(total, weights)
+        assert sum(counts) == total
+        assert all(count >= 0 for count in counts)
