@@ -1,0 +1,262 @@
+"""Delta-scanning benchmark: probe savings, fidelity, drift fallback.
+
+Runs the weekly campaign twice over identical worlds — once as full
+sweeps every week (the baseline), once differentially
+(:mod:`repro.scanner.delta`) — and gates on:
+
+* **probe volume**: steady-state delta weeks must spend at most
+  ``1/SAVINGS_GATE`` of a full sweep's probes;
+* **fidelity**: the Figure 2 survival curve may deviate at most
+  ``SURVIVAL_TOLERANCE_PP`` percentage points at any week, and the
+  Table 1 country ranking must keep the same top-10 set and top-3
+  order (first and last weeks are always measured full sweeps);
+* **robustness**: an injected churn spike — hosts killed out-of-model
+  in prefixes the forecast calls stable — must drive an automatic
+  escalation back to a full sweep, reported in provenance and
+  attributed in the flight recorder with 100% ``delta:*`` causes.
+
+Writes ``BENCH_delta.json``; exits 1 when a gate fails.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.perf.bench_delta
+    PYTHONPATH=src python -m benchmarks.perf.bench_delta --quick
+"""
+
+import argparse
+import json
+import sys
+import time
+
+from repro.obs import Observability
+from repro.perf import PerfRegistry
+from repro.scanner import DeltaConfig
+from repro.scanner.delta import DELTA_CAUSE_PREFIX, delta_summary
+from repro.scenario import ScenarioConfig, build_scenario
+
+SAVINGS_GATE = 5.0
+SURVIVAL_TOLERANCE_PP = 2.0
+WEEKS = 8
+FULL_SWEEP_EVERY = 4
+SPIKE_WEEK = 2
+SPIKE_KILL_SHARE = 0.8
+
+
+def _spike(scenario, share):
+    """Kill ``share`` of the online hosts in pools the churn forecast
+    calls stable — drift the model cannot predict, only audits catch."""
+    churn = scenario.churn
+    pending = set(churn.pending_churn())
+    victims = [host for host in churn.hosts()
+               if host.online and host.pool.cidr not in pending]
+    killed = victims[:int(len(victims) * share)]
+    for host in killed:
+        churn.take_offline(host)
+    return len(killed)
+
+
+def _measure(scale, seed, delta=None, shards=1, observe=False,
+             spike=False):
+    scenario = build_scenario(ScenarioConfig(scale=scale, seed=seed,
+                                             loss_rate=0.0))
+    if observe:
+        obs = Observability(clock=scenario.network.clock, seed=seed)
+        obs.install(scenario.network)
+    perf = PerfRegistry()
+    campaign = scenario.new_campaign(verify=False, shards=shards,
+                                     perf=perf, delta=delta)
+    start = time.perf_counter()
+    killed = 0
+    if not spike:
+        campaign.run(WEEKS)
+    else:
+        for week in range(WEEKS):
+            if week == SPIKE_WEEK:
+                killed = _spike(scenario, SPIKE_KILL_SHARE)
+            campaign.run_week(force_full=(delta is not None
+                                          and week == WEEKS - 1))
+    elapsed = time.perf_counter() - start
+    weekly_probes = [snapshot.result.probes_sent
+                     for snapshot in campaign.snapshots]
+    return {
+        "scenario": scenario,
+        "campaign": campaign,
+        "recorder": scenario.network.recorder,
+        "weekly_probes": weekly_probes,
+        "total_probes": sum(weekly_probes),
+        "responders_first": len(campaign.first().result.responders),
+        "responders_last": len(campaign.last().result.responders),
+        "spiked_hosts": killed,
+        "seconds": round(elapsed, 4),
+        "delta_totals": delta_summary(campaign.snapshots),
+    }
+
+
+def _week_modes(campaign):
+    """Per-week scan mode: "full" or "delta" (full when delta is off)."""
+    modes = []
+    for snapshot in campaign.snapshots:
+        mode = "full"
+        for entry in snapshot.result.provenance:
+            if entry.get("kind") == "delta" and entry.get("status") == "ok":
+                mode = entry["mode"]
+        modes.append(mode)
+    return modes
+
+
+def _survival(campaign):
+    from repro.analysis import churn_survival
+    return churn_survival(campaign.snapshots)
+
+
+def _country_rows(run):
+    from repro.analysis import country_fluctuation
+    campaign, scenario = run["campaign"], run["scenario"]
+    rows, __ = country_fluctuation(campaign.first().result,
+                                   campaign.last().result,
+                                   scenario.geoip)
+    return [row["country"] for row in rows]
+
+
+def _public(run):
+    return {key: value for key, value in run.items()
+            if key not in ("scenario", "campaign", "recorder")}
+
+
+def check(condition, message):
+    if not condition:
+        print("FAIL: %s" % message, file=sys.stderr)
+        return 1
+    print("ok: %s" % message, file=sys.stderr)
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--scale", type=int, default=20000)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller world (CI smoke)")
+    parser.add_argument("--out", default="BENCH_delta.json")
+    args = parser.parse_args(argv)
+    scale = 60000 if args.quick else args.scale
+    delta = DeltaConfig(full_sweep_every=FULL_SWEEP_EVERY)
+
+    failures = 0
+    print("delta campaign @ scale 1:%d seed %d, %d weeks"
+          % (scale, args.seed, WEEKS), file=sys.stderr)
+
+    print("baseline (full sweep every week)...", file=sys.stderr)
+    baseline = _measure(scale, args.seed, delta=None)
+    print("differential campaign...", file=sys.stderr)
+    differential = _measure(scale, args.seed, delta=delta)
+
+    modes = _week_modes(differential["campaign"])
+    delta_probes = [probes for probes, mode
+                    in zip(differential["weekly_probes"], modes)
+                    if mode == "delta"]
+    full_week_probes = baseline["total_probes"] / WEEKS
+    mean_delta = (sum(delta_probes) / len(delta_probes)
+                  if delta_probes else float("inf"))
+    savings = full_week_probes / mean_delta if mean_delta else 0.0
+
+    failures += check(baseline["responders_first"] > 0,
+                      "baseline found %d responders"
+                      % baseline["responders_first"])
+    failures += check(
+        len(delta_probes) >= WEEKS // 2,
+        "steady state is differential (%d of %d weeks delta: %s)"
+        % (len(delta_probes), WEEKS, modes))
+    failures += check(
+        mean_delta * SAVINGS_GATE <= full_week_probes,
+        "delta weeks spend %.0f probes vs %.0f full (%.1fx savings, "
+        "gate %.0fx)" % (mean_delta, full_week_probes, savings,
+                         SAVINGS_GATE))
+    totals = differential["delta_totals"]
+    failures += check(
+        totals["carried"] > 0 and totals["audited"] > 0,
+        "verdicts carried (%d) under audit (%d probes)"
+        % (totals["carried"], totals["audited"]))
+
+    survival_full = _survival(baseline["campaign"])
+    survival_delta = _survival(differential["campaign"])
+    max_diff = max(abs(full_pct - delta_pct)
+                   for (__, full_pct), (__, delta_pct)
+                   in zip(survival_full, survival_delta))
+    failures += check(
+        max_diff <= SURVIVAL_TOLERANCE_PP,
+        "Figure 2 survival within %.2fpp of baseline (tolerance %.1fpp)"
+        % (max_diff, SURVIVAL_TOLERANCE_PP))
+
+    countries_full = _country_rows(baseline)
+    countries_delta = _country_rows(differential)
+    failures += check(
+        set(countries_full) == set(countries_delta)
+        and countries_full[:3] == countries_delta[:3],
+        "Table 1 stable: top-10 set equal, top-3 order %s preserved"
+        % countries_full[:3])
+
+    print("churn spike (%d%% of stable hosts killed at week %d)..."
+          % (int(100 * SPIKE_KILL_SHARE), SPIKE_WEEK), file=sys.stderr)
+    spiked = _measure(scale, args.seed, delta=delta, observe=True,
+                      spike=True)
+    spike_snapshot = spiked["campaign"].snapshots[SPIKE_WEEK]
+    escalations = [entry for entry in spike_snapshot.result.provenance
+                   if entry.get("status") in ("delta_full_sweep",
+                                              "delta_escalated")]
+    failures += check(
+        escalations,
+        "spike escalated automatically (%s) after killing %d hosts"
+        % (sorted({entry["status"] for entry in escalations}),
+           spiked["spiked_hosts"]))
+    failures += check(
+        spike_snapshot.result.probes_sent * SAVINGS_GATE
+        > full_week_probes,
+        "escalation actually re-probed (%d probes at the spike week)"
+        % spike_snapshot.result.probes_sent)
+
+    recorder = spiked["recorder"]
+    delta_events = recorder.event_counts.get("delta", 0)
+    unattributed = [cause for cause in recorder.cause_counts
+                    if not cause.startswith(DELTA_CAUSE_PREFIX)]
+    failures += check(
+        delta_events > 0 and not unattributed,
+        "100%% delta:* attribution (%d delta events, causes: %s)"
+        % (delta_events, sorted(recorder.cause_counts)))
+
+    report = {
+        "scale": scale,
+        "seed": args.seed,
+        "weeks": WEEKS,
+        "savings_gate": SAVINGS_GATE,
+        "survival_tolerance_pp": SURVIVAL_TOLERANCE_PP,
+        "baseline": _public(baseline),
+        "differential": _public(differential),
+        "spiked": _public(spiked),
+        "week_modes": modes,
+        "mean_delta_week_probes": round(mean_delta, 1),
+        "full_week_probes": round(full_week_probes, 1),
+        "probe_savings": round(savings, 2),
+        "max_survival_diff_pp": round(max_diff, 3),
+        "top_countries_full": countries_full,
+        "top_countries_delta": countries_delta,
+        "spike_escalations": sorted({entry["status"]
+                                     for entry in escalations}),
+        "delta_events_attributed": delta_events,
+        "passed": failures == 0,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("wrote %s" % args.out, file=sys.stderr)
+
+    if failures:
+        print("%d delta gate(s) failed" % failures, file=sys.stderr)
+        return 1
+    print("delta passed: %.1fx probe savings, %.2fpp max survival drift"
+          % (savings, max_diff), file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -75,6 +75,31 @@ def hostile_fingerprint(result):
     return fingerprint(result) + (sorted(result.suppressed.items()),)
 
 
+def delta_chaos_campaign():
+    """A differential campaign under injected faults.
+
+    The aggressive profile's loss/bursts fail enough audit probes to
+    blow a tight drift budget: the campaign must fall back to a full
+    sweep *and say so* — escalation provenance, not silent staleness.
+    """
+    from repro.scanner import DeltaConfig
+    scenario = build_scenario(ScenarioConfig(scale=SCALE, seed=SEED))
+    scenario.network.install_faults(
+        FaultPlan(parse_fault_spec("aggressive"), seed=SEED))
+    campaign = scenario.new_campaign(
+        verify=False, shards=SHARDS,
+        delta=DeltaConfig(audit_fraction=0.5, drift_budget=0.05,
+                          full_sweep_every=4))
+    campaign.run(3)
+    return scenario, campaign
+
+
+def delta_fingerprint(campaign):
+    return [fingerprint(snapshot.result)
+            + (sorted(snapshot.result.carried.items()),)
+            for snapshot in campaign.snapshots]
+
+
 def main():
     failures = 0
     print("chaos scan 1/2 (scale 1:%d, seed %d, %d shards, %r)..."
@@ -139,6 +164,34 @@ def main():
     failures += check(
         hostile_fingerprint(hostile) == hostile_fingerprint(hostile_again),
         "hostile-population run bit-identical across reruns")
+
+    print("delta campaign under faults...", file=sys.stderr)
+    __, delta_campaign = delta_chaos_campaign()
+    statuses = [entry.get("status")
+                for snapshot in delta_campaign.snapshots
+                for entry in snapshot.result.degraded_shards]
+    failures += check(
+        "delta_full_sweep" in statuses or "delta_escalated" in statuses,
+        "fault-driven drift escalated and was reported: %s"
+        % sorted(set(statuses)))
+    causes = {entry.get("cause")
+              for snapshot in delta_campaign.snapshots
+              for entry in snapshot.result.provenance
+              if entry.get("kind") == "delta"
+              or str(entry.get("status", "")).startswith("delta")}
+    failures += check(
+        all(cause is None or cause.startswith("delta:")
+            for cause in causes),
+        "escalation provenance carries delta:* causes: %s"
+        % sorted(cause for cause in causes if cause))
+    failures += check(
+        delta_campaign.last().result.responders,
+        "delta campaign under faults still found %d responders"
+        % len(delta_campaign.last().result.responders))
+    __, delta_again = delta_chaos_campaign()
+    failures += check(
+        delta_fingerprint(delta_campaign) == delta_fingerprint(delta_again),
+        "faulted delta campaign bit-identical across reruns")
 
     print("pipeline under faults...", file=sys.stderr)
     from repro.datasets import DOMAIN_SETS

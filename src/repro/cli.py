@@ -36,6 +36,46 @@ def _positive_int(text):
     return value
 
 
+def _non_negative_int(text):
+    """Argparse type for count knobs where zero is meaningful
+    (``--retries 0`` is the single-probe fast path) but negatives are
+    nonsense."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError("%r is not an integer" % text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            "must be a non-negative integer (got %d)" % value)
+    return value
+
+
+def _positive_float(text):
+    """Argparse type for strictly positive real-valued knobs.
+
+    Rejects zero, negatives, and NaN: a ``--probe-timeout 0`` would
+    otherwise time out every probe instantly and report an empty
+    Internet with a straight face.
+    """
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError("%r is not a number" % text)
+    if not value > 0:  # also catches NaN, which fails every comparison
+        raise argparse.ArgumentTypeError(
+            "must be a positive number (got %r)" % text)
+    return value
+
+
+def _fraction(text):
+    """Argparse type for (0, 1) shares (audit fraction, drift budget)."""
+    value = _positive_float(text)
+    if value >= 1:
+        raise argparse.ArgumentTypeError(
+            "must be a positive fraction below 1 (got %r)" % text)
+    return value
+
+
 def _add_common(parser):
     parser.add_argument("--scale", type=int, default=20000,
                         help="1:N scale of the simulated Internet")
@@ -53,10 +93,11 @@ def _add_common(parser):
                         help="deterministic fault plan: a profile name "
                              "(none/mild/aggressive) plus overrides, "
                              "e.g. 'aggressive,loss_rate=0.2,kill=0'")
-    parser.add_argument("--retries", type=int, default=0,
+    parser.add_argument("--retries", type=_non_negative_int, default=0,
                         help="probe retransmissions per unanswered "
                              "target (exponential backoff)")
-    parser.add_argument("--probe-timeout", type=float, default=None,
+    parser.add_argument("--probe-timeout", type=_positive_float,
+                        default=None,
                         metavar="SEC",
                         help="base per-probe response timeout; grows "
                              "with backoff, floored at the target's "
@@ -95,6 +136,41 @@ def _add_common(parser):
                         metavar="PPS",
                         help="declared probe-rate ceiling; also the "
                              "adaptive controller's upper bound")
+
+
+def _add_delta(parser):
+    parser.add_argument("--delta", action="store_true",
+                        help="differential campaign: carry the prior "
+                             "week's verdicts in stable prefixes, "
+                             "re-probe only churn-forecast prefixes, "
+                             "audit a seeded sample of carried data, "
+                             "and escalate to full sweeps on drift")
+    parser.add_argument("--audit-fraction", type=_fraction, default=None,
+                        metavar="SHARE",
+                        help="share of carried-forward responders "
+                             "re-verified by audit probes each delta "
+                             "week (default 0.05)")
+    parser.add_argument("--drift-budget", type=_fraction, default=None,
+                        metavar="SHARE",
+                        help="audited failure share beyond which a "
+                             "window (or, in aggregate, the whole "
+                             "campaign) escalates to a full sweep "
+                             "(default 0.1)")
+    parser.add_argument("--full-sweep-every", type=_positive_int,
+                        default=None, metavar="WEEKS",
+                        help="scheduled full-sweep re-baselining "
+                             "interval under --delta (default 4)")
+
+
+def _delta_arg(args):
+    """The --delta flag family as a new_campaign keyword value."""
+    if args is None or not getattr(args, "delta", False):
+        return {"delta": None}
+    from repro.scanner import normalize_delta
+    return {"delta": normalize_delta(
+        True, audit_fraction=getattr(args, "audit_fraction", None),
+        drift_budget=getattr(args, "drift_budget", None),
+        full_sweep_every=getattr(args, "full_sweep_every", None))}
 
 
 def _add_trace(parser):
@@ -298,7 +374,8 @@ def cmd_campaign(args):
                                      backoff=args.backoff,
                                      probe_batch=args.probe_batch,
                                      stream_results=args.stream_results,
-                                     **_pacing_arg(args))
+                                     **_pacing_arg(args),
+                                     **_delta_arg(args))
     try:
         campaign.run(args.weeks, checkpoint=checkpoint)
     except InjectedCrash as crash:
@@ -309,6 +386,18 @@ def cmd_campaign(args):
     print("decline ratio: %.2f" % decline_ratio(series))
     print()
     print(format_survival(churn_survival(campaign.snapshots)))
+    if campaign.delta is not None:
+        from repro.scanner.delta import delta_summary
+        totals = delta_summary(campaign.snapshots)
+        print()
+        print("delta: %d delta weeks / %d full sweeps, %d verdicts "
+              "carried, %d audited (%d failed), %d refreshed, "
+              "%d window escalations, %d global escalations"
+              % (totals["delta_weeks"], totals["full_weeks"],
+                 totals["carried"], totals["audited"],
+                 totals["audit_failures"], totals["refreshed"],
+                 totals["escalated_windows"],
+                 totals["global_escalations"]))
     _report_perf(args, perf)
     _export_trace(args, obs, perf)
     return _finish_checkpoint(checkpoint)
@@ -434,7 +523,7 @@ def cmd_fullstudy(args):
             pipeline_shards=args.pipeline_shards, shards=args.shards,
             checkpoint=checkpoint, perf=perf, backoff=args.backoff,
             progress=lambda message: print(message, file=sys.stderr),
-            **_pacing_arg(args))
+            **_pacing_arg(args), **_delta_arg(args))
     except InjectedCrash as crash:
         _export_trace(args, obs, perf)
         return _finish_checkpoint(checkpoint, crashed=crash)
@@ -488,6 +577,7 @@ def build_parser():
     _add_common(campaign)
     _add_checkpoint(campaign)
     _add_trace(campaign)
+    _add_delta(campaign)
     campaign.add_argument("--weeks", type=int, default=12)
     campaign.set_defaults(func=cmd_campaign)
 
@@ -513,6 +603,7 @@ def build_parser():
     _add_common(fullstudy)
     _add_checkpoint(fullstudy)
     _add_trace(fullstudy)
+    _add_delta(fullstudy)
     fullstudy.add_argument("--weeks", type=int, default=20)
     fullstudy.add_argument("--snoop-sample", type=int, default=200)
     fullstudy.add_argument("--out", default=None)

@@ -133,6 +133,34 @@ class ChurnModel:
             host.expires_at = (self.network.clock.now
                                + self._jittered(host.lease_duration))
 
+    def pending_churn(self, horizon=0.0):
+        """Forecast: pool cidr -> count of lifecycle events due soon.
+
+        An event is "due" when :meth:`step` called within ``horizon``
+        seconds of the current clock would apply it: a dynamic lease
+        expiring (rebind), a decommission (``offline_after``), or a
+        scheduled arrival (``online_after``).  Pure read — no RNG draw,
+        no state change — so a delta-scanning campaign can ask "which
+        pools will move this week?" before advancing the model, and a
+        resumed campaign asking again gets the identical answer.
+        """
+        deadline = self.network.clock.now + horizon
+        pending = {}
+        for host in self._hosts:
+            if not host.online:
+                due = (host.online_after is not None
+                       and host.online_after <= deadline)
+            elif host.offline_after is not None \
+                    and host.offline_after <= deadline:
+                due = True
+            else:
+                due = (host.dynamic and host.expires_at is not None
+                       and host.expires_at <= deadline)
+            if due:
+                cidr = host.pool.cidr
+                pending[cidr] = pending.get(cidr, 0) + 1
+        return pending
+
     def step(self):
         """Apply all expiries/decommissions due at the current clock time."""
         now = self.network.clock.now

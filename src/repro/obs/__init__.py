@@ -18,7 +18,8 @@ with tracing off.
 
 from repro.obs.trace import Tracer
 from repro.obs.flight import (FlightRecorder, FAULT_CAUSE_PREFIX,
-                              DEFENSE_CAUSE_PREFIX, DEFAULT_CAPACITY)
+                              DEFENSE_CAUSE_PREFIX, DELTA_CAUSE_PREFIX,
+                              DEFAULT_CAPACITY)
 from repro.obs.hist import LogHistogram
 from repro.obs.export import (export_trace, read_trace, trace_records,
                               validate_trace, TraceSchemaError,
@@ -29,7 +30,8 @@ __all__ = [
     "Observability", "Tracer", "FlightRecorder", "LogHistogram",
     "export_trace", "read_trace", "trace_records", "validate_trace",
     "render_trace_report", "TraceSchemaError", "SCHEMA_VERSION",
-    "FAULT_CAUSE_PREFIX", "DEFENSE_CAUSE_PREFIX", "DEFAULT_CAPACITY",
+    "FAULT_CAUSE_PREFIX", "DEFENSE_CAUSE_PREFIX", "DELTA_CAUSE_PREFIX",
+    "DEFAULT_CAPACITY",
 ]
 
 

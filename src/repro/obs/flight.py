@@ -30,9 +30,10 @@ RESPONSE_LOST = "response_lost"   # answered, but the reply was dropped
 CORRUPTED = "corrupted"       # delivered with a damaged payload
 TRUNCATED = "truncated"       # delivered truncated below parseability
 SUPPRESSED = "suppressed"     # never sent: pacing gave the window up
+DELTA = "delta"               # delta-scan decision (carried/escalated)
 
 EVENT_KINDS = (SENT, ANSWERED, LOST, RESPONSE_LOST, CORRUPTED,
-               TRUNCATED, SUPPRESSED)
+               TRUNCATED, SUPPRESSED, DELTA)
 
 # Drop causes are free-form strings; fault-rule attributions carry this
 # prefix so "100% of injected losses are attributed" is checkable.
@@ -40,6 +41,11 @@ FAULT_CAUSE_PREFIX = "fault:"
 # Defensive-middlebox attributions (rate limiters, blocklisters,
 # tarpits — see repro.netsim.defense) carry this prefix.
 DEFENSE_CAUSE_PREFIX = "defense:"
+# Delta-scanning attributions (verdicts carried forward, audit drift,
+# window/global full-sweep escalations — see repro.scanner.delta)
+# carry this prefix, so "every unprobed verdict is attributed" is as
+# checkable as loss attribution.
+DELTA_CAUSE_PREFIX = "delta:"
 
 DEFAULT_CAPACITY = 65536
 

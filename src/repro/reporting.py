@@ -115,7 +115,8 @@ class StudyResults:
 def run_full_study(scenario, weeks=20, snoop_sample=200,
                    pipeline_categories=None, progress=None,
                    pipeline_shards=1, checkpoint=None, shards=1,
-                   perf=None, backoff=2.0, pacing=None, max_pps=None):
+                   perf=None, backoff=2.0, pacing=None, max_pps=None,
+                   delta=None):
     """Run the complete methodology; returns a :class:`StudyResults`.
 
     ``weeks`` bounds the longitudinal part (the paper ran 55);
@@ -134,7 +135,8 @@ def run_full_study(scenario, weeks=20, snoop_sample=200,
     say("running %d weekly scans..." % weeks)
     campaign = scenario.new_campaign(verify=False, shards=shards,
                                      perf=perf, backoff=backoff,
-                                     pacing=pacing, max_pps=max_pps)
+                                     pacing=pacing, max_pps=max_pps,
+                                     delta=delta)
     campaign.run(weeks, checkpoint=(checkpoint.scope("campaign")
                                     if checkpoint is not None else None))
     results.series = magnitude_series(campaign.snapshots)

@@ -22,6 +22,7 @@ from repro.scanner.ipv4scan import (
     merge_scan_results,
 )
 from repro.scanner.pacing import PacingConfig, PacingPlan, normalize_pacing
+from repro.scanner.delta import DeltaConfig, normalize_delta
 from repro.scanner.engine import ScanEngine, ShardSupervisor
 from repro.scanner.domainengine import DomainScanEngine
 from repro.scanner.campaign import CampaignError, ScanCampaign, WeeklySnapshot
@@ -38,6 +39,7 @@ __all__ = [
     "CampaignError",
     "ChaosObservation",
     "ChaosScanner",
+    "DeltaConfig",
     "DnsObservation",
     "DomainScanEngine",
     "DomainScanner",
@@ -60,5 +62,6 @@ __all__ = [
     "decode_target_ip",
     "encode_target_qname",
     "merge_scan_results",
+    "normalize_delta",
     "normalize_pacing",
 ]

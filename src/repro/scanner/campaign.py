@@ -16,6 +16,8 @@ scanning the first incomplete week for real.
 """
 
 from repro.netsim.clock import WEEK
+from repro.scanner import delta as delta_mod
+from repro.scanner.delta import normalize_delta
 from repro.scanner.engine import ScanEngine
 from repro.scanner.ipv4scan import Ipv4Scanner
 
@@ -45,11 +47,13 @@ class ScanCampaign:
                  verification_source_ip=None, shards=1, perf=None,
                  retries=0, probe_timeout=None, backoff=2.0,
                  heartbeat_timeout=None, probe_batch=4096, pacing=None,
-                 max_pps=None, stream_results=False, chunk_rows=65536):
+                 max_pps=None, stream_results=False, chunk_rows=65536,
+                 delta=None):
         self.network = network
         self.churn = churn_model
         self.target_space = target_space
         self.perf = perf
+        self.delta = normalize_delta(delta)
         self.scanner = Ipv4Scanner(network, source_ip, measurement_domain,
                                    blacklist=blacklist, perf=perf,
                                    retries=retries,
@@ -76,18 +80,34 @@ class ScanCampaign:
                 stream_results=stream_results, chunk_rows=chunk_rows)
         self.snapshots = []
 
-    def run_week(self, verify=False, checkpoint=None):
-        """Advance churn, run this week's scan (plus verification scan)."""
-        self.churn.step()
+    def run_week(self, verify=False, checkpoint=None, force_full=False):
+        """Advance churn, run this week's scan (plus verification scan).
+
+        With :attr:`delta` configured, non-scheduled weeks after the
+        first run as delta weeks (see :mod:`repro.scanner.delta`): the
+        churn model is asked for its forecast *before* it steps, prior
+        verdicts in stable prefixes are carried forward with audit
+        probes and drift escalation, and only churned prefixes are
+        re-probed.  ``force_full`` pins a full sweep regardless (the
+        closing week of :meth:`run` re-baselines this way).
+        """
         week = len(self.snapshots)
+        forecast = None
+        if self.delta is not None and not force_full and week > 0 \
+                and week % self.delta.full_sweep_every != 0 \
+                and self.snapshots:
+            forecast = self.churn.pending_churn()
+        self.churn.step()
         tracer = getattr(self.network, "tracer", None)
         if tracer is not None:
-            with tracer.span("week", week=week, verify=bool(verify)):
+            with tracer.span("week", week=week, verify=bool(verify),
+                             delta=forecast is not None):
                 result, verification = self._scan_week(week, verify,
-                                                       checkpoint)
+                                                       checkpoint,
+                                                       forecast)
         else:
             result, verification = self._scan_week(week, verify,
-                                                   checkpoint)
+                                                   checkpoint, forecast)
         snapshot = WeeklySnapshot(week, result, verification)
         self.snapshots.append(snapshot)
         if self.perf is not None:
@@ -95,10 +115,19 @@ class ScanCampaign:
         self.network.clock.advance(WEEK)
         return snapshot
 
-    def _scan_week(self, week, verify, checkpoint):
-        scan_scope = (checkpoint.scope("week", week, "scan")
-                      if checkpoint is not None else None)
-        result = self.engine.scan(self.target_space, checkpoint=scan_scope)
+    def _scan_week(self, week, verify, checkpoint, forecast=None):
+        if forecast is not None:
+            result = delta_mod.run_delta_week(self, week, forecast,
+                                              checkpoint=checkpoint)
+        else:
+            scan_scope = (checkpoint.scope("week", week, "scan")
+                          if checkpoint is not None else None)
+            result = self.engine.scan(self.target_space,
+                                      checkpoint=scan_scope)
+            if self.delta is not None:
+                delta_mod.mark_full_sweep(result, week,
+                                          delta_mod.CAUSE_FULL_SWEEP,
+                                          self)
         verification = None
         if verify and self.verification_engine is not None:
             verify_scope = (checkpoint.scope("week", week, "verify")
@@ -115,9 +144,16 @@ class ScanCampaign:
         fast-forward instead of re-scanned, and each newly completed
         week is committed before the next begins.
         """
+        # With delta scanning on, the closing week always re-baselines
+        # with a full sweep: the last snapshot feeds the Table 1/2
+        # rankings, which must read measured reality, not carried data.
+        def closing(week):
+            return self.delta is not None and week == weeks - 1
+
         if checkpoint is None:
             for week in range(weeks):
-                self.run_week(verify=verify_last and week == weeks - 1)
+                self.run_week(verify=verify_last and week == weeks - 1,
+                              force_full=closing(week))
             return self.snapshots
 
         from repro.checkpoint import (capture_world_state, churn_digest,
@@ -149,7 +185,8 @@ class ScanCampaign:
             if not resume_noted:
                 resume_noted = True
                 checkpoint.note("resumed_from_week", week)
-            self.run_week(verify=verify, checkpoint=checkpoint)
+            self.run_week(verify=verify, checkpoint=checkpoint,
+                          force_full=closing(week))
             state = capture_world_state(self.network, self.perf)
             state["churn_digest"] = churn_digest(self.churn)
             checkpoint.commit(("week", week), self.snapshots[-1],

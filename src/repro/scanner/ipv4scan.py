@@ -39,6 +39,7 @@ Hot-path design (the "wire-level fast paths" of the sharded engine):
 import bisect
 from array import array
 from itertools import compress
+from sys import intern
 
 from repro.dnswire.constants import (
     RCODE_NOERROR,
@@ -287,9 +288,18 @@ class ScanResult:
     mergeable structure — not provenance entries — because the forked
     engine replaces result provenance wholesale with its own
     work-item log; :attr:`degraded_shards` surfaces both.
+
+    ``carried`` is the delta-scanning analogue (see
+    :mod:`repro.scanner.delta`): ``(window_base, delta cause)`` -> the
+    number of verdicts copied forward from the prior week instead of
+    probed, each such row also wearing :attr:`FLAG_CARRIED` in its
+    flags column.  Same contract as ``suppressed``: mergeable,
+    canonically sorted in pickles, omitted entirely when empty so
+    full-sweep results keep their historical bytes.
     """
 
     FLAG_DIVERGENT = 1
+    FLAG_CARRIED = 2
 
     def __init__(self, timestamp):
         self.timestamp = timestamp
@@ -297,6 +307,7 @@ class ScanResult:
         self.retransmissions = 0
         self.provenance = []
         self.suppressed = {}
+        self.carried = {}
         self._targets = array("I")
         self._rcodes = array("B")
         self._flags = array("B")
@@ -321,6 +332,20 @@ class ScanResult:
         self._flags.append(self.FLAG_DIVERGENT if divergent else 0)
         self._views = None
 
+    def record_carried(self, value, rcode, flags, window_base, cause):
+        """Copy one prior-week row forward without probing it.
+
+        The row keeps its original rcode and divergence flag, gains
+        :attr:`FLAG_CARRIED`, and is tallied under ``(window_base,
+        cause)`` in :attr:`carried` — explicit provenance for every
+        verdict this result asserts but did not measure."""
+        self._targets.append(value)
+        self._rcodes.append(rcode)
+        self._flags.append(flags | self.FLAG_CARRIED)
+        key = (window_base, cause)
+        self.carried[key] = self.carried.get(key, 0) + 1
+        self._views = None
+
     def merge(self, other):
         """Fold another (disjoint shard's) result into this one."""
         self.probes_sent += other.probes_sent
@@ -328,6 +353,8 @@ class ScanResult:
         self.provenance.extend(other.provenance)
         for key, count in other.suppressed.items():
             self.suppressed[key] = self.suppressed.get(key, 0) + count
+        for key, count in other.carried.items():
+            self.carried[key] = self.carried.get(key, 0) + count
         self._targets.extend(other._targets)
         self._rcodes.extend(other._rcodes)
         self._flags.extend(other._flags)
@@ -380,9 +407,15 @@ class ScanResult:
                 if bucket is None:
                     bucket = by_rcode[rcode] = set()
                 bucket.add(ip)
-            divergent = set(compress(ips, self._flags))
+            divergent = set(compress(
+                ips, (flag & self.FLAG_DIVERGENT for flag in self._flags)))
             views = self._views = (set(ips), by_rcode, divergent)
         return views[which]
+
+    def iter_rows(self):
+        """Yield raw ``(target_int, rcode, flags)`` rows — the feed a
+        delta scan carries forward (see :mod:`repro.scanner.delta`)."""
+        return zip(self._targets, self._rcodes, self._flags)
 
     @property
     def responders(self):
@@ -417,6 +450,11 @@ class ScanResult:
     def suppressed_targets(self):
         """Total targets skipped under defensive suppression."""
         return sum(self.suppressed.values())
+
+    @property
+    def carried_targets(self):
+        """Total verdicts carried forward from a prior scan unprobed."""
+        return sum(self.carried.values())
 
     @property
     def noerror(self):
@@ -473,11 +511,23 @@ class ScanResult:
         targets = array("I", (row[0] for row in rows))
         rcodes = array("B", (row[1] for row in rows))
         flags = array("B", (row[2] for row in rows))
+
+        # Pickle output must depend on *values* only, never on string
+        # object identity: the pickler memoizes by id, so a provenance
+        # string that happens to share an object with a later key (a
+        # compile-time literal) serializes shorter than an equal-but-
+        # distinct string from an unpickled checkpoint.  Interning every
+        # string routes all equal values through one canonical object.
+        def canonical(value):
+            return intern(value) if type(value) is str else value
+
         state = {
             "timestamp": self.timestamp,
             "probes_sent": self.probes_sent,
             "retransmissions": self.retransmissions,
-            "provenance": self.provenance,
+            "provenance": [{intern(key): canonical(value)
+                            for key, value in entry.items()}
+                           for entry in self.provenance],
             "targets": targets.tobytes(),
             "rcodes": rcodes.tobytes(),
             "flags": flags.tobytes(),
@@ -486,8 +536,13 @@ class ScanResult:
             # Canonical (sorted) and omitted when empty, so pickles of
             # suppression-free results keep their historical bytes.
             state["suppressed"] = tuple(sorted(
-                (window, cause, count)
+                (window, intern(cause), count)
                 for (window, cause), count in self.suppressed.items()))
+        if self.carried:
+            # Same byte-stability contract as suppressed.
+            state["carried"] = tuple(sorted(
+                (window, intern(cause), count)
+                for (window, cause), count in self.carried.items()))
         return state
 
     def __setstate__(self, state):
@@ -497,6 +552,8 @@ class ScanResult:
         self.provenance = state["provenance"]
         self.suppressed = {(window, cause): count for window, cause, count
                            in state.get("suppressed", ())}
+        self.carried = {(window, cause): count for window, cause, count
+                        in state.get("carried", ())}
         self._targets = array("I")
         self._targets.frombytes(state["targets"])
         self._rcodes = array("B")
@@ -632,6 +689,8 @@ class Ipv4Scanner:
         self.perf = perf
         if retries < 0:
             raise ValueError("retries must be >= 0")
+        if probe_timeout is not None and not probe_timeout > 0:
+            raise ValueError("probe_timeout must be > 0 (or None)")
         if probe_batch < 1:
             raise ValueError("probe batch size must be >= 1")
         self.retries = retries

@@ -262,7 +262,7 @@ class Scenario:
                      probe_timeout=None, backoff=2.0,
                      heartbeat_timeout=None, probe_batch=4096,
                      pacing=None, max_pps=None, stream_results=False,
-                     chunk_rows=65536):
+                     chunk_rows=65536, delta=None):
         return ScanCampaign(
             self.network, self.churn, self.target_space(),
             self.scanner_ip, MEASUREMENT_DOMAIN, blacklist=self.blacklist,
@@ -272,7 +272,8 @@ class Scenario:
             probe_timeout=probe_timeout, backoff=backoff,
             heartbeat_timeout=heartbeat_timeout,
             probe_batch=probe_batch, pacing=pacing, max_pps=max_pps,
-            stream_results=stream_results, chunk_rows=chunk_rows)
+            stream_results=stream_results, chunk_rows=chunk_rows,
+            delta=delta)
 
     def new_pipeline(self, **kwargs):
         return ManipulationPipeline(

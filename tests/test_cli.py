@@ -65,6 +65,54 @@ class TestKnobValidation:
         assert (args.probe_batch, args.node_cache, args.shards) \
             == (128, 16, 3)
 
+    @pytest.mark.parametrize("flag,value", [
+        ("--retries", "-3"),
+        ("--retries", "1.5"),
+        ("--retries", "lots"),
+        ("--probe-timeout", "0"),
+        ("--probe-timeout", "-1"),
+        ("--probe-timeout", "nan"),
+        ("--probe-timeout", "soon"),
+    ])
+    def test_nonsense_probe_knobs_rejected(self, flag, value, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["scan", flag, value])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "must be" in err or "is not a" in err
+
+    def test_retries_zero_is_valid(self):
+        # Zero retries is the single-probe fast path, not nonsense.
+        args = build_parser().parse_args(
+            ["scan", "--retries", "0", "--probe-timeout", "2.5"])
+        assert (args.retries, args.probe_timeout) == (0, 2.5)
+
+    @pytest.mark.parametrize("flag,value", [
+        ("--audit-fraction", "0"),
+        ("--audit-fraction", "1"),
+        ("--audit-fraction", "1.5"),
+        ("--audit-fraction", "-0.1"),
+        ("--drift-budget", "0"),
+        ("--drift-budget", "1"),
+        ("--drift-budget", "nan"),
+        ("--full-sweep-every", "0"),
+        ("--full-sweep-every", "-4"),
+    ])
+    def test_nonsense_delta_knobs_rejected(self, flag, value, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["campaign", flag, value])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "must be" in err or "is not a" in err
+
+    def test_delta_flags_parse(self):
+        args = build_parser().parse_args(
+            ["campaign", "--delta", "--audit-fraction", "0.1",
+             "--drift-budget", "0.25", "--full-sweep-every", "6"])
+        assert args.delta is True
+        assert (args.audit_fraction, args.drift_budget,
+                args.full_sweep_every) == (0.1, 0.25, 6)
+
     def test_streaming_flags_parse(self):
         args = build_parser().parse_args(
             ["scan", "--stream-results", "--lazy-population"])
@@ -94,6 +142,12 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "decline ratio" in out
         assert "surviving" in out
+
+    def test_campaign_delta(self, capsys):
+        assert main(["campaign", "--weeks", "4", "--delta"] + SMALL) == 0
+        out = capsys.readouterr().out
+        assert "decline ratio" in out
+        assert "delta:" in out and "carried" in out
 
     def test_classify_rejects_unknown_set(self, capsys):
         assert main(["classify", "--set", "Nope"] + SMALL) == 2
