@@ -4,6 +4,7 @@ See :mod:`repro.checkpoint.run` for the supervisor that ties the pieces
 together, and ``DESIGN.md`` ("Durability & resume") for the invariants.
 """
 
+from repro.checkpoint.feed import CheckpointFeed, scan_journal
 from repro.checkpoint.journal import Journal, JournalReplay
 from repro.checkpoint.run import CheckpointedRun, CheckpointScope
 from repro.checkpoint.state import (
@@ -27,6 +28,7 @@ from repro.checkpoint.store import (
 
 __all__ = [
     "CheckpointError",
+    "CheckpointFeed",
     "CheckpointScope",
     "CheckpointedRun",
     "Journal",
@@ -44,4 +46,5 @@ __all__ = [
     "encode_snapshot",
     "key_filename",
     "restore_world_state",
+    "scan_journal",
 ]

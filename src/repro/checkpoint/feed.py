@@ -1,0 +1,134 @@
+"""Read-only checkpoint feed: tail a run's journal without owning it.
+
+The observatory ingests completed units of work out of a campaign's
+checkpoint directory while the campaign may still be running (or may
+crash and resume).  The write side — :class:`repro.checkpoint.Journal`
+— replays destructively: torn tails are truncated away and damaged
+spans moved to the quarantine sidecar, which is correct for the process
+that *owns* the directory and catastrophic for an observer peeking at a
+live one.  :class:`CheckpointFeed` therefore re-walks the same framing
+read-only: intact records are decoded in append order, damage is
+*skipped* (counted, never moved or truncated), and every intact record
+carries a sequence number so an incremental consumer can persist a
+cursor and resume the tail later.
+
+Only ``commit`` records reference snapshot payloads; :meth:`load`
+fetches those through the same checksummed decoder the owning run uses,
+without ever writing to the directory.
+"""
+
+import json
+import os
+import pickle
+import zlib
+
+from repro.checkpoint.journal import _HEADER_SIZE, _MAGIC, _MAX_RECORD
+from repro.checkpoint.store import (
+    SnapshotCorruption,
+    decode_snapshot,
+    key_filename,
+)
+
+
+def scan_journal(path, start=0):
+    """Yield ``(seq, record)`` for every intact journal record.
+
+    ``seq`` counts intact records from the start of the file (damaged
+    spans do not advance it — the same numbering the owning journal's
+    replay produces).  ``start`` skips records already consumed.  The
+    file is opened read-only; torn tails and corrupt records are
+    silently skipped, exactly the spans the owner will quarantine on
+    its next resume.
+    """
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except FileNotFoundError:
+        return
+    offset = 0
+    seq = 0
+    size = len(data)
+    while offset < size:
+        header = data[offset:offset + _HEADER_SIZE]
+        if len(header) < _HEADER_SIZE or header[:2] != _MAGIC:
+            break                      # torn tail / lost framing: stop
+        length = int.from_bytes(header[2:6], "big")
+        end = offset + _HEADER_SIZE + length
+        if length > _MAX_RECORD or end > size:
+            break                      # bad length / torn tail
+        payload = data[offset + _HEADER_SIZE:end]
+        offset = end
+        if zlib.crc32(payload) != int.from_bytes(header[6:10], "big"):
+            continue                   # corrupt record: owner quarantines
+        try:
+            record = pickle.loads(payload)
+        except Exception:
+            continue
+        if seq >= start:
+            yield seq, record
+        seq += 1
+
+
+class CheckpointFeed:
+    """One checkpoint directory, viewed as an ingestible record stream."""
+
+    def __init__(self, directory):
+        self.directory = directory
+        self._journal_path = os.path.join(directory, "journal.wal")
+        self._snapshot_dir = os.path.join(directory, "snapshots")
+        self.meta = self._read_meta()
+
+    def _read_meta(self):
+        try:
+            with open(os.path.join(self.directory, "meta.json")) as handle:
+                return json.load(handle)
+        except (FileNotFoundError, ValueError):
+            return {}
+
+    def identity(self):
+        """A stable identity for cursor bookkeeping.
+
+        Derived from the run's meta (command, seed, scale, ...), not the
+        directory path: a crashed run resumed in the same directory —
+        or re-ingested from a copied one — is the *same* feed, and its
+        already-consumed prefix must not be folded twice.
+        """
+        canonical = json.dumps(self.meta, sort_keys=True)
+        return "feed-%08x" % zlib.crc32(canonical.encode("utf-8"))
+
+    def records(self, start=0):
+        """Intact journal records from sequence ``start`` on."""
+        return scan_journal(self._journal_path, start=start)
+
+    def commits(self, start=0):
+        """Yield ``(seq, key_tuple, record)`` for commit records only."""
+        for seq, record in self.records(start=start):
+            if isinstance(record, dict) and record.get("kind") == "commit":
+                yield seq, tuple(record["key"]), record
+
+    def record_count(self):
+        """Total intact records currently in the journal (for lag)."""
+        count = 0
+        for count, __ in enumerate(self.records(), 1):
+            pass
+        return count
+
+    def load(self, key):
+        """Load one committed unit's snapshot payload, read-only.
+
+        Raises ``FileNotFoundError`` / :class:`SnapshotCorruption` like
+        the owning store would; the caller decides whether a damaged
+        unit is skippable (the owner will quarantine and recompute it).
+        """
+        path = os.path.join(self._snapshot_dir, key_filename(tuple(key)))
+        with open(path, "rb") as handle:
+            return decode_snapshot(handle.read())
+
+    def load_or_none(self, key):
+        try:
+            return self.load(key)
+        except (FileNotFoundError, SnapshotCorruption):
+            return None
+
+    def __repr__(self):
+        return "CheckpointFeed(%r)" % self.directory

@@ -14,6 +14,7 @@ and ``--seed``.  All output is plain text on stdout.
 """
 
 import argparse
+import os
 import sys
 
 from repro.perf import PerfRegistry
@@ -74,6 +75,43 @@ def _fraction(text):
         raise argparse.ArgumentTypeError(
             "must be a positive fraction below 1 (got %r)" % text)
     return value
+
+
+def _store_dir(text):
+    """Argparse type for the observatory store directory.
+
+    The directory need not exist yet (ingest creates it), but a path to
+    an existing *file* is rejected here rather than as an OSError out of
+    the generation writer.
+    """
+    if not text or not text.strip():
+        raise argparse.ArgumentTypeError("store directory must be "
+                                         "a non-empty path")
+    if os.path.exists(text) and not os.path.isdir(text):
+        raise argparse.ArgumentTypeError(
+            "%r exists and is not a directory" % text)
+    return text
+
+
+def _endpoint(text):
+    """Argparse type for ``host:port`` listen addresses.
+
+    Returns ``(host, port)``; port 0 is allowed (the OS picks a free
+    port — useful under test), anything outside 0-65535 is not.
+    """
+    host, sep, port_text = text.rpartition(":")
+    if not sep or not host:
+        raise argparse.ArgumentTypeError(
+            "%r is not host:port (e.g. 127.0.0.1:8053)" % text)
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            "%r has a non-integer port" % text)
+    if not 0 <= port <= 65535:
+        raise argparse.ArgumentTypeError(
+            "port must be 0-65535 (got %d)" % port)
+    return (host, port)
 
 
 def _add_common(parser):
@@ -560,6 +598,191 @@ def cmd_trace(args):
     return 0
 
 
+def _open_store(args, create=False):
+    from repro.observatory import ObservatoryError, ResolverStore
+    try:
+        if create:
+            return ResolverStore.open_or_create(args.store_dir)
+        return ResolverStore.open(args.store_dir)
+    except ObservatoryError as error:
+        raise SystemExit("error: %s" % error)
+
+
+def _observe_geo(args):
+    """Geography enrichment for ingest, rebuilt from the checkpoint's
+    own recorded scale/seed — the scenario's prefix->country/AS mapping
+    is deterministic, so this is the world the campaign scanned."""
+    if getattr(args, "no_geo", False):
+        return None
+    from repro.checkpoint import CheckpointFeed
+    from repro.observatory import scenario_geo
+    meta = CheckpointFeed(args.source).meta
+    scale, seed = meta.get("scale"), meta.get("seed")
+    if not scale or seed is None:
+        print("observe: checkpoint meta lacks scale/seed; "
+              "skipping geography", file=sys.stderr)
+        return None
+    print("building 1:%d world (seed %d) for geography..."
+          % (scale, seed), file=sys.stderr)
+    scenario = build_scenario(ScenarioConfig(scale=scale, seed=seed))
+    return scenario_geo(scenario)
+
+
+def _observe_tracer(args):
+    if not (getattr(args, "trace", False)
+            or getattr(args, "trace_out", None)):
+        return None
+    from repro.obs import Tracer
+    return Tracer(seed=getattr(args, "seed", None))
+
+
+def _export_observe_trace(args, tracer, perf):
+    if tracer is None:
+        return
+    from repro.obs import export_trace
+    path = getattr(args, "trace_out", None) or "trace.jsonl"
+    meta = {"command": "observe-%s" % args.observe_command}
+    spans, events = export_trace(path, tracer=tracer, perf=perf,
+                                 meta=meta)
+    print("trace: %d spans, %d flight events written to %s"
+          % (spans, events, path), file=sys.stderr)
+
+
+def _ingest_once(store, args, geo, perf, tracer):
+    from repro.observatory import ingest_checkpoint
+    report = ingest_checkpoint(store, args.source, geo=geo, perf=perf,
+                               tracer=tracer)
+    if report.changed():
+        print("ingest: folded %d units (%d weeks, %d fingerprints, "
+              "%d verdicts) -> generation %s"
+              % (report.units_folded, len(report.weeks_folded),
+                 report.fingerprints, report.verdicts,
+                 report.generation), file=sys.stderr)
+    else:
+        print("ingest: nothing new (%d units already folded)"
+              % report.units_skipped, file=sys.stderr)
+    return report
+
+
+def cmd_observe_ingest(args):
+    import time
+    if not os.path.isdir(args.source):
+        raise SystemExit("error: no checkpoint directory at %s"
+                         % args.source)
+    store = _open_store(args, create=True)
+    geo = _observe_geo(args)
+    perf = _perf_registry(args)
+    tracer = _observe_tracer(args)
+    try:
+        _ingest_once(store, args, geo, perf, tracer)
+        while args.watch:
+            time.sleep(args.ingest_poll)
+            _ingest_once(store, args, geo, perf, tracer)
+    except KeyboardInterrupt:
+        pass
+    print("store: %d resolvers, %d weeks, generation %d in %s"
+          % (len(store), len(store.weeks()), store.generation,
+             args.store_dir))
+    _report_perf(args, perf)
+    _export_observe_trace(args, tracer, perf)
+    return 0
+
+
+def cmd_observe_lookup(args):
+    import json
+    from repro.observatory import Observatory
+    store = _open_store(args)
+    try:
+        record = Observatory(store).lookup(args.resolver)
+    except ValueError as error:
+        raise SystemExit("error: %s" % error)
+    if record is None:
+        print("unknown resolver %s" % args.resolver, file=sys.stderr)
+        return 1
+    print(json.dumps(record, indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_observe_rankings(args):
+    from repro.analysis.geography import format_fluctuation
+    from repro.observatory import Observatory
+    observatory = Observatory(_open_store(args))
+    try:
+        rows, top_share = observatory.country_rankings(top=args.top)
+    except LookupError as error:
+        raise SystemExit("error: %s" % error)
+    print(format_fluctuation(rows, "Country"))
+    print("top %d countries: %.1f%% of first-scan resolvers"
+          % (len(rows), top_share))
+    print()
+    print(format_fluctuation(observatory.rir_rankings(), "RIR"))
+    return 0
+
+
+def cmd_observe_survival(args):
+    from repro.analysis.churn import format_survival
+    from repro.observatory import Observatory
+    observatory = Observatory(_open_store(args))
+    print(format_survival(observatory.survival()))
+    return 0
+
+
+def cmd_observe_timeline(args):
+    from repro.observatory import Observatory
+    observatory = Observatory(_open_store(args))
+    try:
+        rows = observatory.timeline(args.prefix)
+    except ValueError as error:
+        raise SystemExit("error: %s" % error)
+    print("week  responders      new     gone  mode   carried")
+    for row in rows:
+        print("%4d  %10d %8d %8d  %-5s %8d"
+              % (row["week"], row["responders"], row["new"],
+                 row["gone"], row["mode"], row["carried"]))
+    return 0
+
+
+def cmd_observe_stats(args):
+    import json
+    from repro.observatory import Observatory
+    print(json.dumps(Observatory(_open_store(args)).stats(),
+                     indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_observe_serve(args):
+    import time
+    from repro.observatory import Observatory, ObservatoryServer
+    if args.source and not os.path.isdir(args.source):
+        raise SystemExit("error: no checkpoint directory at %s"
+                         % args.source)
+    store = _open_store(args, create=bool(args.source))
+    perf = PerfRegistry()
+    tracer = _observe_tracer(args)
+    geo = _observe_geo(args) if args.source else None
+    observatory = Observatory(store, perf=perf, tracer=tracer)
+    if args.source:
+        _ingest_once(store, args, geo, perf, tracer)
+    host, port = args.listen
+    server = ObservatoryServer(observatory, host=host, port=port)
+    server.start()
+    print("observatory: %d resolvers, %d weeks; listening on %s"
+          % (len(store), len(store.weeks()), server.url),
+          file=sys.stderr)
+    try:
+        while True:
+            time.sleep(args.ingest_poll)
+            if args.source:
+                with server.lock:
+                    _ingest_once(store, args, geo, perf, tracer)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    _export_observe_trace(args, tracer, perf)
+    return 0
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -621,6 +844,82 @@ def build_parser():
                        help="schema-check the trace and print a summary "
                             "instead of the full report")
     trace.set_defaults(func=cmd_trace)
+
+    observe = subparsers.add_parser(
+        "observe", help="resident query plane over campaign results")
+    observe_sub = observe.add_subparsers(dest="observe_command",
+                                         required=True)
+
+    def _observe_store_arg(sub):
+        sub.add_argument("--store-dir", type=_store_dir, required=True,
+                         metavar="DIR",
+                         help="observatory store directory "
+                              "(MANIFEST.json + generations)")
+
+    def _observe_source_args(sub, required):
+        sub.add_argument("--from", dest="source", required=required,
+                         default=None, metavar="DIR",
+                         help="campaign/fullstudy --checkpoint-dir "
+                              "whose journal to tail")
+        sub.add_argument("--ingest-poll", type=_positive_float,
+                         default=2.0, metavar="SEC",
+                         help="seconds between journal polls "
+                              "(--watch / serve)")
+        sub.add_argument("--no-geo", action="store_true",
+                         help="skip geography enrichment (no world "
+                              "rebuild; records show ??/???)")
+
+    ingest = observe_sub.add_parser(
+        "ingest", help="fold a checkpoint journal into the store")
+    _observe_store_arg(ingest)
+    _observe_source_args(ingest, required=True)
+    ingest.add_argument("--watch", action="store_true",
+                        help="keep polling the journal for new commits "
+                             "until interrupted")
+    ingest.add_argument("--perf", action="store_true",
+                        help="print a throughput report to stderr")
+    _add_trace(ingest)
+    ingest.set_defaults(func=cmd_observe_ingest)
+
+    lookup = observe_sub.add_parser(
+        "lookup", help="one resolver's record as JSON")
+    _observe_store_arg(lookup)
+    lookup.add_argument("resolver", help="dotted-quad resolver address")
+    lookup.set_defaults(func=cmd_observe_lookup)
+
+    rankings = observe_sub.add_parser(
+        "rankings", help="Table 1/2 fluctuation rankings from the store")
+    _observe_store_arg(rankings)
+    rankings.add_argument("--top", type=_positive_int, default=10,
+                          help="countries to rank (Table 1 rows)")
+    rankings.set_defaults(func=cmd_observe_rankings)
+
+    survival = observe_sub.add_parser(
+        "survival", help="Figure 2 cohort survival from the store")
+    _observe_store_arg(survival)
+    survival.set_defaults(func=cmd_observe_survival)
+
+    timeline = observe_sub.add_parser(
+        "timeline", help="week-by-week churn inside one CIDR prefix")
+    _observe_store_arg(timeline)
+    timeline.add_argument("prefix", help="CIDR prefix, e.g. 10.8.0.0/16")
+    timeline.set_defaults(func=cmd_observe_timeline)
+
+    stats = observe_sub.add_parser(
+        "stats", help="store facts as JSON")
+    _observe_store_arg(stats)
+    stats.set_defaults(func=cmd_observe_stats)
+
+    serve = observe_sub.add_parser(
+        "serve", help="embedded HTTP/JSON API over the store")
+    _observe_store_arg(serve)
+    _observe_source_args(serve, required=False)
+    serve.add_argument("--listen", type=_endpoint,
+                       default=("127.0.0.1", 8053), metavar="HOST:PORT",
+                       help="listen address (port 0: OS-assigned)")
+    _add_trace(serve)
+    serve.set_defaults(func=cmd_observe_serve)
+
     return parser
 
 

@@ -81,18 +81,27 @@ def export_trace(path, tracer=None, recorder=None, perf=None, meta=None):
 
 
 def read_trace(path):
-    """Parse one JSONL trace file into a list of record dicts."""
+    """Parse one JSONL trace file into a list of record dicts.
+
+    Raises :class:`TraceSchemaError` for anything that is not a JSONL
+    text file — including binary garbage, which would otherwise escape
+    as a :class:`UnicodeDecodeError` from the line iterator.
+    """
     records = []
     with open(path, "r") as handle:
-        for lineno, line in enumerate(handle, 1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                records.append(json.loads(line))
-            except ValueError:
-                raise TraceSchemaError("line %d is not valid JSON"
-                                       % lineno)
+        try:
+            for lineno, line in enumerate(handle, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except ValueError:
+                    raise TraceSchemaError("line %d is not valid JSON"
+                                           % lineno)
+        except UnicodeDecodeError:
+            raise TraceSchemaError(
+                "not a JSONL text file (binary or wrong encoding)")
     return records
 
 

@@ -1,0 +1,275 @@
+"""Incremental ingest: fold a checkpoint feed into the resolver store.
+
+The feed is a campaign/fullstudy checkpoint directory (see
+:class:`repro.checkpoint.CheckpointFeed`); the units worth folding are:
+
+* **weekly snapshots** — commit keys ending ``("week", N)`` whose
+  payload is a :class:`~repro.scanner.campaign.WeeklySnapshot`: the
+  scan's observation columns become that week's
+  :class:`~repro.observatory.store.WeekColumns` plus per-resolver
+  first/last-week, rcode, and flag updates (``delta:*`` carried rows
+  keep their ``FLAG_CARRIED`` provenance bit);
+* **fingerprint study units** — ``("study", "fingerprint")``: CHAOS
+  software outcomes and device classifications per resolver;
+* **pipeline labeling stages** — ``("pipeline", <set>, "stage",
+  "labeling")``: manipulation verdict labels per resolver.
+
+Idempotence is the load-bearing invariant: every folded unit is
+remembered as ``key -> payload digest`` in the store, so re-ingesting a
+replayed journal span — same crash-resumed campaign, same directory
+ingested twice, an observer polling a live run — folds nothing twice.
+A unit whose payload *changed* (a re-committed key) replaces cleanly,
+because week folding rebuilds that week's columns from the payload
+rather than accumulating into them.
+"""
+
+import pickle
+import time
+import zlib
+from array import array
+
+from repro.checkpoint.feed import CheckpointFeed
+from repro.dnswire.constants import (
+    RCODE_NOERROR,
+    RCODE_REFUSED,
+    RCODE_SERVFAIL,
+)
+from repro.netsim.address import int_to_ip
+from repro.observatory.store import WeekColumns
+
+_RCODE_NAMES = {RCODE_NOERROR: "noerror", RCODE_REFUSED: "refused",
+                RCODE_SERVFAIL: "servfail"}
+
+
+class GeoSource:
+    """Geography enrichment for ingest: ip -> (country, rir, asn).
+
+    Wraps the scenario's GeoIP database and AS registry; the observatory
+    caches the answer per resolver row, so each address is located once
+    across the store's whole lifetime.
+    """
+
+    def __init__(self, geoip, as_registry):
+        self.geoip = geoip
+        self.as_registry = as_registry
+
+    def locate(self, ip):
+        return (self.geoip.country(ip), self.geoip.rir(ip),
+                self.as_registry.asn_of(ip))
+
+
+def scenario_geo(scenario):
+    return GeoSource(scenario.geoip, scenario.as_registry)
+
+
+class IngestReport:
+    """What one ingest pass saw and did."""
+
+    def __init__(self):
+        self.units_seen = 0          # commit records encountered
+        self.units_folded = 0        # units newly folded this pass
+        self.units_skipped = 0       # already-ingested units (no-ops)
+        self.weeks_folded = []
+        self.fingerprints = 0
+        self.verdicts = 0
+        self.lag_records = 0         # journal records pending at start
+        self.seconds = 0.0
+        self.generation = None       # store generation after save
+
+    def changed(self):
+        return self.units_folded > 0
+
+    def __repr__(self):
+        return ("IngestReport(%d seen, %d folded, %d skipped, "
+                "weeks=%r)" % (self.units_seen, self.units_folded,
+                               self.units_skipped, self.weeks_folded))
+
+
+def _payload_digest(payload):
+    return "%08x" % zlib.crc32(
+        pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def _is_week_key(key):
+    return (len(key) >= 2 and key[-2] == "week"
+            and isinstance(key[-1], int))
+
+
+def _is_fingerprint_key(key):
+    return len(key) >= 2 and key[-2:] == ("study", "fingerprint")
+
+
+def _is_labeling_key(key):
+    return (len(key) >= 2 and key[-2:] == ("stage", "labeling")
+            and "pipeline" in key[:-2])
+
+
+def ingest_checkpoint(store, directory, geo=None, perf=None,
+                      tracer=None, save=True):
+    """Fold every new unit of ``directory``'s journal into ``store``.
+
+    Incremental and idempotent: the store's cursor for this feed skips
+    journal records consumed by an earlier pass, and the per-unit
+    digest ledger turns replayed spans (crash-resumed campaigns, a
+    directory ingested twice) into recognized no-ops.  With ``save``
+    (the default), a pass that folded anything commits a new store
+    generation before returning.
+
+    Returns an :class:`IngestReport`.
+    """
+    feed = CheckpointFeed(directory)
+    report = IngestReport()
+    started = time.perf_counter()
+    feed_id = feed.identity()
+    cursor = store.cursors.get(feed_id, 0)
+    report.lag_records = max(0, feed.record_count() - cursor)
+
+    def fold():
+        last_seq = cursor - 1
+        for seq, key, record in feed.commits(start=cursor):
+            last_seq = seq
+            report.units_seen += 1
+            _fold_unit(store, feed, key, record, geo, report)
+        if last_seq >= cursor:
+            store.cursors[feed_id] = last_seq + 1
+        if store.meta.get("feed_meta") is None and feed.meta:
+            store.meta["feed_meta"] = dict(feed.meta)
+        if perf is not None:
+            perf.count("observatory_units_folded", report.units_folded)
+            perf.count("observatory_units_skipped",
+                       report.units_skipped)
+            perf.gauge("observatory_ingest_lag_records",
+                       report.lag_records)
+        if save and report.changed():
+            report.generation = store.save()
+        else:
+            report.generation = store.generation
+
+    if tracer is not None:
+        with tracer.span("observatory_ingest", feed=feed_id,
+                         cursor=cursor, lag=report.lag_records):
+            fold()
+    else:
+        fold()
+    report.seconds = time.perf_counter() - started
+    if perf is not None:
+        perf.record_seconds("observatory_ingest", report.seconds)
+    return report
+
+
+def _fold_unit(store, feed, key, record, geo, report):
+    """Fold one commit record, if it is a unit the observatory keeps."""
+    if _is_week_key(key):
+        fold = _fold_week
+    elif _is_fingerprint_key(key):
+        fold = _fold_fingerprint
+    elif _is_labeling_key(key):
+        fold = _fold_labeling
+    else:
+        return
+    payload = feed.load_or_none(key)
+    if payload is None:
+        return    # snapshot missing/damaged: the owner will recommit it
+    digest = _payload_digest(payload)
+    ledger_key = "/".join(str(part) for part in key)
+    if store.ingested.get(ledger_key) == digest:
+        report.units_skipped += 1
+        return
+    if fold(store, key, payload, geo, report):
+        store.ingested[ledger_key] = digest
+        report.units_folded += 1
+
+
+def _fold_week(store, key, payload, geo, report):
+    """Fold one WeeklySnapshot into week columns + resolver records."""
+    result = getattr(payload, "result", None)
+    week = getattr(payload, "week", None)
+    if result is None or not isinstance(week, int):
+        return False  # a shard sub-commit or foreign payload: not a week
+    columns = WeekColumns(week)
+    targets_raw, rcodes_raw, flags_raw = result.canonical_columns()
+    targets = array("I")
+    targets.frombytes(targets_raw)
+    rcodes = array("B")
+    rcodes.frombytes(rcodes_raw)
+    flags = array("B")
+    flags.frombytes(flags_raw)
+    seen = set()
+    noerror = set()
+    for value, rcode, row_flags in zip(targets, rcodes, flags):
+        store.observe(value, week, rcode, row_flags)
+        if geo is not None and store.geo_of(value)[0] == "??":
+            country, rir, asn = geo.locate(int_to_ip(value))
+            store.locate(value, country, rir, asn)
+        seen.add(value)
+        if rcode == RCODE_NOERROR:
+            noerror.add(value)
+    columns.targets = array("I", sorted(seen))
+    columns.noerror = array("I", sorted(noerror))
+    columns.probes_sent = result.probes_sent
+    columns.carried_targets = result.carried_targets
+    columns.suppressed_targets = result.suppressed_targets
+    columns.counts = _rcode_counts(targets, rcodes)
+    columns.mode = _week_mode(result)
+    store.put_week(columns)
+    report.weeks_folded.append(week)
+    return True
+
+
+def _rcode_counts(targets, rcodes):
+    buckets = {}
+    for name in _RCODE_NAMES.values():
+        buckets[name] = set()
+    other = set()
+    for value, rcode in zip(targets, rcodes):
+        buckets.get(_RCODE_NAMES.get(rcode), other).add(value)
+    counts = {name: len(bucket) for name, bucket in buckets.items()}
+    counts["other"] = len(other)
+    return counts
+
+
+def _week_mode(result):
+    for entry in result.provenance:
+        if entry.get("kind") == "delta" and entry.get("status") == "ok":
+            return entry.get("mode", "delta")
+    return "full"
+
+
+def _fold_fingerprint(store, key, payload, geo, report):
+    """Fold the fingerprint study unit: software + device labels."""
+    if not isinstance(payload, dict) or not ("software" in payload
+                                             or "classifications"
+                                             in payload):
+        return False
+    for observation in payload.get("software") or ():
+        ip = getattr(observation, "resolver_ip", None)
+        if ip is None:
+            continue
+        store.set_software(_ip_int(ip), observation.outcome,
+                           observation.version_string)
+        report.fingerprints += 1
+    for ip, classification in (payload.get("classifications")
+                               or {}).items():
+        hardware, os_name, vendor = classification
+        store.set_device(_ip_int(ip), hardware, os_name, vendor)
+        report.fingerprints += 1
+    return True
+
+
+def _fold_labeling(store, key, payload, geo, report):
+    """Fold one domain set's manipulation verdicts per resolver."""
+    if not isinstance(payload, dict) or "labeled" not in payload:
+        return False
+    for labeled in payload["labeled"] or ():
+        capture = getattr(labeled, "capture", None)
+        ip = getattr(capture, "resolver_ip", None)
+        if ip is None:
+            continue
+        store.add_verdict(_ip_int(ip), labeled.label, labeled.sublabel)
+        report.verdicts += 1
+    return True
+
+
+def _ip_int(ip):
+    from repro.netsim.address import ip_to_int
+    return ip_to_int(ip) if isinstance(ip, str) else ip

@@ -417,6 +417,21 @@ class ScanResult:
         delta scan carries forward (see :mod:`repro.scanner.delta`)."""
         return zip(self._targets, self._rcodes, self._flags)
 
+    def canonical_columns(self):
+        """The observation columns as canonically sorted raw bytes.
+
+        Returns ``(targets, rcodes, flags)`` byte strings in (target,
+        rcode, flags) row-sort order — the same canonical form
+        :meth:`__getstate__` ships — so two results holding the same
+        observations in any internal order yield identical buffers.
+        The observatory's ingest layer folds and digests week columns
+        off this view without paying a full pickle round trip.
+        """
+        rows = sorted(zip(self._targets, self._rcodes, self._flags))
+        return (array("I", (row[0] for row in rows)).tobytes(),
+                array("B", (row[1] for row in rows)).tobytes(),
+                array("B", (row[2] for row in rows)).tobytes())
+
     @property
     def responders(self):
         """All target IPs that answered (lazy set view)."""

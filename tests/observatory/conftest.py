@@ -1,0 +1,99 @@
+"""Shared observatory fixtures: a checkpointed MiniWorld campaign.
+
+The ingest/query/service tests all need the same thing — a finished
+campaign whose checkpoint directory the observatory can tail — so one
+module builds it.  The world is deterministic (same builder as the
+delta-scanning tests), which is what makes the crash-resume equality
+assertions meaningful.
+"""
+
+import pytest
+
+from repro.checkpoint import CheckpointedRun
+from repro.inetmodel import ChurnModel, LeasedHost
+from repro.netsim.address import ip_to_int
+from repro.netsim.clock import DAY
+from repro.resolvers import ResolverNode
+from repro.scanner import ScanCampaign, ScanTargetSpace
+from tests.conftest import MiniWorld
+
+WEEKS = 3
+
+
+def build_world(seed=5):
+    world = MiniWorld()
+    world.builder.register_domain("scan.dnsstudy.edu",
+                                  wildcard_address="198.18.0.99")
+    world.service.wildcard_suffixes = ("scan.dnsstudy.edu",)
+    churn = ChurnModel(world.network, rdns=world.rdns, seed=seed)
+
+    def populate(pool, count, lease):
+        for _ in range(count):
+            ip = churn.allocate_address(pool)
+            node = ResolverNode(ip, resolution_service=world.service)
+            world.network.register(node)
+            churn.add(LeasedHost(node, pool, lease_duration=lease))
+
+    world.static_pool = world.allocator.allocate(26)
+    populate(world.static_pool, 6, None)
+    world.dynamic_pool = world.allocator.allocate(26)
+    populate(world.dynamic_pool, 4, DAY)
+    world.churn = churn
+    return world
+
+
+def make_campaign(world, perf=None):
+    return ScanCampaign(
+        world.network, world.churn,
+        ScanTargetSpace([world.static_pool, world.dynamic_pool]),
+        world.client_ip, "scan.dnsstudy.edu", perf=perf)
+
+
+def run_checkpointed_campaign(directory, weeks=WEEKS, seed=5):
+    """Run a fresh deterministic campaign, committing every week."""
+    world = build_world(seed=seed)
+    campaign = make_campaign(world)
+    checkpoint = CheckpointedRun(str(directory),
+                                 meta={"command": "campaign",
+                                       "weeks": weeks, "seed": seed})
+    campaign.run(weeks, checkpoint=checkpoint)
+    checkpoint.write_provenance()
+    checkpoint.close()
+    return world, campaign
+
+
+class FakeGeo:
+    """Deterministic ip -> (country, rir, asn) without a full scenario."""
+
+    COUNTRIES = ("US", "DE", "BR", "JP")
+    RIRS = ("ARIN", "RIPE", "LACNIC", "APNIC")
+
+    def locate(self, ip):
+        value = ip_to_int(ip)
+        index = value % len(self.COUNTRIES)
+        return (self.COUNTRIES[index], self.RIRS[index],
+                64500 + (value >> 8) % 16)
+
+    # GeoIpDatabase surface for the batch analysis side of identity
+    # comparisons — counts derived from the same mapping as locate().
+    def count_by_country(self, ips):
+        counts = {}
+        for ip in ips:
+            country = self.locate(ip)[0]
+            counts[country] = counts.get(country, 0) + 1
+        return counts
+
+    def count_by_rir(self, ips):
+        counts = {}
+        for ip in ips:
+            rir = self.locate(ip)[1]
+            counts[rir] = counts.get(rir, 0) + 1
+        return counts
+
+
+@pytest.fixture(scope="module")
+def campaign_checkpoint(tmp_path_factory):
+    """(checkpoint_dir, world, campaign) for one finished campaign."""
+    directory = tmp_path_factory.mktemp("observatory-ckpt")
+    world, campaign = run_checkpointed_campaign(directory)
+    return directory, world, campaign

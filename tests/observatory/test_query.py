@@ -1,0 +1,117 @@
+"""Query plane: batch-vs-ingested answer identity, lookups, timelines."""
+
+import pytest
+
+from repro.analysis.churn import churn_survival, format_survival
+from repro.analysis.geography import (
+    country_fluctuation,
+    format_fluctuation,
+    rir_fluctuation,
+)
+from repro.observatory import Observatory, ResolverStore, ingest_checkpoint
+from repro.perf import PerfRegistry
+
+from tests.observatory.conftest import FakeGeo
+
+
+@pytest.fixture(scope="module")
+def observatory(campaign_checkpoint, tmp_path_factory):
+    directory, __, campaign = campaign_checkpoint
+    store = ResolverStore(
+        str(tmp_path_factory.mktemp("observatory-store") / "store"))
+    ingest_checkpoint(store, str(directory), geo=FakeGeo())
+    return Observatory(store, perf=PerfRegistry()), campaign
+
+
+class TestAnswerIdentity:
+    """The acceptance bar: rankings and survival from the store are
+    byte-identical to the batch analysis over the live snapshots."""
+
+    def test_table1_country_rankings(self, observatory):
+        observatory, campaign = observatory
+        geo = FakeGeo()
+        batch_rows, batch_share = country_fluctuation(
+            campaign.snapshots[0].result, campaign.snapshots[-1].result,
+            geo)
+        rows, share = observatory.country_rankings()
+        assert format_fluctuation(rows, "Country") \
+            == format_fluctuation(batch_rows, "Country")
+        assert share == batch_share
+
+    def test_table2_rir_rankings(self, observatory):
+        observatory, campaign = observatory
+        batch_rows = rir_fluctuation(campaign.snapshots[0].result,
+                                     campaign.snapshots[-1].result,
+                                     FakeGeo())
+        assert format_fluctuation(observatory.rir_rankings(), "RIR") \
+            == format_fluctuation(batch_rows, "RIR")
+
+    def test_figure2_survival_curve(self, observatory):
+        observatory, campaign = observatory
+        assert format_survival(observatory.survival()) \
+            == format_survival(churn_survival(campaign.snapshots))
+
+
+class TestPointQueries:
+    def test_lookup_counts_queries_and_latency(self, observatory):
+        observatory, campaign = observatory
+        perf = observatory.perf
+        before = perf.counter("observatory_queries_served")
+        ips = sorted(campaign.snapshots[0].result.responders)[:5]
+        records = observatory.lookup_many(ips)
+        assert [record["ip"] for record in records] == ips
+        assert observatory.lookup(ips[0])["ip"] == ips[0]
+        assert perf.counter("observatory_queries_served") \
+            == before + len(ips) + 1
+        assert perf.histograms["observatory_lookup_seconds"].count > 0
+
+    def test_lookup_unknown_is_none(self, observatory):
+        observatory, __ = observatory
+        assert observatory.lookup("203.0.113.254") is None
+
+    def test_resolvers_in_uses_the_geo_index(self, observatory):
+        observatory, campaign = observatory
+        geo = FakeGeo()
+        want = sorted(
+            (ip for ip in {ip for snapshot in campaign.snapshots
+                           for ip in snapshot.result.responders}
+             if geo.locate(ip)[0] == "US"),
+            key=lambda ip: tuple(int(p) for p in ip.split(".")))
+        assert observatory.resolvers_in(country="US") == want
+
+
+class TestTimeline:
+    def test_prefix_timeline_tracks_arrivals_and_departures(
+            self, observatory):
+        observatory, campaign = observatory
+        prefix = campaign.snapshots[0].result.responders
+        network = sorted(prefix)[0].rsplit(".", 1)[0] + ".0/24"
+        rows = observatory.timeline(network)
+        assert [row["week"] for row in rows] == [0, 1, 2]
+        assert rows[0]["new"] == rows[0]["responders"]
+        assert rows[0]["gone"] == 0
+        for earlier, later in zip(rows, rows[1:]):
+            assert later["responders"] == (earlier["responders"]
+                                           + later["new"]
+                                           - later["gone"])
+
+    def test_bad_prefix_is_a_value_error(self, observatory):
+        observatory, __ = observatory
+        with pytest.raises(ValueError):
+            observatory.timeline("not-a-prefix/99")
+
+
+class TestStats:
+    def test_stats_reflect_the_store(self, observatory):
+        observatory, __ = observatory
+        stats = observatory.stats()
+        assert stats["weeks"] == 3
+        assert stats["first_week"] == 0 and stats["last_week"] == 2
+        assert stats["resolvers"] == len(observatory.store)
+        assert stats["generation"] == observatory.store.generation
+        assert stats["disk_bytes"] > 0
+
+    def test_rankings_on_an_empty_store_fail_clearly(self):
+        empty = Observatory(ResolverStore())
+        with pytest.raises(LookupError):
+            empty.country_rankings()

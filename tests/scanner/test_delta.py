@@ -118,6 +118,51 @@ class TestChurnForecast:
         assert world.churn._rng.getstate() == state
         assert world.churn.rebind_count == 0
 
+    def test_pending_churn_on_empty_model_is_pure_nothing(self):
+        # A model with no hosts at all: the forecast is {} at any
+        # horizon and still consumes no RNG state.
+        world = MiniWorld()
+        churn = ChurnModel(world.network, rdns=world.rdns, seed=5)
+        state = churn._rng.getstate()
+        assert churn.pending_churn() == {}
+        assert churn.pending_churn(horizon=52 * WEEK) == {}
+        assert churn._rng.getstate() == state
+
+    def test_pending_churn_week_zero_horizon_boundary(self):
+        # At clock 0 nothing has expired (leases are jitter-stretched
+        # past DAY), so a zero horizon flags nothing.  The deadline
+        # comparison is inclusive: a horizon landing exactly on the
+        # earliest lease expiry flags that one host, one just short of
+        # it still flags nothing, and one at the latest expiry flags
+        # the whole dynamic pool.  Either way the RNG is untouched.
+        world = build_delta_world()
+        state = world.churn._rng.getstate()
+        expiries = sorted(host.expires_at for host in world.dynamic_hosts)
+        assert expiries[0] >= DAY
+        assert world.churn.pending_churn(horizon=0.0) == {}
+        assert world.churn.pending_churn(horizon=expiries[0] - 1) == {}
+        assert world.churn.pending_churn(horizon=expiries[0]) == {
+            world.dynamic_pool.cidr: 1}
+        assert world.churn.pending_churn(horizon=expiries[-1]) == {
+            world.dynamic_pool.cidr: len(world.dynamic_hosts)}
+        assert world.churn._rng.getstate() == state
+
+    def test_pending_churn_all_members_flagged(self):
+        # Every host of a static pool decommissions inside the horizon:
+        # the forecast counts the pool's entire population, and asking
+        # repeatedly neither mutates hosts nor draws RNG.
+        world = build_delta_world(static_hosts=5, dynamic_hosts=0)
+        pool = world.static_pools[0]
+        for host in world.static_hosts:
+            host.offline_after = WEEK
+        state = world.churn._rng.getstate()
+        world.clock.advance(WEEK)
+        forecast = world.churn.pending_churn()
+        assert forecast == {pool.cidr: len(world.static_hosts)}
+        assert world.churn.pending_churn() == forecast
+        assert world.churn._rng.getstate() == state
+        assert all(host.online for host in world.static_hosts)
+
 
 class TestWeekSchedule:
     def test_schedule_full_delta_and_closing_weeks(self):

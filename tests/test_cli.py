@@ -240,3 +240,138 @@ class TestCheckpointCli:
         with open(resumed_out) as handle:
             resumed = handle.read()
         assert resumed == plain
+
+
+class TestTraceCliErrors:
+    """'repro trace' must die with one clear line — never a traceback —
+    whatever is wrong with the file it was pointed at."""
+
+    def test_missing_file_is_a_one_line_error(self, capsys):
+        assert main(["trace", "/nonexistent/trace.jsonl"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("invalid trace:")
+        assert "Traceback" not in err
+
+    def test_binary_garbage_is_a_one_line_error(self, tmp_path, capsys):
+        path = str(tmp_path / "garbage.jsonl")
+        with open(path, "wb") as handle:
+            handle.write(b"\x93NUMPY\x01\x00\xff\xfe" * 64)
+        assert main(["trace", path]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("invalid trace:")
+        assert "not a JSONL text file" in err
+
+    def test_non_json_text_is_a_one_line_error(self, tmp_path, capsys):
+        path = str(tmp_path / "notes.txt")
+        with open(path, "w") as handle:
+            handle.write("this is not a trace\n")
+        assert main(["trace", path]) == 2
+        assert "invalid trace" in capsys.readouterr().err
+
+
+class TestObserveKnobValidation:
+    """The observatory's knobs die at the parser like every other knob."""
+
+    @pytest.mark.parametrize("flag,value", [
+        ("--ingest-poll", "0"),
+        ("--ingest-poll", "-2"),
+        ("--ingest-poll", "nan"),
+        ("--ingest-poll", "often"),
+    ])
+    def test_bad_ingest_poll_rejected(self, flag, value, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(
+                ["observe", "ingest", "--from", "/tmp/c",
+                 "--store-dir", "/tmp/s", flag, value])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "must be" in err or "is not a" in err
+
+    @pytest.mark.parametrize("value", [
+        "8053",             # no host
+        ":8053",            # empty host
+        "127.0.0.1:zero",   # non-integer port
+        "127.0.0.1:70000",  # out of range
+        "127.0.0.1:-1",
+    ])
+    def test_bad_listen_endpoint_rejected(self, value, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(
+                ["observe", "serve", "--store-dir", "/tmp/s",
+                 "--listen", value])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "host:port" in err or "port" in err
+
+    def test_bad_store_dir_rejected(self, tmp_path, capsys):
+        plain_file = tmp_path / "file.txt"
+        plain_file.write_text("not a directory")
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(
+                ["observe", "stats", "--store-dir", str(plain_file)])
+        assert exc.value.code == 2
+        assert "not a directory" in capsys.readouterr().err
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["observe", "stats", "--store-dir", "  "])
+
+    def test_good_knobs_parse(self):
+        args = build_parser().parse_args(
+            ["observe", "serve", "--store-dir", "/tmp/s",
+             "--listen", "0.0.0.0:0", "--ingest-poll", "0.5"])
+        assert args.listen == ("0.0.0.0", 0)
+        assert args.ingest_poll == 0.5
+        assert args.store_dir == "/tmp/s"
+
+    def test_store_dir_is_required(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["observe", "stats"])
+        assert exc.value.code == 2
+
+
+class TestObserveCli:
+    def test_ingest_then_query_round_trip(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "ckpt")
+        store = str(tmp_path / "store")
+        assert main(["campaign", "--weeks", "2",
+                     "--checkpoint-dir", ckpt] + SMALL) == 0
+        capsys.readouterr()
+        assert main(["observe", "ingest", "--from", ckpt,
+                     "--store-dir", store, "--no-geo"]) == 0
+        captured = capsys.readouterr()
+        assert "2 weeks" in captured.err
+        assert main(["observe", "stats", "--store-dir", store]) == 0
+        import json
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["weeks"] == 2 and stats["resolvers"] > 0
+        assert main(["observe", "survival", "--store-dir", store]) == 0
+        assert "week  surviving" in capsys.readouterr().out
+        # Second ingest pass: recognized no-op.
+        assert main(["observe", "ingest", "--from", ckpt,
+                     "--store-dir", store, "--no-geo"]) == 0
+        assert "nothing new" in capsys.readouterr().err
+
+    def test_lookup_unknown_resolver_fails(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "ckpt")
+        store = str(tmp_path / "store")
+        assert main(["campaign", "--weeks", "1",
+                     "--checkpoint-dir", ckpt] + SMALL) == 0
+        assert main(["observe", "ingest", "--from", ckpt,
+                     "--store-dir", store, "--no-geo"]) == 0
+        capsys.readouterr()
+        assert main(["observe", "lookup", "--store-dir", store,
+                     "203.0.113.254"]) == 1
+        assert "unknown resolver" in capsys.readouterr().err
+
+    def test_query_before_ingest_is_a_clear_error(self, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            main(["observe", "stats",
+                  "--store-dir", str(tmp_path / "empty")])
+        assert "repro observe ingest" in str(exc.value)
+
+    def test_ingest_missing_checkpoint_is_a_clear_error(self, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            main(["observe", "ingest",
+                  "--from", str(tmp_path / "nothing"),
+                  "--store-dir", str(tmp_path / "store")])
+        assert "no checkpoint directory" in str(exc.value)
